@@ -1,0 +1,108 @@
+// Ablation: the 5-zone Hamming-weight DNN start detector vs. a naive
+// threshold on the raw TDC readout.
+//
+// The paper motivates the detector as "purifying" the voltage fluctuation
+// (Sec. III-D-1): small idle wiggles must not launch the attack, yet the
+// trigger must fire within a few samples of CONV1 starting. We sweep the
+// TDC noise level and report false-trigger probability (over the idle
+// window) and detection latency for both schemes.
+#include <cstdio>
+
+#include "attack/detector.hpp"
+#include "bench_common.hpp"
+
+using namespace deepstrike;
+
+namespace {
+
+/// Naive trigger: readout below threshold for `hold` consecutive samples,
+/// no zone purification.
+struct NaiveTrigger {
+    std::uint8_t threshold;
+    std::size_t hold;
+    std::size_t below = 0;
+    bool fired = false;
+    std::size_t fire_sample = 0;
+    std::size_t seen = 0;
+
+    void on_readout(std::uint8_t readout) {
+        ++seen;
+        if (fired) return;
+        if (readout < threshold) {
+            if (++below >= hold) {
+                fired = true;
+                fire_sample = seen - 1;
+            }
+        } else {
+            below = 0;
+        }
+    }
+};
+
+struct Recorder final : public sim::StrikeSource {
+    bool strike_bit(std::size_t) override { return false; }
+    void on_tdc_sample(const tdc::TdcSample& sample) override {
+        samples.push_back(sample);
+    }
+    std::vector<tdc::TdcSample> samples;
+};
+
+} // namespace
+
+int main() {
+    bench::banner("Ablation: 5-zone HW detector vs. naive readout threshold");
+    bench::TrainedPlatform tp = bench::trained_platform();
+
+    CsvWriter csv = bench::open_csv("ablation_detector.csv");
+    csv.row("tdc_noise_sigma", "scheme", "false_trigger", "latency_cycles");
+
+    const std::size_t conv1_start =
+        tp.platform.engine().schedule().segment_for("CONV1").start_cycle * 2;
+
+    std::printf("%-12s %-18s %14s %16s\n", "noise_sigma", "scheme", "false_trigger",
+                "latency(cycles)");
+
+    for (double noise : {0.3, 0.5, 0.8, 1.2, 1.8}) {
+        sim::PlatformConfig cfg;
+        cfg.tdc.noise_sigma_stages = noise;
+        sim::Platform platform(cfg, tp.qweights);
+
+        Recorder rec;
+        platform.simulate_inference(rec);
+
+        // Zone detector.
+        attack::DnnStartDetector detector{attack::DetectorConfig{}};
+        for (const auto& s : rec.samples) detector.on_sample(s);
+        const bool zone_false =
+            detector.triggered() && detector.trigger_sample() < conv1_start;
+        const double zone_latency =
+            detector.triggered()
+                ? (static_cast<double>(detector.trigger_sample()) -
+                   static_cast<double>(conv1_start)) /
+                      2.0
+                : -1.0;
+
+        // Naive threshold one LSB below the calibration target — the
+        // tightest setting that can still detect shallow layers. (A looser
+        // threshold trades away detection of low-activity layers instead.)
+        NaiveTrigger naive{static_cast<std::uint8_t>(cfg.tdc.target_ones - 1), 6};
+        for (const auto& s : rec.samples) naive.on_readout(s.readout);
+        const bool naive_false = naive.fired && naive.fire_sample < conv1_start;
+        const double naive_latency =
+            naive.fired ? (static_cast<double>(naive.fire_sample) -
+                           static_cast<double>(conv1_start)) /
+                              2.0
+                        : -1.0;
+
+        std::printf("%-12.1f %-18s %14s %16.1f\n", noise, "zone-HW (paper)",
+                    zone_false ? "YES" : "no", zone_latency);
+        std::printf("%-12s %-18s %14s %16.1f\n", "", "naive threshold",
+                    naive_false ? "YES" : "no", naive_latency);
+        csv.row(noise, "zone_hw", zone_false ? 1 : 0, zone_latency);
+        csv.row(noise, "naive", naive_false ? 1 : 0, naive_latency);
+    }
+
+    std::printf("\n(negative latency = fired before CONV1 actually started; the\n"
+                " zone detector should stay false-trigger-free to higher noise)\n");
+    return 0;
+}

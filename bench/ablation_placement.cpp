@@ -1,0 +1,83 @@
+// Ablation: attacker-victim placement distance (paper Fig. 6a: "We put the
+// victim circuit far from the attacker circuit...").
+//
+// On the spatial PDN, a striker glitch is deepest in the aggressor's own
+// region and attenuates through the lateral grid resistance. This sweep
+// reports the droop seen at each distance and the resulting DSP fault
+// probability, quantifying how much isolation mere placement buys — and
+// why it is not a defense (the droop at distance is attenuated, not gone).
+#include <cstdio>
+
+#include "accel/dsp.hpp"
+#include "bench_common.hpp"
+#include "pdn/grid.hpp"
+#include "striker/striker.hpp"
+
+using namespace deepstrike;
+
+namespace {
+
+/// Empirical per-op fault probability at voltage v (sampling the DSP model).
+double fault_probability(double v, const pdn::DelayModel& delay) {
+    Rng construction(1);
+    const accel::DspSlice slice(0, accel::DspTimingParams{}, construction);
+    Rng rng(2);
+    int faults = 0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+        if (slice.evaluate(v, delay, rng) != accel::FaultKind::None) ++faults;
+    }
+    return static_cast<double>(faults) / trials;
+}
+
+} // namespace
+
+int main() {
+    bench::banner("Ablation: attacker-victim placement distance on the die");
+
+    const pdn::DelayModel delay{};
+    striker::StrikerParams sp = striker::StrikerParams::end_to_end();
+    // End-to-end cell count (15% of slices): the fault threshold then sits
+    // inside the distance sweep.
+    const striker::StrikerBank bank(sp, delay);
+    const double i_pulse = bank.current_a(1.0, true);
+
+    CsvWriter csv = bench::open_csv("ablation_placement.csv");
+    csv.row("r_lateral_ohm", "distance_regions", "min_voltage", "droop_mV",
+            "fault_probability");
+
+    std::printf("striker: %zu cells, %.2f A pulse (10 ns), 8-region die strip\n\n",
+                sp.n_cells, i_pulse);
+    std::printf("%-14s %10s %12s %10s %14s\n", "r_lateral", "distance", "min_V",
+                "droop_mV", "P(fault)/op");
+
+    for (double r_lat : {0.15, 0.35, 0.8}) {
+        pdn::GridPdnParams params;
+        params.regions = 8;
+        params.r_lateral_ohm = r_lat;
+        // Keep total decap equal to the lumped model's 30 nF: 20 nF bulk
+        // at the package + 10 nF spread across the die regions.
+        params.package.c_farad = 20e-9;
+        params.c_region_f = 10e-9 / static_cast<double>(params.regions);
+
+        const auto min_v = pdn::simulate_regional_droop(
+            params, 0.05 / 8.0, /*aggressor=*/0, i_pulse, 50, 10, 100);
+
+        for (std::size_t d = 0; d < params.regions; ++d) {
+            const double droop_mv = 1000.0 * (1.0 - min_v[d]);
+            const double p = fault_probability(min_v[d], delay);
+            std::printf("%-14.2f %10zu %12.4f %10.1f %13.1f%%\n", r_lat, d, min_v[d],
+                        droop_mv, 100.0 * p);
+            csv.row(r_lat, d, min_v[d], droop_mv, p);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("reading: the on-die component of the glitch attenuates within a\n"
+                "region or two, but the SHARED package impedance sets a droop floor\n"
+                "that every region sees — that floor is what makes remote voltage\n"
+                "attacks work, and it is why the paper's far-placement (chosen to\n"
+                "avoid thermal/local-IR coupling in the Fig. 6a rig) is not a\n"
+                "defense. Stiffer grids (lower lateral R) flatten the profile.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: TDC design-space sweep (Sec. III-B: "the driving clock
+// frequency and the length of DL_LUT and DL_CARRY should be carefully
+// designed").
+//
+// For each (L_LUT, target operating point) we report the sensor's voltage
+// sensitivity (stages per mV at nominal), its usable range before the
+// readout rails at 0 or L_CARRY, and the resource cost of the netlist.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fabric/resources.hpp"
+#include "tdc/netlist_builder.hpp"
+#include "tdc/tdc.hpp"
+
+using namespace deepstrike;
+
+int main() {
+    bench::banner("Ablation: TDC delay-sensor design space");
+
+    const pdn::DelayModel delay{};
+    CsvWriter csv = bench::open_csv("ablation_tdc_resolution.csv");
+    csv.row("l_lut", "l_carry", "target_ones", "sens_stages_per_mV", "range_mV",
+            "luts", "ffs");
+
+    std::printf("%-6s %-8s %-12s %20s %12s %8s %8s\n", "L_LUT", "L_CARRY", "target",
+                "sens (stages/mV)", "range (mV)", "LUT", "FF");
+
+    for (std::size_t l_lut : {2UL, 4UL, 8UL}) {
+        for (std::size_t l_carry : {64UL, 128UL}) {
+            for (std::size_t target : {l_carry / 2, (7 * l_carry) / 10, (9 * l_carry) / 10}) {
+                tdc::TdcConfig cfg = tdc::TdcConfig::paper_config();
+                cfg.l_lut = l_lut;
+                cfg.l_carry = l_carry;
+                cfg.target_ones = target;
+                tdc::TdcSensor sensor(cfg, delay);
+
+                // Sensitivity: finite difference around nominal.
+                const double s_hi = sensor.expected_stages(1.0);
+                const double s_lo = sensor.expected_stages(0.99);
+                const double sens = (s_hi - s_lo) / 10.0; // per mV
+
+                // Usable range: droop until the readout hits zero.
+                double v = 1.0;
+                while (v > 0.45 && sensor.expected_stages(v) > 0.5) v -= 0.001;
+                const double range_mv = 1000.0 * (1.0 - v);
+
+                const auto usage = fabric::count_resources(tdc::build_tdc_netlist(cfg));
+
+                std::printf("%-6zu %-8zu %-12zu %20.3f %12.0f %8zu %8zu\n", l_lut,
+                            l_carry, target, sens, range_mv, usage.luts, usage.ffs);
+                csv.row(l_lut, l_carry, target, sens, range_mv, usage.luts, usage.ffs);
+            }
+        }
+    }
+
+    std::printf("\nreading: higher operating point (more ones at idle) = higher\n"
+                "sensitivity but smaller range before the readout saturates; the\n"
+                "paper's choice (L_LUT=4, L_CARRY=128, ~90 ones) trades ~0.3\n"
+                "stages/mV for ~100 mV of range — enough to cover striker glitches.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Shared setup for the figure/table reproduction benches.
+//
+// Every bench that needs the victim model calls trained_platform(), which
+// trains LeNet-5 once (cached on disk under ./.deepstrike_cache) and wraps
+// it in the standard PYNQ-Z1 platform configuration. CSV series are
+// written under ./results/ so plots can be regenerated offline.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "nn/lenet.hpp"
+#include "sim/experiment.hpp"
+#include "sim/platform.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace deepstrike::bench {
+
+/// Training spec used by all benches (one shared weight cache).
+inline nn::LeNetTrainSpec paper_train_spec() {
+    nn::LeNetTrainSpec spec;
+    spec.data_seed = 42;
+    spec.train_size = 4000;
+    spec.test_size = 1000;
+    spec.init_seed = 7;
+    spec.train_config.epochs = 5;
+    spec.train_config.batch_size = 16;
+    return spec;
+}
+
+struct TrainedPlatform {
+    nn::TrainedLeNet trained;
+    quant::QLeNetWeights qweights;
+    sim::Platform platform;
+    data::Dataset test_set;
+
+    TrainedPlatform(nn::TrainedLeNet t, quant::QLeNetWeights q, data::Dataset test)
+        : trained(std::move(t)),
+          qweights(q),
+          platform(sim::PlatformConfig{}, std::move(q)),
+          test_set(std::move(test)) {}
+};
+
+inline TrainedPlatform trained_platform() {
+    const nn::LeNetTrainSpec spec = paper_train_spec();
+    std::printf("[setup] loading/training LeNet-5 (%zu train / %zu test, %zu epochs)...\n",
+                spec.train_size, spec.test_size, spec.train_config.epochs);
+    std::fflush(stdout);
+    nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
+    std::printf("[setup] float test accuracy: %.4f (%s)\n", trained.test_accuracy,
+                trained.loaded_from_cache ? "cache" : "fresh training");
+    quant::QLeNetWeights qw = quant::quantize_lenet(trained.net);
+    data::Dataset test = data::make_datasets(spec.data_seed, 1, spec.test_size).test;
+    return TrainedPlatform(std::move(trained), std::move(qw), std::move(test));
+}
+
+/// Opens results/<name>.csv (creating the directory).
+inline CsvWriter open_csv(const std::string& name) {
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    const std::string path = "results/" + name;
+    std::printf("[out] writing %s\n", path.c_str());
+    return CsvWriter(path);
+}
+
+inline void banner(const char* title) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title);
+    std::printf("================================================================\n");
+}
+
+} // namespace deepstrike::bench

@@ -1,0 +1,70 @@
+// Extension: the thermal envelope of sustained striking (paper Sec. IV-A:
+// longer striker activation "may increase the temperature of the FPGA
+// chip or even crash it").
+//
+// For each striker size, sweep the strike duty cycle and report the
+// steady-state junction temperature when attacking back-to-back
+// inferences indefinitely, plus the maximum duty that avoids thermal
+// shutdown. This is the constraint that makes precisely-*timed* strikes
+// (DeepStrike) strictly better than brute-force continuous power wasting.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "pdn/delay.hpp"
+#include "sim/thermal.hpp"
+#include "striker/striker.hpp"
+
+using namespace deepstrike;
+
+int main() {
+    bench::banner("Extension: thermal envelope of sustained striking");
+
+    const pdn::DelayModel delay{};
+    const sim::ThermalParams tp{};
+    const accel::AccelConfig acfg = accel::AccelConfig::pynq_z1();
+    // Victim average power: idle + mid activity at ~1 V.
+    const double victim_power =
+        acfg.i_platform_idle_a + acfg.i_accel_static_a + 0.08;
+
+    std::printf("thermal model: ambient %.0f C, Rth %.0f K/W, shutdown %.0f C "
+                "(tau %.0f s)\n\n",
+                tp.ambient_c, tp.r_th_k_per_w, tp.shutdown_c,
+                sim::ThermalModel(tp).params().tau_s());
+
+    CsvWriter csv = bench::open_csv("ext_thermal_envelope.csv");
+    csv.row("striker_cells", "duty", "junction_c", "crashes", "max_safe_duty");
+
+    std::printf("%10s %8s %14s %10s %15s\n", "cells", "duty", "junction(C)",
+                "crashes", "max safe duty");
+
+    for (std::size_t cells : {8000UL, 16000UL, 24000UL}) {
+        striker::StrikerParams sp;
+        sp.n_cells = cells;
+        const striker::StrikerBank bank(sp, delay);
+        const double striker_power = bank.thermal_power_w(1.0);
+
+        for (double duty : {0.05, 0.10, 0.25, 0.50, 1.00}) {
+            const sim::ThermalVerdict v =
+                sim::thermal_verdict(tp, victim_power, striker_power, duty);
+            std::printf("%10zu %7.0f%% %14.1f %10s %14.1f%%\n", cells, 100.0 * duty,
+                        v.junction_c, v.crashes ? "YES" : "no",
+                        100.0 * v.max_safe_duty);
+            csv.row(cells, duty, v.junction_c, v.crashes ? 1 : 0, v.max_safe_duty);
+        }
+        std::printf("\n");
+    }
+
+    // The paper's end-to-end configuration, for reference.
+    {
+        striker::StrikerBank bank(striker::StrikerParams::end_to_end(), delay);
+        const double striker_power = bank.thermal_power_w(1.0);
+        const double paper_duty = 4500.0 / 52000.0; // strikes per inference cycles
+        const sim::ThermalVerdict v =
+            sim::thermal_verdict(tp, victim_power, striker_power, paper_duty);
+        std::printf("paper's end-to-end attack (8,000 cells, ~%.0f%% duty): "
+                    "junction %.1f C — %s\n",
+                    100.0 * paper_duty, v.junction_c,
+                    v.crashes ? "CRASHES" : "thermally sustainable indefinitely");
+    }
+    return 0;
+}

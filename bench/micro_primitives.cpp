@@ -1,0 +1,187 @@
+// Microbenchmarks of the core simulation primitives (google-benchmark).
+// These bound the wall-clock cost of the figure benches: one inference
+// co-simulation is ~1M PDN steps + ~200k TDC samples, and one faulted
+// accelerator run is ~365k DSP op evaluations.
+#include <benchmark/benchmark.h>
+
+#include "accel/engine.hpp"
+#include "attack/detector.hpp"
+#include "host/frames.hpp"
+#include "pdn/pdn.hpp"
+#include "quant/qlenet.hpp"
+#include "sim/platform.hpp"
+#include "striker/striker.hpp"
+#include "tdc/tdc.hpp"
+#include "util/bitvec.hpp"
+
+namespace ds = deepstrike;
+
+namespace {
+
+ds::quant::QLeNetWeights bench_weights() {
+    ds::Rng rng(4242);
+    ds::quant::QLeNetWeights w;
+    auto fill = [&rng](ds::Shape shape, double range) {
+        ds::QTensor t(shape);
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            t.at_unchecked(i) = ds::fx::Q3_4::from_real(rng.uniform(-range, range));
+        }
+        return t;
+    };
+    w.conv1_w = fill({6, 1, 5, 5}, 0.5);
+    w.conv1_b = fill({6}, 0.2);
+    w.conv2_w = fill({16, 6, 5, 5}, 0.4);
+    w.conv2_b = fill({16}, 0.2);
+    w.fc1_w = fill({120, 1024}, 0.2);
+    w.fc1_b = fill({120}, 0.2);
+    w.fc2_w = fill({10, 120}, 0.3);
+    w.fc2_b = fill({10}, 0.2);
+    return w;
+}
+
+ds::QTensor bench_image() {
+    ds::Rng rng(7);
+    ds::QTensor img(ds::Shape{1, 28, 28});
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        img.at_unchecked(i) = ds::fx::Q3_4::from_real(rng.uniform(0.0, 1.0));
+    }
+    return img;
+}
+
+void BM_PdnStep(benchmark::State& state) {
+    ds::pdn::PdnModel model(ds::pdn::PdnParams::pynq_z1());
+    model.reset(0.05);
+    double load = 0.05;
+    for (auto _ : state) {
+        load = load < 0.3 ? load + 1e-4 : 0.05;
+        benchmark::DoNotOptimize(model.step(load));
+    }
+}
+BENCHMARK(BM_PdnStep);
+
+void BM_TdcSample(benchmark::State& state) {
+    const ds::pdn::DelayModel delay{};
+    const ds::tdc::TdcSensor sensor(ds::tdc::TdcConfig::paper_config(), delay);
+    ds::Rng rng(1);
+    double v = 0.99;
+    for (auto _ : state) {
+        v = v < 0.999 ? v + 1e-6 : 0.99;
+        benchmark::DoNotOptimize(sensor.sample(v, rng).readout);
+    }
+}
+BENCHMARK(BM_TdcSample);
+
+void BM_StrikerCurrent(benchmark::State& state) {
+    const ds::pdn::DelayModel delay{};
+    const ds::striker::StrikerBank bank(ds::striker::StrikerParams::end_to_end(), delay);
+    double v = 0.95;
+    for (auto _ : state) {
+        v = v < 0.999 ? v + 1e-6 : 0.95;
+        benchmark::DoNotOptimize(bank.current_a(v, true));
+    }
+}
+BENCHMARK(BM_StrikerCurrent);
+
+void BM_DspEvaluate(benchmark::State& state) {
+    const ds::pdn::DelayModel delay{};
+    ds::Rng construction(1);
+    const ds::accel::DspSlice slice(0, ds::accel::DspTimingParams{}, construction);
+    ds::Rng rng(2);
+    const double v = 0.955; // in the fault-evaluation band
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(slice.evaluate(v, delay, rng));
+    }
+}
+BENCHMARK(BM_DspEvaluate);
+
+void BM_DetectorSample(benchmark::State& state) {
+    ds::attack::DnnStartDetector detector{ds::attack::DetectorConfig{}};
+    const ds::pdn::DelayModel delay{};
+    const ds::tdc::TdcSensor sensor(ds::tdc::TdcConfig::paper_config(), delay);
+    ds::Rng rng(3);
+    const ds::tdc::TdcSample sample = sensor.sample(0.996, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(detector.on_sample(sample));
+    }
+}
+BENCHMARK(BM_DetectorSample);
+
+void BM_QConv2dLayer(benchmark::State& state) {
+    const ds::quant::QLeNetWeights w = bench_weights();
+    const ds::QTensor img = bench_image();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ds::quant::qconv2d(img, w.conv1_w, w.conv1_b, true));
+    }
+}
+BENCHMARK(BM_QConv2dLayer);
+
+void BM_GoldenInference(benchmark::State& state) {
+    const ds::quant::QLeNetReference ref(bench_weights());
+    const ds::QTensor img = bench_image();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ref.forward(img).logits);
+    }
+}
+BENCHMARK(BM_GoldenInference);
+
+void BM_AccelCleanInference(benchmark::State& state) {
+    const ds::accel::AccelEngine engine(bench_weights(),
+                                        ds::accel::AccelConfig::pynq_z1(), 2021);
+    const ds::QTensor img = bench_image();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run_clean(img).predicted);
+    }
+}
+BENCHMARK(BM_AccelCleanInference);
+
+void BM_AccelFaultedInference(benchmark::State& state) {
+    const ds::accel::AccelEngine engine(bench_weights(),
+                                        ds::accel::AccelConfig::pynq_z1(), 2021);
+    const ds::QTensor img = bench_image();
+    // Glitch the whole CONV2 segment: worst-case slow path.
+    ds::accel::VoltageTrace trace(engine.schedule().total_cycles * 2, 1.0);
+    const auto& seg = engine.schedule().segment_for("CONV2");
+    for (std::size_t i = seg.start_cycle * 2; i < seg.end_cycle() * 2; ++i) {
+        trace[i] = 0.955;
+    }
+    ds::Rng rng(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(img, &trace, rng).predicted);
+    }
+}
+BENCHMARK(BM_AccelFaultedInference);
+
+void BM_CosimFullInference(benchmark::State& state) {
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    for (auto _ : state) {
+        ds::sim::NoAttackSource source;
+        benchmark::DoNotOptimize(platform.simulate_inference(source).strike_cycles);
+    }
+}
+BENCHMARK(BM_CosimFullInference);
+
+void BM_BitVecPopcount(benchmark::State& state) {
+    ds::Rng rng(6);
+    ds::BitVec v(4096);
+    for (std::size_t i = 0; i < v.size(); ++i) v.set(i, rng.bernoulli(0.5));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(v.popcount());
+    }
+}
+BENCHMARK(BM_BitVecPopcount);
+
+void BM_Crc16(benchmark::State& state) {
+    std::vector<std::uint8_t> payload(1024);
+    ds::Rng rng(8);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ds::host::crc16_ccitt(payload.data(), payload.size()));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Crc16);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// Geometry-only LeNet-5 QNetwork for resource accounting in benches
+// (weight values are irrelevant to netlist construction).
+#pragma once
+
+#include "quant/qnetwork.hpp"
+
+namespace deepstrike::bench {
+
+inline quant::QNetwork lenet_geometry_network() {
+    quant::QLeNetWeights w;
+    w.conv1_w = QTensor(Shape{6, 1, 5, 5});
+    w.conv1_b = QTensor(Shape{6});
+    w.conv2_w = QTensor(Shape{16, 6, 5, 5});
+    w.conv2_b = QTensor(Shape{16});
+    w.fc1_w = QTensor(Shape{120, 1024});
+    w.fc1_b = QTensor(Shape{120});
+    w.fc2_w = QTensor(Shape{10, 120});
+    w.fc2_b = QTensor(Shape{10});
+    return quant::lenet_qnetwork(w);
+}
+
+} // namespace deepstrike::bench

@@ -1,0 +1,60 @@
+// DSP fault characterization rig as a standalone tool (paper Sec. IV-A,
+// Fig. 6a): sweep the striker cell count, fire one-cycle strikes at DSP
+// slices computing (A+D)*B on random inputs, and classify the faults
+// observationally.
+//
+//   $ ./dsp_fault_characterization [n_cells ...]
+//
+// With no arguments, sweeps the paper's range.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/log.hpp"
+
+using namespace deepstrike;
+
+int main(int argc, char** argv) {
+    Log::set_level(LogLevel::Info);
+
+    std::vector<std::size_t> cell_counts;
+    for (int i = 1; i < argc; ++i) {
+        const long v = std::strtol(argv[i], nullptr, 10);
+        if (v <= 0) {
+            std::fprintf(stderr, "usage: %s [n_cells ...]\n", argv[0]);
+            return 2;
+        }
+        cell_counts.push_back(static_cast<std::size_t>(v));
+    }
+    if (cell_counts.empty()) {
+        for (std::size_t c = 2000; c <= 24000; c += 2000) cell_counts.push_back(c);
+    }
+
+    sim::DspRigConfig cfg;
+    cfg.trials = 10000;
+
+    std::printf("DSP fault characterization: %zu random-input trials per point\n",
+                cfg.trials);
+    std::printf("DSP config: (A+D)*B pre-adder mode, DDR clock %.0f MHz, sign-off at "
+                "%.0f%% of period\n\n",
+                1.0 / cfg.dsp_timing.clock_period_s / 1e6,
+                100.0 * cfg.dsp_timing.nominal_path_fraction);
+
+    std::printf("%10s %12s %14s %14s %14s\n", "cells", "min_V", "duplication",
+                "random", "total");
+    for (std::size_t cells : cell_counts) {
+        const sim::DspRigResult r = sim::run_dsp_characterization(cells, cfg);
+        std::printf("%10zu %12.4f %13.2f%% %13.2f%% %13.2f%%\n", cells, r.min_voltage,
+                    100.0 * r.duplication_rate, 100.0 * r.random_rate,
+                    100.0 * r.total_rate());
+    }
+
+    std::printf("\ninterpretation (paper Sec. IV-A):\n"
+                "  duplication fault: the DSP output register re-captures the\n"
+                "  previous input's (correct) result — absorbed by long serial\n"
+                "  accumulations in FC layers.\n"
+                "  random fault: mid-transition garbage — dominates at deep droop\n"
+                "  and is what damages convolution layers.\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+// End-to-end DeepStrike attack, exactly as the paper stages it (Sec. IV):
+//
+//   1. The remote adversary connects over UART and pulls a TDC trace of a
+//      normal victim inference (profiling).
+//   2. Offline, the host segments the trace, identifies the most
+//      vulnerable layer (CONV2), and compiles an attacking scheme file.
+//   3. The scheme file is uploaded into the on-chip signal RAM and the
+//      controller is armed.
+//   4. On the next inference, the DNN start detector fires and the signal
+//      RAM replays the strike schedule into the power striker.
+//   5. The host evaluates the damage: misclassifications on the test set.
+#include <algorithm>
+#include <cstdio>
+
+#include "host/controller.hpp"
+#include "host/scheme_file.hpp"
+#include "nn/lenet.hpp"
+#include "quant/qlenet.hpp"
+#include "sim/device_agent.hpp"
+#include "sim/experiment.hpp"
+#include "util/log.hpp"
+
+using namespace deepstrike;
+
+int main() {
+    Log::set_level(LogLevel::Info);
+
+    // --- Victim deployment (what the adversary does NOT control) --------
+    nn::LeNetTrainSpec spec;
+    spec.train_size = 3000;
+    spec.test_size = 600;
+    spec.train_config.epochs = 4;
+    const nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
+    sim::Platform platform(sim::PlatformConfig{}, quant::quantize_lenet(trained.net));
+    const data::Dataset test = data::make_datasets(spec.data_seed, 1, 600).test;
+
+    // --- Attacker infrastructure ----------------------------------------
+    host::UartChannel uart;
+    host::HostController host(uart);
+    sim::DeviceAgent device(uart, attack::DetectorConfig{});
+
+    // Step 1: profile a victim inference through the side channel.
+    std::printf("[1] profiling victim inference through the TDC sensor...\n");
+    {
+        sim::GuidedSource source(device.controller()); // armed but empty scheme
+        const sim::CosimResult cosim = platform.simulate_inference(source);
+        device.record_trace(cosim.tdc_readouts);
+    }
+    host.request_trace(1 << 20);
+    device.service();
+    const std::vector<std::uint8_t> trace = host.poll_trace();
+    std::printf("    fetched %zu TDC readouts over UART\n", trace.size());
+
+    // Step 2: offline analysis on the host.
+    const attack::Profile profile = attack::profile_trace(trace);
+    std::printf("[2] host-side analysis:\n%s", profile.to_string().c_str());
+
+    // Pick the target: the longest *convolution* segment (CONV2) — the
+    // paper's most fault-sensitive layer.
+    const attack::ProfiledSegment* target = nullptr;
+    for (const auto& seg : profile.segments) {
+        if (seg.guess == attack::LayerClass::Convolution &&
+            (target == nullptr || seg.duration_samples() > target->duration_samples())) {
+            target = &seg;
+        }
+    }
+    if (target == nullptr) {
+        std::printf("no convolution segment found; aborting\n");
+        return 1;
+    }
+
+    // The detector's trigger timestamp during profiling anchors the delays.
+    attack::DnnStartDetector ref_detector{attack::DetectorConfig{}};
+    std::size_t trigger_sample = 0;
+    {
+        // Re-run detection offline on the fetched trace to find the anchor
+        // (the on-chip detector uses the same logic at attack time).
+        // Build pseudo-samples from readouts: thermometer code of length 128.
+        for (std::size_t i = 0; i < trace.size() && !ref_detector.triggered(); ++i) {
+            tdc::TdcSample s;
+            s.raw = BitVec(128);
+            for (std::size_t b = 0; b < trace[i] && b < 128; ++b) s.raw.set(b, true);
+            s.readout = trace[i];
+            ref_detector.on_sample(s);
+        }
+        trigger_sample = ref_detector.trigger_sample();
+    }
+
+    const std::size_t strikes = 4500;
+    const attack::AttackScheme scheme = attack::plan_attack(
+        *target, trigger_sample, platform.config().samples_per_cycle(), strikes);
+    std::printf("[3] compiled attacking scheme file:\n%s",
+                host::write_scheme_file(scheme, "target: longest conv segment").c_str());
+
+    // Step 3: upload + arm over UART.
+    host.upload_scheme(scheme, "target: longest conv segment");
+    host.arm();
+    device.service();
+    host.poll();
+    std::printf("    device ack: scheme loaded=%s armed=%s\n",
+                device.has_scheme() ? "yes" : "no", device.armed() ? "yes" : "no");
+
+    // Step 4: the victim runs; the detector triggers; strikes land.
+    std::printf("[4] victim inference under attack...\n");
+    sim::GuidedSource source(device.controller());
+    const sim::CosimResult attacked = platform.simulate_inference(source);
+    std::printf("    %zu strike cycles fired, deepest droop %.1f mV\n",
+                attacked.strike_cycles,
+                1000.0 * (1.0 - *std::min_element(attacked.capture_v.begin(),
+                                                  attacked.capture_v.end())));
+
+    // Step 5: damage assessment over the test set (co-sim trace reused —
+    // the schedule is data-independent).
+    std::printf("[5] evaluating on %zu test images...\n", test.size());
+    const sim::AccuracyResult clean =
+        sim::evaluate_accuracy(platform, test, test.size(), nullptr, 1);
+    const sim::AccuracyResult under_attack =
+        sim::evaluate_accuracy(platform, test, test.size(), &attacked.capture_v, 1);
+
+    std::printf("\nresults:\n");
+    std::printf("  untampered accuracy : %.2f%%\n", 100.0 * clean.accuracy);
+    std::printf("  under DeepStrike    : %.2f%%  (drop %.2f%%)\n",
+                100.0 * under_attack.accuracy,
+                100.0 * (clean.accuracy - under_attack.accuracy));
+    std::printf("  faults injected     : %zu duplication + %zu random per %zu images\n",
+                under_attack.faults.duplication, under_attack.faults.random,
+                under_attack.images);
+    return 0;
+}

@@ -1,0 +1,97 @@
+// Layer fingerprinting: build the paper's "library of sensor readout
+// patterns" (Sec. III-B) from one profiled inference, then recognize the
+// same layers in later runs — across fresh TDC noise and even when the
+// victim interleaves inferences back to back.
+#include <cstdio>
+
+#include "attack/signature.hpp"
+#include "nn/lenet.hpp"
+#include "quant/qnetwork.hpp"
+#include "sim/experiment.hpp"
+#include "util/log.hpp"
+
+using namespace deepstrike;
+
+int main() {
+    Log::set_level(LogLevel::Info);
+
+    nn::LeNetTrainSpec spec;
+    spec.train_size = 3000;
+    spec.test_size = 600;
+    spec.train_config.epochs = 4;
+    const nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
+    const quant::QLeNetWeights qw = quant::quantize_lenet(trained.net);
+
+    // --- Session 1: build the signature library ------------------------
+    sim::Platform platform(sim::PlatformConfig{}, qw);
+    const sim::ProfilingRun first = sim::run_profiling(platform);
+    if (first.profile.segments.size() != 5) {
+        std::printf("profiling failed\n");
+        return 1;
+    }
+    const std::vector<std::string> labels = {"CONV1", "POOL1", "CONV2", "FC1", "FC2"};
+    const attack::SignatureLibrary library = attack::SignatureLibrary::from_profile(
+        first.cosim.tdc_readouts, first.profile, labels);
+
+    std::printf("signature library built from one profiled inference:\n");
+    for (const auto& sig : library.signatures()) {
+        std::printf("  %-6s depth %.2f +/- %.2f stages, %6zu samples (%s)\n",
+                    sig.label.c_str(), sig.mean_depth, sig.depth_stddev,
+                    sig.duration_samples, attack::layer_class_name(sig.cls));
+    }
+
+    // --- Session 2: a later run with different sensor noise -------------
+    sim::PlatformConfig cfg2;
+    cfg2.tdc_noise_seed = 987654;
+    sim::Platform platform2(cfg2, qw);
+    const sim::ProfilingRun second = sim::run_profiling(platform2);
+
+    std::printf("\nre-identification on a fresh run (different TDC noise):\n");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < second.profile.segments.size(); ++i) {
+        const attack::LayerSignature probe = attack::extract_signature(
+            second.cosim.tdc_readouts, second.profile.segments[i],
+            second.profile.baseline);
+        const auto match = library.classify(probe);
+        const bool ok =
+            match && i < labels.size() && match->signature->label == labels[i];
+        correct += ok;
+        std::printf("  segment #%zu -> %-6s (distance %.3f) %s\n", i,
+                    match ? match->signature->label.c_str() : "??",
+                    match ? match->distance : -1.0, ok ? "" : "  <-- MISMATCH");
+    }
+    std::printf("  %zu/%zu layers re-identified\n", correct, labels.size());
+
+    // --- Session 3: strike 'their CONV2' on every back-to-back inference
+    const attack::LayerSignature* conv2 = nullptr;
+    for (const auto& sig : library.signatures()) {
+        if (sig.label == "CONV2") conv2 = &sig;
+    }
+    if (conv2 == nullptr) return 1;
+
+    // Find the matching segment in the fresh profile and plan against it.
+    const attack::ProfiledSegment* target = nullptr;
+    for (const auto& seg : second.profile.segments) {
+        const attack::LayerSignature probe = attack::extract_signature(
+            second.cosim.tdc_readouts, seg, second.profile.baseline);
+        const auto match = library.classify(probe);
+        if (match && match->signature == conv2) target = &seg;
+    }
+    if (target == nullptr) {
+        std::printf("CONV2 not re-identified; aborting strike demo\n");
+        return 1;
+    }
+
+    const attack::AttackScheme scheme = attack::plan_attack(
+        *target, second.trigger_sample, platform2.config().samples_per_cycle(), 2000);
+    attack::AttackController controller(attack::DetectorConfig{}, scheme);
+    const auto runs = sim::simulate_repeated_inferences(platform2, controller, 4);
+
+    std::printf("\nstriking the fingerprinted CONV2 on 4 back-to-back inferences:\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        std::printf("  inference %zu: detector %s, %zu strike cycles\n", i,
+                    runs[i].detector_fired ? "fired" : "MISSED",
+                    runs[i].strike_cycles);
+    }
+    return 0;
+}

@@ -1,0 +1,346 @@
+#include "accel/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike::accel {
+
+using fx::Q3_4;
+using fx::TanhLut;
+
+FaultCounts RunResult::faults_for(const std::string& label) const {
+    for (const LayerFaults& lf : faults_by_layer) {
+        if (lf.label == label) return lf.counts;
+    }
+    return {};
+}
+
+namespace {
+
+DspSlice make_pool_slice(const AccelConfig& config, std::uint64_t variation_seed) {
+    // The pool comparator path gets its own variation stream so the DSP
+    // draws below stay stable if the pool model changes.
+    Rng pool_rng(variation_seed ^ 0x706f6f6cULL);
+    return DspSlice(0xFFFF, config.logic_timing, pool_rng);
+}
+
+/// Voltage at the capture edge of DDR half `half` in `cycle` (two halves
+/// per cycle); nominal when the trace does not cover the cycle.
+inline double capture_voltage(const VoltageTrace* voltage, std::size_t cycle,
+                              std::size_t half, double vdd) {
+    const std::size_t idx = cycle * 2 + half;
+    if (voltage == nullptr || idx >= voltage->size()) return vdd;
+    return (*voltage)[idx];
+}
+
+inline bool throttled(const std::vector<bool>* throttle, std::size_t cycle) {
+    return throttle != nullptr && cycle < throttle->size() && (*throttle)[cycle];
+}
+
+inline Q3_4 apply_activation(Q3_4 v, quant::Activation activation) {
+    switch (activation) {
+        case quant::Activation::None: return v;
+        case quant::Activation::Tanh: return TanhLut::instance()(v);
+        case quant::Activation::Relu: return quant::qrelu(v);
+    }
+    return v;
+}
+
+/// Per-DSP pipeline state for duplication faults: the last product captured
+/// on each physical slice (in op-stream order).
+struct DspPipeline {
+    std::vector<fx::Acc> last_product;
+
+    explicit DspPipeline(std::size_t n_dsps) : last_product(n_dsps, 0) {}
+};
+
+/// Evaluates one op, optionally with triple-modular-redundancy voting:
+/// under TMR an op only faults when at least two of three independent
+/// evaluations fault, and the surviving fault kind is the majority kind.
+FaultKind evaluate_op(const DspSlice& slice, double v, const pdn::DelayModel& delay,
+                      Rng& rng, double path_scale, bool tmr) {
+    if (!tmr) return slice.evaluate(v, delay, rng, path_scale);
+    int dup = 0;
+    int rnd = 0;
+    for (int r = 0; r < 3; ++r) {
+        switch (slice.evaluate(v, delay, rng, path_scale)) {
+            case FaultKind::Duplication: ++dup; break;
+            case FaultKind::Random: ++rnd; break;
+            case FaultKind::None: break;
+        }
+    }
+    if (dup + rnd < 2) return FaultKind::None;
+    return dup >= rnd ? FaultKind::Duplication : FaultKind::Random;
+}
+
+} // namespace
+
+AccelEngine::AccelEngine(quant::QNetwork network, const AccelConfig& config,
+                         std::uint64_t variation_seed)
+    : network_(std::move(network)),
+      config_(config),
+      schedule_(build_schedule(network_, config)),
+      pool_logic_(make_pool_slice(config, variation_seed)) {
+    Rng variation_rng(variation_seed);
+    conv_dsps_.reserve(config.conv_dsp_count);
+    for (std::size_t i = 0; i < config.conv_dsp_count; ++i) {
+        conv_dsps_.emplace_back(static_cast<std::uint32_t>(i), config.dsp_timing,
+                                variation_rng);
+    }
+    fc_dsps_.reserve(config.fc_dsp_count);
+    for (std::size_t i = 0; i < config.fc_dsp_count; ++i) {
+        fc_dsps_.emplace_back(static_cast<std::uint32_t>(1000 + i), config.fc_timing,
+                              variation_rng);
+    }
+
+    conv_safe_v_ = 0.0;
+    for (const DspSlice& d : conv_dsps_) {
+        conv_safe_v_ = std::max(conv_safe_v_, d.safe_voltage(delay_));
+    }
+    fc_safe_v_ = 0.0;
+    for (const DspSlice& d : fc_dsps_) {
+        fc_safe_v_ = std::max(fc_safe_v_, d.safe_voltage(delay_));
+    }
+}
+
+AccelEngine::AccelEngine(const quant::QLeNetWeights& weights, const AccelConfig& config,
+                         std::uint64_t variation_seed)
+    : AccelEngine(quant::lenet_qnetwork(weights), config, variation_seed) {}
+
+bool AccelEngine::segment_under_voltage(const LayerSegment& seg,
+                                        const VoltageTrace* voltage,
+                                        double safe_v) const {
+    if (voltage == nullptr) return false;
+    const std::size_t end = std::min(seg.end_cycle() * 2, voltage->size());
+    for (std::size_t i = seg.start_cycle * 2; i < end; ++i) {
+        if ((*voltage)[i] < safe_v) return true;
+    }
+    return false;
+}
+
+QTensor AccelEngine::run_conv(const QTensor& input, const quant::QLayer& layer,
+                              const LayerSegment& seg, const VoltageTrace* voltage,
+                              Rng& rng, const std::vector<bool>* throttle,
+                              FaultCounts& counts) const {
+    if (!segment_under_voltage(seg, voltage, conv_safe_v_)) {
+        return quant::qconv2d(input, layer.weight, layer.bias, layer.activation);
+    }
+
+    const QTensor& w = layer.weight;
+    const QTensor& b = layer.bias;
+    const std::size_t in_c = input.shape().dim(0);
+    const std::size_t out_c = w.shape().dim(0);
+    const std::size_t k = w.shape().dim(2);
+    const std::size_t out_h = input.shape().dim(1) - k + 1;
+    const std::size_t out_w = input.shape().dim(2) - k + 1;
+    const std::size_t mpc = seg.ops_per_cycle;
+    const double path_scale = config_.path_derate(layer);
+
+    QTensor out(Shape{out_c, out_h, out_w});
+    DspPipeline pipe(config_.conv_dsp_count);
+
+    std::size_t g = 0; // global op index within the segment
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+        for (std::size_t r = 0; r < out_h; ++r) {
+            for (std::size_t c = 0; c < out_w; ++c) {
+                fx::Acc acc = static_cast<fx::Acc>(b[oc].raw()) << Q3_4::frac_bits;
+                for (std::size_t ic = 0; ic < in_c; ++ic) {
+                    for (std::size_t kr = 0; kr < k; ++kr) {
+                        for (std::size_t kc = 0; kc < k; ++kc) {
+                            const std::size_t cycle = seg.start_cycle + g / mpc;
+                            const std::size_t dsp = (g % mpc) / 2;
+                            const std::size_t half = (g % mpc) % 2;
+                            const fx::Acc true_p = DspSlice::compute(
+                                input.at(ic, r + kr, c + kc), Q3_4::zero(),
+                                w.at(oc, ic, kr, kc));
+
+                            fx::Acc contrib = true_p;
+                            const double v =
+                                capture_voltage(voltage, cycle, half, delay_.vdd);
+                            if (v < conv_safe_v_ && !throttled(throttle, cycle)) {
+                                switch (evaluate_op(conv_dsps_[dsp], v, delay_, rng,
+                                                    path_scale,
+                                                    config_.tmr_protection)) {
+                                    case FaultKind::None:
+                                        break;
+                                    case FaultKind::Duplication:
+                                        contrib = pipe.last_product[dsp];
+                                        ++counts.duplication;
+                                        break;
+                                    case FaultKind::Random:
+                                        contrib = DspSlice::random_fault_value(rng);
+                                        ++counts.random;
+                                        break;
+                                }
+                            }
+                            pipe.last_product[dsp] = true_p;
+                            acc += contrib;
+                            ++g;
+                        }
+                    }
+                }
+                out.at(oc, r, c) =
+                    apply_activation(Q3_4::from_accumulator(acc), layer.activation);
+            }
+        }
+    }
+    return out;
+}
+
+QTensor AccelEngine::run_fc(const QTensor& input, const quant::QLayer& layer,
+                            const LayerSegment& seg, const VoltageTrace* voltage,
+                            Rng& rng, const std::vector<bool>* throttle,
+                            FaultCounts& counts) const {
+    if (!segment_under_voltage(seg, voltage, fc_safe_v_)) {
+        return quant::qdense(input, layer.weight, layer.bias, layer.activation);
+    }
+
+    const QTensor& w = layer.weight;
+    const QTensor& b = layer.bias;
+    const std::size_t out_n = w.shape().dim(0);
+    const std::size_t in_n = w.shape().dim(1);
+    const std::size_t mpc = seg.ops_per_cycle;
+
+    QTensor out(Shape{out_n});
+    DspPipeline pipe(config_.fc_dsp_count);
+
+    std::size_t g = 0;
+    for (std::size_t o = 0; o < out_n; ++o) {
+        fx::Acc acc = static_cast<fx::Acc>(b[o].raw()) << Q3_4::frac_bits;
+        for (std::size_t i = 0; i < in_n; ++i) {
+            const std::size_t cycle = seg.start_cycle + g / mpc;
+            const std::size_t dsp = (g % mpc) / 2;
+            const std::size_t half = (g % mpc) % 2;
+            const fx::Acc true_p = DspSlice::compute(
+                input.at_unchecked(i), Q3_4::zero(), w.at_unchecked(o * in_n + i));
+
+            fx::Acc contrib = true_p;
+            const double v = capture_voltage(voltage, cycle, half, delay_.vdd);
+            if (v < fc_safe_v_ && !throttled(throttle, cycle)) {
+                switch (evaluate_op(fc_dsps_[dsp], v, delay_, rng, 1.0,
+                                    config_.tmr_protection)) {
+                    case FaultKind::None:
+                        break;
+                    case FaultKind::Duplication:
+                        contrib = pipe.last_product[dsp];
+                        ++counts.duplication;
+                        break;
+                    case FaultKind::Random:
+                        contrib = DspSlice::random_fault_value(rng);
+                        ++counts.random;
+                        break;
+                }
+            }
+            pipe.last_product[dsp] = true_p;
+            acc += contrib;
+            ++g;
+        }
+        out.at(o) = apply_activation(Q3_4::from_accumulator(acc), layer.activation);
+    }
+    return out;
+}
+
+QTensor AccelEngine::run_pool(const QTensor& input, const quant::QLayer& layer,
+                              const LayerSegment& seg, const VoltageTrace* voltage,
+                              Rng& rng, const std::vector<bool>* throttle,
+                              FaultCounts& counts) const {
+    const bool average = layer.kind == quant::QLayerKind::AvgPool2;
+    const double pool_safe_v = pool_logic_.safe_voltage(delay_);
+    if (!segment_under_voltage(seg, voltage, pool_safe_v)) {
+        return average ? quant::qavgpool2(input) : quant::qmaxpool2(input);
+    }
+
+    const std::size_t ch = input.shape().dim(0);
+    const std::size_t oh = input.shape().dim(1) / 2;
+    const std::size_t ow = input.shape().dim(2) / 2;
+    QTensor out(Shape{ch, oh, ow});
+
+    std::size_t g = 0;
+    const std::size_t opc = seg.ops_per_cycle;
+    for (std::size_t c = 0; c < ch; ++c) {
+        for (std::size_t r = 0; r < oh; ++r) {
+            for (std::size_t wdx = 0; wdx < ow; ++wdx) {
+                Q3_4 window[4] = {input.at(c, 2 * r, 2 * wdx),
+                                  input.at(c, 2 * r, 2 * wdx + 1),
+                                  input.at(c, 2 * r + 1, 2 * wdx),
+                                  input.at(c, 2 * r + 1, 2 * wdx + 1)};
+                bool faulted = false;
+                for (std::size_t cmp = 0; cmp < 4; ++cmp) {
+                    const std::size_t cycle = seg.start_cycle + g / opc;
+                    // Pool comparators are registered on the fabric clock:
+                    // one capture at end of cycle (second half sample).
+                    const double v = capture_voltage(voltage, cycle, 1, delay_.vdd);
+                    if (v < pool_safe_v && !throttled(throttle, cycle) &&
+                        pool_logic_.evaluate(v, delay_, rng) != FaultKind::None) {
+                        faulted = true;
+                        ++counts.random;
+                    }
+                    ++g;
+                }
+                if (faulted) {
+                    // Comparator/adder mis-operated: an arbitrary window
+                    // element (possibly the right one) wins.
+                    out.at(c, r, wdx) = window[rng.uniform_int(0, 3)];
+                } else if (average) {
+                    const std::int32_t sum = window[0].raw() + window[1].raw() +
+                                             window[2].raw() + window[3].raw();
+                    const std::int32_t avg =
+                        sum >= 0 ? (sum + 2) / 4 : -((-sum + 2) / 4);
+                    out.at(c, r, wdx) = Q3_4::from_raw(static_cast<std::int16_t>(avg));
+                } else {
+                    out.at(c, r, wdx) = std::max(std::max(window[0], window[1]),
+                                                 std::max(window[2], window[3]));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+RunResult AccelEngine::run(const QTensor& image, const VoltageTrace* voltage,
+                           Rng& fault_rng, const std::vector<bool>* throttle) const {
+    expects(image.shape() == network_.input_shape, "AccelEngine::run: input shape");
+
+    RunResult result;
+    result.faults_by_layer.reserve(network_.layers.size());
+
+    QTensor x = image;
+    for (std::size_t i = 0; i < network_.layers.size(); ++i) {
+        const quant::QLayer& layer = network_.layers[i];
+        const LayerSegment& seg = schedule_.segment_for_layer(i);
+
+        if (layer.kind == quant::QLayerKind::Dense && x.shape().rank() != 1) {
+            QTensor flat(Shape{x.size()});
+            for (std::size_t j = 0; j < x.size(); ++j) {
+                flat.at_unchecked(j) = x.at_unchecked(j);
+            }
+            x = std::move(flat);
+        }
+
+        FaultCounts counts;
+        switch (layer.kind) {
+            case quant::QLayerKind::Conv:
+                x = run_conv(x, layer, seg, voltage, fault_rng, throttle, counts);
+                break;
+            case quant::QLayerKind::Pool2:
+            case quant::QLayerKind::AvgPool2:
+                x = run_pool(x, layer, seg, voltage, fault_rng, throttle, counts);
+                break;
+            case quant::QLayerKind::Dense:
+                x = run_fc(x, layer, seg, voltage, fault_rng, throttle, counts);
+                break;
+        }
+        result.faults_total += counts;
+        result.faults_by_layer.push_back({layer.label, counts});
+    }
+
+    result.logits = std::move(x);
+    result.predicted = argmax(result.logits);
+    return result;
+}
+
+RunResult AccelEngine::run_clean(const QTensor& image) const {
+    Rng unused(0);
+    return run(image, nullptr, unused);
+}
+
+} // namespace deepstrike::accel

@@ -1,0 +1,128 @@
+// Cycle-level functional model of the DNN accelerator with fault
+// injection, generic over quant::QNetwork.
+//
+// Execution follows the static Schedule: every MAC is assigned to a
+// (cycle, DSP, DDR half-cycle) slot in a deterministic op stream. When the
+// supplied voltage trace dips low enough that a DSP slice *could* miss
+// timing, each in-flight op is evaluated against the slice's fault model:
+//   duplication fault -> the op contributes the previous product captured
+//                        on the same physical DSP (its own product is lost)
+//   random fault      -> the op contributes garbage from the product register
+// Cycles at safe voltage take a fast path that is bit-exact with the
+// QNetwork golden model (a property the tests enforce).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/dsp.hpp"
+#include "accel/schedule.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace deepstrike::accel {
+
+struct FaultCounts {
+    std::size_t duplication = 0;
+    std::size_t random = 0;
+
+    std::size_t total() const { return duplication + random; }
+    FaultCounts& operator+=(const FaultCounts& other) {
+        duplication += other.duplication;
+        random += other.random;
+        return *this;
+    }
+};
+
+/// Die voltage at each DSP capture edge during one inference: two samples
+/// per fabric cycle (index = cycle * 2 + ddr_half). Produced by the
+/// co-simulator. Ops captured on the first DDR edge of a strike cycle see
+/// a shallower droop than ops captured at the pulse bottom — this
+/// intra-cycle spread is a large part of why the observed fault rates are
+/// smooth functions of attack intensity.
+using VoltageTrace = std::vector<double>;
+
+struct RunResult {
+    QTensor logits;
+    std::size_t predicted = 0;
+    FaultCounts faults_total;
+
+    struct LayerFaults {
+        std::string label;
+        FaultCounts counts;
+    };
+    /// One entry per network layer, in execution order.
+    std::vector<LayerFaults> faults_by_layer;
+
+    /// Faults attributed to the layer with the given label (zero counts if
+    /// the label is unknown).
+    FaultCounts faults_for(const std::string& label) const;
+};
+
+class AccelEngine {
+public:
+    /// `variation_seed` fixes the per-slice process variation (one physical
+    /// chip); all engines built from the same seed model the same board.
+    AccelEngine(quant::QNetwork network, const AccelConfig& config,
+                std::uint64_t variation_seed);
+
+    /// Convenience: the paper's LeNet-5 victim.
+    AccelEngine(const quant::QLeNetWeights& weights, const AccelConfig& config,
+                std::uint64_t variation_seed);
+
+    const Schedule& schedule() const { return schedule_; }
+    const AccelConfig& config() const { return config_; }
+    const quant::QNetwork& network() const { return network_; }
+    const pdn::DelayModel& delay_model() const { return delay_; }
+
+    /// Highest voltage at which any conv/FC DSP op could fault; the
+    /// dominant fast-path gate.
+    double dsp_safe_voltage() const { return std::max(conv_safe_v_, fc_safe_v_); }
+    double conv_safe_voltage() const { return conv_safe_v_; }
+    double fc_safe_voltage() const { return fc_safe_v_; }
+
+    /// Runs one inference. `voltage` may be nullptr (nominal, fault-free)
+    /// or shorter than the schedule (remaining cycles assume nominal).
+    /// `fault_rng` drives fault-model draws; it is only consumed during
+    /// under-voltage cycles, so fault-free runs are rng-independent.
+    /// `throttle` optionally marks fabric cycles where a defensive clock
+    /// throttle is active: DSP ops in those cycles run at half rate and
+    /// cannot miss timing at attack-scale droops (see src/defense).
+    RunResult run(const QTensor& image, const VoltageTrace* voltage, Rng& fault_rng,
+                  const std::vector<bool>* throttle = nullptr) const;
+
+    /// Convenience: fault-free inference.
+    RunResult run_clean(const QTensor& image) const;
+
+    const std::vector<DspSlice>& conv_dsps() const { return conv_dsps_; }
+    const std::vector<DspSlice>& fc_dsps() const { return fc_dsps_; }
+
+private:
+    QTensor run_conv(const QTensor& input, const quant::QLayer& layer,
+                     const LayerSegment& seg, const VoltageTrace* voltage, Rng& rng,
+                     const std::vector<bool>* throttle, FaultCounts& counts) const;
+    QTensor run_fc(const QTensor& input, const quant::QLayer& layer,
+                   const LayerSegment& seg, const VoltageTrace* voltage, Rng& rng,
+                   const std::vector<bool>* throttle, FaultCounts& counts) const;
+    QTensor run_pool(const QTensor& input, const quant::QLayer& layer,
+                     const LayerSegment& seg, const VoltageTrace* voltage, Rng& rng,
+                     const std::vector<bool>* throttle, FaultCounts& counts) const;
+
+    /// True when any capture sample of the segment dips below `safe_v`.
+    bool segment_under_voltage(const LayerSegment& seg, const VoltageTrace* voltage,
+                               double safe_v) const;
+
+    quant::QNetwork network_;
+    AccelConfig config_;
+    Schedule schedule_;
+    pdn::DelayModel delay_;
+    std::vector<DspSlice> conv_dsps_;
+    std::vector<DspSlice> fc_dsps_;
+    DspSlice pool_logic_; // relaxed-timing comparator path (shared model)
+    double conv_safe_v_;
+    double fc_safe_v_;
+};
+
+} // namespace deepstrike::accel

@@ -1,0 +1,105 @@
+#include "accel/netlist_builder.hpp"
+
+#include <string>
+
+namespace deepstrike::accel {
+
+using fabric::CellKind;
+using fabric::NetId;
+using fabric::Netlist;
+
+fabric::Netlist build_accelerator_netlist(const quant::QNetwork& network,
+                                          const AccelConfig& config) {
+    Netlist nl("dnn_accelerator");
+
+    const NetId clk_in = nl.add_net("clk_in");
+    const NetId clk_fabric = nl.add_net("clk_fabric");
+    const NetId clk_ddr = nl.add_net("clk_ddr");
+    nl.add_cell(CellKind::InPort, "clk_pin", {}, {clk_in});
+    nl.add_cell(CellKind::Mmcm, "clk_tile", {clk_in}, {clk_fabric, clk_ddr});
+
+    // Weight storage: 8-bit parameters packed into BRAM36 blocks (36 Kb
+    // each), plus one block for the tanh activation LUT.
+    const std::size_t param_bits = network.parameter_count() * 8;
+    const std::size_t weight_brams = (param_bits + 36 * 1024 - 1) / (36 * 1024);
+    std::vector<NetId> weight_buses;
+    for (std::size_t i = 0; i < weight_brams; ++i) {
+        const NetId addr = nl.add_net("w_addr_" + std::to_string(i));
+        const NetId dout = nl.add_net("w_dout_" + std::to_string(i));
+        nl.add_cell(CellKind::Fdre, "w_addr_reg_" + std::to_string(i),
+                    {clk_fabric}, {addr});
+        nl.add_cell(CellKind::Bram36, "weight_bram_" + std::to_string(i),
+                    {addr, clk_fabric}, {dout});
+        weight_buses.push_back(dout);
+    }
+    const NetId act_addr = nl.add_net("act_addr");
+    const NetId act_dout = nl.add_net("act_dout");
+    nl.add_cell(CellKind::Fdre, "act_addr_reg", {clk_fabric}, {act_addr});
+    nl.add_cell(CellKind::Bram36, "tanh_lut_bram", {act_addr, clk_fabric}, {act_dout});
+
+    // DSP PE array: conv datapath + FC datapath, each slice fed from a
+    // weight bus and producing a registered partial sum.
+    std::vector<NetId> partials;
+    const std::size_t n_dsps = config.conv_dsp_count + config.fc_dsp_count;
+    for (std::size_t i = 0; i < n_dsps; ++i) {
+        const std::string idx = std::to_string(i);
+        const NetId operand = weight_buses[i % weight_buses.size()];
+        const NetId product = nl.add_net("dsp_p_" + idx);
+        const NetId psum = nl.add_net("dsp_acc_" + idx);
+        nl.add_cell(CellKind::Dsp48, "dsp_" + idx, {operand, act_dout, clk_ddr},
+                    {product});
+        nl.add_cell(CellKind::Fdre, "acc_reg_" + idx, {product, clk_ddr}, {psum});
+        partials.push_back(psum);
+    }
+
+    // Pool comparator logic: pool_ops_per_cycle 4-way comparators.
+    std::vector<NetId> pool_outs;
+    for (std::size_t i = 0; i < config.pool_ops_per_cycle; ++i) {
+        const std::string idx = std::to_string(i);
+        const NetId cmp = nl.add_net("pool_cmp_" + idx);
+        const NetId reg = nl.add_net("pool_q_" + idx);
+        nl.add_cell(CellKind::Lut6, "pool_lut_" + idx,
+                    {partials[i % partials.size()], act_dout}, {cmp});
+        nl.add_cell(CellKind::Fdre, "pool_reg_" + idx, {cmp, clk_fabric}, {reg});
+        pool_outs.push_back(reg);
+    }
+
+    // Per-layer control FSM: a small LUT/FF block sequencing each layer.
+    NetId chain = clk_fabric;
+    for (std::size_t layer = 0; layer < network.layers.size(); ++layer) {
+        const std::string tag = "ctl_" + network.layers[layer].label + "_";
+        for (std::size_t i = 0; i < 24; ++i) {
+            const NetId comb = nl.add_net(tag + "c" + std::to_string(i));
+            const NetId reg = nl.add_net(tag + "q" + std::to_string(i));
+            nl.add_cell(CellKind::Lut6, tag + "lut" + std::to_string(i), {chain}, {comb});
+            nl.add_cell(CellKind::Fdre, tag + "ff" + std::to_string(i),
+                        {comb, clk_fabric}, {reg});
+            chain = reg;
+        }
+    }
+
+    // Result port: reduce partials through a LUT tree to an output pin.
+    std::vector<NetId> level = partials;
+    level.insert(level.end(), pool_outs.begin(), pool_outs.end());
+    level.push_back(chain);
+    std::size_t stage = 0;
+    while (level.size() > 1) {
+        std::vector<NetId> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            const NetId out =
+                nl.add_net("red_" + std::to_string(stage) + "_" + std::to_string(i / 2));
+            nl.add_cell(CellKind::Lut6,
+                        "red_lut_" + std::to_string(stage) + "_" + std::to_string(i / 2),
+                        {level[i], level[i + 1]}, {out});
+            next.push_back(out);
+        }
+        if (level.size() % 2 == 1) next.push_back(level.back());
+        level = std::move(next);
+        ++stage;
+    }
+    nl.add_cell(CellKind::OutPort, "result_pin", {level.front()}, {});
+
+    return nl;
+}
+
+} // namespace deepstrike::accel

@@ -1,0 +1,20 @@
+// Structural netlist of the victim accelerator, for whole-system resource
+// accounting and hypervisor DRC: together with the attacker's TDC +
+// striker netlists this is the "unified bitstream" of the paper's cloud
+// deployment flow (Sec. IV).
+#pragma once
+
+#include "accel/config.hpp"
+#include "fabric/netlist.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace deepstrike::accel {
+
+/// Builds the accelerator for `network` on the given configuration:
+/// the DSP PE array (conv + FC datapaths), weight/activation BRAMs sized
+/// from the network's parameter count, pool comparator LUTs, and per-layer
+/// control FSMs. Feed-forward + registered: always DRC-clean.
+fabric::Netlist build_accelerator_netlist(const quant::QNetwork& network,
+                                          const AccelConfig& config);
+
+} // namespace deepstrike::accel

@@ -1,0 +1,60 @@
+#include "attack/detector.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike::attack {
+
+DnnStartDetector::DnnStartDetector(const DetectorConfig& config) : config_(config) {
+    expects(config.hold_samples > 0, "DnnStartDetector: hold_samples > 0");
+}
+
+std::uint8_t DnnStartDetector::tap_hamming_weight(const tdc::TdcSample& sample) const {
+    std::uint8_t hw = 0;
+    for (std::size_t pos : config_.zone_bits) {
+        expects(pos < sample.raw.size(), "DnnStartDetector: tap within TDC width");
+        if (sample.raw.get(pos)) ++hw;
+    }
+    return hw;
+}
+
+bool DnnStartDetector::on_sample(const tdc::TdcSample& sample) {
+    const std::uint8_t hw = tap_hamming_weight(sample);
+    ++samples_seen_;
+
+    if (triggered_) {
+        if (config_.auto_rearm) {
+            if (hw > config_.trigger_hw) {
+                if (++idle_count_ >= config_.rearm_samples) {
+                    triggered_ = false;
+                    below_count_ = 0;
+                    idle_count_ = 0;
+                }
+            } else {
+                idle_count_ = 0;
+            }
+        }
+        return false;
+    }
+
+    if (hw <= config_.trigger_hw) {
+        if (++below_count_ >= config_.hold_samples) {
+            triggered_ = true;
+            trigger_sample_ = samples_seen_ - 1;
+            idle_count_ = 0;
+            return true;
+        }
+    } else {
+        below_count_ = 0;
+    }
+    return false;
+}
+
+void DnnStartDetector::reset() {
+    below_count_ = 0;
+    idle_count_ = 0;
+    triggered_ = false;
+    samples_seen_ = 0;
+    trigger_sample_ = 0;
+}
+
+} // namespace deepstrike::attack

@@ -1,0 +1,159 @@
+#include "attack/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace deepstrike::attack {
+
+const char* layer_class_name(LayerClass cls) {
+    switch (cls) {
+        case LayerClass::Unknown: return "unknown";
+        case LayerClass::Pooling: return "pooling";
+        case LayerClass::Convolution: return "convolution";
+        case LayerClass::FullyConnected: return "fully-connected";
+    }
+    return "?";
+}
+
+std::string Profile::to_string() const {
+    std::ostringstream os;
+    os.precision(2);
+    os << std::fixed;
+    os << "profile: baseline=" << baseline << ", " << segments.size() << " segment(s)\n";
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        const ProfiledSegment& s = segments[i];
+        os << "  #" << i << " [" << s.start_sample << ", " << s.end_sample << ") "
+           << s.duration_samples() << " samples, depth=" << s.depth << " ("
+           << layer_class_name(s.guess) << ")\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+std::vector<double> moving_average(const std::vector<std::uint8_t>& xs,
+                                   std::size_t window) {
+    std::vector<double> out(xs.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sum += xs[i];
+        if (i >= window) sum -= xs[i - window];
+        const std::size_t n = std::min(i + 1, window);
+        out[i] = sum / static_cast<double>(n);
+    }
+    return out;
+}
+
+/// Idle baseline: a high quantile of the smoothed trace. Activity only
+/// ever pulls readouts down, so the top of the distribution is the idle
+/// level regardless of the activity duty cycle; the smoothed trace gives
+/// sub-LSB resolution.
+double estimate_baseline(std::vector<double> smooth, double quantile) {
+    const auto k = static_cast<std::size_t>(
+        quantile * static_cast<double>(smooth.size() - 1));
+    std::nth_element(smooth.begin(), smooth.begin() + static_cast<std::ptrdiff_t>(k),
+                     smooth.end());
+    return smooth[k];
+}
+
+LayerClass classify(double depth, std::size_t duration, const ProfilerConfig& cfg) {
+    if (depth >= cfg.conv_min_depth) return LayerClass::Convolution;
+    if (duration >= cfg.fc_min_duration) return LayerClass::FullyConnected;
+    if (depth <= cfg.pool_max_depth) return LayerClass::Pooling;
+    return LayerClass::FullyConnected;
+}
+
+} // namespace
+
+Profile profile_trace(const std::vector<std::uint8_t>& readouts,
+                      const ProfilerConfig& config) {
+    expects(!readouts.empty(), "profile_trace: non-empty trace");
+
+    Profile profile;
+    const std::vector<double> smooth = moving_average(readouts, config.smooth_window);
+    profile.baseline = estimate_baseline(smooth, config.baseline_quantile);
+
+    // Scan for active runs, merging runs separated by short idle gaps.
+    const double threshold = profile.baseline - config.activity_threshold;
+    std::size_t i = 0;
+    const std::size_t n = smooth.size();
+    while (i < n) {
+        // Find start of activity.
+        while (i < n && smooth[i] >= threshold) ++i;
+        if (i >= n) break;
+        const std::size_t start = i;
+
+        // Extend through activity, bridging idle gaps < min_stall_samples.
+        std::size_t end = i;
+        std::size_t idle_run = 0;
+        while (i < n) {
+            if (smooth[i] < threshold) {
+                idle_run = 0;
+                end = i + 1;
+            } else {
+                ++idle_run;
+                if (idle_run >= config.min_stall_samples) break;
+            }
+            ++i;
+        }
+
+        if (end - start >= config.min_segment_samples) {
+            ProfiledSegment seg;
+            seg.start_sample = start;
+            seg.end_sample = end;
+            RunningStats stats;
+            for (std::size_t s = start; s < end; ++s) {
+                stats.add(static_cast<double>(readouts[s]));
+            }
+            seg.mean_readout = stats.mean();
+            seg.depth = profile.baseline - seg.mean_readout;
+            seg.guess = classify(seg.depth, seg.duration_samples(), config);
+            profile.segments.push_back(seg);
+        }
+    }
+    return profile;
+}
+
+AttackScheme plan_attack(const ProfiledSegment& target, std::size_t trigger_sample,
+                         double samples_per_cycle, std::size_t num_strikes,
+                         std::size_t strike_cycles) {
+    expects(samples_per_cycle > 0, "plan_attack: positive sample rate");
+    expects(num_strikes > 0, "plan_attack: at least one strike");
+    expects(strike_cycles > 0, "plan_attack: positive strike length");
+    expects(target.end_sample > target.start_sample, "plan_attack: non-empty target");
+
+    // Convert the segment window from TDC samples to fabric cycles,
+    // relative to the detector trigger. The trigger itself fires a few
+    // samples into the first layer, so delays can round to zero — clamp.
+    const auto to_cycles = [samples_per_cycle](std::size_t samples) {
+        return static_cast<std::size_t>(
+            std::llround(static_cast<double>(samples) / samples_per_cycle));
+    };
+
+    const std::size_t start_cycle =
+        target.start_sample > trigger_sample
+            ? to_cycles(target.start_sample - trigger_sample)
+            : 0;
+    const std::size_t duration_cycles =
+        std::max<std::size_t>(1, to_cycles(target.duration_samples()));
+
+    AttackScheme scheme;
+    scheme.attack_delay_cycles = start_cycle;
+    scheme.strike_cycles = strike_cycles;
+    scheme.num_strikes = num_strikes;
+
+    // Spread strikes evenly across the segment.
+    const std::size_t strike_total = num_strikes * strike_cycles;
+    if (duration_cycles > strike_total && num_strikes > 1) {
+        scheme.gap_cycles = (duration_cycles - strike_total) / (num_strikes - 1);
+    } else {
+        scheme.gap_cycles = 0;
+    }
+    return scheme;
+}
+
+} // namespace deepstrike::attack

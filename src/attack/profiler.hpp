@@ -1,0 +1,81 @@
+// Side-channel profiler (paper Sec. III-B / III-D).
+//
+// Consumes a trace of TDC readouts captured while the victim runs and
+// segments it into layer executions: sustained dips below the idle
+// baseline are activity, returns to baseline are the inter-layer stalls.
+// Each segment is classified by its (depth, duration) signature — the
+// "library of sensor readout patterns for different types of DNN layers"
+// the paper builds — and the result feeds the attack planner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/signal_ram.hpp"
+
+namespace deepstrike::attack {
+
+enum class LayerClass : std::uint8_t {
+    Unknown = 0,
+    Pooling,      // shallow, short
+    Convolution,  // deep
+    FullyConnected, // medium depth, long duration
+};
+
+const char* layer_class_name(LayerClass cls);
+
+struct ProfiledSegment {
+    std::size_t start_sample = 0; // first active TDC sample (inclusive)
+    std::size_t end_sample = 0;   // one past the last active sample
+    double mean_readout = 0.0;
+    double depth = 0.0;           // baseline - mean_readout
+    LayerClass guess = LayerClass::Unknown;
+
+    std::size_t duration_samples() const { return end_sample - start_sample; }
+};
+
+struct ProfilerConfig {
+    double activity_threshold = 0.5;  // dip (stages) below baseline = active
+    std::size_t smooth_window = 32;   // moving-average width (samples)
+    std::size_t min_stall_samples = 400; // idle run that separates segments
+    std::size_t min_segment_samples = 50; // discard shorter blips
+    /// Baseline = this quantile of the *smoothed* readout trace. The idle
+    /// level is the high end of the distribution (activity only pulls
+    /// readouts down), so a high quantile is robust even when one long
+    /// layer (FC1) dominates the samples; using the smoothed trace gives
+    /// sub-LSB resolution.
+    double baseline_quantile = 0.97;
+
+    // Classification thresholds on segment depth (stages).
+    double conv_min_depth = 2.2;
+    double pool_max_depth = 1.3;
+    // FC: anything between pool_max_depth and conv_min_depth, or any very
+    // long segment.
+    std::size_t fc_min_duration = 20000;
+};
+
+struct Profile {
+    double baseline = 0.0; // idle readout estimate
+    std::vector<ProfiledSegment> segments;
+
+    std::string to_string() const;
+};
+
+/// Segments a readout trace. `readouts[i]` is the i-th TDC sample.
+Profile profile_trace(const std::vector<std::uint8_t>& readouts,
+                      const ProfilerConfig& config = {});
+
+/// Builds the attacking scheme targeting `target`: strikes distributed
+/// evenly across the segment.
+///
+/// `trigger_sample` is the TDC sample index at which the DNN start
+/// detector fired during the profiling run; segment positions are
+/// converted into fabric-cycle delays relative to it.
+/// `samples_per_cycle` is the TDC sampling rate in samples per fabric
+/// cycle (2 for a 200 MHz TDC on a 100 MHz fabric).
+AttackScheme plan_attack(const ProfiledSegment& target, std::size_t trigger_sample,
+                         double samples_per_cycle, std::size_t num_strikes,
+                         std::size_t strike_cycles = 1);
+
+} // namespace deepstrike::attack

@@ -1,0 +1,104 @@
+#include "attack/signature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace deepstrike::attack {
+
+LayerSignature extract_signature(const std::vector<std::uint8_t>& readouts,
+                                 const ProfiledSegment& segment, double baseline,
+                                 const std::string& label) {
+    expects(segment.end_sample <= readouts.size(), "extract_signature: segment in trace");
+    expects(segment.end_sample > segment.start_sample, "extract_signature: non-empty");
+
+    LayerSignature sig;
+    sig.label = label;
+    sig.cls = segment.guess;
+    sig.duration_samples = segment.duration_samples();
+
+    RunningStats stats;
+    for (std::size_t i = segment.start_sample; i < segment.end_sample; ++i) {
+        stats.add(baseline - static_cast<double>(readouts[i]));
+    }
+    sig.mean_depth = stats.mean();
+    sig.depth_stddev = stats.stddev();
+
+    // Resample the depth trace into kSignatureBins bins (mean per bin).
+    sig.envelope.assign(kSignatureBins, 0.0);
+    const double span = static_cast<double>(sig.duration_samples);
+    for (std::size_t b = 0; b < kSignatureBins; ++b) {
+        const std::size_t from =
+            segment.start_sample +
+            static_cast<std::size_t>(span * static_cast<double>(b) / kSignatureBins);
+        std::size_t to =
+            segment.start_sample +
+            static_cast<std::size_t>(span * static_cast<double>(b + 1) / kSignatureBins);
+        to = std::max(to, from + 1);
+        double sum = 0.0;
+        for (std::size_t i = from; i < to && i < segment.end_sample; ++i) {
+            sum += baseline - static_cast<double>(readouts[i]);
+        }
+        sig.envelope[b] = sum / static_cast<double>(to - from);
+    }
+    return sig;
+}
+
+double signature_distance(const LayerSignature& a, const LayerSignature& b,
+                          const SignatureDistanceWeights& w) {
+    expects(a.envelope.size() == b.envelope.size(),
+            "signature_distance: equal envelope sizes");
+
+    double env_sq = 0.0;
+    for (std::size_t i = 0; i < a.envelope.size(); ++i) {
+        const double d = a.envelope[i] - b.envelope[i];
+        env_sq += d * d;
+    }
+    const double env_rms = std::sqrt(env_sq / static_cast<double>(a.envelope.size()));
+
+    const double depth_diff = std::abs(a.mean_depth - b.mean_depth);
+
+    const double dur_a = static_cast<double>(std::max<std::size_t>(1, a.duration_samples));
+    const double dur_b = static_cast<double>(std::max<std::size_t>(1, b.duration_samples));
+    const double dur_log = std::abs(std::log(dur_a / dur_b));
+
+    return w.envelope * env_rms + w.depth * depth_diff + w.duration * dur_log;
+}
+
+double signature_distance(const LayerSignature& a, const LayerSignature& b) {
+    return signature_distance(a, b, SignatureDistanceWeights{});
+}
+
+void SignatureLibrary::add(LayerSignature signature) {
+    expects(signature.envelope.size() == kSignatureBins,
+            "SignatureLibrary: standard envelope size");
+    signatures_.push_back(std::move(signature));
+}
+
+std::optional<SignatureMatch> SignatureLibrary::classify(const LayerSignature& probe,
+                                                         double max_distance) const {
+    std::optional<SignatureMatch> best;
+    for (const LayerSignature& sig : signatures_) {
+        const double d = signature_distance(probe, sig);
+        if (!best || d < best->distance) best = SignatureMatch{&sig, d};
+    }
+    if (best && best->distance > max_distance) return std::nullopt;
+    return best;
+}
+
+SignatureLibrary SignatureLibrary::from_profile(
+    const std::vector<std::uint8_t>& readouts, const Profile& profile,
+    const std::vector<std::string>& labels) {
+    expects(labels.size() == profile.segments.size(),
+            "SignatureLibrary::from_profile: one label per segment");
+    SignatureLibrary lib;
+    for (std::size_t i = 0; i < profile.segments.size(); ++i) {
+        lib.add(extract_signature(readouts, profile.segments[i], profile.baseline,
+                                  labels[i]));
+    }
+    return lib;
+}
+
+} // namespace deepstrike::attack

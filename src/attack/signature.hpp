@@ -1,0 +1,85 @@
+// Layer signature library (paper Sec. III-B).
+//
+// "...the side-channel leakage of the victim DNN model execution can be
+// used to build a library of sensor readout patterns for different types
+// of DNN layers at different sizes for future attack use."
+//
+// A LayerSignature condenses one profiled segment into a compact,
+// comparable descriptor: droop depth, duration, and a fixed-length
+// normalized envelope of the readout trace. A SignatureLibrary collects
+// labeled signatures from profiling runs on known workloads and classifies
+// segments of future runs by nearest-signature matching — strictly more
+// informative than the depth/duration thresholds in profiler.cpp, and the
+// basis for recognizing a *specific* layer ("their CONV2") across runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/profiler.hpp"
+
+namespace deepstrike::attack {
+
+struct LayerSignature {
+    std::string label;          // e.g. "CONV2" or "conv_3x3_16ch"
+    LayerClass cls = LayerClass::Unknown;
+    double mean_depth = 0.0;    // stages below baseline
+    double depth_stddev = 0.0;  // in-segment fluctuation
+    std::size_t duration_samples = 0;
+    /// Readout envelope resampled to a fixed number of bins and expressed
+    /// as depth-below-baseline (so it is level-independent).
+    std::vector<double> envelope;
+};
+
+/// Number of envelope bins used by extract_signature.
+inline constexpr std::size_t kSignatureBins = 64;
+
+/// Condenses the readouts of one profiled segment into a signature.
+LayerSignature extract_signature(const std::vector<std::uint8_t>& readouts,
+                                 const ProfiledSegment& segment, double baseline,
+                                 const std::string& label = {});
+
+/// Dissimilarity of two signatures: weighted combination of envelope RMS
+/// distance, depth difference, and log-duration ratio. 0 = identical.
+double signature_distance(const LayerSignature& a, const LayerSignature& b);
+
+struct SignatureMatch {
+    const LayerSignature* signature = nullptr; // into the library
+    double distance = 0.0;
+};
+
+class SignatureLibrary {
+public:
+    void add(LayerSignature signature);
+
+    std::size_t size() const { return signatures_.size(); }
+    bool empty() const { return signatures_.empty(); }
+    const std::vector<LayerSignature>& signatures() const { return signatures_; }
+
+    /// Nearest signature to the probe; nullopt when the library is empty
+    /// or the best distance exceeds `max_distance`.
+    std::optional<SignatureMatch> classify(const LayerSignature& probe,
+                                           double max_distance = 1e9) const;
+
+    /// Builds a library from one profiling run with known layer labels
+    /// (labels.size() must equal profile.segments.size()).
+    static SignatureLibrary from_profile(const std::vector<std::uint8_t>& readouts,
+                                         const Profile& profile,
+                                         const std::vector<std::string>& labels);
+
+private:
+    std::vector<LayerSignature> signatures_;
+};
+
+/// Distance weights (exposed for the ablation bench).
+struct SignatureDistanceWeights {
+    double envelope = 1.0;
+    double depth = 0.5;
+    double duration = 1.5;
+};
+double signature_distance(const LayerSignature& a, const LayerSignature& b,
+                          const SignatureDistanceWeights& weights);
+
+} // namespace deepstrike::attack

@@ -1,0 +1,26 @@
+// Canonical digit glyphs for the synthetic MNIST substitute.
+//
+// The paper evaluates on MNIST, which we cannot ship; the attack only needs
+// *a* 10-class digit recognition task on which LeNet-5 reaches the paper's
+// ~96% accuracy band (see DESIGN.md, substitution table). Each class is a
+// hand-drawn 16x12 anti-aliasable stencil that the renderer warps, scales
+// and noises per sample.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace deepstrike::data {
+
+inline constexpr std::size_t kGlyphRows = 16;
+inline constexpr std::size_t kGlyphCols = 12;
+inline constexpr std::size_t kNumClasses = 10;
+
+/// Intensity of glyph `digit` at (row, col); 0.0 = background, 1.0 = stroke.
+/// Out-of-range coordinates return 0.
+double glyph_intensity(std::size_t digit, std::ptrdiff_t row, std::ptrdiff_t col);
+
+/// Bilinear sample of the glyph stencil at fractional coordinates.
+double glyph_sample(std::size_t digit, double row, double col);
+
+} // namespace deepstrike::data

@@ -1,0 +1,127 @@
+#include "data/idx.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace deepstrike::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in, const std::string& path) {
+    unsigned char bytes[4];
+    in.read(reinterpret_cast<char*>(bytes), 4);
+    if (!in) throw FormatError("idx: truncated header: " + path);
+    return (std::uint32_t{bytes[0]} << 24) | (std::uint32_t{bytes[1]} << 16) |
+           (std::uint32_t{bytes[2]} << 8) | std::uint32_t{bytes[3]};
+}
+
+void write_be32(std::ostream& out, std::uint32_t value) {
+    const unsigned char bytes[4] = {static_cast<unsigned char>(value >> 24),
+                                    static_cast<unsigned char>(value >> 16),
+                                    static_cast<unsigned char>(value >> 8),
+                                    static_cast<unsigned char>(value)};
+    out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+/// Reads an IDX header; returns the dims. Validates dtype 0x08 and ndim.
+std::vector<std::uint32_t> read_header(std::istream& in, std::size_t expected_ndim,
+                                       const std::string& path) {
+    const std::uint32_t magic = read_be32(in, path);
+    if ((magic >> 16) != 0) throw FormatError("idx: bad magic: " + path);
+    const std::uint32_t dtype = (magic >> 8) & 0xFF;
+    const std::uint32_t ndim = magic & 0xFF;
+    if (dtype != 0x08) throw FormatError("idx: only ubyte (0x08) supported: " + path);
+    if (ndim != expected_ndim) {
+        throw FormatError("idx: unexpected dimensionality: " + path);
+    }
+    std::vector<std::uint32_t> dims(ndim);
+    for (auto& d : dims) d = read_be32(in, path);
+    return dims;
+}
+
+} // namespace
+
+Dataset load_idx(const std::string& images_path, const std::string& labels_path,
+                 std::size_t limit) {
+    std::ifstream images(images_path, std::ios::binary);
+    if (!images) throw IoError("cannot open idx images: " + images_path);
+    std::ifstream labels(labels_path, std::ios::binary);
+    if (!labels) throw IoError("cannot open idx labels: " + labels_path);
+
+    const auto img_dims = read_header(images, 3, images_path);
+    const auto lbl_dims = read_header(labels, 1, labels_path);
+    if (img_dims[0] != lbl_dims[0]) {
+        throw FormatError("idx: image/label count mismatch (" +
+                          std::to_string(img_dims[0]) + " vs " +
+                          std::to_string(lbl_dims[0]) + ")");
+    }
+
+    std::size_t count = img_dims[0];
+    if (limit > 0 && limit < count) count = limit;
+    const std::size_t rows = img_dims[1];
+    const std::size_t cols = img_dims[2];
+    expects(rows > 0 && cols > 0, "idx: non-empty images");
+
+    Dataset ds;
+    ds.images.reserve(count);
+    ds.labels.reserve(count);
+    std::vector<unsigned char> pixel_buf(rows * cols);
+    for (std::size_t i = 0; i < count; ++i) {
+        images.read(reinterpret_cast<char*>(pixel_buf.data()),
+                    static_cast<std::streamsize>(pixel_buf.size()));
+        if (!images) throw FormatError("idx: truncated image data: " + images_path);
+
+        FloatTensor img(Shape{1, rows, cols});
+        for (std::size_t p = 0; p < pixel_buf.size(); ++p) {
+            img.at_unchecked(p) = static_cast<float>(pixel_buf[p]) / 255.0f;
+        }
+        ds.images.push_back(std::move(img));
+
+        unsigned char label = 0;
+        labels.read(reinterpret_cast<char*>(&label), 1);
+        if (!labels) throw FormatError("idx: truncated label data: " + labels_path);
+        ds.labels.push_back(label);
+    }
+    return ds;
+}
+
+void save_idx(const Dataset& dataset, const std::string& images_path,
+              const std::string& labels_path) {
+    expects(dataset.size() > 0, "save_idx: non-empty dataset");
+    const Shape& shape = dataset.images[0].shape();
+    expects(shape.rank() == 3 && shape.dim(0) == 1, "save_idx: [1,H,W] images");
+    const std::size_t rows = shape.dim(1);
+    const std::size_t cols = shape.dim(2);
+
+    std::ofstream images(images_path, std::ios::binary | std::ios::trunc);
+    if (!images) throw IoError("cannot write idx images: " + images_path);
+    std::ofstream labels(labels_path, std::ios::binary | std::ios::trunc);
+    if (!labels) throw IoError("cannot write idx labels: " + labels_path);
+
+    write_be32(images, 0x00000803);
+    write_be32(images, static_cast<std::uint32_t>(dataset.size()));
+    write_be32(images, static_cast<std::uint32_t>(rows));
+    write_be32(images, static_cast<std::uint32_t>(cols));
+    write_be32(labels, 0x00000801);
+    write_be32(labels, static_cast<std::uint32_t>(dataset.size()));
+
+    std::vector<unsigned char> pixel_buf(rows * cols);
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+        const FloatTensor& img = dataset.images[i];
+        expects(img.shape() == shape, "save_idx: uniform image shapes");
+        for (std::size_t p = 0; p < pixel_buf.size(); ++p) {
+            const float v = std::min(1.0f, std::max(0.0f, img.at_unchecked(p)));
+            pixel_buf[p] = static_cast<unsigned char>(v * 255.0f + 0.5f);
+        }
+        images.write(reinterpret_cast<const char*>(pixel_buf.data()),
+                     static_cast<std::streamsize>(pixel_buf.size()));
+        const auto label = static_cast<unsigned char>(dataset.labels[i]);
+        labels.write(reinterpret_cast<const char*>(&label), 1);
+    }
+    if (!images || !labels) throw IoError("idx write failed");
+}
+
+} // namespace deepstrike::data

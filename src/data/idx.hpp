@@ -1,0 +1,33 @@
+// IDX file format (the MNIST distribution format).
+//
+// The repository ships a synthetic MNIST substitute (see synth_mnist.hpp),
+// but anyone holding the real files — train-images-idx3-ubyte etc. — can
+// load them here and run every experiment on the authentic dataset. Both
+// directions are supported so synthetic sets can also be exported for
+// inspection with standard MNIST tooling.
+//
+// Format: big-endian magic (0x00 0x00 dtype ndim), ndim big-endian u32
+// dims, then raw data. Only dtype 0x08 (unsigned byte) is supported, as
+// used by MNIST images (ndim 3) and labels (ndim 1).
+#pragma once
+
+#include <string>
+
+#include "data/synth_mnist.hpp"
+
+namespace deepstrike::data {
+
+/// Loads an images IDX (ndim 3, HxW per item) + labels IDX (ndim 1) pair
+/// into a Dataset. Images are scaled to [0,1] floats, shape [1,H,W].
+/// `limit` > 0 truncates to the first `limit` samples.
+/// Throws IoError / FormatError on unreadable or malformed files,
+/// including image/label count mismatches.
+Dataset load_idx(const std::string& images_path, const std::string& labels_path,
+                 std::size_t limit = 0);
+
+/// Writes a Dataset to an IDX image/label file pair (pixels quantized to
+/// bytes). Round-trips with load_idx up to 1/255 quantization.
+void save_idx(const Dataset& dataset, const std::string& images_path,
+              const std::string& labels_path);
+
+} // namespace deepstrike::data

@@ -1,0 +1,71 @@
+#include "defense/monitor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace deepstrike::defense {
+
+GlitchMonitor::GlitchMonitor(const MonitorConfig& config) : config_(config) {
+    expects(config.calibration_samples > 0, "GlitchMonitor: calibration samples > 0");
+    expects(config.alarm_depth_stages > 0, "GlitchMonitor: positive alarm depth");
+    expects(config.samples_per_cycle > 0, "GlitchMonitor: samples per cycle > 0");
+}
+
+bool GlitchMonitor::on_sample(std::uint8_t readout) {
+    if (samples_seen_ < config_.calibration_samples) {
+        calibration_sum_ += readout;
+        ++samples_seen_;
+        if (samples_seen_ == config_.calibration_samples) {
+            baseline_ = calibration_sum_ / static_cast<double>(samples_seen_);
+        }
+        return false;
+    }
+    ++samples_seen_;
+    const bool alarm = static_cast<double>(readout) <
+                       baseline_ - config_.alarm_depth_stages;
+    if (alarm) {
+        if (alarm_count_ == 0) first_alarm_sample_ = samples_seen_ - 1;
+        ++alarm_count_;
+    }
+    return alarm;
+}
+
+void GlitchMonitor::reset() {
+    baseline_ = 0.0;
+    calibration_sum_ = 0.0;
+    samples_seen_ = 0;
+    alarm_count_ = 0;
+    first_alarm_sample_ = 0;
+}
+
+DefenseOutcome run_monitor(const std::vector<std::uint8_t>& readouts,
+                           std::size_t total_cycles, const MonitorConfig& config) {
+    expects(!readouts.empty(), "run_monitor: non-empty trace");
+
+    GlitchMonitor monitor(config);
+    DefenseOutcome outcome;
+    outcome.throttle.assign(total_cycles, false);
+
+    for (std::size_t i = 0; i < readouts.size(); ++i) {
+        if (!monitor.on_sample(readouts[i])) continue;
+        const std::size_t alarm_cycle = i / config.samples_per_cycle;
+        const std::size_t from =
+            std::min(alarm_cycle + config.response_latency_cycles, total_cycles);
+        const std::size_t to =
+            std::min(from + config.holdoff_cycles, total_cycles);
+        for (std::size_t c = from; c < to; ++c) outcome.throttle[c] = true;
+    }
+
+    outcome.alarms = monitor.alarm_count();
+    outcome.first_alarm_sample = monitor.first_alarm_sample();
+    if (total_cycles > 0) {
+        const auto throttled = static_cast<std::size_t>(
+            std::count(outcome.throttle.begin(), outcome.throttle.end(), true));
+        outcome.throttled_fraction =
+            static_cast<double>(throttled) / static_cast<double>(total_cycles);
+    }
+    return outcome;
+}
+
+} // namespace deepstrike::defense

@@ -1,0 +1,195 @@
+#include "fabric/drc.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace deepstrike::fabric {
+
+const char* drc_rule_name(DrcRule rule) {
+    switch (rule) {
+        case DrcRule::CombinationalLoop: return "LUTLP-1 (combinational loop)";
+        case DrcRule::UndrivenNet: return "UNDRIVEN";
+        case DrcRule::FloatingOutput: return "FLOATING";
+    }
+    return "?";
+}
+
+std::size_t DrcReport::count(DrcRule rule) const {
+    return static_cast<std::size_t>(
+        std::count_if(violations.begin(), violations.end(),
+                      [rule](const DrcViolation& v) { return v.rule == rule; }));
+}
+
+std::string DrcReport::to_string(const Netlist& netlist) const {
+    std::ostringstream os;
+    if (passed()) {
+        os << "DRC PASSED: " << netlist.name() << " (0 violations)\n";
+        return os.str();
+    }
+    os << "DRC FAILED: " << netlist.name() << " (" << violations.size()
+       << " violations)\n";
+    for (const DrcViolation& v : violations) {
+        os << "  [" << drc_rule_name(v.rule) << "] " << v.message;
+        if (!v.cells.empty()) {
+            os << " cells:";
+            for (CellId c : v.cells) os << ' ' << netlist.cell(c).name;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+namespace {
+
+/// Iterative Tarjan SCC over the combinational subgraph: nodes are
+/// combinational cells; there is an edge A -> B when an output net of A is
+/// an input of B. Sequential cells are excluded entirely, so any cycle in
+/// this subgraph is a true combinational loop.
+class TarjanScc {
+public:
+    explicit TarjanScc(const Netlist& netlist) : netlist_(netlist) {
+        const auto n = netlist.cell_count();
+        index_.assign(n, kUnvisited);
+        lowlink_.assign(n, 0);
+        on_stack_.assign(n, false);
+        adjacency_.resize(n);
+        for (CellId c = 0; c < n; ++c) {
+            if (breaks_combinational_loop(netlist.cell(c).kind)) continue;
+            for (NetId out : netlist.cell(c).outputs) {
+                for (CellId sink : netlist.net(out).sinks) {
+                    if (!breaks_combinational_loop(netlist.cell(sink).kind)) {
+                        adjacency_[c].push_back(sink);
+                    }
+                }
+            }
+        }
+    }
+
+    std::vector<std::vector<CellId>> loops() {
+        for (CellId c = 0; c < netlist_.cell_count(); ++c) {
+            if (breaks_combinational_loop(netlist_.cell(c).kind)) continue;
+            if (index_[c] == kUnvisited) strongconnect(c);
+        }
+        return loops_;
+    }
+
+private:
+    static constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+
+    struct Frame {
+        CellId node;
+        std::size_t next_edge;
+    };
+
+    void strongconnect(CellId root) {
+        std::vector<Frame> call_stack;
+        call_stack.push_back({root, 0});
+        visit(root);
+
+        while (!call_stack.empty()) {
+            Frame& frame = call_stack.back();
+            const CellId v = frame.node;
+            if (frame.next_edge < adjacency_[v].size()) {
+                const CellId w = adjacency_[v][frame.next_edge++];
+                if (index_[w] == kUnvisited) {
+                    visit(w);
+                    call_stack.push_back({w, 0});
+                } else if (on_stack_[w]) {
+                    lowlink_[v] = std::min(lowlink_[v], index_[w]);
+                }
+            } else {
+                if (lowlink_[v] == index_[v]) pop_scc(v);
+                call_stack.pop_back();
+                if (!call_stack.empty()) {
+                    const CellId parent = call_stack.back().node;
+                    lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+                }
+            }
+        }
+    }
+
+    void visit(CellId v) {
+        index_[v] = lowlink_[v] = counter_++;
+        on_stack_[v] = true;
+        stack_.push_back(v);
+    }
+
+    void pop_scc(CellId root_node) {
+        std::vector<CellId> scc;
+        for (;;) {
+            const CellId w = stack_.back();
+            stack_.pop_back();
+            on_stack_[w] = false;
+            scc.push_back(w);
+            if (w == root_node) break;
+        }
+        if (scc.size() > 1) {
+            loops_.push_back(std::move(scc));
+            return;
+        }
+        // Single node: loop only if it feeds itself directly.
+        const CellId v = scc.front();
+        for (CellId succ : adjacency_[v]) {
+            if (succ == v) {
+                loops_.push_back({v});
+                break;
+            }
+        }
+    }
+
+    const Netlist& netlist_;
+    std::vector<std::vector<CellId>> adjacency_;
+    std::vector<std::uint32_t> index_;
+    std::vector<std::uint32_t> lowlink_;
+    std::vector<bool> on_stack_;
+    std::vector<CellId> stack_;
+    std::vector<std::vector<CellId>> loops_;
+    std::uint32_t counter_ = 0;
+};
+
+} // namespace
+
+std::vector<std::vector<CellId>> find_combinational_loops(const Netlist& netlist) {
+    return TarjanScc(netlist).loops();
+}
+
+DrcReport run_drc(const Netlist& netlist) {
+    DrcReport report;
+
+    for (auto& loop : find_combinational_loops(netlist)) {
+        DrcViolation v;
+        v.rule = DrcRule::CombinationalLoop;
+        std::ostringstream os;
+        os << "combinational loop of " << loop.size() << " cell(s)";
+        v.message = os.str();
+        v.cells = std::move(loop);
+        report.violations.push_back(std::move(v));
+    }
+
+    for (NetId n : netlist.undriven_nets()) {
+        DrcViolation v;
+        v.rule = DrcRule::UndrivenNet;
+        v.message = "net '" + netlist.net(n).name + "' has sinks but no driver";
+        report.violations.push_back(std::move(v));
+    }
+
+    for (CellId c = 0; c < netlist.cell_count(); ++c) {
+        const Cell& cell = netlist.cell(c);
+        if (cell.kind == CellKind::OutPort || cell.kind == CellKind::Mmcm) continue;
+        for (NetId out : cell.outputs) {
+            if (netlist.net(out).sinks.empty()) {
+                DrcViolation v;
+                v.rule = DrcRule::FloatingOutput;
+                v.message = "output net '" + netlist.net(out).name + "' drives nothing";
+                v.cells = {c};
+                report.violations.push_back(std::move(v));
+            }
+        }
+    }
+
+    return report;
+}
+
+} // namespace deepstrike::fabric

@@ -1,0 +1,44 @@
+// Design rule checking.
+//
+// Models the cloud-FPGA hypervisor's bitstream screening (paper Sec. II-A
+// threat-model condition 5 and Sec. III-C): combinational loops such as
+// ring oscillators are rejected (Vivado rule LUTLP-1 / the FPGA defender
+// scanners of [26][27]); loops broken by latches or flip-flops pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/netlist.hpp"
+
+namespace deepstrike::fabric {
+
+enum class DrcRule {
+    CombinationalLoop, // LUTLP-1: cycle through combinational cells only
+    UndrivenNet,       // net with sinks but no driver
+    FloatingOutput,    // non-port cell output that drives nothing
+};
+
+const char* drc_rule_name(DrcRule rule);
+
+struct DrcViolation {
+    DrcRule rule;
+    std::string message;
+    std::vector<CellId> cells; // cells involved (e.g. the loop members)
+};
+
+struct DrcReport {
+    std::vector<DrcViolation> violations;
+
+    bool passed() const { return violations.empty(); }
+    std::size_t count(DrcRule rule) const;
+    std::string to_string(const Netlist& netlist) const;
+};
+
+/// Runs all checks on the netlist.
+DrcReport run_drc(const Netlist& netlist);
+
+/// Just the combinational-loop scan (exposed for the ablation bench).
+std::vector<std::vector<CellId>> find_combinational_loops(const Netlist& netlist);
+
+} // namespace deepstrike::fabric

@@ -1,0 +1,99 @@
+#include "fabric/netlist.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike::fabric {
+
+Netlist::Netlist(std::string design_name) : name_(std::move(design_name)) {}
+
+NetId Netlist::add_net(const std::string& net_name) {
+    nets_.push_back(Net{net_name, static_cast<CellId>(-1), {}});
+    return static_cast<NetId>(nets_.size() - 1);
+}
+
+CellId Netlist::add_cell(CellKind kind, const std::string& cell_name,
+                         const std::vector<NetId>& inputs,
+                         const std::vector<NetId>& outputs) {
+    const auto id = static_cast<CellId>(cells_.size());
+    for (NetId n : inputs) {
+        expects(n < nets_.size(), "add_cell: input net exists");
+        nets_[n].sinks.push_back(id);
+    }
+    for (NetId n : outputs) {
+        expects(n < nets_.size(), "add_cell: output net exists");
+        if (nets_[n].driver != static_cast<CellId>(-1)) {
+            throw ConfigError("net '" + nets_[n].name + "' has multiple drivers");
+        }
+        nets_[n].driver = id;
+    }
+    cells_.push_back(Cell{kind, cell_name, inputs, outputs});
+    return id;
+}
+
+const Cell& Netlist::cell(CellId id) const {
+    expects(id < cells_.size(), "cell id in range");
+    return cells_[id];
+}
+
+const Net& Netlist::net(NetId id) const {
+    expects(id < nets_.size(), "net id in range");
+    return nets_[id];
+}
+
+std::vector<NetId> Netlist::undriven_nets() const {
+    std::vector<NetId> result;
+    for (NetId i = 0; i < nets_.size(); ++i) {
+        if (nets_[i].driver == static_cast<CellId>(-1) && !nets_[i].sinks.empty()) {
+            result.push_back(i);
+        }
+    }
+    return result;
+}
+
+CellId Netlist::merge(const Netlist& other, const std::string& prefix) {
+    const auto cell_offset = static_cast<CellId>(cells_.size());
+    const auto net_offset = static_cast<NetId>(nets_.size());
+
+    for (const Net& n : other.nets_) {
+        Net copy;
+        copy.name = prefix + n.name;
+        copy.driver = n.driver == static_cast<CellId>(-1)
+                          ? static_cast<CellId>(-1)
+                          : n.driver + cell_offset;
+        copy.sinks.reserve(n.sinks.size());
+        for (CellId s : n.sinks) copy.sinks.push_back(s + cell_offset);
+        nets_.push_back(std::move(copy));
+    }
+    for (const Cell& c : other.cells_) {
+        Cell copy;
+        copy.kind = c.kind;
+        copy.name = prefix + c.name;
+        copy.inputs.reserve(c.inputs.size());
+        for (NetId n : c.inputs) copy.inputs.push_back(n + net_offset);
+        copy.outputs.reserve(c.outputs.size());
+        for (NetId n : c.outputs) copy.outputs.push_back(n + net_offset);
+        cells_.push_back(std::move(copy));
+    }
+    return cell_offset;
+}
+
+ResourceUsage& ResourceUsage::operator+=(const ResourceUsage& other) {
+    luts += other.luts;
+    ffs += other.ffs;
+    dsps += other.dsps;
+    brams += other.brams;
+    return *this;
+}
+
+ResourceUsage count_resources(const Netlist& netlist) {
+    ResourceUsage usage;
+    for (const Cell& c : netlist.cells()) {
+        usage.luts += lut_cost(c.kind);
+        usage.ffs += ff_cost(c.kind);
+        usage.dsps += dsp_cost(c.kind);
+        usage.brams += bram_cost(c.kind);
+    }
+    return usage;
+}
+
+} // namespace deepstrike::fabric

@@ -1,0 +1,83 @@
+// Structural netlist: cells connected by nets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/cell.hpp"
+
+namespace deepstrike::fabric {
+
+using NetId = std::uint32_t;
+using CellId = std::uint32_t;
+
+inline constexpr NetId kNoNet = static_cast<NetId>(-1);
+
+struct Cell {
+    CellKind kind;
+    std::string name;
+    std::vector<NetId> inputs;
+    std::vector<NetId> outputs;
+};
+
+struct Net {
+    std::string name;
+    CellId driver = static_cast<CellId>(-1); // set when a cell output connects
+    std::vector<CellId> sinks;
+};
+
+/// A flat structural netlist. Cells and nets are created through the
+/// builder API; connectivity is validated incrementally (each net has at
+/// most one driver) and globally by validate().
+class Netlist {
+public:
+    explicit Netlist(std::string design_name = "design");
+
+    const std::string& name() const { return name_; }
+
+    NetId add_net(const std::string& net_name);
+
+    /// Adds a cell and wires it: `inputs` are consumed nets, `outputs` are
+    /// driven nets. Throws ConfigError when an output net already has a
+    /// driver (multi-driver).
+    CellId add_cell(CellKind kind, const std::string& cell_name,
+                    const std::vector<NetId>& inputs,
+                    const std::vector<NetId>& outputs);
+
+    std::size_t cell_count() const { return cells_.size(); }
+    std::size_t net_count() const { return nets_.size(); }
+    const Cell& cell(CellId id) const;
+    const Net& net(NetId id) const;
+
+    /// Nets that have sinks but no driver (legal only for InPort-less test
+    /// fixtures; reported by DRC as UNDRIVEN).
+    std::vector<NetId> undriven_nets() const;
+
+    /// Merges another netlist into this one (tenant composition by the
+    /// cloud hypervisor, Sec. IV of the paper). Net/cell names are prefixed
+    /// with `prefix`. Returns the cell-id offset of the merged block.
+    CellId merge(const Netlist& other, const std::string& prefix);
+
+    const std::vector<Cell>& cells() const { return cells_; }
+    const std::vector<Net>& nets() const { return nets_; }
+
+private:
+    std::string name_;
+    std::vector<Cell> cells_;
+    std::vector<Net> nets_;
+};
+
+/// Aggregate resource usage of a netlist.
+struct ResourceUsage {
+    std::size_t luts = 0;
+    std::size_t ffs = 0;
+    std::size_t dsps = 0;
+    std::size_t brams = 0;
+
+    ResourceUsage& operator+=(const ResourceUsage& other);
+};
+
+ResourceUsage count_resources(const Netlist& netlist);
+
+} // namespace deepstrike::fabric

@@ -1,0 +1,61 @@
+#include "fabric/resources.hpp"
+
+#include <sstream>
+
+namespace deepstrike::fabric {
+
+DeviceModel DeviceModel::pynq_z1() {
+    // Zynq XC7Z020-1CLG400C programmable-logic budget.
+    return DeviceModel{"xc7z020 (PYNQ-Z1)", 53200, 106400, 13300, 220, 140};
+}
+
+double Utilization::lut_pct() const {
+    return 100.0 * static_cast<double>(used.luts) / static_cast<double>(device.luts);
+}
+
+double Utilization::ff_pct() const {
+    return 100.0 * static_cast<double>(used.ffs) / static_cast<double>(device.ffs);
+}
+
+double Utilization::slice_pct() const {
+    const double slices_used = static_cast<double>(used.luts) / 4.0;
+    return 100.0 * slices_used / static_cast<double>(device.slices);
+}
+
+double Utilization::dsp_pct() const {
+    return 100.0 * static_cast<double>(used.dsps) / static_cast<double>(device.dsps);
+}
+
+double Utilization::bram_pct() const {
+    return 100.0 * static_cast<double>(used.brams) / static_cast<double>(device.bram36);
+}
+
+bool Utilization::fits() const {
+    return used.luts <= device.luts && used.ffs <= device.ffs &&
+           used.dsps <= device.dsps && used.brams <= device.bram36;
+}
+
+std::string Utilization::to_string() const {
+    std::ostringstream os;
+    os.precision(2);
+    os << std::fixed;
+    os << "device " << device.name << ":\n"
+       << "  LUT   " << used.luts << " / " << device.luts << " (" << lut_pct() << "%)\n"
+       << "  FF    " << used.ffs << " / " << device.ffs << " (" << ff_pct() << "%)\n"
+       << "  slice ~" << used.luts / 4 << " / " << device.slices << " (" << slice_pct()
+       << "%)\n"
+       << "  DSP   " << used.dsps << " / " << device.dsps << " (" << dsp_pct() << "%)\n"
+       << "  BRAM  " << used.brams << " / " << device.bram36 << " (" << bram_pct()
+       << "%)\n";
+    return os.str();
+}
+
+Utilization utilization(const Netlist& netlist, const DeviceModel& device) {
+    return Utilization{count_resources(netlist), device};
+}
+
+Utilization utilization(const ResourceUsage& usage, const DeviceModel& device) {
+    return Utilization{usage, device};
+}
+
+} // namespace deepstrike::fabric

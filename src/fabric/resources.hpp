@@ -1,0 +1,44 @@
+// Device resource budgets and utilization reporting.
+#pragma once
+
+#include <string>
+
+#include "fabric/netlist.hpp"
+
+namespace deepstrike::fabric {
+
+/// Capacity of a target device. Slices on 7-series hold 4 LUTs + 8 FFs.
+struct DeviceModel {
+    std::string name;
+    std::size_t luts;
+    std::size_t ffs;
+    std::size_t slices;
+    std::size_t dsps;
+    std::size_t bram36;
+
+    /// Xilinx XC7Z020 (PYNQ-Z1), the paper's platform.
+    static DeviceModel pynq_z1();
+};
+
+/// Utilization of a design against a device.
+struct Utilization {
+    ResourceUsage used;
+    DeviceModel device;
+
+    double lut_pct() const;
+    double ff_pct() const;
+    /// Slice estimate: LUT-bound packing, 4 LUTs per slice.
+    double slice_pct() const;
+    double dsp_pct() const;
+    double bram_pct() const;
+
+    /// True when every resource fits the device.
+    bool fits() const;
+
+    std::string to_string() const;
+};
+
+Utilization utilization(const Netlist& netlist, const DeviceModel& device);
+Utilization utilization(const ResourceUsage& usage, const DeviceModel& device);
+
+} // namespace deepstrike::fabric

@@ -1,0 +1,18 @@
+#include "fx/fixed.hpp"
+
+namespace deepstrike::fx {
+
+TanhLut::TanhLut() {
+    for (std::int32_t raw = Q3_4::raw_min; raw <= Q3_4::raw_max; ++raw) {
+        const double x = static_cast<double>(raw) / Q3_4::scale;
+        table_[static_cast<std::size_t>(raw - Q3_4::raw_min)] =
+            Q3_4::from_real(std::tanh(x));
+    }
+}
+
+const TanhLut& TanhLut::instance() {
+    static const TanhLut lut;
+    return lut;
+}
+
+} // namespace deepstrike::fx

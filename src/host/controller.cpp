@@ -1,0 +1,61 @@
+#include "host/controller.hpp"
+
+#include "host/scheme_file.hpp"
+
+namespace deepstrike::host {
+
+HostController::HostController(UartChannel& channel) : channel_(channel) {}
+
+void HostController::send(const Frame& frame) {
+    channel_.host_send_all(encode_frame(frame));
+}
+
+void HostController::upload_scheme(const attack::AttackScheme& scheme,
+                                   const std::string& comment) {
+    const std::string text = write_scheme_file(scheme, comment);
+    Frame frame;
+    frame.type = FrameType::LoadScheme;
+    frame.payload.assign(text.begin(), text.end());
+    send(frame);
+}
+
+void HostController::arm() {
+    send(Frame{FrameType::Arm, {}});
+}
+
+void HostController::request_trace(std::uint32_t max_samples) {
+    Frame frame;
+    frame.type = FrameType::ReadTrace;
+    frame.payload = {static_cast<std::uint8_t>(max_samples & 0xFF),
+                     static_cast<std::uint8_t>((max_samples >> 8) & 0xFF),
+                     static_cast<std::uint8_t>((max_samples >> 16) & 0xFF),
+                     static_cast<std::uint8_t>((max_samples >> 24) & 0xFF)};
+    send(frame);
+}
+
+std::vector<Frame> HostController::poll() {
+    std::vector<Frame> frames;
+    while (auto byte = channel_.host_recv()) {
+        if (auto frame = decoder_.feed(*byte)) {
+            if (frame->type == FrameType::Ack) {
+                last_ack_ok_ = !frame->payload.empty() && frame->payload[0] == 0;
+            } else if (frame->type == FrameType::Nak) {
+                last_ack_ok_ = false;
+            }
+            frames.push_back(std::move(*frame));
+        }
+    }
+    return frames;
+}
+
+std::vector<std::uint8_t> HostController::poll_trace() {
+    std::vector<std::uint8_t> readouts;
+    for (Frame& frame : poll()) {
+        if (frame.type == FrameType::TraceData) {
+            readouts.insert(readouts.end(), frame.payload.begin(), frame.payload.end());
+        }
+    }
+    return readouts;
+}
+
+} // namespace deepstrike::host

@@ -1,0 +1,56 @@
+// Remote adversary host controller.
+//
+// Wraps the UART link in the command protocol the attack uses:
+// upload a scheme file, arm the on-chip controller, pull captured TDC
+// traces for offline profiling. The device side of the protocol lives in
+// sim::DeviceAgent; HostController only sees bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/signal_ram.hpp"
+#include "host/frames.hpp"
+#include "host/uart.hpp"
+
+namespace deepstrike::host {
+
+class HostController {
+public:
+    /// Binds to the host end of the channel (not owned).
+    explicit HostController(UartChannel& channel);
+
+    /// Sends a LoadScheme command carrying the scheme file text.
+    void upload_scheme(const attack::AttackScheme& scheme,
+                       const std::string& comment = {});
+
+    /// Sends the Arm command.
+    void arm();
+
+    /// Requests up to `max_samples` TDC readouts.
+    void request_trace(std::uint32_t max_samples);
+
+    /// Drains the device->host FIFO, decoding frames. Returns all complete
+    /// frames received.
+    std::vector<Frame> poll();
+
+    /// Convenience: polls and extracts trace payload bytes (readouts) from
+    /// any TraceData frames.
+    std::vector<std::uint8_t> poll_trace();
+
+    /// True when the last polled Ack reported success.
+    std::optional<bool> last_ack_ok() const { return last_ack_ok_; }
+
+    std::size_t crc_failures() const { return decoder_.crc_failures(); }
+
+private:
+    void send(const Frame& frame);
+
+    UartChannel& channel_;
+    FrameDecoder decoder_;
+    std::optional<bool> last_ack_ok_;
+};
+
+} // namespace deepstrike::host

@@ -1,0 +1,98 @@
+#include "host/frames.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike::host {
+
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size) {
+    std::uint16_t crc = 0xFFFF;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x8000) {
+                crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+            } else {
+                crc = static_cast<std::uint16_t>(crc << 1);
+            }
+        }
+    }
+    return crc;
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+    if (frame.payload.size() > 0xFFFF) {
+        throw FormatError("frame payload exceeds 64 KiB");
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(frame.payload.size() + 6);
+    out.push_back(kFrameSync);
+    out.push_back(static_cast<std::uint8_t>(frame.type));
+    const auto len = static_cast<std::uint16_t>(frame.payload.size());
+    out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(len >> 8));
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+    // CRC over type + len + payload (everything after sync, before CRC).
+    const std::uint16_t crc = crc16_ccitt(out.data() + 1, out.size() - 1);
+    out.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(crc >> 8));
+    return out;
+}
+
+std::optional<Frame> FrameDecoder::feed(std::uint8_t byte) {
+    switch (state_) {
+        case State::Sync:
+            if (byte == kFrameSync) state_ = State::Type;
+            return std::nullopt;
+        case State::Type:
+            type_ = byte;
+            state_ = State::LenLo;
+            return std::nullopt;
+        case State::LenLo:
+            length_ = byte;
+            state_ = State::LenHi;
+            return std::nullopt;
+        case State::LenHi:
+            length_ |= static_cast<std::uint16_t>(byte) << 8;
+            payload_.clear();
+            payload_.reserve(length_);
+            state_ = length_ > 0 ? State::Payload : State::CrcLo;
+            return std::nullopt;
+        case State::Payload:
+            payload_.push_back(byte);
+            if (payload_.size() == length_) state_ = State::CrcLo;
+            return std::nullopt;
+        case State::CrcLo:
+            crc_ = byte;
+            state_ = State::CrcHi;
+            return std::nullopt;
+        case State::CrcHi: {
+            crc_ |= static_cast<std::uint16_t>(byte) << 8;
+            state_ = State::Sync;
+
+            // Recompute CRC over type + len + payload.
+            std::vector<std::uint8_t> check;
+            check.reserve(payload_.size() + 3);
+            check.push_back(type_);
+            check.push_back(static_cast<std::uint8_t>(length_ & 0xFF));
+            check.push_back(static_cast<std::uint8_t>(length_ >> 8));
+            check.insert(check.end(), payload_.begin(), payload_.end());
+            if (crc16_ccitt(check.data(), check.size()) != crc_) {
+                ++crc_failures_;
+                return std::nullopt;
+            }
+            Frame frame;
+            frame.type = static_cast<FrameType>(type_);
+            frame.payload = std::move(payload_);
+            payload_.clear();
+            return frame;
+        }
+    }
+    return std::nullopt;
+}
+
+void FrameDecoder::reset() {
+    state_ = State::Sync;
+    payload_.clear();
+}
+
+} // namespace deepstrike::host

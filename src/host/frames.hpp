@@ -1,0 +1,62 @@
+// Frame protocol carried over the UART link.
+//
+// Layout: [0xA5 sync][u8 type][u16 little-endian payload length][payload]
+//         [u16 little-endian CRC16-CCITT over type+len+payload]
+// The decoder is a resynchronizing state machine: corrupted or truncated
+// frames are dropped (CRC failure) and decoding resumes at the next sync
+// byte — exercised by the failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace deepstrike::host {
+
+enum class FrameType : std::uint8_t {
+    LoadScheme = 0x01, // payload: attacking scheme file (text)
+    Arm = 0x02,        // payload: empty
+    ReadTrace = 0x03,  // payload: u32 max samples
+    TraceData = 0x81,  // payload: u8 readouts
+    Ack = 0x82,        // payload: u8 status (0 = ok)
+    Nak = 0x83,        // payload: u8 error code
+};
+
+struct Frame {
+    FrameType type;
+    std::vector<std::uint8_t> payload;
+};
+
+/// CRC16-CCITT (poly 0x1021, init 0xFFFF).
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size);
+
+/// Serializes a frame to the wire format. Throws FormatError when the
+/// payload exceeds 65535 bytes.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Streaming decoder.
+class FrameDecoder {
+public:
+    /// Feeds one byte; returns a completed frame when one is finished and
+    /// its CRC checks out. Corrupt frames are silently discarded.
+    std::optional<Frame> feed(std::uint8_t byte);
+
+    /// Frames dropped due to CRC mismatch so far.
+    std::size_t crc_failures() const { return crc_failures_; }
+
+    void reset();
+
+private:
+    enum class State { Sync, Type, LenLo, LenHi, Payload, CrcLo, CrcHi };
+
+    State state_ = State::Sync;
+    std::uint8_t type_ = 0;
+    std::uint16_t length_ = 0;
+    std::vector<std::uint8_t> payload_;
+    std::uint16_t crc_ = 0;
+    std::size_t crc_failures_ = 0;
+};
+
+inline constexpr std::uint8_t kFrameSync = 0xA5;
+
+} // namespace deepstrike::host

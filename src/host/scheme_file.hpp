@@ -1,0 +1,29 @@
+// The "attacking scheme file" (paper Sec. III-D-2).
+//
+// Human-editable key=value text listing the three parameters the paper
+// names — attack delay, attack period, number of attacks — plus the gap
+// between strikes. The host compiles it to the signal-RAM bit vector.
+//
+//   # strike CONV2
+//   attack_delay = 8532
+//   attack_period = 1
+//   attack_gap = 2
+//   num_attacks = 4500
+#pragma once
+
+#include <string>
+
+#include "attack/signal_ram.hpp"
+
+namespace deepstrike::host {
+
+/// Serializes a scheme to the file format (with a header comment).
+std::string write_scheme_file(const attack::AttackScheme& scheme,
+                              const std::string& comment = {});
+
+/// Parses the file format. Throws FormatError on malformed lines, unknown
+/// keys, duplicate keys, or missing required keys (num_attacks,
+/// attack_delay). attack_period defaults to 1, attack_gap to 0.
+attack::AttackScheme parse_scheme_file(const std::string& text);
+
+} // namespace deepstrike::host

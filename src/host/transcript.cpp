@@ -1,0 +1,64 @@
+#include "host/transcript.hpp"
+
+#include <sstream>
+
+namespace deepstrike::host {
+
+const char* direction_name(Direction direction) {
+    return direction == Direction::HostToDevice ? "host->device" : "device->host";
+}
+
+const char* frame_type_name(FrameType type) {
+    switch (type) {
+        case FrameType::LoadScheme: return "LoadScheme";
+        case FrameType::Arm: return "Arm";
+        case FrameType::ReadTrace: return "ReadTrace";
+        case FrameType::TraceData: return "TraceData";
+        case FrameType::Ack: return "Ack";
+        case FrameType::Nak: return "Nak";
+    }
+    return "?";
+}
+
+void FrameTranscript::feed(Direction direction, std::uint8_t byte) {
+    FrameDecoder& decoder =
+        direction == Direction::HostToDevice ? to_device_ : to_host_;
+    if (auto frame = decoder.feed(byte)) {
+        entries_.push_back({direction, std::move(*frame)});
+    }
+}
+
+void FrameTranscript::feed(Direction direction, const std::vector<std::uint8_t>& bytes) {
+    for (std::uint8_t b : bytes) feed(direction, b);
+}
+
+std::size_t FrameTranscript::count(Direction direction) const {
+    std::size_t n = 0;
+    for (const auto& e : entries_) n += e.direction == direction;
+    return n;
+}
+
+std::size_t FrameTranscript::count(FrameType type) const {
+    std::size_t n = 0;
+    for (const auto& e : entries_) n += e.frame.type == type;
+    return n;
+}
+
+std::string FrameTranscript::to_string() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const TranscriptEntry& e = entries_[i];
+        os << '#' << i << ' ' << direction_name(e.direction) << ' '
+           << frame_type_name(e.frame.type) << " (" << e.frame.payload.size()
+           << " bytes)\n";
+    }
+    return os.str();
+}
+
+void FrameTranscript::clear() {
+    entries_.clear();
+    to_device_.reset();
+    to_host_.reset();
+}
+
+} // namespace deepstrike::host

@@ -1,0 +1,48 @@
+// Frame transcript: records every decoded frame crossing the UART link
+// with a direction tag, for session analysis and replay in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/frames.hpp"
+
+namespace deepstrike::host {
+
+enum class Direction : std::uint8_t { HostToDevice, DeviceToHost };
+
+const char* direction_name(Direction direction);
+
+struct TranscriptEntry {
+    Direction direction;
+    Frame frame;
+};
+
+/// Passive tap on a byte stream: feed it every byte of each direction and
+/// it reconstructs the frame sequence (CRC-failed frames are dropped by
+/// the underlying decoders, exactly as the endpoints see them).
+class FrameTranscript {
+public:
+    void feed(Direction direction, std::uint8_t byte);
+    void feed(Direction direction, const std::vector<std::uint8_t>& bytes);
+
+    const std::vector<TranscriptEntry>& entries() const { return entries_; }
+    std::size_t count(Direction direction) const;
+    std::size_t count(FrameType type) const;
+
+    /// Human-readable session log.
+    std::string to_string() const;
+
+    void clear();
+
+private:
+    FrameDecoder to_device_;
+    FrameDecoder to_host_;
+    std::vector<TranscriptEntry> entries_;
+};
+
+/// Name of a frame type for logs.
+const char* frame_type_name(FrameType type);
+
+} // namespace deepstrike::host

@@ -1,0 +1,36 @@
+#include "host/uart.hpp"
+
+namespace deepstrike::host {
+
+UartFifo::UartFifo(const UartParams& params, std::uint64_t direction_tag)
+    : params_(params), noise_(params.noise_seed ^ direction_tag) {}
+
+bool UartFifo::push(std::uint8_t byte) {
+    if (fifo_.size() >= params_.fifo_capacity) return false;
+    if (params_.corruption_probability > 0.0 &&
+        noise_.bernoulli(params_.corruption_probability)) {
+        byte ^= static_cast<std::uint8_t>(1u << noise_.uniform_int(0, 7));
+    }
+    fifo_.push_back(byte);
+    return true;
+}
+
+std::optional<std::uint8_t> UartFifo::pop() {
+    if (fifo_.empty()) return std::nullopt;
+    const std::uint8_t byte = fifo_.front();
+    fifo_.pop_front();
+    return byte;
+}
+
+UartChannel::UartChannel(const UartParams& params)
+    : to_device_(params, 0x2d65766963ULL), to_host_(params, 0x2d686f7374ULL) {}
+
+void UartChannel::host_send_all(const std::vector<std::uint8_t>& bytes) {
+    for (std::uint8_t b : bytes) host_send(b);
+}
+
+void UartChannel::device_send_all(const std::vector<std::uint8_t>& bytes) {
+    for (std::uint8_t b : bytes) device_send(b);
+}
+
+} // namespace deepstrike::host

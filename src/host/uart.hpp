@@ -1,0 +1,73 @@
+// UART serial link between the remote adversary and the prototyped
+// cloud-FPGA (paper Sec. IV: "the adversary connects to this prototyped
+// cloud-FPGA from the UART serial port").
+//
+// Behavioral model: two byte FIFOs (host->device, device->host) with an
+// optional per-byte corruption probability so the frame codec's CRC path
+// can be failure-tested.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace deepstrike::host {
+
+struct UartParams {
+    /// Bytes buffered per direction. This models the whole receive path
+    /// (hardware FIFO + OS buffer + reader loop), so the default is large
+    /// enough to hold a full captured TDC trace; shrink it to exercise
+    /// overrun handling.
+    std::size_t fifo_capacity = 1 << 20;
+    double corruption_probability = 0.0; // per-byte bit-flip chance
+    std::uint64_t noise_seed = 0;
+};
+
+/// One direction of the link.
+class UartFifo {
+public:
+    UartFifo(const UartParams& params, std::uint64_t direction_tag);
+
+    /// Queues a byte; returns false (byte dropped) when the FIFO is full —
+    /// real UARTs overrun silently, and the codec must survive that.
+    bool push(std::uint8_t byte);
+
+    /// Pops the next byte if available.
+    std::optional<std::uint8_t> pop();
+
+    std::size_t pending() const { return fifo_.size(); }
+    bool empty() const { return fifo_.empty(); }
+
+private:
+    UartParams params_;
+    Rng noise_;
+    std::deque<std::uint8_t> fifo_;
+};
+
+/// Full-duplex channel: the host holds one end, the device the other.
+class UartChannel {
+public:
+    explicit UartChannel(const UartParams& params = {});
+
+    // Host side.
+    bool host_send(std::uint8_t byte) { return to_device_.push(byte); }
+    std::optional<std::uint8_t> host_recv() { return to_host_.pop(); }
+    void host_send_all(const std::vector<std::uint8_t>& bytes);
+
+    // Device side.
+    bool device_send(std::uint8_t byte) { return to_host_.push(byte); }
+    std::optional<std::uint8_t> device_recv() { return to_device_.pop(); }
+    void device_send_all(const std::vector<std::uint8_t>& bytes);
+
+    std::size_t device_pending() const { return to_device_.pending(); }
+    std::size_t host_pending() const { return to_host_.pending(); }
+
+private:
+    UartFifo to_device_;
+    UartFifo to_host_;
+};
+
+} // namespace deepstrike::host

@@ -1,0 +1,349 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepstrike::nn {
+
+namespace {
+
+/// He-uniform initialization: U(-b, b) with b = sqrt(6 / fan_in).
+void init_he_uniform(FloatTensor& t, std::size_t fan_in, Rng& rng) {
+    const double bound = std::sqrt(6.0 / static_cast<double>(fan_in));
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.at_unchecked(i) = static_cast<float>(rng.uniform(-bound, bound));
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      weight_(Shape{out_channels, in_channels, kernel, kernel}),
+      bias_(Shape{out_channels}) {
+    expects(in_channels > 0 && out_channels > 0 && kernel > 0, "Conv2d: positive dims");
+    init_he_uniform(weight_.value, in_channels * kernel * kernel, rng);
+    bias_.value.fill(0.0f);
+}
+
+Shape Conv2d::output_shape(const Shape& input_shape) const {
+    expects(input_shape.rank() == 3, "Conv2d: input rank 3");
+    expects(input_shape.dim(0) == in_channels_, "Conv2d: channel mismatch");
+    expects(input_shape.dim(1) >= kernel_ && input_shape.dim(2) >= kernel_,
+            "Conv2d: input at least kernel-sized");
+    return Shape{out_channels_, input_shape.dim(1) - kernel_ + 1,
+                 input_shape.dim(2) - kernel_ + 1};
+}
+
+std::size_t Conv2d::mac_count(const Shape& input_shape) const {
+    const Shape out = output_shape(input_shape);
+    return out.elements() * in_channels_ * kernel_ * kernel_;
+}
+
+FloatTensor Conv2d::forward(const FloatTensor& input) {
+    const Shape out_shape = output_shape(input.shape());
+    cached_input_ = input;
+    FloatTensor out(out_shape);
+
+    const std::size_t oh = out_shape.dim(1);
+    const std::size_t ow = out_shape.dim(2);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float b = bias_.value.at(oc);
+        for (std::size_t r = 0; r < oh; ++r) {
+            for (std::size_t c = 0; c < ow; ++c) {
+                float acc = b;
+                for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+                    for (std::size_t kr = 0; kr < kernel_; ++kr) {
+                        for (std::size_t kc = 0; kc < kernel_; ++kc) {
+                            acc += input.at(ic, r + kr, c + kc) *
+                                   weight_.value.at(oc, ic, kr, kc);
+                        }
+                    }
+                }
+                out.at(oc, r, c) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+FloatTensor Conv2d::backward(const FloatTensor& grad_output) {
+    expects(!cached_input_.empty(), "Conv2d::backward requires prior forward");
+    const Shape& in_shape = cached_input_.shape();
+    const Shape out_shape = output_shape(in_shape);
+    expects(grad_output.shape() == out_shape, "Conv2d::backward shape mismatch");
+
+    FloatTensor grad_input(in_shape, 0.0f);
+    const std::size_t oh = out_shape.dim(1);
+    const std::size_t ow = out_shape.dim(2);
+
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        for (std::size_t r = 0; r < oh; ++r) {
+            for (std::size_t c = 0; c < ow; ++c) {
+                const float g = grad_output.at(oc, r, c);
+                bias_.grad.at(oc) += g;
+                for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+                    for (std::size_t kr = 0; kr < kernel_; ++kr) {
+                        for (std::size_t kc = 0; kc < kernel_; ++kc) {
+                            weight_.grad.at(oc, ic, kr, kc) +=
+                                g * cached_input_.at(ic, r + kr, c + kc);
+                            grad_input.at(ic, r + kr, c + kc) +=
+                                g * weight_.value.at(oc, ic, kr, kc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+// ------------------------------------------------------------- MaxPool2d
+
+Shape MaxPool2d::output_shape(const Shape& input_shape) const {
+    expects(input_shape.rank() == 3, "MaxPool2d: input rank 3");
+    expects(input_shape.dim(1) % 2 == 0 && input_shape.dim(2) % 2 == 0,
+            "MaxPool2d: even spatial dims");
+    return Shape{input_shape.dim(0), input_shape.dim(1) / 2, input_shape.dim(2) / 2};
+}
+
+std::size_t MaxPool2d::mac_count(const Shape& input_shape) const {
+    // Comparisons, not MACs; count them as one op per input element so the
+    // accelerator schedule has a nonzero (but small) cost for pooling.
+    return input_shape.elements();
+}
+
+FloatTensor MaxPool2d::forward(const FloatTensor& input) {
+    const Shape out_shape = output_shape(input.shape());
+    cached_input_shape_ = input.shape();
+    FloatTensor out(out_shape);
+    argmax_.assign(out_shape.elements(), 0);
+
+    const std::size_t ch = out_shape.dim(0);
+    const std::size_t oh = out_shape.dim(1);
+    const std::size_t ow = out_shape.dim(2);
+    std::size_t flat_out = 0;
+    for (std::size_t c = 0; c < ch; ++c) {
+        for (std::size_t r = 0; r < oh; ++r) {
+            for (std::size_t w = 0; w < ow; ++w) {
+                float best = input.at(c, 2 * r, 2 * w);
+                std::size_t best_idx = input.index({c, 2 * r, 2 * w});
+                for (std::size_t dr = 0; dr < 2; ++dr) {
+                    for (std::size_t dw = 0; dw < 2; ++dw) {
+                        const float v = input.at(c, 2 * r + dr, 2 * w + dw);
+                        if (v > best) {
+                            best = v;
+                            best_idx = input.index({c, 2 * r + dr, 2 * w + dw});
+                        }
+                    }
+                }
+                out.at(c, r, w) = best;
+                argmax_[flat_out++] = best_idx;
+            }
+        }
+    }
+    return out;
+}
+
+FloatTensor MaxPool2d::backward(const FloatTensor& grad_output) {
+    expects(!argmax_.empty(), "MaxPool2d::backward requires prior forward");
+    expects(grad_output.size() == argmax_.size(), "MaxPool2d::backward shape mismatch");
+    FloatTensor grad_input(cached_input_shape_, 0.0f);
+    for (std::size_t i = 0; i < argmax_.size(); ++i) {
+        grad_input[argmax_[i]] += grad_output.at_unchecked(i);
+    }
+    return grad_input;
+}
+
+// ----------------------------------------------------------------- Dense
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}) {
+    expects(in_features > 0 && out_features > 0, "Dense: positive dims");
+    init_he_uniform(weight_.value, in_features, rng);
+    bias_.value.fill(0.0f);
+}
+
+Shape Dense::output_shape(const Shape& input_shape) const {
+    expects(input_shape.elements() == in_features_, "Dense: input feature mismatch");
+    return Shape{out_features_};
+}
+
+std::size_t Dense::mac_count(const Shape& input_shape) const {
+    expects(input_shape.elements() == in_features_, "Dense: input feature mismatch");
+    return in_features_ * out_features_;
+}
+
+FloatTensor Dense::forward(const FloatTensor& input) {
+    expects(input.size() == in_features_, "Dense: input feature mismatch");
+    cached_input_shape_ = input.shape();
+    // Flatten (copy) so backward is shape-agnostic.
+    cached_input_ = FloatTensor(Shape{in_features_});
+    for (std::size_t i = 0; i < in_features_; ++i) {
+        cached_input_.at_unchecked(i) = input.at_unchecked(i);
+    }
+
+    FloatTensor out(Shape{out_features_});
+    for (std::size_t o = 0; o < out_features_; ++o) {
+        float acc = bias_.value.at(o);
+        const float* w = weight_.value.data() + o * in_features_;
+        const float* x = cached_input_.data();
+        for (std::size_t i = 0; i < in_features_; ++i) acc += w[i] * x[i];
+        out.at(o) = acc;
+    }
+    return out;
+}
+
+FloatTensor Dense::backward(const FloatTensor& grad_output) {
+    expects(!cached_input_.empty(), "Dense::backward requires prior forward");
+    expects(grad_output.size() == out_features_, "Dense::backward shape mismatch");
+
+    FloatTensor grad_input_flat(Shape{in_features_}, 0.0f);
+    for (std::size_t o = 0; o < out_features_; ++o) {
+        const float g = grad_output.at(o);
+        bias_.grad.at(o) += g;
+        float* wg = weight_.grad.data() + o * in_features_;
+        const float* w = weight_.value.data() + o * in_features_;
+        const float* x = cached_input_.data();
+        float* gi = grad_input_flat.data();
+        for (std::size_t i = 0; i < in_features_; ++i) {
+            wg[i] += g * x[i];
+            gi[i] += g * w[i];
+        }
+    }
+
+    // Reshape the gradient back to the original input shape.
+    FloatTensor grad_input(cached_input_shape_);
+    for (std::size_t i = 0; i < grad_input.size(); ++i) {
+        grad_input.at_unchecked(i) = grad_input_flat.at_unchecked(i);
+    }
+    return grad_input;
+}
+
+// -------------------------------------------------------- ReluActivation
+
+FloatTensor ReluActivation::forward(const FloatTensor& input) {
+    cached_input_ = input;
+    FloatTensor out(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        out.at_unchecked(i) = std::max(0.0f, input.at_unchecked(i));
+    }
+    return out;
+}
+
+FloatTensor ReluActivation::backward(const FloatTensor& grad_output) {
+    expects(!cached_input_.empty(), "Relu::backward requires prior forward");
+    expects(grad_output.shape() == cached_input_.shape(),
+            "Relu::backward shape mismatch");
+    FloatTensor grad_input(grad_output.shape());
+    for (std::size_t i = 0; i < grad_output.size(); ++i) {
+        grad_input.at_unchecked(i) =
+            cached_input_.at_unchecked(i) > 0.0f ? grad_output.at_unchecked(i) : 0.0f;
+    }
+    return grad_input;
+}
+
+// ------------------------------------------------------------- AvgPool2d
+
+Shape AvgPool2d::output_shape(const Shape& input_shape) const {
+    expects(input_shape.rank() == 3, "AvgPool2d: input rank 3");
+    expects(input_shape.dim(1) % 2 == 0 && input_shape.dim(2) % 2 == 0,
+            "AvgPool2d: even spatial dims");
+    return Shape{input_shape.dim(0), input_shape.dim(1) / 2, input_shape.dim(2) / 2};
+}
+
+FloatTensor AvgPool2d::forward(const FloatTensor& input) {
+    const Shape out_shape = output_shape(input.shape());
+    cached_input_shape_ = input.shape();
+    FloatTensor out(out_shape);
+    for (std::size_t c = 0; c < out_shape.dim(0); ++c) {
+        for (std::size_t r = 0; r < out_shape.dim(1); ++r) {
+            for (std::size_t w = 0; w < out_shape.dim(2); ++w) {
+                out.at(c, r, w) =
+                    (input.at(c, 2 * r, 2 * w) + input.at(c, 2 * r, 2 * w + 1) +
+                     input.at(c, 2 * r + 1, 2 * w) + input.at(c, 2 * r + 1, 2 * w + 1)) /
+                    4.0f;
+            }
+        }
+    }
+    return out;
+}
+
+FloatTensor AvgPool2d::backward(const FloatTensor& grad_output) {
+    expects(cached_input_shape_.rank() == 3, "AvgPool2d::backward requires forward");
+    FloatTensor grad_input(cached_input_shape_, 0.0f);
+    const Shape out_shape = output_shape(cached_input_shape_);
+    expects(grad_output.shape() == out_shape, "AvgPool2d::backward shape mismatch");
+    for (std::size_t c = 0; c < out_shape.dim(0); ++c) {
+        for (std::size_t r = 0; r < out_shape.dim(1); ++r) {
+            for (std::size_t w = 0; w < out_shape.dim(2); ++w) {
+                const float g = grad_output.at(c, r, w) / 4.0f;
+                grad_input.at(c, 2 * r, 2 * w) += g;
+                grad_input.at(c, 2 * r, 2 * w + 1) += g;
+                grad_input.at(c, 2 * r + 1, 2 * w) += g;
+                grad_input.at(c, 2 * r + 1, 2 * w + 1) += g;
+            }
+        }
+    }
+    return grad_input;
+}
+
+// -------------------------------------------------------- TanhActivation
+
+std::size_t TanhActivation::mac_count(const Shape& input_shape) const {
+    // LUT lookups on the accelerator; negligible DSP work.
+    return input_shape.elements();
+}
+
+FloatTensor TanhActivation::forward(const FloatTensor& input) {
+    FloatTensor out(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        out.at_unchecked(i) = std::tanh(input.at_unchecked(i));
+    }
+    cached_output_ = out;
+    return out;
+}
+
+FloatTensor TanhActivation::backward(const FloatTensor& grad_output) {
+    expects(!cached_output_.empty(), "Tanh::backward requires prior forward");
+    expects(grad_output.shape() == cached_output_.shape(), "Tanh::backward shape mismatch");
+    FloatTensor grad_input(grad_output.shape());
+    for (std::size_t i = 0; i < grad_output.size(); ++i) {
+        const float y = cached_output_.at_unchecked(i);
+        grad_input.at_unchecked(i) = grad_output.at_unchecked(i) * (1.0f - y * y);
+    }
+    return grad_input;
+}
+
+// --------------------------------------------------------------- softmax
+
+FloatTensor softmax(const FloatTensor& logits) {
+    expects(!logits.empty(), "softmax: non-empty input");
+    FloatTensor out(logits.shape());
+    float maxv = logits.at_unchecked(0);
+    for (std::size_t i = 1; i < logits.size(); ++i) {
+        maxv = std::max(maxv, logits.at_unchecked(i));
+    }
+    double sum = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        const double e = std::exp(static_cast<double>(logits.at_unchecked(i) - maxv));
+        out.at_unchecked(i) = static_cast<float>(e);
+        sum += e;
+    }
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        out.at_unchecked(i) = static_cast<float>(out.at_unchecked(i) / sum);
+    }
+    return out;
+}
+
+} // namespace deepstrike::nn

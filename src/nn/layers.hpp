@@ -1,0 +1,179 @@
+// Float reference layers with backprop.
+//
+// This is the *training* network: plain single-sample forward/backward in
+// float32. The deployed victim is the quantized copy of these weights
+// running on the cycle-level accelerator model (src/accel); `quant`
+// provides the bit-exact golden reference used to validate it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace deepstrike::nn {
+
+/// A trainable parameter: value plus accumulated gradient (same shape).
+struct Parameter {
+    FloatTensor value;
+    FloatTensor grad;
+
+    explicit Parameter(Shape shape) : value(shape), grad(shape, 0.0f) {}
+    void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base layer. forward() caches whatever backward() needs, so a layer
+/// instance processes one sample at a time (LeNet-scale batches just loop).
+class Layer {
+public:
+    virtual ~Layer() = default;
+
+    virtual FloatTensor forward(const FloatTensor& input) = 0;
+
+    /// Given dLoss/dOutput, accumulates parameter gradients and returns
+    /// dLoss/dInput. Must be called after forward() on the same sample.
+    virtual FloatTensor backward(const FloatTensor& grad_output) = 0;
+
+    /// Trainable parameters (empty for stateless layers).
+    virtual std::vector<Parameter*> parameters() { return {}; }
+
+    virtual std::string name() const = 0;
+
+    /// Multiply-accumulate count for one forward pass (for the accelerator
+    /// schedule and the per-layer vulnerability analysis).
+    virtual std::size_t mac_count(const Shape& input_shape) const = 0;
+
+    /// Output shape for a given input shape (shape inference).
+    virtual Shape output_shape(const Shape& input_shape) const = 0;
+};
+
+/// 2D convolution, valid padding, stride 1. Input [C,H,W], weight
+/// [OutC, InC, K, K], output [OutC, H-K+1, W-K+1].
+class Conv2d final : public Layer {
+public:
+    Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+           Rng& rng);
+
+    FloatTensor forward(const FloatTensor& input) override;
+    FloatTensor backward(const FloatTensor& grad_output) override;
+    std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+    std::string name() const override { return "conv2d"; }
+    std::size_t mac_count(const Shape& input_shape) const override;
+    Shape output_shape(const Shape& input_shape) const override;
+
+    std::size_t in_channels() const { return in_channels_; }
+    std::size_t out_channels() const { return out_channels_; }
+    std::size_t kernel() const { return kernel_; }
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+    const Parameter& weight() const { return weight_; }
+    const Parameter& bias() const { return bias_; }
+
+private:
+    std::size_t in_channels_;
+    std::size_t out_channels_;
+    std::size_t kernel_;
+    Parameter weight_;
+    Parameter bias_;
+    FloatTensor cached_input_;
+};
+
+/// 2x2 max pooling with stride 2. Input [C,H,W] with even H and W.
+class MaxPool2d final : public Layer {
+public:
+    MaxPool2d() = default;
+
+    FloatTensor forward(const FloatTensor& input) override;
+    FloatTensor backward(const FloatTensor& grad_output) override;
+    std::string name() const override { return "maxpool2"; }
+    std::size_t mac_count(const Shape& input_shape) const override;
+    Shape output_shape(const Shape& input_shape) const override;
+
+private:
+    Shape cached_input_shape_;
+    std::vector<std::size_t> argmax_; // flat input index per output element
+};
+
+/// Fully connected layer; flattens any input shape. Weight [Out, In].
+class Dense final : public Layer {
+public:
+    Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+    FloatTensor forward(const FloatTensor& input) override;
+    FloatTensor backward(const FloatTensor& grad_output) override;
+    std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+    std::string name() const override { return "dense"; }
+    std::size_t mac_count(const Shape& input_shape) const override;
+    Shape output_shape(const Shape& input_shape) const override;
+
+    std::size_t in_features() const { return in_features_; }
+    std::size_t out_features() const { return out_features_; }
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+    const Parameter& weight() const { return weight_; }
+    const Parameter& bias() const { return bias_; }
+
+private:
+    std::size_t in_features_;
+    std::size_t out_features_;
+    Parameter weight_;
+    Parameter bias_;
+    FloatTensor cached_input_; // flattened
+    Shape cached_input_shape_;
+};
+
+/// Elementwise ReLU: max(x, 0). Cheap on the accelerator (a sign mux on
+/// the writeback path, no LUT).
+class ReluActivation final : public Layer {
+public:
+    FloatTensor forward(const FloatTensor& input) override;
+    FloatTensor backward(const FloatTensor& grad_output) override;
+    std::string name() const override { return "relu"; }
+    std::size_t mac_count(const Shape& input_shape) const override {
+        return input_shape.elements();
+    }
+    Shape output_shape(const Shape& input_shape) const override { return input_shape; }
+
+private:
+    FloatTensor cached_input_;
+};
+
+/// 2x2 average pooling with stride 2. Input [C,H,W] with even H and W.
+/// On the accelerator this is an adder tree plus a shift (no comparators).
+class AvgPool2d final : public Layer {
+public:
+    AvgPool2d() = default;
+
+    FloatTensor forward(const FloatTensor& input) override;
+    FloatTensor backward(const FloatTensor& grad_output) override;
+    std::string name() const override { return "avgpool2"; }
+    std::size_t mac_count(const Shape& input_shape) const override {
+        return input_shape.elements();
+    }
+    Shape output_shape(const Shape& input_shape) const override;
+
+private:
+    Shape cached_input_shape_;
+};
+
+/// Elementwise tanh. The paper's victim uses tanh activations because the
+/// deployment datatype is fixed point (Sec. IV).
+class TanhActivation final : public Layer {
+public:
+    FloatTensor forward(const FloatTensor& input) override;
+    FloatTensor backward(const FloatTensor& grad_output) override;
+    std::string name() const override { return "tanh"; }
+    std::size_t mac_count(const Shape& input_shape) const override;
+    Shape output_shape(const Shape& input_shape) const override { return input_shape; }
+
+private:
+    FloatTensor cached_output_;
+};
+
+/// Numerically stable softmax over a rank-1 tensor (used at evaluation; the
+/// trainer fuses softmax with cross-entropy).
+FloatTensor softmax(const FloatTensor& logits);
+
+} // namespace deepstrike::nn

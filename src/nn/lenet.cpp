@@ -1,0 +1,97 @@
+#include "nn/lenet.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace deepstrike::nn {
+
+Shape lenet_input_shape() { return Shape{1, 28, 28}; }
+
+LeNet build_lenet(Rng& rng) {
+    LeNet net;
+    net.handles.conv1 = &net.model.emplace<Conv2d>(1, 6, 5, rng);
+    net.model.emplace<TanhActivation>();
+    net.handles.pool1 = &net.model.emplace<MaxPool2d>();
+    net.handles.conv2 = &net.model.emplace<Conv2d>(6, 16, 5, rng);
+    net.model.emplace<TanhActivation>();
+    net.handles.fc1 = &net.model.emplace<Dense>(16 * 8 * 8, 120, rng);
+    net.model.emplace<TanhActivation>();
+    net.handles.fc2 = &net.model.emplace<Dense>(120, 10, rng);
+    return net;
+}
+
+namespace {
+
+std::filesystem::path resolve_cache_dir(const std::string& dir) {
+    if (const char* env = std::getenv("DEEPSTRIKE_CACHE_DIR")) {
+        return std::filesystem::path(env);
+    }
+    return std::filesystem::path(dir);
+}
+
+std::string cache_key(const LeNetTrainSpec& spec) {
+    std::ostringstream os;
+    os << "lenet5"
+       << "_d" << spec.data_seed
+       << "_tr" << spec.train_size
+       << "_te" << spec.test_size
+       << "_i" << spec.init_seed
+       << "_e" << spec.train_config.epochs
+       << "_b" << spec.train_config.batch_size
+       << "_lr" << spec.train_config.learning_rate
+       << "_m" << spec.train_config.momentum
+       << ".dsw";
+    return os.str();
+}
+
+} // namespace
+
+TrainedLeNet train_or_load_lenet(const LeNetTrainSpec& spec) {
+    expects(spec.train_size > 0 && spec.test_size > 0, "train_or_load_lenet: sizes > 0");
+
+    TrainedLeNet result;
+    Rng init_rng(spec.init_seed);
+    result.net = build_lenet(init_rng);
+
+    const std::filesystem::path dir = resolve_cache_dir(spec.cache_dir);
+    const std::filesystem::path file = dir / cache_key(spec);
+
+    // Test set is always needed (to report accuracy either way).
+    const data::DatasetPair datasets =
+        data::make_datasets(spec.data_seed, spec.train_size, spec.test_size);
+
+    std::error_code ec;
+    if (std::filesystem::exists(file, ec)) {
+        try {
+            load_weights(result.net.model, file.string());
+            result.loaded_from_cache = true;
+            result.test_accuracy = evaluate_accuracy(result.net.model, datasets.test);
+            log_debug("loaded cached LeNet from ", file.string(),
+                      " test acc=", result.test_accuracy);
+            return result;
+        } catch (const Error& e) {
+            log_warn("cache load failed (", e.what(), "); retraining");
+        }
+    }
+
+    log_info("training LeNet-5 (", spec.train_size, " samples, ",
+             spec.train_config.epochs, " epochs)...");
+    train(result.net.model, datasets.train, spec.train_config);
+    result.test_accuracy = evaluate_accuracy(result.net.model, datasets.test);
+    log_info("trained LeNet-5 test accuracy: ", result.test_accuracy);
+
+    std::filesystem::create_directories(dir, ec);
+    try {
+        save_weights(result.net.model, file.string());
+    } catch (const Error& e) {
+        log_warn("could not persist weight cache: ", e.what());
+    }
+    return result;
+}
+
+} // namespace deepstrike::nn

@@ -1,0 +1,59 @@
+// LeNet-5 builder matching the paper's victim (Fig. 5a):
+//   Conv1 (1->6, 5x5) -> tanh -> Pool1 (2x2) -> Conv2 (6->16, 5x5) -> tanh
+//   -> FC1 (1024->120) -> tanh -> FC2 (120->10)
+// Input is a 1x28x28 image; Conv2 output is 16x8x8 = 1024 features.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace deepstrike::nn {
+
+/// Typed handles into the LeNet Sequential for weight extraction
+/// (quantization) and per-layer analysis. Pointers stay valid for the
+/// lifetime of the Sequential (layers are heap-allocated).
+struct LeNetHandles {
+    Conv2d* conv1 = nullptr;
+    MaxPool2d* pool1 = nullptr;
+    Conv2d* conv2 = nullptr;
+    Dense* fc1 = nullptr;
+    Dense* fc2 = nullptr;
+};
+
+struct LeNet {
+    Sequential model;
+    LeNetHandles handles;
+};
+
+/// Input shape expected by the network.
+Shape lenet_input_shape();
+
+/// Builds the paper's LeNet-5 with He-uniform init from `rng`.
+LeNet build_lenet(Rng& rng);
+
+/// Configuration for the cached train-or-load path used by examples and
+/// benches: the first caller trains once and saves the weights; later
+/// callers load the cache and skip training.
+struct LeNetTrainSpec {
+    std::uint64_t data_seed = 42;
+    std::size_t train_size = 4000;
+    std::size_t test_size = 1000;
+    std::uint64_t init_seed = 7;
+    TrainConfig train_config{};
+    /// Cache directory; resolved against DEEPSTRIKE_CACHE_DIR when set.
+    std::string cache_dir = ".deepstrike_cache";
+};
+
+struct TrainedLeNet {
+    LeNet net;
+    double test_accuracy = 0.0;
+    bool loaded_from_cache = false;
+};
+
+/// Returns a trained LeNet (training once, then caching weights on disk).
+/// The cache key covers the full spec, so changing any knob retrains.
+TrainedLeNet train_or_load_lenet(const LeNetTrainSpec& spec = {});
+
+} // namespace deepstrike::nn

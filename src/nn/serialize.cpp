@@ -1,0 +1,62 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace deepstrike::nn {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'S', 'W', '1'};
+} // namespace
+
+void save_weights(Sequential& model, const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open weight file for writing: " + path);
+
+    const auto params = model.parameters();
+    out.write(kMagic, sizeof(kMagic));
+    const auto count = static_cast<std::uint32_t>(params.size());
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (Parameter* p : params) {
+        const auto n = static_cast<std::uint32_t>(p->value.size());
+        out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+        out.write(reinterpret_cast<const char*>(p->value.data()),
+                  static_cast<std::streamsize>(n * sizeof(float)));
+    }
+    if (!out) throw IoError("weight file write failed: " + path);
+}
+
+void load_weights(Sequential& model, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot open weight file for reading: " + path);
+
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        throw FormatError("weight file: bad magic: " + path);
+    }
+
+    const auto params = model.parameters();
+    std::uint32_t count = 0;
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!in || count != params.size()) {
+        throw FormatError("weight file: parameter count mismatch: " + path);
+    }
+
+    for (Parameter* p : params) {
+        std::uint32_t n = 0;
+        in.read(reinterpret_cast<char*>(&n), sizeof(n));
+        if (!in || n != p->value.size()) {
+            throw FormatError("weight file: tensor size mismatch: " + path);
+        }
+        in.read(reinterpret_cast<char*>(p->value.data()),
+                static_cast<std::streamsize>(n * sizeof(float)));
+        if (!in) throw FormatError("weight file: truncated: " + path);
+    }
+}
+
+} // namespace deepstrike::nn

@@ -1,0 +1,21 @@
+// Flat binary weight (de)serialization.
+//
+// Format (little endian):
+//   magic "DSW1" | u32 param_count | per param: u32 elem_count, f32[elem_count]
+// The loader validates counts against the model's parameter list, so a
+// cache built for a different architecture is rejected, not misloaded.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace deepstrike::nn {
+
+void save_weights(Sequential& model, const std::string& path);
+
+/// Loads weights into `model`. Throws FormatError when the file does not
+/// match the model's parameter structure, IoError when unreadable.
+void load_weights(Sequential& model, const std::string& path);
+
+} // namespace deepstrike::nn

@@ -1,0 +1,123 @@
+#include "nn/zoo.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace deepstrike::nn {
+
+const char* architecture_name(Architecture arch) {
+    switch (arch) {
+        case Architecture::LeNet5: return "lenet5";
+        case Architecture::MiniCnn: return "minicnn";
+        case Architecture::Mlp: return "mlp";
+    }
+    return "?";
+}
+
+Sequential build_architecture(Architecture arch, Rng& rng) {
+    Sequential model;
+    switch (arch) {
+        case Architecture::LeNet5:
+            model.emplace<Conv2d>(1, 6, 5, rng);
+            model.emplace<TanhActivation>();
+            model.emplace<MaxPool2d>();
+            model.emplace<Conv2d>(6, 16, 5, rng);
+            model.emplace<TanhActivation>();
+            model.emplace<Dense>(16 * 8 * 8, 120, rng);
+            model.emplace<TanhActivation>();
+            model.emplace<Dense>(120, 10, rng);
+            return model;
+        case Architecture::MiniCnn:
+            // 28 -> conv5 -> 24 -> pool -> 12 -> conv3 -> 10 -> pool -> 5
+            model.emplace<Conv2d>(1, 8, 5, rng);
+            model.emplace<TanhActivation>();
+            model.emplace<MaxPool2d>();
+            model.emplace<Conv2d>(8, 16, 3, rng);
+            model.emplace<TanhActivation>();
+            model.emplace<MaxPool2d>();
+            model.emplace<Dense>(16 * 5 * 5, 64, rng);
+            model.emplace<TanhActivation>();
+            model.emplace<Dense>(64, 10, rng);
+            return model;
+        case Architecture::Mlp:
+            model.emplace<Dense>(28 * 28, 128, rng);
+            model.emplace<TanhActivation>();
+            model.emplace<Dense>(128, 64, rng);
+            model.emplace<TanhActivation>();
+            model.emplace<Dense>(64, 10, rng);
+            return model;
+    }
+    throw ConfigError("build_architecture: unknown architecture");
+}
+
+namespace {
+
+std::filesystem::path resolve_cache_dir(const std::string& dir) {
+    if (const char* env = std::getenv("DEEPSTRIKE_CACHE_DIR")) {
+        return std::filesystem::path(env);
+    }
+    return std::filesystem::path(dir);
+}
+
+std::string cache_key(const ZooTrainSpec& spec) {
+    std::ostringstream os;
+    os << architecture_name(spec.architecture)
+       << "_d" << spec.data_seed
+       << "_tr" << spec.train_size
+       << "_te" << spec.test_size
+       << "_i" << spec.init_seed
+       << "_e" << spec.train_config.epochs
+       << "_b" << spec.train_config.batch_size
+       << "_lr" << spec.train_config.learning_rate
+       << ".dsw";
+    return os.str();
+}
+
+} // namespace
+
+TrainedModel train_or_load(const ZooTrainSpec& spec) {
+    expects(spec.train_size > 0 && spec.test_size > 0, "train_or_load: sizes > 0");
+
+    TrainedModel result;
+    Rng init_rng(spec.init_seed);
+    result.model = build_architecture(spec.architecture, init_rng);
+
+    const std::filesystem::path dir = resolve_cache_dir(spec.cache_dir);
+    const std::filesystem::path file = dir / cache_key(spec);
+    const data::DatasetPair datasets =
+        data::make_datasets(spec.data_seed, spec.train_size, spec.test_size);
+
+    std::error_code ec;
+    if (std::filesystem::exists(file, ec)) {
+        try {
+            load_weights(result.model, file.string());
+            result.loaded_from_cache = true;
+            result.test_accuracy = evaluate_accuracy(result.model, datasets.test);
+            return result;
+        } catch (const Error& e) {
+            log_warn("zoo cache load failed (", e.what(), "); retraining");
+        }
+    }
+
+    log_info("training ", architecture_name(spec.architecture), " (", spec.train_size,
+             " samples, ", spec.train_config.epochs, " epochs)...");
+    train(result.model, datasets.train, spec.train_config);
+    result.test_accuracy = evaluate_accuracy(result.model, datasets.test);
+    log_info("trained ", architecture_name(spec.architecture),
+             " test accuracy: ", result.test_accuracy);
+
+    std::filesystem::create_directories(dir, ec);
+    try {
+        save_weights(result.model, file.string());
+    } catch (const Error& e) {
+        log_warn("could not persist zoo cache: ", e.what());
+    }
+    return result;
+}
+
+} // namespace deepstrike::nn

@@ -1,0 +1,54 @@
+// Model zoo: victim architectures beyond the paper's LeNet-5 (Sec. V
+// future work, "more DNN architectures").
+//
+// Every architecture is built from the same supported layer set
+// (Conv2d / MaxPool2d / Dense / tanh), so the whole pipeline — training,
+// quantization (quant::quantize_sequential), cycle-level execution and the
+// attack — works on all of them unchanged.
+#pragma once
+
+#include <string>
+
+#include "nn/lenet.hpp"
+#include "nn/model.hpp"
+
+namespace deepstrike::nn {
+
+enum class Architecture {
+    LeNet5,  // the paper's victim: conv-pool-conv-fc-fc
+    MiniCnn, // conv-pool-conv-pool-fc-fc (second pooling stage)
+    Mlp,     // fc-fc-fc (no convolutions: a DSP-light victim)
+};
+
+const char* architecture_name(Architecture arch);
+
+/// Builds an untrained instance of the architecture (28x28x1 input,
+/// 10 classes).
+Sequential build_architecture(Architecture arch, Rng& rng);
+
+struct ZooTrainSpec {
+    Architecture architecture = Architecture::LeNet5;
+    std::uint64_t data_seed = 42;
+    std::size_t train_size = 3000;
+    std::size_t test_size = 600;
+    std::uint64_t init_seed = 7;
+    TrainConfig train_config = default_zoo_train_config();
+    std::string cache_dir = ".deepstrike_cache";
+
+    static TrainConfig default_zoo_train_config() {
+        TrainConfig c;
+        c.epochs = 4;
+        return c;
+    }
+};
+
+struct TrainedModel {
+    Sequential model;
+    double test_accuracy = 0.0;
+    bool loaded_from_cache = false;
+};
+
+/// Trains (or loads from the weight cache) the given architecture.
+TrainedModel train_or_load(const ZooTrainSpec& spec);
+
+} // namespace deepstrike::nn

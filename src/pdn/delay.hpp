@@ -1,0 +1,29 @@
+// Voltage-to-delay model (alpha-power law).
+//
+// Signal propagation delay of CMOS logic rises as the supply voltage
+// droops; this single mechanism drives both halves of DeepStrike:
+//  - the TDC sensor observes it (fewer carry stages traversed per window),
+//  - the DSP slices suffer it (setup violations => faults).
+// We use the standard alpha-power-law approximation
+//    d(V) = d_nominal * ((Vdd - Vth) / (V - Vth))^alpha
+// which is monotone in V and diverges as V approaches Vth.
+#pragma once
+
+namespace deepstrike::pdn {
+
+struct DelayModel {
+    double vdd = 1.0;    // nominal supply
+    double vth = 0.40;   // effective threshold voltage
+    double alpha = 1.3;  // velocity-saturation exponent
+
+    /// Relative delay factor at voltage `v` (1.0 at nominal, grows as the
+    /// supply droops). Clamped when v approaches vth so hard glitches give
+    /// a huge-but-finite delay instead of dividing by zero.
+    double factor(double v) const;
+
+    /// Inverse: the voltage at which delay equals `factor` times nominal.
+    /// Useful for calibrating fault thresholds.
+    double voltage_for_factor(double factor) const;
+};
+
+} // namespace deepstrike::pdn

@@ -1,0 +1,76 @@
+// Spatial (multi-region) PDN model.
+//
+// The paper's Fig. 6(a) layout places the victim circuit "far from the
+// attacker circuit" on the die; they still share the PDN. Physically the
+// supply network has two parts:
+//   - a SHARED package/board impedance (regulator -> R/L -> package node
+//     with bulk decap) that every region sees identically — this is why
+//     remote voltage attacks work at all, and it is what the lumped
+//     pdn::PdnModel captures;
+//   - the on-die grid: each region hangs off the package node through a
+//     spreading resistance and has local decap, with lateral coupling to
+//     its neighbours — this part attenuates with distance and produces the
+//     extra droop right next to the aggressor.
+// Region 0..N-1 are laid out on a line (a 1-D cut through the die).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pdn/pdn.hpp"
+
+namespace deepstrike::pdn {
+
+struct GridPdnParams {
+    /// Shared package/board level (same roles as the lumped model); its
+    /// c_farad acts as the bulk decap at the package node.
+    PdnParams package = PdnParams::pynq_z1();
+    std::size_t regions = 4;
+    /// Spreading resistance from the package node into each region.
+    double r_vertical_ohm = 0.05;
+    /// Lateral resistance between adjacent regions.
+    double r_lateral_ohm = 0.35;
+    /// Local decoupling capacitance per region.
+    double c_region_f = 2e-9;
+    /// Internal sub-steps per dt step: the on-die grid poles (r*C ~ 0.1 ns)
+    /// are much faster than the 1 ns master tick, so the grid integrates
+    /// at dt/substeps internally. Only the ablation uses this model, so
+    /// the extra cost is irrelevant.
+    std::size_t substeps = 64;
+};
+
+class GridPdnModel {
+public:
+    explicit GridPdnModel(const GridPdnParams& params);
+
+    std::size_t regions() const { return params_.regions; }
+
+    /// Advances one dt step with per-region load currents (A).
+    void step(const std::vector<double>& loads);
+
+    double voltage(std::size_t region) const;
+    double package_voltage() const { return v_pkg_; }
+
+    /// Resets every node to the DC point for uniform idle load.
+    void reset(double i_idle_per_region_a);
+
+    const GridPdnParams& params() const { return params_; }
+
+private:
+    GridPdnParams params_;
+    double v_pkg_ = 0.0;
+    double i_l_ = 0.0;        // regulator/package inductor current
+    std::vector<double> v_;   // region voltages
+};
+
+/// Convenience for the placement ablation: pulse `i_pulse` in region
+/// `aggressor` for `pulse_steps`, from uniform idle, and return the
+/// minimum voltage observed in every region.
+std::vector<double> simulate_regional_droop(const GridPdnParams& params,
+                                            double i_idle_per_region,
+                                            std::size_t aggressor, double i_pulse,
+                                            std::size_t pre_steps,
+                                            std::size_t pulse_steps,
+                                            std::size_t post_steps);
+
+} // namespace deepstrike::pdn

@@ -1,0 +1,82 @@
+#include "pdn/pdn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepstrike::pdn {
+
+namespace {
+double natural_freq_hz_of(double l, double c) {
+    return 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+}
+} // namespace
+
+PdnModel::PdnModel(const PdnParams& params) : params_(params) {
+    expects(params.vdd > 0, "PdnModel: vdd > 0");
+    expects(params.r_ohm > 0 && params.l_henry > 0 && params.c_farad > 0,
+            "PdnModel: positive RLC");
+    expects(params.dt_s > 0, "PdnModel: positive dt");
+    // Stability of the semi-implicit integrator requires dt well below the
+    // resonance period; reject configurations that would alias.
+    expects(params.dt_s < 0.1 / natural_freq_hz_of(params.l_henry, params.c_farad),
+            "PdnModel: dt too coarse for PDN resonance");
+    // The resistive term is integrated explicitly; dt must resolve the L/R
+    // time constant or the current update diverges.
+    expects(params.dt_s * params.r_ohm / params.l_henry < 1.0,
+            "PdnModel: dt too coarse for the L/R time constant");
+    reset(0.0);
+}
+
+double PdnModel::natural_freq_hz() const {
+    return natural_freq_hz_of(params_.l_henry, params_.c_farad);
+}
+
+double PdnModel::damping_ratio() const {
+    return (params_.r_ohm / 2.0) * std::sqrt(params_.c_farad / params_.l_henry);
+}
+
+void PdnModel::reset(double i_idle_a) {
+    // DC operating point: inductor carries the idle current, die sits at
+    // Vdd - R*I.
+    i_l_ = i_idle_a;
+    v_ = params_.vdd - params_.r_ohm * i_idle_a;
+}
+
+double PdnModel::step(double i_load_a) {
+    // Semi-implicit (symplectic) Euler: update current with the old
+    // voltage, then voltage with the new current. Stable for oscillatory
+    // systems at our dt.
+    const double dt = params_.dt_s;
+    i_l_ += dt * (params_.vdd - v_ - params_.r_ohm * i_l_) / params_.l_henry;
+    v_ += dt * (i_l_ - i_load_a) / params_.c_farad;
+    // The die voltage physically cannot exceed the regulator much or go
+    // negative; clamp to a sane envelope to keep downstream delay models
+    // defined even under absurd attack currents.
+    v_ = std::clamp(v_, 0.0, params_.vdd * 1.25);
+    return v_;
+}
+
+std::vector<double> simulate_current_step(const PdnParams& params, double i_idle_a,
+                                          double i_pulse_a, std::size_t pre_steps,
+                                          std::size_t pulse_steps,
+                                          std::size_t post_steps) {
+    PdnModel model(params);
+    model.reset(i_idle_a);
+    std::vector<double> trace;
+    trace.reserve(pre_steps + pulse_steps + post_steps);
+    for (std::size_t i = 0; i < pre_steps; ++i) trace.push_back(model.step(i_idle_a));
+    for (std::size_t i = 0; i < pulse_steps; ++i) {
+        trace.push_back(model.step(i_idle_a + i_pulse_a));
+    }
+    for (std::size_t i = 0; i < post_steps; ++i) trace.push_back(model.step(i_idle_a));
+    return trace;
+}
+
+double trace_min(const std::vector<double>& trace) {
+    expects(!trace.empty(), "trace_min: non-empty trace");
+    return *std::min_element(trace.begin(), trace.end());
+}
+
+} // namespace deepstrike::pdn

@@ -1,0 +1,202 @@
+#include "quant/qlenet.hpp"
+
+#include "quant/qnetwork.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike::quant {
+
+using fx::Q3_4;
+using fx::TanhLut;
+
+QLeNetWeights quantize_lenet(const nn::LeNet& net) {
+    expects(net.handles.conv1 != nullptr && net.handles.conv2 != nullptr &&
+                net.handles.fc1 != nullptr && net.handles.fc2 != nullptr,
+            "quantize_lenet: complete handle set");
+    QLeNetWeights w;
+    w.conv1_w = quantize(net.handles.conv1->weight().value);
+    w.conv1_b = quantize(net.handles.conv1->bias().value);
+    w.conv2_w = quantize(net.handles.conv2->weight().value);
+    w.conv2_b = quantize(net.handles.conv2->bias().value);
+    w.fc1_w = quantize(net.handles.fc1->weight().value);
+    w.fc1_b = quantize(net.handles.fc1->bias().value);
+    w.fc2_w = quantize(net.handles.fc2->weight().value);
+    w.fc2_b = quantize(net.handles.fc2->bias().value);
+    return w;
+}
+
+QTensor quantize_image(const FloatTensor& image) {
+    expects(image.shape().rank() == 3, "quantize_image: [1,H,W] tensor");
+    return quantize(image);
+}
+
+namespace {
+Q3_4 apply_activation(Q3_4 v, Activation activation) {
+    switch (activation) {
+        case Activation::None: return v;
+        case Activation::Tanh: return TanhLut::instance()(v);
+        case Activation::Relu: return qrelu(v);
+    }
+    return v;
+}
+} // namespace
+
+fx::Q3_4 qrelu(fx::Q3_4 x) {
+    return std::max(x, Q3_4::zero());
+}
+
+QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                bool apply_tanh) {
+    return qconv2d(input, weight, bias,
+                   apply_tanh ? Activation::Tanh : Activation::None);
+}
+
+QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                Activation activation) {
+    expects(input.shape().rank() == 3, "qconv2d: input rank 3");
+    expects(weight.shape().rank() == 4, "qconv2d: weight rank 4");
+    const std::size_t in_c = input.shape().dim(0);
+    const std::size_t in_h = input.shape().dim(1);
+    const std::size_t in_w = input.shape().dim(2);
+    const std::size_t out_c = weight.shape().dim(0);
+    const std::size_t k = weight.shape().dim(2);
+    expects(weight.shape().dim(1) == in_c, "qconv2d: channel mismatch");
+    expects(weight.shape().dim(3) == k, "qconv2d: square kernel");
+    expects(bias.size() == out_c, "qconv2d: bias size");
+    expects(in_h >= k && in_w >= k, "qconv2d: input at least kernel-sized");
+
+    const std::size_t out_h = in_h - k + 1;
+    const std::size_t out_w = in_w - k + 1;
+    QTensor out(Shape{out_c, out_h, out_w});
+
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+        // Bias enters the accumulator in product units (2^(2*frac)).
+        const fx::Acc bias_acc = static_cast<fx::Acc>(bias[oc].raw()) << Q3_4::frac_bits;
+        for (std::size_t r = 0; r < out_h; ++r) {
+            for (std::size_t c = 0; c < out_w; ++c) {
+                fx::Acc acc = bias_acc;
+                for (std::size_t ic = 0; ic < in_c; ++ic) {
+                    for (std::size_t kr = 0; kr < k; ++kr) {
+                        for (std::size_t kc = 0; kc < k; ++kc) {
+                            acc += Q3_4::wide_product(input.at(ic, r + kr, c + kc),
+                                                      weight.at(oc, ic, kr, kc));
+                        }
+                    }
+                }
+                out.at(oc, r, c) = apply_activation(Q3_4::from_accumulator(acc), activation);
+            }
+        }
+    }
+    return out;
+}
+
+QTensor qmaxpool2(const QTensor& input) {
+    expects(input.shape().rank() == 3, "qmaxpool2: input rank 3");
+    expects(input.shape().dim(1) % 2 == 0 && input.shape().dim(2) % 2 == 0,
+            "qmaxpool2: even spatial dims");
+    const std::size_t ch = input.shape().dim(0);
+    const std::size_t oh = input.shape().dim(1) / 2;
+    const std::size_t ow = input.shape().dim(2) / 2;
+    QTensor out(Shape{ch, oh, ow});
+    for (std::size_t c = 0; c < ch; ++c) {
+        for (std::size_t r = 0; r < oh; ++r) {
+            for (std::size_t w = 0; w < ow; ++w) {
+                Q3_4 best = input.at(c, 2 * r, 2 * w);
+                for (std::size_t dr = 0; dr < 2; ++dr) {
+                    for (std::size_t dw = 0; dw < 2; ++dw) {
+                        best = std::max(best, input.at(c, 2 * r + dr, 2 * w + dw));
+                    }
+                }
+                out.at(c, r, w) = best;
+            }
+        }
+    }
+    return out;
+}
+
+QTensor qavgpool2(const QTensor& input) {
+    expects(input.shape().rank() == 3, "qavgpool2: input rank 3");
+    expects(input.shape().dim(1) % 2 == 0 && input.shape().dim(2) % 2 == 0,
+            "qavgpool2: even spatial dims");
+    const std::size_t ch = input.shape().dim(0);
+    const std::size_t oh = input.shape().dim(1) / 2;
+    const std::size_t ow = input.shape().dim(2) / 2;
+    QTensor out(Shape{ch, oh, ow});
+    for (std::size_t c = 0; c < ch; ++c) {
+        for (std::size_t r = 0; r < oh; ++r) {
+            for (std::size_t w = 0; w < ow; ++w) {
+                // Sum in raw units, then divide by 4 rounding to nearest
+                // (ties away from zero) — an adder tree plus a shift.
+                const std::int32_t sum =
+                    input.at(c, 2 * r, 2 * w).raw() + input.at(c, 2 * r, 2 * w + 1).raw() +
+                    input.at(c, 2 * r + 1, 2 * w).raw() +
+                    input.at(c, 2 * r + 1, 2 * w + 1).raw();
+                const std::int32_t avg = sum >= 0 ? (sum + 2) / 4 : -((-sum + 2) / 4);
+                out.at(c, r, w) = Q3_4::from_raw(static_cast<std::int16_t>(avg));
+            }
+        }
+    }
+    return out;
+}
+
+QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,
+               bool apply_tanh) {
+    return qdense(input, weight, bias,
+                  apply_tanh ? Activation::Tanh : Activation::None);
+}
+
+QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,
+               Activation activation) {
+    expects(weight.shape().rank() == 2, "qdense: weight rank 2");
+    const std::size_t out_n = weight.shape().dim(0);
+    const std::size_t in_n = weight.shape().dim(1);
+    expects(input.size() == in_n, "qdense: input feature mismatch");
+    expects(bias.size() == out_n, "qdense: bias size");
+
+    QTensor out(Shape{out_n});
+    for (std::size_t o = 0; o < out_n; ++o) {
+        fx::Acc acc = static_cast<fx::Acc>(bias[o].raw()) << Q3_4::frac_bits;
+        for (std::size_t i = 0; i < in_n; ++i) {
+            acc += Q3_4::wide_product(input.at_unchecked(i),
+                                      weight.at_unchecked(o * in_n + i));
+        }
+        out.at(o) = apply_activation(Q3_4::from_accumulator(acc), activation);
+    }
+    return out;
+}
+
+QLeNetReference::QLeNetReference(QLeNetWeights weights) : weights_(std::move(weights)) {}
+
+QLeNetActivations QLeNetReference::forward(const QTensor& input) const {
+    expects(input.shape() == Shape({1, 28, 28}), "QLeNetReference: input [1,28,28]");
+    QLeNetActivations acts;
+    acts.input = input;
+    acts.conv1_out = qconv2d(input, weights_.conv1_w, weights_.conv1_b, /*apply_tanh=*/true);
+    acts.pool1_out = qmaxpool2(acts.conv1_out);
+    acts.conv2_out = qconv2d(acts.pool1_out, weights_.conv2_w, weights_.conv2_b,
+                             /*apply_tanh=*/true);
+    // Flatten conv2 output [16,8,8] -> [1024].
+    QTensor flat(Shape{acts.conv2_out.size()});
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        flat.at_unchecked(i) = acts.conv2_out.at_unchecked(i);
+    }
+    acts.fc1_out = qdense(flat, weights_.fc1_w, weights_.fc1_b, /*apply_tanh=*/true);
+    acts.logits = qdense(acts.fc1_out, weights_.fc2_w, weights_.fc2_b, /*apply_tanh=*/false);
+    return acts;
+}
+
+std::size_t QLeNetReference::predict(const FloatTensor& image) const {
+    const QLeNetActivations acts = forward(quantize_image(image));
+    return argmax(acts.logits);
+}
+
+double QLeNetReference::evaluate_accuracy(const data::Dataset& dataset) const {
+    expects(dataset.size() > 0, "evaluate_accuracy: non-empty dataset");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+        if (predict(dataset.images[i]) == dataset.labels[i]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+} // namespace deepstrike::quant

@@ -1,0 +1,103 @@
+// Post-training quantization of LeNet-5 and the bit-exact fixed-point
+// reference ("golden model").
+//
+// The deployed accelerator (src/accel) executes the same arithmetic
+// cycle-by-cycle on modeled DSP slices; in the absence of injected faults
+// its outputs must match this reference exactly — a key integration test.
+//
+// Datapath (matches the paper: 8-bit fixed point, 3 integer bits):
+//   activations & weights: Q3.4 (1 sign + 3 int + 4 frac bits)
+//   products:              held at full precision (Q7.8 in int64 units)
+//   accumulation:          wide int64, one saturating writeback per output
+//   activation:            tanh via BRAM-style LUT on the Q3.4 grid
+#pragma once
+
+#include <vector>
+
+#include "fx/fixed.hpp"
+#include "nn/lenet.hpp"
+#include "tensor/tensor.hpp"
+
+namespace deepstrike::quant {
+
+/// Quantized LeNet parameters.
+struct QLeNetWeights {
+    QTensor conv1_w; // [6,1,5,5]
+    QTensor conv1_b; // [6]
+    QTensor conv2_w; // [16,6,5,5]
+    QTensor conv2_b; // [16]
+    QTensor fc1_w;   // [120,1024]
+    QTensor fc1_b;   // [120]
+    QTensor fc2_w;   // [10,120]
+    QTensor fc2_b;   // [10]
+};
+
+/// Quantizes a trained float LeNet to Q3.4.
+QLeNetWeights quantize_lenet(const nn::LeNet& net);
+
+/// Per-layer intermediate results of one quantized forward pass, exposed so
+/// the accelerator model can be validated layer by layer.
+struct QLeNetActivations {
+    QTensor input;      // [1,28,28]
+    QTensor conv1_out;  // [6,24,24]  (after tanh)
+    QTensor pool1_out;  // [6,12,12]
+    QTensor conv2_out;  // [16,8,8]   (after tanh)
+    QTensor fc1_out;    // [120]      (after tanh)
+    QTensor logits;     // [10]       (no activation)
+};
+
+/// Bit-exact quantized inference.
+class QLeNetReference {
+public:
+    explicit QLeNetReference(QLeNetWeights weights);
+
+    const QLeNetWeights& weights() const { return weights_; }
+
+    /// Full forward pass with all intermediates.
+    QLeNetActivations forward(const QTensor& input) const;
+
+    /// Predicted class for a float image in [0,1].
+    std::size_t predict(const FloatTensor& image) const;
+
+    /// Accuracy over a dataset.
+    double evaluate_accuracy(const data::Dataset& dataset) const;
+
+private:
+    QLeNetWeights weights_;
+};
+
+/// Quantizes a [1,28,28] float image in [0,1] to Q3.4.
+QTensor quantize_image(const FloatTensor& image);
+
+// Individual quantized layer primitives (shared with the accelerator's
+// fast path and exercised directly by unit tests).
+
+/// Activation applied at a layer's writeback (shared with qnetwork.hpp,
+/// declared there; forward declaration here to avoid a cycle).
+enum class Activation : std::uint8_t;
+
+/// Valid 2D convolution + bias + fused activation. Input [C,H,W].
+QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                Activation activation);
+/// Back-compat: bool selects tanh.
+QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                bool apply_tanh);
+
+/// 2x2/stride-2 max pooling.
+QTensor qmaxpool2(const QTensor& input);
+
+/// 2x2/stride-2 average pooling: 4-way sum then divide-by-4 with
+/// round-to-nearest (an adder tree + shift in hardware).
+QTensor qavgpool2(const QTensor& input);
+
+/// ReLU on the Q3.4 grid: max(x, 0).
+fx::Q3_4 qrelu(fx::Q3_4 x);
+
+/// Dense layer + bias + fused activation. Input flattened.
+QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,
+               Activation activation);
+/// Back-compat: bool selects tanh.
+QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,
+               bool apply_tanh);
+
+} // namespace deepstrike::quant

@@ -1,0 +1,222 @@
+#include "quant/qnetwork.hpp"
+
+#include <typeinfo>
+
+#include "util/error.hpp"
+
+namespace deepstrike::quant {
+
+const char* qlayer_kind_name(QLayerKind kind) {
+    switch (kind) {
+        case QLayerKind::Conv: return "conv";
+        case QLayerKind::Pool2: return "pool2";
+        case QLayerKind::AvgPool2: return "avgpool2";
+        case QLayerKind::Dense: return "dense";
+    }
+    return "?";
+}
+
+const char* activation_name(Activation activation) {
+    switch (activation) {
+        case Activation::None: return "none";
+        case Activation::Tanh: return "tanh";
+        case Activation::Relu: return "relu";
+    }
+    return "?";
+}
+
+std::size_t QLayer::in_channels() const {
+    switch (kind) {
+        case QLayerKind::Conv:
+            return weight.shape().dim(1);
+        default:
+            return 0;
+    }
+}
+
+Shape QLayer::output_shape(const Shape& input_shape) const {
+    switch (kind) {
+        case QLayerKind::Conv: {
+            expects(input_shape.rank() == 3, "QLayer(conv): input rank 3");
+            expects(weight.shape().rank() == 4, "QLayer(conv): weight rank 4");
+            const std::size_t k = weight.shape().dim(2);
+            expects(weight.shape().dim(1) == input_shape.dim(0),
+                    "QLayer(conv): channel mismatch");
+            expects(input_shape.dim(1) >= k && input_shape.dim(2) >= k,
+                    "QLayer(conv): input at least kernel-sized");
+            return Shape{weight.shape().dim(0), input_shape.dim(1) - k + 1,
+                         input_shape.dim(2) - k + 1};
+        }
+        case QLayerKind::Pool2:
+        case QLayerKind::AvgPool2:
+            expects(input_shape.rank() == 3, "QLayer(pool2): input rank 3");
+            expects(input_shape.dim(1) % 2 == 0 && input_shape.dim(2) % 2 == 0,
+                    "QLayer(pool2): even spatial dims");
+            return Shape{input_shape.dim(0), input_shape.dim(1) / 2,
+                         input_shape.dim(2) / 2};
+        case QLayerKind::Dense:
+            expects(weight.shape().rank() == 2, "QLayer(dense): weight rank 2");
+            expects(input_shape.elements() == weight.shape().dim(1),
+                    "QLayer(dense): feature mismatch");
+            return Shape{weight.shape().dim(0)};
+    }
+    throw ContractError("QLayer: unknown kind");
+}
+
+std::size_t QLayer::op_count(const Shape& input_shape) const {
+    const Shape out = output_shape(input_shape);
+    switch (kind) {
+        case QLayerKind::Conv:
+            return out.elements() * weight.shape().dim(1) * weight.shape().dim(2) *
+                   weight.shape().dim(3);
+        case QLayerKind::Pool2:
+        case QLayerKind::AvgPool2:
+            return out.elements() * 4; // four comparisons/adds per window
+        case QLayerKind::Dense:
+            return weight.shape().dim(0) * weight.shape().dim(1);
+    }
+    return 0;
+}
+
+std::vector<Shape> QNetwork::layer_output_shapes() const {
+    expects(!layers.empty(), "QNetwork: at least one layer");
+    std::vector<Shape> shapes;
+    shapes.reserve(layers.size());
+    Shape s = input_shape;
+    for (const QLayer& layer : layers) {
+        // Dense layers flatten implicitly; conv/pool need rank 3.
+        if (layer.kind == QLayerKind::Dense && s.rank() != 1) {
+            s = Shape{s.elements()};
+        }
+        s = layer.output_shape(s);
+        shapes.push_back(s);
+    }
+    return shapes;
+}
+
+QTensor QNetwork::forward(const QTensor& input) const {
+    expects(input.shape() == input_shape, "QNetwork: input shape mismatch");
+    QTensor x = input;
+    for (const QLayer& layer : layers) {
+        if (layer.kind == QLayerKind::Dense && x.shape().rank() != 1) {
+            QTensor flat(Shape{x.size()});
+            for (std::size_t i = 0; i < x.size(); ++i) {
+                flat.at_unchecked(i) = x.at_unchecked(i);
+            }
+            x = std::move(flat);
+        }
+        switch (layer.kind) {
+            case QLayerKind::Conv:
+                x = qconv2d(x, layer.weight, layer.bias, layer.activation);
+                break;
+            case QLayerKind::Pool2:
+                x = qmaxpool2(x);
+                break;
+            case QLayerKind::AvgPool2:
+                x = qavgpool2(x);
+                break;
+            case QLayerKind::Dense:
+                x = qdense(x, layer.weight, layer.bias, layer.activation);
+                break;
+        }
+    }
+    return x;
+}
+
+std::size_t QNetwork::predict(const FloatTensor& image) const {
+    return argmax(forward(quantize_image(image)));
+}
+
+double QNetwork::evaluate_accuracy(const data::Dataset& dataset) const {
+    expects(dataset.size() > 0, "QNetwork: non-empty dataset");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+        if (predict(dataset.images[i]) == dataset.labels[i]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+std::size_t QNetwork::parameter_count() const {
+    std::size_t n = 0;
+    for (const QLayer& layer : layers) n += layer.weight.size() + layer.bias.size();
+    return n;
+}
+
+const QLayer& QNetwork::layer(const std::string& label) const {
+    for (const QLayer& l : layers) {
+        if (l.label == label) return l;
+    }
+    throw ContractError("QNetwork: no layer labelled '" + label + "'");
+}
+
+QNetwork lenet_qnetwork(const QLeNetWeights& w) {
+    QNetwork net;
+    net.input_shape = Shape{1, 28, 28};
+    net.layers = {
+        {QLayerKind::Conv, "CONV1", w.conv1_w, w.conv1_b, Activation::Tanh},
+        {QLayerKind::Pool2, "POOL1", {}, {}, Activation::None},
+        {QLayerKind::Conv, "CONV2", w.conv2_w, w.conv2_b, Activation::Tanh},
+        {QLayerKind::Dense, "FC1", w.fc1_w, w.fc1_b, Activation::Tanh},
+        {QLayerKind::Dense, "FC2", w.fc2_w, w.fc2_b, Activation::None},
+    };
+    net.layer_output_shapes(); // validate
+    return net;
+}
+
+QNetwork quantize_sequential(nn::Sequential& model, const Shape& input_shape,
+                             const std::vector<std::string>& labels) {
+    QNetwork net;
+    net.input_shape = input_shape;
+
+    std::size_t conv_n = 0;
+    std::size_t pool_n = 0;
+    std::size_t fc_n = 0;
+    for (std::size_t i = 0; i < model.layer_count(); ++i) {
+        nn::Layer& layer = model.layer(i);
+        QLayer q;
+        if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+            q.kind = QLayerKind::Conv;
+            q.label = "CONV" + std::to_string(++conv_n);
+            q.weight = quantize(conv->weight().value);
+            q.bias = quantize(conv->bias().value);
+        } else if (dynamic_cast<nn::MaxPool2d*>(&layer) != nullptr) {
+            q.kind = QLayerKind::Pool2;
+            q.label = "POOL" + std::to_string(++pool_n);
+        } else if (dynamic_cast<nn::AvgPool2d*>(&layer) != nullptr) {
+            q.kind = QLayerKind::AvgPool2;
+            q.label = "POOL" + std::to_string(++pool_n);
+        } else if (auto* dense = dynamic_cast<nn::Dense*>(&layer)) {
+            q.kind = QLayerKind::Dense;
+            q.label = "FC" + std::to_string(++fc_n);
+            q.weight = quantize(dense->weight().value);
+            q.bias = quantize(dense->bias().value);
+        } else if (dynamic_cast<nn::TanhActivation*>(&layer) != nullptr) {
+            // Fused into the previous parameterized layer.
+            if (net.layers.empty()) {
+                throw ConfigError("quantize_sequential: activation before any layer");
+            }
+            net.layers.back().activation = Activation::Tanh;
+            continue;
+        } else if (dynamic_cast<nn::ReluActivation*>(&layer) != nullptr) {
+            if (net.layers.empty()) {
+                throw ConfigError("quantize_sequential: activation before any layer");
+            }
+            net.layers.back().activation = Activation::Relu;
+            continue;
+        } else {
+            throw ConfigError(std::string("quantize_sequential: unsupported layer '") +
+                              layer.name() + "'");
+        }
+        if (!labels.empty()) {
+            if (net.layers.size() >= labels.size()) {
+                throw ConfigError("quantize_sequential: not enough labels");
+            }
+            q.label = labels[net.layers.size()];
+        }
+        net.layers.push_back(std::move(q));
+    }
+    net.layer_output_shapes(); // validate the chain
+    return net;
+}
+
+} // namespace deepstrike::quant

@@ -1,0 +1,91 @@
+// Generic quantized network description.
+//
+// A QNetwork is the deployment artifact: an ordered list of quantized
+// layers (conv / 2x2-maxpool / dense) with the Q3.4 weights baked in. It is
+// both the bit-exact golden model (forward() here) and the input to the
+// cycle-level accelerator (accel::AccelEngine executes the same layers op
+// by op on modeled DSP slices). The paper's LeNet-5 victim is one instance
+// (lenet_qnetwork); quantize_sequential() converts any float
+// nn::Sequential built from the supported layer types.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "quant/qlenet.hpp"
+#include "tensor/tensor.hpp"
+
+namespace deepstrike::quant {
+
+enum class QLayerKind : std::uint8_t { Conv, Pool2, AvgPool2, Dense };
+
+const char* qlayer_kind_name(QLayerKind kind);
+
+/// Activation applied on the writeback path of a parameterized layer.
+/// Tanh is a BRAM LUT; ReLU is a sign mux; both are fused into the layer.
+enum class Activation : std::uint8_t { None, Tanh, Relu };
+
+const char* activation_name(Activation activation);
+
+struct QLayer {
+    QLayerKind kind;
+    std::string label;     // e.g. "CONV1"; used in schedules and reports
+    QTensor weight;        // Conv: [O,I,K,K]; Dense: [O,I]; pools: empty
+    QTensor bias;          // Conv/Dense: [O]; pools: empty
+    Activation activation = Activation::None;
+
+    QLayer() = default;
+    QLayer(QLayerKind k, std::string lbl, QTensor w, QTensor b,
+           Activation act = Activation::None)
+        : kind(k), label(std::move(lbl)), weight(std::move(w)), bias(std::move(b)),
+          activation(act) {}
+    /// Back-compat constructor (bool = tanh on/off).
+    QLayer(QLayerKind k, std::string lbl, QTensor w, QTensor b, bool tanh_act)
+        : QLayer(k, std::move(lbl), std::move(w), std::move(b),
+                 tanh_act ? Activation::Tanh : Activation::None) {}
+
+    /// MAC count (Conv/Dense) or comparator-op count (Pool2) for a given
+    /// input shape.
+    std::size_t op_count(const Shape& input_shape) const;
+
+    /// Output shape for a given input shape (throws on mismatch).
+    Shape output_shape(const Shape& input_shape) const;
+
+    std::size_t in_channels() const;
+};
+
+struct QNetwork {
+    Shape input_shape; // [C,H,W]
+    std::vector<QLayer> layers;
+
+    /// Validates the layer chain and returns each layer's output shape.
+    std::vector<Shape> layer_output_shapes() const;
+
+    /// Bit-exact quantized forward pass (the golden model).
+    QTensor forward(const QTensor& input) const;
+
+    /// Predicted class for a float image in [0,1].
+    std::size_t predict(const FloatTensor& image) const;
+
+    double evaluate_accuracy(const data::Dataset& dataset) const;
+
+    /// Total trainable parameter elements.
+    std::size_t parameter_count() const;
+
+    /// The layer with the given label (throws if absent).
+    const QLayer& layer(const std::string& label) const;
+};
+
+/// The paper's victim as a QNetwork (labels CONV1, POOL1, CONV2, FC1, FC2).
+QNetwork lenet_qnetwork(const QLeNetWeights& weights);
+
+/// Quantizes any float Sequential built from Conv2d / MaxPool2d / Dense /
+/// TanhActivation layers. Tanh layers are fused into the preceding
+/// parameterized layer (that is how the accelerator implements them —
+/// a BRAM LUT on the writeback path). Labels are auto-generated
+/// (CONV1, POOL1, FC1, ...) unless `labels` is provided.
+QNetwork quantize_sequential(nn::Sequential& model, const Shape& input_shape,
+                             const std::vector<std::string>& labels = {});
+
+} // namespace deepstrike::quant

@@ -1,0 +1,174 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+
+const CampaignPoint* CampaignReport::most_damaging() const {
+    const CampaignPoint* best = nullptr;
+    for (const CampaignPoint& p : points) {
+        if (p.target == "BLIND") continue;
+        if (best == nullptr || p.drop > best->drop) best = &p;
+    }
+    return best;
+}
+
+Json CampaignReport::to_json() const {
+    Json root = Json::object();
+    root.set("clean_accuracy", clean_accuracy);
+    root.set("eval_images", eval_images);
+    root.set("detector_fired", detector_fired);
+    root.set("trigger_sample", trigger_sample);
+
+    Json segments = Json::array();
+    for (const auto& seg : profile.segments) {
+        Json s = Json::object();
+        s.set("start_sample", seg.start_sample);
+        s.set("end_sample", seg.end_sample);
+        s.set("depth_stages", seg.depth);
+        s.set("class", attack::layer_class_name(seg.guess));
+        segments.push(std::move(s));
+    }
+    root.set("profiled_segments", std::move(segments));
+
+    Json pts = Json::array();
+    for (const CampaignPoint& p : points) {
+        Json j = Json::object();
+        j.set("target", p.target);
+        j.set("segment_index", p.segment_index);
+        j.set("strikes", p.strikes);
+        j.set("gap_cycles", p.gap_cycles);
+        j.set("accuracy", p.accuracy);
+        j.set("accuracy_drop", p.drop);
+        j.set("duplication_faults", p.faults.duplication);
+        j.set("random_faults", p.faults.random);
+        j.set("images", p.images);
+        pts.push(std::move(j));
+    }
+    root.set("points", std::move(pts));
+
+    if (const CampaignPoint* worst = most_damaging()) {
+        Json w = Json::object();
+        w.set("target", worst->target);
+        w.set("strikes", worst->strikes);
+        w.set("accuracy_drop", worst->drop);
+        root.set("most_damaging", std::move(w));
+    }
+    return root;
+}
+
+std::string CampaignReport::to_markdown() const {
+    std::ostringstream os;
+    os.precision(4);
+    os << std::fixed;
+    os << "# DeepStrike campaign report\n\n";
+    os << "- untampered accuracy: " << clean_accuracy << " (" << eval_images
+       << " images)\n";
+    os << "- detector: " << (detector_fired ? "fired" : "did not fire")
+       << " at sample " << trigger_sample << "\n";
+    os << "- profiled segments: " << profile.segments.size() << "\n\n";
+    os << "| target | strikes | gap | accuracy | drop | dup/img | rand/img |\n";
+    os << "|---|---|---|---|---|---|---|\n";
+    for (const CampaignPoint& p : points) {
+        os << "| " << p.target << " | " << p.strikes << " | " << p.gap_cycles << " | "
+           << p.accuracy << " | " << p.drop << " | "
+           << static_cast<double>(p.faults.duplication) /
+                  static_cast<double>(std::max<std::size_t>(1, p.images))
+           << " | "
+           << static_cast<double>(p.faults.random) /
+                  static_cast<double>(std::max<std::size_t>(1, p.images))
+           << " |\n";
+    }
+    if (const CampaignPoint* worst = most_damaging()) {
+        os << "\nmost damaging: **" << worst->target << "** at " << worst->strikes
+           << " strikes (drop " << worst->drop << ")\n";
+    }
+    return os.str();
+}
+
+CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_set,
+                            const CampaignConfig& config) {
+    expects(!config.strike_grid.empty(), "run_campaign: non-empty strike grid");
+    expects(config.eval_images > 0, "run_campaign: eval images > 0");
+
+    CampaignReport report;
+    report.eval_images = std::min(config.eval_images, test_set.size());
+
+    const AccuracyResult clean = evaluate_accuracy(
+        platform, test_set, config.eval_images, nullptr, config.fault_seed);
+    report.clean_accuracy = clean.accuracy;
+
+    const ProfilingRun prof =
+        run_profiling(platform, config.detector, config.profiler);
+    report.detector_fired = prof.detector_fired;
+    report.trigger_sample = prof.trigger_sample;
+    report.profile = prof.profile;
+    if (!prof.detector_fired) return report;
+
+    for (std::size_t si = 0; si < prof.profile.segments.size(); ++si) {
+        const attack::ProfiledSegment& seg = prof.profile.segments[si];
+        const std::size_t cap = seg.duration_samples() / 4; // gap >= 1
+        bool capped = false;
+        for (std::size_t strikes : config.strike_grid) {
+            std::size_t n = strikes;
+            if (n > cap) {
+                if (capped) continue;
+                n = cap;
+                capped = true;
+            }
+            if (n == 0) continue;
+
+            const attack::AttackScheme scheme =
+                attack::plan_attack(seg, prof.trigger_sample,
+                                    platform.config().samples_per_cycle(), n);
+            const accel::VoltageTrace trace =
+                guided_attack_trace(platform, config.detector, scheme);
+            const AccuracyResult res = evaluate_accuracy(
+                platform, test_set, config.eval_images, &trace, config.fault_seed);
+
+            CampaignPoint point;
+            point.target = "segment#" + std::to_string(si) + " " +
+                           attack::layer_class_name(seg.guess);
+            point.segment_index = si;
+            point.strikes = n;
+            point.gap_cycles = scheme.gap_cycles;
+            point.accuracy = res.accuracy;
+            point.drop = clean.accuracy - res.accuracy;
+            point.faults = res.faults;
+            point.images = res.images;
+            report.points.push_back(std::move(point));
+        }
+    }
+
+    if (config.blind_offsets > 0) {
+        const std::size_t total_cycles = platform.engine().schedule().total_cycles;
+        for (std::size_t strikes : config.strike_grid) {
+            attack::AttackScheme scheme;
+            scheme.num_strikes = strikes;
+            scheme.strike_cycles = 1;
+            scheme.gap_cycles =
+                std::max<std::size_t>(1, total_cycles / strikes / 2);
+            const auto traces = blind_attack_traces(
+                platform, scheme, config.blind_offsets, config.blind_offset_seed);
+            const AccuracyResult res = evaluate_accuracy_multi(
+                platform, test_set, config.eval_images, traces, config.fault_seed);
+
+            CampaignPoint point;
+            point.target = "BLIND";
+            point.segment_index = static_cast<std::size_t>(-1);
+            point.strikes = strikes;
+            point.gap_cycles = scheme.gap_cycles;
+            point.accuracy = res.accuracy;
+            point.drop = clean.accuracy - res.accuracy;
+            point.faults = res.faults;
+            point.images = res.images;
+            report.points.push_back(std::move(point));
+        }
+    }
+    return report;
+}
+
+} // namespace deepstrike::sim

@@ -1,0 +1,63 @@
+// Attack campaign orchestration: the full Fig. 5(b)-style sweep as one
+// reusable API with structured (JSON / markdown) reporting.
+//
+// A campaign profiles the victim once through the side channel, then for
+// every (profiled segment x strike count) plans a scheme, co-simulates the
+// guided attack, and evaluates accelerator accuracy over the test set;
+// optionally a blind baseline at the same intensities. This is what the
+// fig5b bench and the `deepstrike campaign` CLI command run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/json.hpp"
+
+namespace deepstrike::sim {
+
+struct CampaignConfig {
+    std::vector<std::size_t> strike_grid = {500, 1000, 2000, 3000, 4500};
+    std::size_t eval_images = 300;
+    std::uint64_t fault_seed = 2468;
+    /// Blind baseline replays per strike count (0 disables the baseline).
+    std::size_t blind_offsets = 10;
+    std::uint64_t blind_offset_seed = 777;
+    attack::DetectorConfig detector{};
+    attack::ProfilerConfig profiler{};
+};
+
+struct CampaignPoint {
+    std::string target;     // profiled segment label ("segment#2 conv") or "BLIND"
+    std::size_t segment_index = 0;
+    std::size_t strikes = 0;
+    std::size_t gap_cycles = 0;
+    double accuracy = 0.0;
+    double drop = 0.0; // clean - accuracy
+    accel::FaultCounts faults;
+    std::size_t images = 0;
+};
+
+struct CampaignReport {
+    double clean_accuracy = 0.0;
+    std::size_t eval_images = 0;
+    bool detector_fired = false;
+    std::size_t trigger_sample = 0;
+    attack::Profile profile;
+    std::vector<CampaignPoint> points;
+
+    /// The guided point with the largest accuracy drop (nullptr when none).
+    const CampaignPoint* most_damaging() const;
+
+    Json to_json() const;
+    std::string to_markdown() const;
+};
+
+/// Runs the campaign. Strike counts exceeding a segment's capacity
+/// (duration/2 cycles) are clamped to it, mirroring the paper's
+/// layer-length-bounded maxima.
+CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_set,
+                            const CampaignConfig& config = {});
+
+} // namespace deepstrike::sim

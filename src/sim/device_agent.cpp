@@ -1,0 +1,87 @@
+#include "sim/device_agent.hpp"
+
+#include <algorithm>
+
+#include "host/scheme_file.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace deepstrike::sim {
+
+DeviceAgent::DeviceAgent(host::UartChannel& channel,
+                         const attack::DetectorConfig& detector_config)
+    : channel_(channel), controller_(detector_config, attack::AttackScheme{}) {}
+
+void DeviceAgent::service() {
+    while (auto byte = channel_.device_recv()) {
+        if (auto frame = decoder_.feed(*byte)) handle(*frame);
+    }
+}
+
+void DeviceAgent::send(const host::Frame& frame) {
+    channel_.device_send_all(host::encode_frame(frame));
+}
+
+void DeviceAgent::ack(bool ok) {
+    host::Frame frame;
+    frame.type = ok ? host::FrameType::Ack : host::FrameType::Nak;
+    frame.payload = {static_cast<std::uint8_t>(ok ? 0 : 1)};
+    send(frame);
+}
+
+void DeviceAgent::handle(const host::Frame& frame) {
+    ++frames_handled_;
+    switch (frame.type) {
+        case host::FrameType::LoadScheme: {
+            try {
+                const std::string text(frame.payload.begin(), frame.payload.end());
+                controller_.load_scheme(host::parse_scheme_file(text));
+                has_scheme_ = true;
+                ack(true);
+            } catch (const Error& e) {
+                ++frames_rejected_;
+                log_warn("device agent: rejected scheme: ", e.what());
+                ack(false);
+            }
+            return;
+        }
+        case host::FrameType::Arm:
+            controller_.rearm();
+            armed_ = true;
+            ack(true);
+            return;
+        case host::FrameType::ReadTrace: {
+            std::uint32_t max_samples = 0;
+            if (frame.payload.size() == 4) {
+                max_samples = static_cast<std::uint32_t>(frame.payload[0]) |
+                              (static_cast<std::uint32_t>(frame.payload[1]) << 8) |
+                              (static_cast<std::uint32_t>(frame.payload[2]) << 16) |
+                              (static_cast<std::uint32_t>(frame.payload[3]) << 24);
+            }
+            const std::size_t n =
+                std::min<std::size_t>(max_samples, trace_buffer_.size());
+            constexpr std::size_t kChunk = 1024;
+            for (std::size_t off = 0; off < n; off += kChunk) {
+                host::Frame data;
+                data.type = host::FrameType::TraceData;
+                const std::size_t len = std::min(kChunk, n - off);
+                data.payload.assign(trace_buffer_.begin() + static_cast<std::ptrdiff_t>(off),
+                                    trace_buffer_.begin() +
+                                        static_cast<std::ptrdiff_t>(off + len));
+                send(data);
+            }
+            ack(true);
+            return;
+        }
+        default:
+            ++frames_rejected_;
+            ack(false);
+            return;
+    }
+}
+
+void DeviceAgent::record_trace(const std::vector<std::uint8_t>& readouts) {
+    trace_buffer_ = readouts;
+}
+
+} // namespace deepstrike::sim

@@ -1,0 +1,52 @@
+// Device-side protocol agent.
+//
+// The on-chip counterpart of host::HostController: services LoadScheme /
+// Arm / ReadTrace frames arriving over the UART and owns the on-chip
+// AttackController. A co-simulation drives the controller through
+// GuidedSource and pushes captured readouts back through record_trace().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/controller.hpp"
+#include "host/frames.hpp"
+#include "host/uart.hpp"
+
+namespace deepstrike::sim {
+
+class DeviceAgent {
+public:
+    DeviceAgent(host::UartChannel& channel, const attack::DetectorConfig& detector_config);
+
+    /// Processes all pending host frames (call between inferences).
+    void service();
+
+    /// The on-chip controller, configured by the last LoadScheme/Arm.
+    attack::AttackController& controller() { return controller_; }
+
+    bool armed() const { return armed_; }
+    bool has_scheme() const { return has_scheme_; }
+
+    /// Stores a captured TDC readout trace for later ReadTrace requests.
+    void record_trace(const std::vector<std::uint8_t>& readouts);
+
+    std::size_t frames_handled() const { return frames_handled_; }
+    std::size_t frames_rejected() const { return frames_rejected_; }
+
+private:
+    void handle(const host::Frame& frame);
+    void send(const host::Frame& frame);
+    void ack(bool ok);
+
+    host::UartChannel& channel_;
+    host::FrameDecoder decoder_;
+    attack::AttackController controller_;
+    std::vector<std::uint8_t> trace_buffer_;
+    bool armed_ = false;
+    bool has_scheme_ = false;
+    std::size_t frames_handled_ = 0;
+    std::size_t frames_rejected_ = 0;
+};
+
+} // namespace deepstrike::sim

@@ -1,0 +1,262 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/parallel.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+
+namespace {
+
+/// No-strike source that also feeds a detector (profiling observer).
+class ObservingSource final : public StrikeSource {
+public:
+    explicit ObservingSource(attack::DnnStartDetector& detector) : detector_(detector) {}
+    bool strike_bit(std::size_t) override { return false; }
+    void on_tdc_sample(const tdc::TdcSample& sample) override {
+        detector_.on_sample(sample);
+    }
+
+private:
+    attack::DnnStartDetector& detector_;
+};
+
+} // namespace
+
+ProfilingRun run_profiling(const Platform& platform,
+                           const attack::DetectorConfig& detector_config,
+                           const attack::ProfilerConfig& profiler_config) {
+    ProfilingRun run;
+    attack::DnnStartDetector detector(detector_config);
+    ObservingSource source(detector);
+    run.cosim = platform.simulate_inference(source);
+    run.detector_fired = detector.triggered();
+    run.trigger_sample = detector.trigger_sample();
+    run.profile = attack::profile_trace(run.cosim.tdc_readouts, profiler_config);
+    return run;
+}
+
+accel::VoltageTrace guided_attack_trace(const Platform& platform,
+                                        const attack::DetectorConfig& detector_config,
+                                        const attack::AttackScheme& scheme) {
+    attack::AttackController controller(detector_config, scheme);
+    GuidedSource source(controller);
+    return platform.simulate_inference(source).capture_v;
+}
+
+std::vector<accel::VoltageTrace> blind_attack_traces(const Platform& platform,
+                                                     const attack::AttackScheme& scheme,
+                                                     std::size_t n_offsets,
+                                                     std::uint64_t offset_seed) {
+    expects(n_offsets > 0, "blind_attack_traces: at least one offset");
+    const std::size_t total_cycles = platform.engine().schedule().total_cycles;
+    // The blind attacker knows nothing about layer boundaries; it starts
+    // its replay anywhere in the execution window such that the replay
+    // fits (the paper: "fault injections happen randomly along with the
+    // model execution").
+    const std::size_t replay_len = scheme.total_cycles();
+    const std::size_t max_start =
+        replay_len < total_cycles ? total_cycles - replay_len : 0;
+
+    Rng rng(offset_seed);
+    std::vector<accel::VoltageTrace> traces;
+    traces.reserve(n_offsets);
+    for (std::size_t i = 0; i < n_offsets; ++i) {
+        const auto start = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(max_start)));
+        attack::BlindController controller(scheme, start);
+        BlindSource source(controller);
+        traces.push_back(platform.simulate_inference(source).capture_v);
+    }
+    return traces;
+}
+
+AccuracyResult evaluate_accuracy(const Platform& platform, const data::Dataset& dataset,
+                                 std::size_t n_images, const accel::VoltageTrace* trace,
+                                 std::uint64_t fault_seed) {
+    std::vector<accel::VoltageTrace> traces;
+    if (trace != nullptr) traces.push_back(*trace);
+    return evaluate_accuracy_multi(platform, dataset, n_images, traces, fault_seed);
+}
+
+AccuracyResult evaluate_accuracy_multi(const Platform& platform,
+                                       const data::Dataset& dataset,
+                                       std::size_t n_images,
+                                       const std::vector<accel::VoltageTrace>& traces,
+                                       std::uint64_t fault_seed) {
+    expects(dataset.size() > 0, "evaluate_accuracy: non-empty dataset");
+    n_images = std::min(n_images, dataset.size());
+    expects(n_images > 0, "evaluate_accuracy: at least one image");
+
+    AccuracyResult result;
+    result.images = n_images;
+    // Per-image work is independent (the engine is immutable and the RNG is
+    // per-image), so evaluate across threads and reduce.
+    std::vector<std::uint8_t> correct(n_images, 0);
+    std::vector<accel::FaultCounts> faults(n_images);
+    parallel_for(n_images, [&](std::size_t i) {
+        const accel::VoltageTrace* trace =
+            traces.empty() ? nullptr : &traces[i % traces.size()];
+        Rng fault_rng(fault_seed ^ (0xABCD1234ULL * (i + 1)));
+        const QTensor qimage = quant::quantize_image(dataset.images[i]);
+        const accel::RunResult run = platform.infer(qimage, trace, fault_rng);
+        faults[i] = run.faults_total;
+        correct[i] = run.predicted == dataset.labels[i] ? 1 : 0;
+    });
+    std::size_t n_correct = 0;
+    for (std::size_t i = 0; i < n_images; ++i) {
+        n_correct += correct[i];
+        result.faults += faults[i];
+    }
+    result.accuracy = static_cast<double>(n_correct) / static_cast<double>(n_images);
+    return result;
+}
+
+std::vector<RepeatedInferenceStats> simulate_repeated_inferences(
+    const Platform& platform, attack::AttackController& controller,
+    std::size_t n_inferences) {
+    expects(n_inferences > 0, "simulate_repeated_inferences: at least one inference");
+
+    std::vector<RepeatedInferenceStats> stats;
+    stats.reserve(n_inferences);
+    for (std::size_t i = 0; i < n_inferences; ++i) {
+        controller.rearm();
+        GuidedSource source(controller);
+        CosimResult cosim = platform.simulate_inference(source);
+
+        RepeatedInferenceStats entry;
+        entry.detector_fired = controller.triggered();
+        entry.trigger_sample = controller.trigger_sample();
+        entry.strike_cycles = cosim.strike_cycles;
+        entry.capture_v = std::move(cosim.capture_v);
+        stats.push_back(std::move(entry));
+    }
+    return stats;
+}
+
+AccuracyResult evaluate_accuracy_defended(const Platform& platform,
+                                          const data::Dataset& dataset,
+                                          std::size_t n_images,
+                                          const accel::VoltageTrace& trace,
+                                          const std::vector<bool>& throttle,
+                                          std::uint64_t fault_seed) {
+    expects(dataset.size() > 0, "evaluate_accuracy_defended: non-empty dataset");
+    n_images = std::min(n_images, dataset.size());
+    expects(n_images > 0, "evaluate_accuracy_defended: at least one image");
+
+    AccuracyResult result;
+    result.images = n_images;
+    std::vector<std::uint8_t> correct(n_images, 0);
+    std::vector<accel::FaultCounts> faults(n_images);
+    parallel_for(n_images, [&](std::size_t i) {
+        Rng fault_rng(fault_seed ^ (0xABCD1234ULL * (i + 1)));
+        const QTensor qimage = quant::quantize_image(dataset.images[i]);
+        const accel::RunResult run =
+            platform.infer(qimage, &trace, fault_rng, &throttle);
+        faults[i] = run.faults_total;
+        correct[i] = run.predicted == dataset.labels[i] ? 1 : 0;
+    });
+    std::size_t n_correct = 0;
+    for (std::size_t i = 0; i < n_images; ++i) {
+        n_correct += correct[i];
+        result.faults += faults[i];
+    }
+    result.accuracy = static_cast<double>(n_correct) / static_cast<double>(n_images);
+    return result;
+}
+
+DspRigResult run_dsp_characterization(std::size_t n_striker_cells,
+                                      const DspRigConfig& config) {
+    expects(n_striker_cells > 0, "run_dsp_characterization: at least one cell");
+    expects(config.trials > 0, "run_dsp_characterization: at least one trial");
+
+    DspRigResult result;
+    result.n_striker_cells = n_striker_cells;
+
+    pdn::DelayModel delay{};
+    striker::StrikerParams sp = config.striker_base;
+    sp.n_cells = n_striker_cells;
+    striker::StrikerBank bank(sp, delay);
+
+    // The electrical transient is identical for every trial (same idle
+    // state, same strike length), so compute the strike-window voltage
+    // once. The DSP result is fetched after result_fetch_latency cycles;
+    // the critical captures happen during the strike cycle and the ringing
+    // cycle after it.
+    pdn::PdnModel pdn_model(config.pdn);
+    pdn_model.reset(config.idle_current_a);
+    double v = pdn_model.voltage();
+    double min_v = v;
+    // The DSP op is enabled together with the striker; its two DDR capture
+    // edges land mid-cycle and at cycle end, each seeing the instantaneous
+    // droop at that point of the pulse.
+    std::array<double, 2> capture{v, v};
+    const std::size_t window_cycles = config.strike_cycles + 1;
+    for (std::size_t cycle = 0; cycle < window_cycles; ++cycle) {
+        const bool strike = cycle < config.strike_cycles;
+        for (std::size_t tick = 0; tick < config.ticks_per_cycle; ++tick) {
+            const double i = config.idle_current_a + bank.current_a(v, strike);
+            v = pdn_model.step(i);
+            min_v = std::min(min_v, v);
+            if (cycle == 0 && tick == config.ticks_per_cycle / 2 - 1) capture[0] = v;
+            if (cycle == 0 && tick == config.ticks_per_cycle - 1) capture[1] = v;
+        }
+    }
+    result.min_voltage = min_v;
+
+    // Build the DSP bank (fixed process variation per rig seed).
+    Rng variation_rng(config.seed);
+    std::vector<accel::DspSlice> slices;
+    slices.reserve(config.n_dsp_slices);
+    for (std::size_t i = 0; i < config.n_dsp_slices; ++i) {
+        slices.emplace_back(static_cast<std::uint32_t>(i), config.dsp_timing,
+                            variation_rng);
+    }
+
+    // Observational classification, as in the paper: compare the fetched
+    // result against the expected value and the previous input's expected
+    // value.
+    Rng data_rng(config.seed ^ 0xDA7A);
+    Rng fault_rng(config.seed ^ 0xFA17);
+    std::vector<fx::Acc> prev_expected(config.n_dsp_slices, 0);
+
+    std::size_t dup = 0;
+    std::size_t rnd = 0;
+    for (std::size_t t = 0; t < config.trials; ++t) {
+        const std::size_t s = t % config.n_dsp_slices;
+        const auto a = fx::Q3_4::from_raw(
+            static_cast<std::int16_t>(data_rng.uniform_int(-128, 127)));
+        const auto d = fx::Q3_4::from_raw(
+            static_cast<std::int16_t>(data_rng.uniform_int(-128, 127)));
+        const auto b = fx::Q3_4::from_raw(
+            static_cast<std::int16_t>(data_rng.uniform_int(-128, 127)));
+        const fx::Acc expected = accel::DspSlice::compute(a, d, b);
+
+        fx::Acc observed = expected;
+        switch (slices[s].evaluate(capture[t % 2], delay, fault_rng)) {
+            case accel::FaultKind::None:
+                break;
+            case accel::FaultKind::Duplication:
+                observed = prev_expected[s];
+                break;
+            case accel::FaultKind::Random:
+                observed = accel::DspSlice::random_fault_value(fault_rng);
+                break;
+        }
+
+        if (observed != expected) {
+            if (observed == prev_expected[s]) ++dup;
+            else ++rnd;
+        }
+        prev_expected[s] = expected;
+    }
+
+    result.duplication_rate = static_cast<double>(dup) / static_cast<double>(config.trials);
+    result.random_rate = static_cast<double>(rnd) / static_cast<double>(config.trials);
+    return result;
+}
+
+} // namespace deepstrike::sim

@@ -1,0 +1,125 @@
+// Experiment-level helpers shared by benches, examples and integration
+// tests: profiling runs, guided/blind attack campaigns, and the DSP
+// characterization rig of Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/profiler.hpp"
+#include "data/synth_mnist.hpp"
+#include "sim/platform.hpp"
+
+namespace deepstrike::sim {
+
+// ------------------------------------------------------------- profiling
+
+struct ProfilingRun {
+    CosimResult cosim;
+    attack::Profile profile;
+    /// TDC sample index at which the start detector fired (the timebase
+    /// for attack_delay in planned schemes).
+    std::size_t trigger_sample = 0;
+    bool detector_fired = false;
+};
+
+/// Simulates one un-attacked inference while the detector watches, then
+/// segments the captured readout trace.
+ProfilingRun run_profiling(const Platform& platform,
+                           const attack::DetectorConfig& detector_config = {},
+                           const attack::ProfilerConfig& profiler_config = {});
+
+// -------------------------------------------------------------- campaign
+
+/// Electrical trace for a guided attack with the given scheme.
+accel::VoltageTrace guided_attack_trace(const Platform& platform,
+                                        const attack::DetectorConfig& detector_config,
+                                        const attack::AttackScheme& scheme);
+
+/// Electrical traces for the blind baseline: the same scheme replayed from
+/// `n_offsets` uniformly random start cycles across the execution.
+std::vector<accel::VoltageTrace> blind_attack_traces(const Platform& platform,
+                                                     const attack::AttackScheme& scheme,
+                                                     std::size_t n_offsets,
+                                                     std::uint64_t offset_seed);
+
+struct AccuracyResult {
+    double accuracy = 0.0;
+    std::size_t images = 0;
+    accel::FaultCounts faults; // summed over all evaluated images
+};
+
+/// Evaluates test accuracy of the accelerator under a fixed voltage trace
+/// (pass nullptr for the clean baseline). Uses the first `n_images` of the
+/// dataset; fault randomness is seeded per-image from `fault_seed`.
+AccuracyResult evaluate_accuracy(const Platform& platform, const data::Dataset& dataset,
+                                 std::size_t n_images, const accel::VoltageTrace* trace,
+                                 std::uint64_t fault_seed);
+
+/// Blind variant: image i uses trace i % traces.size().
+AccuracyResult evaluate_accuracy_multi(const Platform& platform,
+                                       const data::Dataset& dataset,
+                                       std::size_t n_images,
+                                       const std::vector<accel::VoltageTrace>& traces,
+                                       std::uint64_t fault_seed);
+
+/// Defended variant: the per-cycle throttle mask (defense::run_monitor)
+/// suppresses DSP fault evaluation in throttled cycles.
+AccuracyResult evaluate_accuracy_defended(const Platform& platform,
+                                          const data::Dataset& dataset,
+                                          std::size_t n_images,
+                                          const accel::VoltageTrace& trace,
+                                          const std::vector<bool>& throttle,
+                                          std::uint64_t fault_seed);
+
+// --------------------------------------------- repeated inferences
+
+/// One entry per inference of a back-to-back run.
+struct RepeatedInferenceStats {
+    bool detector_fired = false;
+    std::size_t trigger_sample = 0; // within this inference's trace
+    std::size_t strike_cycles = 0;
+    accel::VoltageTrace capture_v;  // this inference's capture trace
+};
+
+/// Simulates `n_inferences` victim inferences back to back with the given
+/// on-chip controller. Between inferences the controller re-arms (detector
+/// reset + signal RAM rewind), modeling the paper's runtime flexibility:
+/// the same scheme strikes every inference, or the host may upload a new
+/// scheme between arms. Requires a detector configured to the controller.
+std::vector<RepeatedInferenceStats> simulate_repeated_inferences(
+    const Platform& platform, attack::AttackController& controller,
+    std::size_t n_inferences);
+
+// --------------------------------------------- DSP characterization rig
+
+/// Fig. 6a setup: DSP slices configured as (A+D)*B, fed random inputs,
+/// with the power striker fired for one cycle as each op launches; the
+/// result is fetched five cycles later and classified against the
+/// expected and previous-expected values — the paper's observational
+/// methodology.
+struct DspRigConfig {
+    pdn::PdnParams pdn = pdn::PdnParams::pynq_z1();
+    accel::DspTimingParams dsp_timing{};
+    striker::StrikerParams striker_base{}; // n_cells overridden per run
+    std::size_t n_dsp_slices = 16;
+    std::size_t trials = 10000;
+    std::size_t ticks_per_cycle = 10;
+    std::size_t strike_cycles = 1;
+    double idle_current_a = 0.050; // test harness logic
+    std::uint64_t seed = 606;
+};
+
+struct DspRigResult {
+    std::size_t n_striker_cells = 0;
+    double duplication_rate = 0.0;
+    double random_rate = 0.0;
+    double min_voltage = 0.0; // deepest droop seen in the strike window
+
+    double total_rate() const { return duplication_rate + random_rate; }
+};
+
+DspRigResult run_dsp_characterization(std::size_t n_striker_cells,
+                                      const DspRigConfig& config = {});
+
+} // namespace deepstrike::sim

@@ -1,0 +1,54 @@
+// Budgeted strike allocation.
+//
+// The paper targets one layer at a time; a smarter adversary with a fixed
+// strike budget (thermal envelope, stealth) can split it across layers.
+// This optimizer runs a cheap pilot (a few strikes per profiled segment,
+// evaluated on a small image subset), estimates per-strike damage, and
+// allocates the budget proportionally — compiling everything into ONE
+// signal-RAM bit vector so a single trigger replays the whole multi-layer
+// plan.
+#pragma once
+
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace deepstrike::sim {
+
+struct OptimizerConfig {
+    std::size_t total_budget = 4500;  // strikes to distribute
+    std::size_t pilot_strikes = 300;  // per segment during the pilot
+    std::size_t pilot_images = 60;    // images per pilot evaluation
+    std::size_t eval_images = 200;    // final evaluation
+    std::uint64_t fault_seed = 1357;
+    attack::DetectorConfig detector{};
+};
+
+struct SegmentAllocation {
+    std::size_t segment_index = 0;
+    std::size_t strikes = 0;
+    double pilot_drop_per_strike = 0.0; // estimated damage rate
+};
+
+struct OptimizedPlan {
+    std::vector<SegmentAllocation> allocations;
+    BitVec scheme_bits;       // combined signal-RAM contents
+    double pilot_clean = 0.0; // clean accuracy on the pilot subset
+
+    std::size_t total_strikes() const;
+};
+
+/// Runs the pilot and builds the allocation + combined scheme.
+OptimizedPlan optimize_strike_allocation(const Platform& platform,
+                                         const data::Dataset& test_set,
+                                         const ProfilingRun& profiling,
+                                         const OptimizerConfig& config = {});
+
+/// Evaluates a combined (bit-vector) scheme end to end.
+AccuracyResult evaluate_bits_attack(const Platform& platform,
+                                    const data::Dataset& test_set,
+                                    std::size_t n_images, const BitVec& scheme_bits,
+                                    const attack::DetectorConfig& detector,
+                                    std::uint64_t fault_seed);
+
+} // namespace deepstrike::sim

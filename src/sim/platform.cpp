@@ -1,0 +1,93 @@
+#include "sim/platform.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+
+Platform::Platform(const PlatformConfig& config, quant::QNetwork network)
+    : config_(config),
+      delay_{},
+      sensor_(config.tdc, delay_),
+      striker_(config.striker, delay_),
+      engine_(std::move(network), config.accel, config.variation_seed) {
+    // Consistency: the master tick must match the PDN step and divide the
+    // fabric cycle as configured.
+    const double fabric_period = 1.0 / config.accel.fabric_clock_hz;
+    const double expected_dt = fabric_period / static_cast<double>(config.ticks_per_cycle);
+    expects(std::abs(config.pdn.dt_s - expected_dt) < 1e-15,
+            "Platform: pdn.dt_s must equal fabric period / ticks_per_cycle");
+    for (std::size_t t : config.tdc_sample_ticks) {
+        expects(t < config.ticks_per_cycle, "Platform: TDC sample tick within cycle");
+    }
+    activity_ = accel::activity_current_trace(engine_.schedule(), config.accel);
+}
+
+Platform::Platform(const PlatformConfig& config, quant::QLeNetWeights weights)
+    : Platform(config, quant::lenet_qnetwork(weights)) {}
+
+double Platform::idle_current_a() const {
+    return config_.accel.i_platform_idle_a + config_.accel.i_accel_static_a;
+}
+
+CosimResult Platform::simulate_inference(StrikeSource& source,
+                                         bool record_tick_voltage) const {
+    const std::size_t total_cycles = engine_.schedule().total_cycles;
+    const std::size_t tpc = config_.ticks_per_cycle;
+
+    pdn::PdnModel pdn_model(config_.pdn);
+    pdn_model.reset(idle_current_a());
+    Rng tdc_rng(config_.tdc_noise_seed);
+
+    CosimResult result;
+    result.strike_bits = BitVec(total_cycles);
+    result.capture_v.assign(total_cycles * config_.dsp_capture_ticks.size(),
+                            config_.pdn.vdd);
+    result.min_v_per_cycle.assign(total_cycles, config_.pdn.vdd);
+    result.tdc_readouts.reserve(total_cycles * config_.tdc_sample_ticks.size());
+    if (record_tick_voltage) result.tick_voltage.reserve(total_cycles * tpc);
+
+    double v = pdn_model.voltage();
+    for (std::size_t cycle = 0; cycle < total_cycles; ++cycle) {
+        const bool strike = source.strike_bit(cycle);
+        if (strike) {
+            ++result.strike_cycles;
+            result.strike_bits.set(cycle, true);
+        }
+
+        const double i_victim = config_.accel.i_platform_idle_a + activity_[cycle];
+        double min_v = v;
+        std::size_t sample_idx = 0;
+        std::size_t capture_idx = 0;
+        for (std::size_t tick = 0; tick < tpc; ++tick) {
+            const double i_total = i_victim + striker_.current_a(v, strike);
+            v = pdn_model.step(i_total);
+            min_v = std::min(min_v, v);
+            if (record_tick_voltage) result.tick_voltage.push_back(v);
+
+            if (sample_idx < config_.tdc_sample_ticks.size() &&
+                tick == config_.tdc_sample_ticks[sample_idx]) {
+                const tdc::TdcSample sample = sensor_.sample(v, tdc_rng);
+                result.tdc_readouts.push_back(sample.readout);
+                source.on_tdc_sample(sample);
+                ++sample_idx;
+            }
+            if (capture_idx < config_.dsp_capture_ticks.size() &&
+                tick == config_.dsp_capture_ticks[capture_idx]) {
+                result.capture_v[cycle * config_.dsp_capture_ticks.size() + capture_idx] = v;
+                ++capture_idx;
+            }
+        }
+        result.min_v_per_cycle[cycle] = min_v;
+    }
+    return result;
+}
+
+accel::RunResult Platform::infer(const QTensor& image, const accel::VoltageTrace* voltage,
+                                 Rng& fault_rng,
+                                 const std::vector<bool>* throttle) const {
+    return engine_.run(image, voltage, fault_rng, throttle);
+}
+
+} // namespace deepstrike::sim

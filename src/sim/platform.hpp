@@ -1,0 +1,158 @@
+// Cloud-FPGA platform co-simulator.
+//
+// Binds the substrates into one clocked system, mirroring Fig. 1(a)/Fig. 4
+// of the paper: the victim accelerator and the attacker's TDC sensor +
+// power striker share a single PDN. The master simulation tick equals the
+// PDN integration step (1 ns); a fabric cycle is 10 ticks (100 MHz); the
+// TDC samples twice per fabric cycle (200 MHz).
+//
+// A key structural property this module exploits: the accelerator's power
+// draw is data-independent (fixed schedule), the TDC observes only
+// voltage, and faults do not feed back into power. Hence one co-simulated
+// voltage trace per *attack configuration* serves every image in a test
+// sweep; only the functional fault overlay is per-image.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "accel/engine.hpp"
+#include "attack/controller.hpp"
+#include "pdn/pdn.hpp"
+#include "striker/striker.hpp"
+#include "tdc/tdc.hpp"
+
+namespace deepstrike::sim {
+
+/// Supplies the striker Start bit each fabric cycle; optionally observes
+/// TDC samples (the guided controller does, the blind one does not).
+class StrikeSource {
+public:
+    virtual ~StrikeSource() = default;
+    /// Called once at the start of each fabric cycle.
+    virtual bool strike_bit(std::size_t cycle) = 0;
+    /// Called for every TDC sample taken.
+    virtual void on_tdc_sample(const tdc::TdcSample& sample) { (void)sample; }
+};
+
+/// No attack: baseline / profiling runs.
+class NoAttackSource final : public StrikeSource {
+public:
+    bool strike_bit(std::size_t) override { return false; }
+};
+
+/// TDC-guided attack through the on-chip AttackController.
+class GuidedSource final : public StrikeSource {
+public:
+    explicit GuidedSource(attack::AttackController& controller)
+        : controller_(controller) {}
+    bool strike_bit(std::size_t) override { return controller_.strike_bit(); }
+    void on_tdc_sample(const tdc::TdcSample& sample) override {
+        controller_.on_tdc_sample(sample);
+    }
+
+private:
+    attack::AttackController& controller_;
+};
+
+/// Blind attack baseline (random start, no side channel).
+class BlindSource final : public StrikeSource {
+public:
+    explicit BlindSource(attack::BlindController& controller)
+        : controller_(controller) {}
+    bool strike_bit(std::size_t cycle) override { return controller_.strike_bit(cycle); }
+
+private:
+    attack::BlindController& controller_;
+};
+
+/// Fixed absolute schedule (used by the DSP characterization rig).
+class FixedSource final : public StrikeSource {
+public:
+    explicit FixedSource(BitVec bits) : bits_(std::move(bits)) {}
+    bool strike_bit(std::size_t cycle) override {
+        return cycle < bits_.size() && bits_.get(cycle);
+    }
+
+private:
+    BitVec bits_;
+};
+
+struct PlatformConfig {
+    pdn::PdnParams pdn = pdn::PdnParams::pynq_z1();
+    tdc::TdcConfig tdc = tdc::TdcConfig::paper_config();
+    striker::StrikerParams striker = striker::StrikerParams::end_to_end();
+    accel::AccelConfig accel = accel::AccelConfig::pynq_z1();
+
+    std::size_t ticks_per_cycle = 10;          // 100 MHz fabric at 1 ns ticks
+    std::array<std::size_t, 2> tdc_sample_ticks{2, 7}; // 200 MHz sampling
+    /// Ticks (within a fabric cycle) at which the two DDR DSP capture
+    /// edges land; each in-flight op is evaluated at the voltage of its
+    /// own capture instant, so ops launched early in a strike cycle see a
+    /// shallower droop than ops captured at the pulse bottom.
+    std::array<std::size_t, 2> dsp_capture_ticks{4, 9};
+    std::uint64_t variation_seed = 2021;       // per-board DSP variation
+    std::uint64_t tdc_noise_seed = 99;         // TDC jitter stream
+
+    double samples_per_cycle() const {
+        return static_cast<double>(tdc_sample_ticks.size());
+    }
+};
+
+struct CosimResult {
+    /// Die voltage at each DSP capture edge: two samples per fabric cycle
+    /// (index = cycle * 2 + ddr_half). This is the trace the fault model
+    /// consumes.
+    accel::VoltageTrace capture_v;
+    /// Worst-case (minimum) die voltage per fabric cycle (analysis only).
+    accel::VoltageTrace min_v_per_cycle;
+    /// All TDC readouts in sampling order (2 per fabric cycle).
+    std::vector<std::uint8_t> tdc_readouts;
+    /// Number of fabric cycles with the striker active.
+    std::size_t strike_cycles = 0;
+    /// Striker Start bit per fabric cycle (for waveform export / analysis).
+    BitVec strike_bits;
+    /// Full per-tick voltage trace (only when requested; large).
+    std::vector<double> tick_voltage;
+};
+
+class Platform {
+public:
+    /// Generic victim: any quantized network.
+    Platform(const PlatformConfig& config, quant::QNetwork network);
+
+    /// The paper's victim: LeNet-5 from quantized weights.
+    Platform(const PlatformConfig& config, quant::QLeNetWeights weights);
+
+    const PlatformConfig& config() const { return config_; }
+    const accel::AccelEngine& engine() const { return engine_; }
+    const tdc::TdcSensor& sensor() const { return sensor_; }
+    const striker::StrikerBank& striker_bank() const { return striker_; }
+
+    /// Co-simulates the electrical side of one inference with the given
+    /// strike source. Deterministic in (config seeds, source behaviour).
+    CosimResult simulate_inference(StrikeSource& source,
+                                   bool record_tick_voltage = false) const;
+
+    /// Functional inference on a previously computed voltage trace.
+    /// `throttle` optionally marks defensively clock-throttled cycles
+    /// (see defense::run_monitor).
+    accel::RunResult infer(const QTensor& image, const accel::VoltageTrace* voltage,
+                           Rng& fault_rng,
+                           const std::vector<bool>* throttle = nullptr) const;
+
+    /// Idle current (platform + accelerator static) used for PDN settling.
+    double idle_current_a() const;
+
+private:
+    PlatformConfig config_;
+    pdn::DelayModel delay_;
+    tdc::TdcSensor sensor_;
+    striker::StrikerBank striker_;
+    accel::AccelEngine engine_;
+    std::vector<double> activity_; // per-cycle accelerator current
+};
+
+} // namespace deepstrike::sim

@@ -1,0 +1,59 @@
+#include "sim/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+
+ThermalModel::ThermalModel(const ThermalParams& params) : params_(params) {
+    expects(params.r_th_k_per_w > 0 && params.c_th_j_per_k > 0,
+            "ThermalModel: positive thermal RC");
+    expects(params.shutdown_c > params.ambient_c,
+            "ThermalModel: shutdown above ambient");
+    reset();
+}
+
+void ThermalModel::reset() {
+    junction_c_ = steady_state_c(params_.idle_power_w);
+}
+
+void ThermalModel::step(double power_w, double dt_s) {
+    expects(dt_s > 0, "ThermalModel: positive dt");
+    // Exact exponential update of the first-order RC (stable for any dt).
+    const double target = steady_state_c(power_w);
+    const double alpha = std::exp(-dt_s / params_.tau_s());
+    junction_c_ = target + (junction_c_ - target) * alpha;
+}
+
+double ThermalModel::steady_state_c(double power_w) const {
+    return params_.ambient_c + params_.r_th_k_per_w * power_w;
+}
+
+double ThermalModel::max_sustainable_power_w() const {
+    return (params_.shutdown_c - params_.ambient_c) / params_.r_th_k_per_w;
+}
+
+ThermalVerdict thermal_verdict(const ThermalParams& params, double victim_power_w,
+                               double striker_power_w, double duty) {
+    expects(duty >= 0.0 && duty <= 1.0, "thermal_verdict: duty in [0,1]");
+    ThermalModel model(params);
+
+    const double avg_power =
+        params.idle_power_w + victim_power_w + striker_power_w * duty;
+    ThermalVerdict verdict;
+    verdict.junction_c = model.steady_state_c(avg_power);
+    verdict.crashes = verdict.junction_c >= params.shutdown_c;
+
+    const double max_power = model.max_sustainable_power_w();
+    const double headroom = max_power - params.idle_power_w - victim_power_w;
+    if (striker_power_w <= 0.0) {
+        verdict.max_safe_duty = 1.0;
+    } else {
+        verdict.max_safe_duty = std::clamp(headroom / striker_power_w, 0.0, 1.0);
+    }
+    return verdict;
+}
+
+} // namespace deepstrike::sim

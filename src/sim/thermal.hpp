@@ -1,0 +1,65 @@
+// Die thermal model.
+//
+// Paper Sec. IV-A: "Enabling the power striker circuit longer will work as
+// well but it may increase the temperature of the FPGA chip or even crash
+// it." This module quantifies that constraint: a first-order thermal RC
+// (junction-to-ambient) integrates the total dissipated power; sustained
+// high-duty striking walks the junction toward the shutdown threshold,
+// which bounds how aggressively an attacker can strike across repeated
+// inferences without taking the whole chip (and the attack) down.
+#pragma once
+
+#include <cstddef>
+
+namespace deepstrike::sim {
+
+struct ThermalParams {
+    double ambient_c = 45.0;          // board ambient inside a server
+    double r_th_k_per_w = 12.0;       // junction->ambient (bare Zynq-7020)
+    double c_th_j_per_k = 1.5;        // die+package heat capacity
+    double shutdown_c = 100.0;        // thermal shutdown / crash threshold
+    double idle_power_w = 0.4;        // PS + PL static at idle
+
+    /// Thermal time constant (seconds).
+    double tau_s() const { return r_th_k_per_w * c_th_j_per_k; }
+};
+
+class ThermalModel {
+public:
+    explicit ThermalModel(const ThermalParams& params);
+
+    /// Advances `dt_s` seconds at the given total dissipated power.
+    void step(double power_w, double dt_s);
+
+    double junction_c() const { return junction_c_; }
+    bool over_threshold() const { return junction_c_ >= params_.shutdown_c; }
+
+    /// Steady-state junction temperature at a constant power.
+    double steady_state_c(double power_w) const;
+
+    /// Maximum continuous power that keeps the junction below shutdown.
+    double max_sustainable_power_w() const;
+
+    void reset();
+
+    const ThermalParams& params() const { return params_; }
+
+private:
+    ThermalParams params_;
+    double junction_c_;
+};
+
+/// Attack-level helper: steady-state junction temperature when striking
+/// with `striker_power_w` at the given duty cycle on top of the victim's
+/// average power. Returns the temperature and whether it crashes the chip.
+struct ThermalVerdict {
+    double junction_c = 0.0;
+    bool crashes = false;
+    /// Highest strike duty cycle that stays below shutdown (0..1).
+    double max_safe_duty = 1.0;
+};
+
+ThermalVerdict thermal_verdict(const ThermalParams& params, double victim_power_w,
+                               double striker_power_w, double duty);
+
+} // namespace deepstrike::sim

@@ -1,0 +1,100 @@
+#include "sim/vcd.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+
+VcdWriter::VcdWriter(const std::string& path, const std::string& timescale) {
+    out_.open(path, std::ios::out | std::ios::trunc);
+    if (!out_) throw IoError("cannot open VCD file for writing: " + path);
+    out_ << "$date deepstrike co-simulation $end\n"
+         << "$version deepstrike 1.0 $end\n"
+         << "$timescale " << timescale << " $end\n"
+         << "$scope module deepstrike $end\n";
+}
+
+std::string VcdWriter::add_real(const std::string& name) {
+    expects(!header_done_, "VcdWriter: declare signals before end_header");
+    std::string id = std::to_string(next_id_++);
+    id.insert(id.begin(), 's');
+    out_ << "$var real 64 " << id << ' ' << name << " $end\n";
+    return id;
+}
+
+std::string VcdWriter::add_wire(const std::string& name, std::size_t width) {
+    expects(!header_done_, "VcdWriter: declare signals before end_header");
+    expects(width >= 1 && width <= 64, "VcdWriter: wire width 1..64");
+    std::string id = std::to_string(next_id_++);
+    id.insert(id.begin(), 's');
+    out_ << "$var wire " << width << ' ' << id << ' ' << name;
+    if (width > 1) out_ << " [" << (width - 1) << ":0]";
+    out_ << " $end\n";
+    return id;
+}
+
+void VcdWriter::end_header() {
+    expects(!header_done_, "VcdWriter: end_header called twice");
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+    header_done_ = true;
+}
+
+void VcdWriter::timestamp(std::uint64_t t) {
+    expects(header_done_, "VcdWriter: end_header before dumping");
+    out_ << '#' << t << '\n';
+}
+
+void VcdWriter::change_real(const std::string& id, double value) {
+    out_ << 'r' << value << ' ' << id << '\n';
+}
+
+void VcdWriter::change_wire(const std::string& id, std::uint64_t value,
+                            std::size_t width) {
+    out_ << 'b';
+    for (std::size_t bit = width; bit-- > 0;) {
+        out_ << (((value >> bit) & 1ULL) ? '1' : '0');
+    }
+    out_ << ' ' << id << '\n';
+}
+
+void VcdWriter::close() {
+    out_.flush();
+    if (!out_) throw IoError("VCD write failed");
+    out_.close();
+}
+
+void write_cosim_vcd(const std::string& path, const CosimResult& result) {
+    expects(!result.capture_v.empty(), "write_cosim_vcd: non-empty trace");
+
+    VcdWriter vcd(path, "1ns");
+    const std::string v_id = vcd.add_real("die_voltage");
+    const std::string strike_id = vcd.add_wire("striker_start", 1);
+    const std::string readout_id = vcd.add_wire("tdc_readout", 8);
+    vcd.end_header();
+
+    // One capture sample every 5 ns (two per 10 ns fabric cycle); strike
+    // and readout update on the same grid.
+    double last_v = -1.0;
+    std::uint64_t last_strike = ~0ULL;
+    std::uint64_t last_readout = ~0ULL;
+    for (std::size_t i = 0; i < result.capture_v.size(); ++i) {
+        const std::size_t cycle = i / 2;
+        const double v = result.capture_v[i];
+        const std::uint64_t strike =
+            (cycle < result.strike_bits.size() && result.strike_bits.get(cycle)) ? 1 : 0;
+        const std::uint64_t readout =
+            i < result.tdc_readouts.size() ? result.tdc_readouts[i] : 0;
+
+        if (v != last_v || strike != last_strike || readout != last_readout) {
+            vcd.timestamp(static_cast<std::uint64_t>(i) * 5);
+            if (v != last_v) vcd.change_real(v_id, v);
+            if (strike != last_strike) vcd.change_wire(strike_id, strike, 1);
+            if (readout != last_readout) vcd.change_wire(readout_id, readout, 8);
+            last_v = v;
+            last_strike = strike;
+            last_readout = readout;
+        }
+    }
+    vcd.close();
+}
+
+} // namespace deepstrike::sim

@@ -1,0 +1,51 @@
+// VCD (Value Change Dump) export of co-simulation traces.
+//
+// Lets users inspect the electrical side of an attack in a waveform viewer
+// (GTKWave etc.): die voltage, striker Start, TDC readout. Real-valued
+// signals use VCD's `real` type; the readout is an 8-bit vector.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/platform.hpp"
+
+namespace deepstrike::sim {
+
+/// Generic minimal VCD writer (only what the trace export needs).
+class VcdWriter {
+public:
+    /// Opens the file and writes the header. `timescale` is e.g. "1ns".
+    VcdWriter(const std::string& path, const std::string& timescale);
+
+    /// Declares a real-valued signal; call before end_header().
+    std::string add_real(const std::string& name);
+
+    /// Declares a bit-vector signal of `width` bits.
+    std::string add_wire(const std::string& name, std::size_t width);
+
+    /// Ends the declaration section.
+    void end_header();
+
+    /// Emits a timestamp (monotonically increasing, in timescale units).
+    void timestamp(std::uint64_t t);
+
+    void change_real(const std::string& id, double value);
+    void change_wire(const std::string& id, std::uint64_t value, std::size_t width);
+
+    /// Flushes and closes; throws IoError if the stream went bad.
+    void close();
+
+private:
+    std::ofstream out_;
+    bool header_done_ = false;
+    std::size_t next_id_ = 0;
+};
+
+/// Writes voltage (per DSP capture sample, 5 ns steps), the striker Start
+/// bit and the TDC readout of a co-simulated inference.
+void write_cosim_vcd(const std::string& path, const CosimResult& result);
+
+} // namespace deepstrike::sim

@@ -1,0 +1,92 @@
+#include "tdc/netlist_builder.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace deepstrike::tdc {
+
+using fabric::CellKind;
+using fabric::NetId;
+using fabric::Netlist;
+
+Netlist build_tdc_netlist(const TdcConfig& config) {
+    expects(config.l_carry % 4 == 0, "build_tdc_netlist: L_CARRY multiple of 4");
+    Netlist nl("tdc_sensor");
+
+    // Clock tile: two phase-shifted clocks.
+    const NetId clk_launch = nl.add_net("clk_launch");
+    const NetId clk_sample = nl.add_net("clk_sample");
+    const NetId clk_in = nl.add_net("clk_in");
+    nl.add_cell(CellKind::InPort, "clk_pin", {}, {clk_in});
+    nl.add_cell(CellKind::Mmcm, "clk_tile", {clk_in}, {clk_launch, clk_sample});
+
+    // DL_LUT: chain of LUT buffers carrying the launched edge.
+    NetId prev = clk_launch;
+    for (std::size_t i = 0; i < config.l_lut; ++i) {
+        const NetId out = nl.add_net("dl_lut_" + std::to_string(i));
+        nl.add_cell(CellKind::Lut1, "lut_dl_" + std::to_string(i), {prev}, {out});
+        prev = out;
+    }
+
+    // DL_CARRY: CARRY4 elements, each exposing 4 tap nets.
+    std::vector<NetId> taps;
+    taps.reserve(config.l_carry);
+    for (std::size_t i = 0; i < config.l_carry / 4; ++i) {
+        std::vector<NetId> outs;
+        for (std::size_t t = 0; t < 4; ++t) {
+            outs.push_back(nl.add_net("carry_tap_" + std::to_string(4 * i + t)));
+        }
+        nl.add_cell(CellKind::Carry4, "carry4_" + std::to_string(i), {prev}, outs);
+        prev = outs.back(); // chain continues from the top tap
+        for (NetId o : outs) taps.push_back(o);
+    }
+
+    // Sampling registers, one FDRE per tap.
+    std::vector<NetId> sampled;
+    sampled.reserve(config.l_carry);
+    for (std::size_t i = 0; i < config.l_carry; ++i) {
+        const NetId q = nl.add_net("samp_q_" + std::to_string(i));
+        nl.add_cell(CellKind::Fdre, "samp_ff_" + std::to_string(i),
+                    {taps[i], clk_sample}, {q});
+        sampled.push_back(q);
+    }
+
+    // Ones-count encoder: a LUT6 adder tree. 128 bits -> 8-bit count takes
+    // roughly ceil(128/3) + downstream compressor LUTs; we instantiate a
+    // 3:2-compressor tree which is what synthesis emits for popcounts.
+    std::vector<NetId> level = sampled;
+    std::size_t stage = 0;
+    while (level.size() > 8) {
+        std::vector<NetId> next;
+        for (std::size_t i = 0; i + 2 < level.size(); i += 3) {
+            const NetId sum = nl.add_net("enc_s" + std::to_string(stage) + "_" +
+                                         std::to_string(i));
+            const NetId carry = nl.add_net("enc_c" + std::to_string(stage) + "_" +
+                                           std::to_string(i));
+            nl.add_cell(CellKind::Lut6_2,
+                        "enc_" + std::to_string(stage) + "_" + std::to_string(i / 3),
+                        {level[i], level[i + 1], level[i + 2]}, {sum, carry});
+            next.push_back(sum);
+            next.push_back(carry);
+        }
+        // Pass through the 0-2 stragglers.
+        for (std::size_t i = (level.size() / 3) * 3; i < level.size(); ++i) {
+            next.push_back(level[i]);
+        }
+        level = std::move(next);
+        ++stage;
+    }
+
+    // Output register + port for the 8-bit readout.
+    for (std::size_t i = 0; i < level.size(); ++i) {
+        const NetId q = nl.add_net("readout_" + std::to_string(i));
+        nl.add_cell(CellKind::Fdre, "readout_ff_" + std::to_string(i),
+                    {level[i], clk_sample}, {q});
+        nl.add_cell(CellKind::OutPort, "readout_pin_" + std::to_string(i), {q}, {});
+    }
+
+    return nl;
+}
+
+} // namespace deepstrike::tdc

@@ -1,0 +1,14 @@
+// Structural netlist of the TDC delay sensor, for resource accounting and
+// DRC: the sensor is an ordinary feed-forward design and must always pass.
+#pragma once
+
+#include "fabric/netlist.hpp"
+#include "tdc/tdc.hpp"
+
+namespace deepstrike::tdc {
+
+/// Builds DL_LUT (L_LUT LUT6 buffers) -> DL_CARRY (L_CARRY/4 CARRY4) ->
+/// L_CARRY FDRE samplers -> ones-count encoder (LUT tree) + MMCM.
+fabric::Netlist build_tdc_netlist(const TdcConfig& config);
+
+} // namespace deepstrike::tdc

@@ -1,0 +1,77 @@
+#include "tdc/tdc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepstrike::tdc {
+
+std::uint8_t encode_ones_count(const BitVec& raw) {
+    expects(raw.size() <= 255, "encode_ones_count: readout must fit 8 bits");
+    return static_cast<std::uint8_t>(raw.popcount());
+}
+
+TdcSensor::TdcSensor(const TdcConfig& config, const pdn::DelayModel& delay)
+    : config_(config), delay_(delay) {
+    expects(config.l_carry > 0 && config.l_carry <= 255, "TdcSensor: 0 < L_CARRY <= 255");
+    expects(config.target_ones < config.l_carry, "TdcSensor: target below L_CARRY");
+    expects(config.f_dr_hz > 0, "TdcSensor: positive clock");
+
+    // theta such that, at nominal voltage (factor 1), the edge clears the
+    // LUT delay line and exactly target_ones carry stages.
+    theta_s_ = static_cast<double>(config.l_lut) * config.tau_lut_s +
+               static_cast<double>(config.target_ones) * config.tau_carry_s;
+
+    const double period = 1.0 / config.f_dr_hz;
+    if (theta_s_ >= period) {
+        throw ConfigError("TDC calibration: theta exceeds the clock period; "
+                          "reduce L_LUT/target or raise tau resolution");
+    }
+}
+
+double TdcSensor::expected_stages(double v) const {
+    const double fac = delay_.factor(v);
+    const double after_lut =
+        theta_s_ - static_cast<double>(config_.l_lut) * config_.tau_lut_s * fac;
+    if (after_lut <= 0.0) return 0.0;
+    const double stages = after_lut / (config_.tau_carry_s * fac);
+    return std::min(stages, static_cast<double>(config_.l_carry));
+}
+
+double TdcSensor::voltage_for_readout(double readout) const {
+    // stages(v) = (theta - Llut*tau_lut*f) / (tau_carry*f)
+    //  => f = theta / (Llut*tau_lut + readout*tau_carry)
+    const double denom = static_cast<double>(config_.l_lut) * config_.tau_lut_s +
+                         readout * config_.tau_carry_s;
+    expects(denom > 0.0, "voltage_for_readout: positive denominator");
+    const double fac = theta_s_ / denom;
+    return delay_.voltage_for_factor(fac);
+}
+
+TdcSample TdcSensor::sample(double v, Rng& rng) const {
+    const double stages = expected_stages(v);
+    const double noisy = stages + rng.normal(0.0, config_.noise_sigma_stages);
+    const auto boundary = static_cast<std::ptrdiff_t>(std::lround(noisy));
+    const auto clamped = std::clamp<std::ptrdiff_t>(
+        boundary, 0, static_cast<std::ptrdiff_t>(config_.l_carry));
+
+    TdcSample s;
+    s.raw = BitVec(config_.l_carry);
+    for (std::ptrdiff_t i = 0; i < clamped; ++i) s.raw.set(static_cast<std::size_t>(i), true);
+
+    // Metastability bubbles: with small probability, one stage just below
+    // the boundary reads 0 and the one just above reads 1. The encoder
+    // counts ones, so a *pair* leaves the readout unchanged — matching real
+    // TDCs where bubbles mostly cancel in the population count.
+    if (clamped >= 2 && static_cast<std::size_t>(clamped) + 1 < config_.l_carry &&
+        rng.bernoulli(config_.bubble_probability)) {
+        s.raw.set(static_cast<std::size_t>(clamped - 2), false);
+        s.raw.set(static_cast<std::size_t>(clamped + 1), true);
+    }
+
+    s.readout = encode_ones_count(s.raw);
+    return s;
+}
+
+} // namespace deepstrike::tdc

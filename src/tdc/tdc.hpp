@@ -1,0 +1,78 @@
+// TDC-based delay sensor (paper Sec. III-B, Fig. 1a).
+//
+// Hardware structure being modeled:
+//   - clock management tile emits two same-frequency clocks with phase
+//     offset theta: one launches a rising edge into DL_LUT (a chain of
+//     L_LUT look-up tables), whose output enters DL_CARRY (a carry chain
+//     of L_CARRY MUXCY stages); the other samples the carry-chain taps
+//     into L_CARRY registers.
+//   - the sampled vector is a thermometer code: stages the edge reached
+//     before the sampling instant read 1, the rest read 0.
+//   - an encoder compresses the 128-bit vector to an 8-bit count of ones.
+//
+// Because every stage's propagation delay scales with the die voltage
+// (pdn::DelayModel), the count of ones is a live voltage probe: droop =>
+// slower stages => fewer ones. Calibration picks theta so the nominal
+// readout sits at a chosen operating point (~90 ones, per the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pdn/delay.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace deepstrike::tdc {
+
+struct TdcConfig {
+    double f_dr_hz = 200e6;       // driving/sampling clock frequency
+    std::size_t l_lut = 4;        // delay-line length (LUT elements)
+    std::size_t l_carry = 128;    // carry-chain length (output width)
+    double tau_lut_s = 250e-12;   // nominal per-LUT delay
+    double tau_carry_s = 17e-12;  // nominal per-carry-stage delay
+    std::size_t target_ones = 90; // calibration point at nominal voltage
+    double noise_sigma_stages = 0.5; // sampling jitter + metastability, in stages
+    double bubble_probability = 0.06; // chance of a metastable bubble pair
+
+    /// The exact configuration used in the paper's preliminary study.
+    static TdcConfig paper_config() { return TdcConfig{}; }
+};
+
+/// One captured sample.
+struct TdcSample {
+    BitVec raw;            // L_CARRY-bit thermometer code (with bubbles)
+    std::uint8_t readout;  // encoder output: number of ones
+};
+
+/// Thermometer-code encoder: 128-bit vector -> 8-bit ones count.
+std::uint8_t encode_ones_count(const BitVec& raw);
+
+class TdcSensor {
+public:
+    /// Calibrates theta against `delay` so that the readout at nominal
+    /// voltage equals target_ones. Throws ConfigError when the requested
+    /// operating point cannot fit inside one clock period.
+    TdcSensor(const TdcConfig& config, const pdn::DelayModel& delay);
+
+    /// Samples the sensor at die voltage `v`; rng supplies jitter/bubbles.
+    TdcSample sample(double v, Rng& rng) const;
+
+    /// Noise-free expected readout at voltage `v` (real-valued stages);
+    /// exposed for calibration tests and the profiler's inverse mapping.
+    double expected_stages(double v) const;
+
+    /// Inverse of expected_stages (voltage that yields a given readout).
+    /// Used by the attack host to convert readouts back to millivolts.
+    double voltage_for_readout(double readout) const;
+
+    double theta_s() const { return theta_s_; }
+    const TdcConfig& config() const { return config_; }
+
+private:
+    TdcConfig config_;
+    pdn::DelayModel delay_;
+    double theta_s_ = 0.0;
+};
+
+} // namespace deepstrike::tdc

@@ -1,0 +1,47 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace deepstrike {
+
+std::string Shape::to_string() const {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i) os << 'x';
+        os << dims_[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+QTensor quantize(const FloatTensor& t) {
+    QTensor q(t.shape());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        q.at_unchecked(i) = fx::Q3_4::from_real(static_cast<double>(t.at_unchecked(i)));
+    }
+    return q;
+}
+
+FloatTensor dequantize(const QTensor& t) {
+    FloatTensor f(t.shape());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        f.at_unchecked(i) = static_cast<float>(t.at_unchecked(i).to_real());
+    }
+    return f;
+}
+
+std::size_t argmax(const FloatTensor& t) {
+    expects(!t.empty(), "argmax: non-empty tensor");
+    return static_cast<std::size_t>(
+        std::max_element(t.begin(), t.end()) - t.begin());
+}
+
+std::size_t argmax(const QTensor& t) {
+    expects(!t.empty(), "argmax: non-empty tensor");
+    return static_cast<std::size_t>(
+        std::max_element(t.begin(), t.end()) - t.begin());
+}
+
+} // namespace deepstrike

@@ -1,0 +1,136 @@
+// Minimal dense row-major tensor used by the float reference network and
+// the quantized accelerator model. Intentionally small: shape + flat
+// storage + checked indexing. Views/broadcasting are not needed for
+// LeNet-scale models and would only obscure the datapath.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "fx/fixed.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike {
+
+/// Shape of a tensor; up to 4 dimensions (N/C/H/W is the largest we need).
+class Shape {
+public:
+    Shape() = default;
+    Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {
+        expects(dims_.size() <= 4, "Shape: at most 4 dims");
+    }
+    explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {
+        expects(dims_.size() <= 4, "Shape: at most 4 dims");
+    }
+
+    std::size_t rank() const { return dims_.size(); }
+    std::size_t dim(std::size_t i) const {
+        expects(i < dims_.size(), "Shape: dim index in range");
+        return dims_[i];
+    }
+    std::size_t elements() const {
+        return std::accumulate(dims_.begin(), dims_.end(), std::size_t{1},
+                               [](std::size_t a, std::size_t b) { return a * b; });
+    }
+    const std::vector<std::size_t>& dims() const { return dims_; }
+
+    bool operator==(const Shape&) const = default;
+
+    std::string to_string() const;
+
+private:
+    std::vector<std::size_t> dims_;
+};
+
+/// Dense row-major tensor over T (float for training, fx::Q3_4 for the
+/// quantized path).
+template <typename T>
+class Tensor {
+public:
+    Tensor() = default;
+
+    explicit Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_.elements()) {}
+
+    Tensor(Shape shape, T fill_value)
+        : shape_(std::move(shape)), data_(shape_.elements(), fill_value) {}
+
+    const Shape& shape() const { return shape_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    T* data() { return data_.data(); }
+    const T* data() const { return data_.data(); }
+
+    T& operator[](std::size_t flat) {
+        expects(flat < data_.size(), "Tensor: flat index in range");
+        return data_[flat];
+    }
+    const T& operator[](std::size_t flat) const {
+        expects(flat < data_.size(), "Tensor: flat index in range");
+        return data_[flat];
+    }
+
+    /// Unchecked flat access for hot loops.
+    T& at_unchecked(std::size_t flat) { return data_[flat]; }
+    const T& at_unchecked(std::size_t flat) const { return data_[flat]; }
+
+    // Checked multi-dimensional access (rank must match).
+    T& at(std::size_t i0) { return (*this)[index({i0})]; }
+    T& at(std::size_t i0, std::size_t i1) { return (*this)[index({i0, i1})]; }
+    T& at(std::size_t i0, std::size_t i1, std::size_t i2) { return (*this)[index({i0, i1, i2})]; }
+    T& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) {
+        return (*this)[index({i0, i1, i2, i3})];
+    }
+    const T& at(std::size_t i0) const { return (*this)[index({i0})]; }
+    const T& at(std::size_t i0, std::size_t i1) const { return (*this)[index({i0, i1})]; }
+    const T& at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+        return (*this)[index({i0, i1, i2})];
+    }
+    const T& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const {
+        return (*this)[index({i0, i1, i2, i3})];
+    }
+
+    void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+    /// Flat index from multi-index; validates rank and bounds.
+    std::size_t index(std::initializer_list<std::size_t> idx) const {
+        expects(idx.size() == shape_.rank(), "Tensor: index rank matches shape rank");
+        std::size_t flat = 0;
+        std::size_t d = 0;
+        for (std::size_t i : idx) {
+            expects(i < shape_.dim(d), "Tensor: index within dim");
+            flat = flat * shape_.dim(d) + i;
+            ++d;
+        }
+        return flat;
+    }
+
+    bool operator==(const Tensor&) const = default;
+
+    typename std::vector<T>::iterator begin() { return data_.begin(); }
+    typename std::vector<T>::iterator end() { return data_.end(); }
+    typename std::vector<T>::const_iterator begin() const { return data_.begin(); }
+    typename std::vector<T>::const_iterator end() const { return data_.end(); }
+
+private:
+    Shape shape_;
+    std::vector<T> data_;
+};
+
+using FloatTensor = Tensor<float>;
+using QTensor = Tensor<fx::Q3_4>;
+
+/// Elementwise quantization of a float tensor to Q3.4.
+QTensor quantize(const FloatTensor& t);
+
+/// Elementwise dequantization back to float.
+FloatTensor dequantize(const QTensor& t);
+
+/// Index of the largest element (ties resolve to the lowest index).
+std::size_t argmax(const FloatTensor& t);
+std::size_t argmax(const QTensor& t);
+
+} // namespace deepstrike

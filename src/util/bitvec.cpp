@@ -1,0 +1,101 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace deepstrike {
+
+BitVec::BitVec(std::size_t n) : words_((n + 63) / 64, 0), size_(n) {}
+
+BitVec BitVec::from_string(const std::string& bits) {
+    BitVec v(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] == '1') v.set(i, true);
+        else if (bits[i] != '0') throw FormatError("BitVec: expected '0' or '1'");
+    }
+    return v;
+}
+
+bool BitVec::get(std::size_t i) const {
+    expects(i < size_, "BitVec::get index in range");
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+    expects(i < size_, "BitVec::set index in range");
+    const std::uint64_t mask = 1ULL << (i % 64);
+    if (value) words_[i / 64] |= mask;
+    else words_[i / 64] &= ~mask;
+}
+
+void BitVec::push_back(bool value) {
+    if (size_ % 64 == 0) words_.push_back(0);
+    ++size_;
+    set(size_ - 1, value);
+}
+
+void BitVec::append(const BitVec& other) {
+    for (std::size_t i = 0; i < other.size(); ++i) push_back(other.get(i));
+}
+
+std::size_t BitVec::popcount() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+std::size_t BitVec::longest_one_run() const {
+    std::size_t best = 0;
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+        if (get(i)) {
+            ++run;
+            if (run > best) best = run;
+        } else {
+            run = 0;
+        }
+    }
+    return best;
+}
+
+std::size_t BitVec::find_first_one() const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        if (words_[w] != 0) {
+            const std::size_t idx = w * 64 + static_cast<std::size_t>(std::countr_zero(words_[w]));
+            return idx < size_ ? idx : size_;
+        }
+    }
+    return size_;
+}
+
+std::string BitVec::to_string() const {
+    std::string s;
+    s.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) s += get(i) ? '1' : '0';
+    return s;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+void BitVec::clear() {
+    words_.clear();
+    size_ = 0;
+}
+
+void BitVec::resize(std::size_t n) {
+    words_.resize((n + 63) / 64, 0);
+    size_ = n;
+    mask_tail();
+}
+
+void BitVec::mask_tail() {
+    const std::size_t rem = size_ % 64;
+    if (rem != 0 && !words_.empty()) {
+        words_.back() &= (rem == 0) ? ~0ULL : ((1ULL << rem) - 1);
+    }
+}
+
+} // namespace deepstrike

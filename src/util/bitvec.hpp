@@ -1,0 +1,67 @@
+// Dense bit vector.
+//
+// Used by the TDC carry-chain output (128-bit thermometer code), the
+// attack signal RAM (one action bit per clock cycle), and the UART frame
+// codec. std::vector<bool> is avoided deliberately: we need word-level
+// access for the thermometer encoder and popcounts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepstrike {
+
+class BitVec {
+public:
+    BitVec() = default;
+
+    /// `n` bits, all cleared.
+    explicit BitVec(std::size_t n);
+
+    /// Parses a string of '0'/'1' characters, index 0 = first character.
+    /// Throws FormatError on any other character.
+    static BitVec from_string(const std::string& bits);
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    bool get(std::size_t i) const;
+    void set(std::size_t i, bool value);
+
+    /// Appends one bit at the end.
+    void push_back(bool value);
+
+    /// Appends all bits of `other`.
+    void append(const BitVec& other);
+
+    /// Number of set bits.
+    std::size_t popcount() const;
+
+    /// Longest run of consecutive set bits.
+    std::size_t longest_one_run() const;
+
+    /// Index of the first set bit, or size() if none.
+    std::size_t find_first_one() const;
+
+    /// 64-bit words backing the vector (bit i lives in word i/64, bit i%64).
+    const std::vector<std::uint64_t>& words() const { return words_; }
+
+    std::string to_string() const;
+
+    bool operator==(const BitVec& other) const;
+
+    void clear();
+
+    /// Resizes to n bits; new bits cleared.
+    void resize(std::size_t n);
+
+private:
+    void mask_tail();
+
+    std::vector<std::uint64_t> words_;
+    std::size_t size_ = 0;
+};
+
+} // namespace deepstrike

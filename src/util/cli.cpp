@@ -1,0 +1,145 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace deepstrike {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+    expects(!specs_.count(name), "ArgParser: duplicate option");
+    specs_[name] = Spec{help, /*is_flag=*/true, ""};
+    flags_[name] = false;
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+    expects(!specs_.count(name), "ArgParser: duplicate option");
+    specs_[name] = Spec{help, /*is_flag=*/false, default_value};
+    values_[name] = default_value;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+    return parse(args);
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+
+        std::string name = arg.substr(2);
+        std::optional<std::string> inline_value;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        }
+
+        const auto it = specs_.find(name);
+        if (it == specs_.end()) {
+            error_ = "unknown option --" + name;
+            return false;
+        }
+        if (it->second.is_flag) {
+            if (inline_value) {
+                error_ = "flag --" + name + " does not take a value";
+                return false;
+            }
+            flags_[name] = true;
+            continue;
+        }
+        if (inline_value) {
+            values_[name] = *inline_value;
+            continue;
+        }
+        if (i + 1 >= args.size()) {
+            error_ = "option --" + name + " needs a value";
+            return false;
+        }
+        values_[name] = args[++i];
+    }
+    return true;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+    const auto it = flags_.find(name);
+    expects(it != flags_.end(), "ArgParser: unregistered flag");
+    return it->second;
+}
+
+const std::string& ArgParser::option(const std::string& name) const {
+    const auto it = values_.find(name);
+    expects(it != values_.end(), "ArgParser: unregistered option");
+    return it->second;
+}
+
+namespace {
+template <typename T>
+T parse_number(const std::string& name, const std::string& value) {
+    T out{};
+    const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        throw FormatError("bad value for --" + name + ": '" + value + "'");
+    }
+    return out;
+}
+} // namespace
+
+std::int64_t ArgParser::option_int(const std::string& name) const {
+    return parse_number<std::int64_t>(name, option(name));
+}
+
+std::uint64_t ArgParser::option_uint(const std::string& name) const {
+    return parse_number<std::uint64_t>(name, option(name));
+}
+
+double ArgParser::option_double(const std::string& name) const {
+    const std::string& value = option(name);
+    try {
+        std::size_t consumed = 0;
+        const double out = std::stod(value, &consumed);
+        if (consumed != value.size()) throw std::invalid_argument(value);
+        return out;
+    } catch (const std::exception&) {
+        throw FormatError("bad value for --" + name + ": '" + value + "'");
+    }
+}
+
+std::vector<std::size_t> ArgParser::option_uint_list(const std::string& name) const {
+    const std::string& value = option(name);
+    std::vector<std::size_t> out;
+    std::istringstream is(value);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty()) continue;
+        out.push_back(parse_number<std::size_t>(name, item));
+    }
+    return out;
+}
+
+std::string ArgParser::usage() const {
+    std::ostringstream os;
+    os << "usage: " << program_ << " [options]\n" << description_ << "\n\noptions:\n";
+    for (const auto& [name, spec] : specs_) {
+        os << "  --" << name;
+        if (!spec.is_flag) os << " <value>";
+        os << "\n      " << spec.help;
+        if (!spec.is_flag && !spec.default_value.empty()) {
+            os << " (default: " << spec.default_value << ")";
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace deepstrike

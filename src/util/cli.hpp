@@ -1,0 +1,65 @@
+// Minimal command-line argument parser for the tools/ binaries.
+//
+// Supports long options with values (--strikes 4500 or --strikes=4500),
+// boolean flags (--verbose), and positional arguments. Unknown options are
+// errors; every option carries help text so usage() is always accurate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deepstrike {
+
+class ArgParser {
+public:
+    explicit ArgParser(std::string program, std::string description);
+
+    /// Registers a boolean flag (present/absent), e.g. --verbose.
+    void add_flag(const std::string& name, const std::string& help);
+
+    /// Registers a valued option with a default, e.g. --strikes 4500.
+    void add_option(const std::string& name, const std::string& help,
+                    const std::string& default_value);
+
+    /// Parses argv (excluding argv[0]). Returns false and fills error() on
+    /// unknown options or missing values.
+    bool parse(const std::vector<std::string>& args);
+    bool parse(int argc, const char* const* argv);
+
+    bool flag(const std::string& name) const;
+    const std::string& option(const std::string& name) const;
+
+    /// Typed accessors; throw FormatError on malformed values.
+    std::int64_t option_int(const std::string& name) const;
+    std::uint64_t option_uint(const std::string& name) const;
+    double option_double(const std::string& name) const;
+
+    /// Comma-separated list of unsigned integers ("2000,4000,8000").
+    std::vector<std::size_t> option_uint_list(const std::string& name) const;
+
+    const std::vector<std::string>& positional() const { return positional_; }
+    const std::string& error() const { return error_; }
+
+    /// Formatted usage/help text.
+    std::string usage() const;
+
+private:
+    struct Spec {
+        std::string help;
+        bool is_flag = false;
+        std::string default_value;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Spec> specs_;
+    std::map<std::string, std::string> values_;
+    std::map<std::string, bool> flags_;
+    std::vector<std::string> positional_;
+    std::string error_;
+};
+
+} // namespace deepstrike

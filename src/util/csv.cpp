@@ -1,0 +1,45 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike {
+
+CsvWriter::CsvWriter(const std::string& path) : to_file_(true) {
+    file_.open(path, std::ios::out | std::ios::trunc);
+    if (!file_) throw IoError("cannot open CSV file for writing: " + path);
+}
+
+CsvWriter::CsvWriter() = default;
+
+std::string CsvWriter::escape(const std::string& cell) {
+    const bool needs_quote =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) line += ',';
+        line += escape(cells[i]);
+    }
+    emit(line);
+}
+
+void CsvWriter::emit(const std::string& line) {
+    if (to_file_) {
+        file_ << line << '\n';
+        if (!file_) throw IoError("CSV write failed");
+    } else {
+        buffer_ << line << '\n';
+    }
+}
+
+} // namespace deepstrike

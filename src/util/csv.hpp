@@ -1,0 +1,62 @@
+// Minimal CSV emitter for bench/experiment outputs.
+//
+// Every figure-reproducing bench writes both a human-readable table to
+// stdout and a machine-readable CSV next to it, so plots can be regenerated
+// without re-running the simulation.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace deepstrike {
+
+/// Writes RFC-4180-style CSV. Values containing comma/quote/newline are
+/// quoted; embedded quotes are doubled.
+class CsvWriter {
+public:
+    /// Opens `path` for writing (truncates). Throws IoError on failure.
+    explicit CsvWriter(const std::string& path);
+
+    /// In-memory mode (for tests); retrieve content with str().
+    CsvWriter();
+
+    void write_row(const std::vector<std::string>& cells);
+
+    /// Convenience: formats arithmetic values with max_digits10 precision.
+    template <typename... Ts>
+    void row(const Ts&... values) {
+        std::vector<std::string> cells;
+        cells.reserve(sizeof...(values));
+        (cells.push_back(format_cell(values)), ...);
+        write_row(cells);
+    }
+
+    /// Content written so far (in-memory mode only returns what it buffered;
+    /// file mode returns an empty string).
+    std::string str() const { return buffer_.str(); }
+
+    static std::string escape(const std::string& cell);
+
+private:
+    template <typename T>
+    static std::string format_cell(const T& v) {
+        if constexpr (std::is_arithmetic_v<T>) {
+            std::ostringstream os;
+            os.precision(12);
+            os << v;
+            return os.str();
+        } else {
+            return std::string(v);
+        }
+    }
+
+    void emit(const std::string& line);
+
+    std::ofstream file_;
+    std::ostringstream buffer_;
+    bool to_file_ = false;
+};
+
+} // namespace deepstrike

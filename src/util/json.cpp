@@ -1,0 +1,148 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace deepstrike {
+
+Json::Json() = default;
+Json::Json(bool value) : kind_(Kind::Bool), bool_(value) {}
+Json::Json(double value) : kind_(Kind::Number), number_(value) {}
+Json::Json(std::int64_t value) : kind_(Kind::Integer), integer_(value) {}
+Json::Json(std::uint64_t value)
+    : kind_(Kind::Integer), integer_(static_cast<std::int64_t>(value)) {}
+Json::Json(int value) : kind_(Kind::Integer), integer_(value) {}
+Json::Json(const char* value) : kind_(Kind::String), string_(value) {}
+Json::Json(std::string value) : kind_(Kind::String), string_(std::move(value)) {}
+
+Json Json::object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+Json Json::array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+    if (kind_ == Kind::Null) kind_ = Kind::Object;
+    expects(kind_ == Kind::Object, "Json::set on a non-object");
+    for (auto& [k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json& Json::push(Json value) {
+    if (kind_ == Kind::Null) kind_ = Kind::Array;
+    expects(kind_ == Kind::Array, "Json::push on a non-array");
+    elements_.push_back(std::move(value));
+    return *this;
+}
+
+std::string Json::escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    return out;
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int d) {
+        if (indent <= 0) return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+
+    switch (kind_) {
+        case Kind::Null:
+            out += "null";
+            return;
+        case Kind::Bool:
+            out += bool_ ? "true" : "false";
+            return;
+        case Kind::Integer:
+            out += std::to_string(integer_);
+            return;
+        case Kind::Number: {
+            if (!std::isfinite(number_)) {
+                out += "null"; // JSON has no NaN/Inf
+                return;
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.12g", number_);
+            out += buf;
+            return;
+        }
+        case Kind::String:
+            out += '"';
+            out += escape(string_);
+            out += '"';
+            return;
+        case Kind::Object: {
+            out += '{';
+            bool first = true;
+            for (const auto& [k, v] : members_) {
+                if (!first) out += ',';
+                first = false;
+                newline(depth + 1);
+                out += '"';
+                out += escape(k);
+                out += "\":";
+                if (indent > 0) out += ' ';
+                v.dump_to(out, indent, depth + 1);
+            }
+            if (!members_.empty()) newline(depth);
+            out += '}';
+            return;
+        }
+        case Kind::Array: {
+            out += '[';
+            bool first = true;
+            for (const Json& v : elements_) {
+                if (!first) out += ',';
+                first = false;
+                newline(depth + 1);
+                v.dump_to(out, indent, depth + 1);
+            }
+            if (!elements_.empty()) newline(depth);
+            out += ']';
+            return;
+        }
+    }
+}
+
+} // namespace deepstrike

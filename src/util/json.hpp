@@ -1,0 +1,59 @@
+// Minimal JSON document builder (write-only).
+//
+// Campaign reports and CLI outputs need machine-readable exports; this is
+// a small value tree with correct string escaping and deterministic key
+// order (insertion order), not a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deepstrike {
+
+class Json {
+public:
+    /// Scalar constructors.
+    Json();                     // null
+    Json(bool value);           // NOLINT(google-explicit-constructor)
+    Json(double value);         // NOLINT(google-explicit-constructor)
+    Json(std::int64_t value);   // NOLINT(google-explicit-constructor)
+    Json(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+    Json(int value);            // NOLINT(google-explicit-constructor)
+    Json(const char* value);    // NOLINT(google-explicit-constructor)
+    Json(std::string value);    // NOLINT(google-explicit-constructor)
+
+    static Json object();
+    static Json array();
+
+    /// Object insertion (first call on a null turns it into an object).
+    Json& set(const std::string& key, Json value);
+
+    /// Array append (first call on a null turns it into an array).
+    Json& push(Json value);
+
+    bool is_object() const { return kind_ == Kind::Object; }
+    bool is_array() const { return kind_ == Kind::Array; }
+
+    /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+    std::string dump(int indent = 0) const;
+
+    static std::string escape(const std::string& s);
+
+private:
+    enum class Kind { Null, Bool, Number, Integer, String, Object, Array };
+
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::int64_t integer_ = 0;
+    std::string string_;
+    std::vector<std::pair<std::string, Json>> members_;
+    std::vector<Json> elements_;
+};
+
+} // namespace deepstrike

@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace deepstrike {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+} // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+const char* Log::level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+    if (level < g_level.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+} // namespace deepstrike

@@ -1,0 +1,44 @@
+// Tiny leveled logger. Default level is Warn so library users see nothing
+// unless something is off; benches/examples raise it explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace deepstrike {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Process-wide log configuration.
+class Log {
+public:
+    static void set_level(LogLevel level);
+    static LogLevel level();
+
+    /// Emits one line to stderr if `level` passes the filter.
+    static void write(LogLevel level, const std::string& message);
+
+    static const char* level_name(LogLevel level);
+};
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+}
+} // namespace detail
+
+template <typename... Ts>
+void log_trace(const Ts&... parts) { Log::write(LogLevel::Trace, detail::concat(parts...)); }
+template <typename... Ts>
+void log_debug(const Ts&... parts) { Log::write(LogLevel::Debug, detail::concat(parts...)); }
+template <typename... Ts>
+void log_info(const Ts&... parts) { Log::write(LogLevel::Info, detail::concat(parts...)); }
+template <typename... Ts>
+void log_warn(const Ts&... parts) { Log::write(LogLevel::Warn, detail::concat(parts...)); }
+template <typename... Ts>
+void log_error(const Ts&... parts) { Log::write(LogLevel::Error, detail::concat(parts...)); }
+
+} // namespace deepstrike

@@ -1,0 +1,62 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace deepstrike {
+
+std::size_t default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+    expects(static_cast<bool>(fn), "parallel_for: callable required");
+    if (count == 0) return;
+
+    std::size_t n_threads = threads == 0 ? default_thread_count() : threads;
+    n_threads = std::min(n_threads, count);
+    if (n_threads <= 1) {
+        // Same semantics as the threaded path: every item runs; the first
+        // exception is rethrown after the sweep completes.
+        std::exception_ptr first_error;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+        if (first_error) std::rethrow_exception(first_error);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+                // Keep draining indices so other workers finish promptly.
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace deepstrike

@@ -1,0 +1,27 @@
+// Small parallel-for helper for the embarrassingly parallel sweeps
+// (per-image accuracy evaluation, per-point rig characterization).
+//
+// Deliberately minimal: spawn N worker threads over a static index
+// partition. Work items must be independent; exceptions in workers are
+// rethrown (first one wins) after all threads join.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deepstrike {
+
+/// Number of workers used by parallel_for when `threads == 0`.
+std::size_t default_thread_count();
+
+/// Runs fn(i) for i in [0, count) across `threads` workers (0 = auto).
+/// Blocks until all items complete. fn must be safe to call concurrently
+/// for distinct i.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+} // namespace deepstrike

@@ -1,0 +1,79 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic element of the simulation (dataset synthesis, weight
+// init, DSP slack spread, TDC measurement noise, random-fault payloads)
+// draws from an explicitly seeded Xoshiro256** stream so that whole
+// experiments replay bit-exactly. We deliberately do not use std::mt19937
+// in hot loops: xoshiro is ~4x faster and its state is trivially copyable,
+// which the co-simulator exploits for checkpointing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace deepstrike {
+
+/// SplitMix64 — used only to expand a single u64 seed into xoshiro state.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the generator; identical seeds yield identical streams.
+    explicit Rng(std::uint64_t seed = 0x9d2c5680dULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+    result_type operator()() { return next(); }
+
+    std::uint64_t next();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Standard normal via Box–Muller (cached second deviate).
+    double normal();
+
+    /// Normal with given mean / standard deviation.
+    double normal(double mean, double stddev);
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool bernoulli(double p);
+
+    /// Derives an independent child stream; deterministic in (this stream, tag).
+    Rng fork(std::uint64_t tag);
+
+    /// Raw state, for checkpoint/restore.
+    std::array<std::uint64_t, 4> state() const { return s_; }
+    void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; have_cached_normal_ = false; }
+
+private:
+    std::array<std::uint64_t, 4> s_{};
+    double cached_normal_ = 0.0;
+    bool have_cached_normal_ = false;
+};
+
+} // namespace deepstrike

@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepstrike {
+
+void RunningStats::add(double x) {
+    ++n_;
+    if (n_ == 1) {
+        mean_ = min_ = max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const {
+    return std::sqrt(variance());
+}
+
+void RunningStats::merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nt = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    mean_ += delta * nb / nt;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    expects(hi > lo, "Histogram: hi > lo");
+    expects(bins > 0, "Histogram: bins > 0");
+    counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+    expects(i < counts_.size(), "Histogram: bin index in range");
+    return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+    expects(i < counts_.size(), "Histogram: bin index in range");
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+    return bin_lo(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+    expects(q >= 0.0 && q <= 1.0, "Histogram: quantile in [0,1]");
+    if (total_ == 0) return lo_;
+    const auto target = static_cast<double>(total_) * q;
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += static_cast<double>(counts_[i]);
+        if (cum >= target) return bin_hi(i);
+    }
+    return hi_;
+}
+
+void IndexCounter::add(std::size_t key, std::uint64_t weight) {
+    if (key >= counts_.size()) counts_.resize(key + 1, 0);
+    counts_[key] += weight;
+    total_ += weight;
+}
+
+std::uint64_t IndexCounter::count(std::size_t key) const {
+    return key < counts_.size() ? counts_[key] : 0;
+}
+
+std::size_t IndexCounter::argmax() const {
+    if (counts_.empty()) return 0;
+    return static_cast<std::size_t>(
+        std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+} // namespace deepstrike

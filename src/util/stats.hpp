@@ -1,0 +1,73 @@
+// Streaming statistics used throughout the benches and the fault analysis.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deepstrike {
+
+/// Welford one-pass mean / variance / min / max accumulator.
+class RunningStats {
+public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /// Unbiased sample variance; 0 when fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    void merge(const RunningStats& other);
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin so no data is silently dropped.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    std::size_t bin_count(std::size_t i) const;
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    double bin_lo(std::size_t i) const;
+    double bin_hi(std::size_t i) const;
+    /// Value below which fraction q of the mass lies (bin-resolution).
+    double quantile(double q) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/// Counter keyed by small non-negative integers (e.g. class labels,
+/// fault kinds). Grows on demand.
+class IndexCounter {
+public:
+    void add(std::size_t key, std::uint64_t weight = 1);
+    std::uint64_t count(std::size_t key) const;
+    std::uint64_t total() const { return total_; }
+    std::size_t size() const { return counts_.size(); }
+    /// Key with the largest count; 0 when empty. Ties resolve to lowest key.
+    std::size_t argmax() const;
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace deepstrike

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "attack/controller.hpp"
+#include "attack/detector.hpp"
+#include "attack/signal_ram.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::attack {
+namespace {
+
+/// Builds a TDC sample whose thermometer boundary sits at `ones`.
+tdc::TdcSample sample_with_ones(std::size_t ones, std::size_t width = 128) {
+    tdc::TdcSample s;
+    s.raw = BitVec(width);
+    for (std::size_t i = 0; i < ones && i < width; ++i) s.raw.set(i, true);
+    s.readout = static_cast<std::uint8_t>(s.raw.popcount());
+    return s;
+}
+
+// ---------------------------------------------------------------- detector
+
+TEST(Detector, TapWeightTracksBoundary) {
+    const DnnStartDetector det{DetectorConfig{}};
+    // Default taps {12, 38, 64, 87, 114}: boundary at 90 sets four of them.
+    EXPECT_EQ(det.tap_hamming_weight(sample_with_ones(90)), 4);
+    EXPECT_EQ(det.tap_hamming_weight(sample_with_ones(85)), 3);
+    EXPECT_EQ(det.tap_hamming_weight(sample_with_ones(50)), 2);
+    EXPECT_EQ(det.tap_hamming_weight(sample_with_ones(128)), 5);
+    EXPECT_EQ(det.tap_hamming_weight(sample_with_ones(0)), 0);
+}
+
+TEST(Detector, TriggersAfterHoldWindow) {
+    DetectorConfig cfg;
+    cfg.hold_samples = 4;
+    DnnStartDetector det(cfg);
+
+    // Idle: no trigger.
+    for (int i = 0; i < 20; ++i) EXPECT_FALSE(det.on_sample(sample_with_ones(90)));
+    EXPECT_FALSE(det.triggered());
+
+    // Activity begins: trigger exactly on the 4th consecutive low sample.
+    EXPECT_FALSE(det.on_sample(sample_with_ones(84)));
+    EXPECT_FALSE(det.on_sample(sample_with_ones(85)));
+    EXPECT_FALSE(det.on_sample(sample_with_ones(83)));
+    EXPECT_TRUE(det.on_sample(sample_with_ones(84)));
+    EXPECT_TRUE(det.triggered());
+    EXPECT_EQ(det.trigger_sample(), 23u);
+
+    // Fires only once.
+    EXPECT_FALSE(det.on_sample(sample_with_ones(84)));
+}
+
+TEST(Detector, SingleDipDoesNotTrigger) {
+    DetectorConfig cfg;
+    cfg.hold_samples = 4;
+    DnnStartDetector det(cfg);
+    for (int round = 0; round < 10; ++round) {
+        det.on_sample(sample_with_ones(85)); // one low sample
+        for (int i = 0; i < 5; ++i) det.on_sample(sample_with_ones(90));
+    }
+    EXPECT_FALSE(det.triggered());
+}
+
+TEST(Detector, ResetRearms) {
+    DetectorConfig cfg;
+    cfg.hold_samples = 2;
+    DnnStartDetector det(cfg);
+    det.on_sample(sample_with_ones(84));
+    EXPECT_TRUE(det.on_sample(sample_with_ones(84)));
+    det.reset();
+    EXPECT_FALSE(det.triggered());
+    det.on_sample(sample_with_ones(84));
+    EXPECT_TRUE(det.on_sample(sample_with_ones(84)));
+}
+
+TEST(Detector, AutoRearmAfterQuietPeriod) {
+    DetectorConfig cfg;
+    cfg.hold_samples = 2;
+    cfg.auto_rearm = true;
+    cfg.rearm_samples = 8;
+    DnnStartDetector det(cfg);
+
+    det.on_sample(sample_with_ones(84));
+    EXPECT_TRUE(det.on_sample(sample_with_ones(84)));
+
+    // Sustained idle re-arms.
+    for (int i = 0; i < 8; ++i) det.on_sample(sample_with_ones(90));
+    EXPECT_FALSE(det.triggered());
+
+    det.on_sample(sample_with_ones(84));
+    EXPECT_TRUE(det.on_sample(sample_with_ones(84)));
+}
+
+TEST(Detector, TapOutOfRangeThrows) {
+    DetectorConfig cfg;
+    cfg.zone_bits = {12, 38, 64, 87, 200};
+    DnnStartDetector det(cfg);
+    EXPECT_THROW(det.tap_hamming_weight(sample_with_ones(90)), ContractError);
+}
+
+// -------------------------------------------------------------- scheme
+
+TEST(AttackScheme, CompileLayout) {
+    AttackScheme s;
+    s.attack_delay_cycles = 3;
+    s.strike_cycles = 2;
+    s.gap_cycles = 1;
+    s.num_strikes = 3;
+    EXPECT_EQ(s.total_cycles(), 3u + 3 * 2 + 2 * 1);
+    EXPECT_EQ(s.to_bits().to_string(), "00011011011");
+}
+
+TEST(AttackScheme, SingleStrikeNoGap) {
+    AttackScheme s;
+    s.attack_delay_cycles = 2;
+    s.num_strikes = 1;
+    EXPECT_EQ(s.to_bits().to_string(), "001");
+}
+
+TEST(AttackScheme, NoStrikesIsAllZeros) {
+    AttackScheme s;
+    s.attack_delay_cycles = 4;
+    s.num_strikes = 0;
+    EXPECT_EQ(s.to_bits().to_string(), "0000");
+}
+
+class SchemeRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchemeRoundTripTest, CompileParseIsIdentity) {
+    Rng rng(GetParam());
+    AttackScheme s;
+    s.attack_delay_cycles = static_cast<std::size_t>(rng.uniform_int(0, 50));
+    s.strike_cycles = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    s.gap_cycles = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    s.num_strikes = static_cast<std::size_t>(rng.uniform_int(1, 20));
+
+    const AttackScheme parsed = AttackScheme::from_bits(s.to_bits());
+    EXPECT_EQ(parsed.attack_delay_cycles, s.attack_delay_cycles);
+    EXPECT_EQ(parsed.strike_cycles, s.strike_cycles);
+    EXPECT_EQ(parsed.num_strikes, s.num_strikes);
+    if (s.num_strikes > 1) EXPECT_EQ(parsed.gap_cycles, s.gap_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchemes, SchemeRoundTripTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+// ------------------------------------------------------------ signal RAM
+
+TEST(SignalRam, ReplaysBitsThenZeros) {
+    SignalRam ram(64);
+    ram.load(BitVec::from_string("0110"));
+    EXPECT_FALSE(ram.next_cycle_bit()); // not started
+    ram.start();
+    EXPECT_FALSE(ram.next_cycle_bit());
+    EXPECT_TRUE(ram.next_cycle_bit());
+    EXPECT_TRUE(ram.next_cycle_bit());
+    EXPECT_FALSE(ram.next_cycle_bit());
+    EXPECT_TRUE(ram.exhausted());
+    EXPECT_FALSE(ram.next_cycle_bit()); // past-the-end stays low
+}
+
+TEST(SignalRam, CapacityEnforced) {
+    SignalRam ram(8);
+    EXPECT_THROW(ram.load(BitVec(9)), ConfigError);
+    AttackScheme huge;
+    huge.attack_delay_cycles = 100;
+    huge.num_strikes = 1;
+    EXPECT_THROW(ram.load(huge), ConfigError);
+}
+
+TEST(SignalRam, DefaultCapacityHoldsFullRunScheme) {
+    SignalRam ram; // default: two BRAM36 (73,728 bits)
+    AttackScheme s;
+    s.attack_delay_cycles = 40000;
+    s.num_strikes = 4500;
+    s.gap_cycles = 2;
+    EXPECT_NO_THROW(ram.load(s));
+}
+
+TEST(SignalRam, ResetRestartsReplay) {
+    SignalRam ram(16);
+    ram.load(BitVec::from_string("10"));
+    ram.start();
+    EXPECT_TRUE(ram.next_cycle_bit());
+    ram.reset();
+    EXPECT_FALSE(ram.running());
+    ram.start();
+    EXPECT_TRUE(ram.next_cycle_bit());
+}
+
+// ------------------------------------------------------------ controller
+
+TEST(Controller, EndToEndFlow) {
+    DetectorConfig dcfg;
+    dcfg.hold_samples = 2;
+    AttackScheme scheme;
+    scheme.attack_delay_cycles = 2;
+    scheme.strike_cycles = 1;
+    scheme.gap_cycles = 1;
+    scheme.num_strikes = 2;
+
+    AttackController ctl(dcfg, scheme);
+
+    // Before trigger: no strikes regardless of cycles elapsed.
+    for (int i = 0; i < 5; ++i) EXPECT_FALSE(ctl.strike_bit());
+
+    ctl.on_tdc_sample(sample_with_ones(84));
+    ctl.on_tdc_sample(sample_with_ones(84));
+    EXPECT_TRUE(ctl.triggered());
+
+    // Replay: delay 2, then 1,0,1.
+    EXPECT_FALSE(ctl.strike_bit());
+    EXPECT_FALSE(ctl.strike_bit());
+    EXPECT_TRUE(ctl.strike_bit());
+    EXPECT_FALSE(ctl.strike_bit());
+    EXPECT_TRUE(ctl.strike_bit());
+    EXPECT_FALSE(ctl.strike_bit());
+    EXPECT_TRUE(ctl.done());
+}
+
+TEST(Controller, RearmAllowsSecondInference) {
+    DetectorConfig dcfg;
+    dcfg.hold_samples = 1;
+    AttackScheme scheme;
+    scheme.num_strikes = 1;
+    AttackController ctl(dcfg, scheme);
+
+    ctl.on_tdc_sample(sample_with_ones(80));
+    EXPECT_TRUE(ctl.strike_bit());
+    ctl.rearm();
+    EXPECT_FALSE(ctl.triggered());
+    EXPECT_FALSE(ctl.strike_bit());
+    ctl.on_tdc_sample(sample_with_ones(80));
+    EXPECT_TRUE(ctl.strike_bit());
+}
+
+TEST(Controller, LoadSchemeSwapsPlan) {
+    DetectorConfig dcfg;
+    dcfg.hold_samples = 1;
+    AttackController ctl(dcfg, AttackScheme{});
+    AttackScheme plan;
+    plan.num_strikes = 1;
+    ctl.load_scheme(plan);
+    ctl.on_tdc_sample(sample_with_ones(80));
+    EXPECT_TRUE(ctl.strike_bit());
+}
+
+TEST(BlindController, StartsAtFixedCycle) {
+    AttackScheme scheme;
+    scheme.strike_cycles = 1;
+    scheme.num_strikes = 1;
+    BlindController ctl(scheme, 10);
+    for (std::size_t c = 0; c < 10; ++c) EXPECT_FALSE(ctl.strike_bit(c));
+    EXPECT_TRUE(ctl.strike_bit(10));
+    EXPECT_FALSE(ctl.strike_bit(11));
+}
+
+} // namespace
+} // namespace deepstrike::attack

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "sim/campaign.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+namespace {
+
+CampaignConfig small_config() {
+    CampaignConfig cfg;
+    cfg.strike_grid = {300, 900};
+    cfg.eval_images = 25;
+    cfg.blind_offsets = 3;
+    return cfg;
+}
+
+TEST(Campaign, ProducesPointsForEverySegmentAndBlind) {
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(61));
+    auto ds = data::make_datasets(9, 1, 30);
+
+    const CampaignReport report = run_campaign(platform, ds.test, small_config());
+    EXPECT_TRUE(report.detector_fired);
+    ASSERT_EQ(report.profile.segments.size(), 5u);
+
+    std::size_t guided = 0;
+    std::size_t blind = 0;
+    for (const auto& p : report.points) {
+        EXPECT_GT(p.strikes, 0u);
+        EXPECT_EQ(p.images, 25u);
+        EXPECT_NEAR(p.drop, report.clean_accuracy - p.accuracy, 1e-12);
+        (p.target == "BLIND" ? blind : guided) += 1;
+    }
+    // 5 segments x up-to-2 counts (short segments cap to one) + 2 blind.
+    EXPECT_GE(guided, 6u);
+    EXPECT_EQ(blind, 2u);
+
+    const CampaignPoint* worst = report.most_damaging();
+    ASSERT_NE(worst, nullptr);
+    EXPECT_NE(worst->target, "BLIND");
+}
+
+TEST(Campaign, JsonReportWellFormed) {
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(62));
+    auto ds = data::make_datasets(9, 1, 30);
+    CampaignConfig cfg = small_config();
+    cfg.blind_offsets = 0;
+
+    const CampaignReport report = run_campaign(platform, ds.test, cfg);
+    const std::string json = report.to_json().dump();
+    for (const char* needle :
+         {"\"clean_accuracy\"", "\"profiled_segments\"", "\"points\"",
+          "\"most_damaging\"", "\"accuracy_drop\""}) {
+        EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    }
+    // No blind entries when disabled.
+    EXPECT_EQ(json.find("BLIND"), std::string::npos);
+}
+
+TEST(Campaign, MarkdownReportHasTable) {
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(63));
+    auto ds = data::make_datasets(9, 1, 30);
+    const CampaignReport report = run_campaign(platform, ds.test, small_config());
+    const std::string md = report.to_markdown();
+    EXPECT_NE(md.find("| target | strikes |"), std::string::npos);
+    EXPECT_NE(md.find("most damaging:"), std::string::npos);
+}
+
+TEST(Campaign, Validation) {
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(64));
+    auto ds = data::make_datasets(9, 1, 10);
+    CampaignConfig cfg;
+    cfg.strike_grid.clear();
+    EXPECT_THROW(run_campaign(platform, ds.test, cfg), ContractError);
+    cfg = CampaignConfig{};
+    cfg.eval_images = 0;
+    EXPECT_THROW(run_campaign(platform, ds.test, cfg), ContractError);
+}
+
+TEST(Campaign, EmptyMostDamagingWhenNoGuidedPoints) {
+    CampaignReport report;
+    EXPECT_EQ(report.most_damaging(), nullptr);
+}
+
+} // namespace
+} // namespace deepstrike::sim

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike {
+namespace {
+
+ArgParser make_parser() {
+    ArgParser p("prog", "test parser");
+    p.add_flag("verbose", "be loud");
+    p.add_option("strikes", "strike count", "4500");
+    p.add_option("cells", "cell counts", "1000,2000");
+    p.add_option("rate", "a real number", "0.5");
+    p.add_option("name", "a string", "conv2");
+    return p;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(p.parse({}));
+    EXPECT_FALSE(p.flag("verbose"));
+    EXPECT_EQ(p.option("strikes"), "4500");
+    EXPECT_EQ(p.option_uint("strikes"), 4500u);
+    EXPECT_DOUBLE_EQ(p.option_double("rate"), 0.5);
+}
+
+TEST(Cli, SeparateValueSyntax) {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(p.parse({"--strikes", "123", "--verbose"}));
+    EXPECT_EQ(p.option_uint("strikes"), 123u);
+    EXPECT_TRUE(p.flag("verbose"));
+}
+
+TEST(Cli, EqualsValueSyntax) {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(p.parse({"--strikes=99", "--name=fc1"}));
+    EXPECT_EQ(p.option_uint("strikes"), 99u);
+    EXPECT_EQ(p.option("name"), "fc1");
+}
+
+TEST(Cli, PositionalArguments) {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(p.parse({"first", "--verbose", "second"}));
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "first");
+    EXPECT_EQ(p.positional()[1], "second");
+}
+
+TEST(Cli, UnknownOptionRejected) {
+    ArgParser p = make_parser();
+    EXPECT_FALSE(p.parse({"--bogus"}));
+    EXPECT_NE(p.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueRejected) {
+    ArgParser p = make_parser();
+    EXPECT_FALSE(p.parse({"--strikes"}));
+    EXPECT_NE(p.error().find("strikes"), std::string::npos);
+}
+
+TEST(Cli, FlagWithValueRejected) {
+    ArgParser p = make_parser();
+    EXPECT_FALSE(p.parse({"--verbose=yes"}));
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(p.parse({"--strikes", "abc", "--rate", "1.2.3"}));
+    EXPECT_THROW(p.option_uint("strikes"), FormatError);
+    EXPECT_THROW(p.option_double("rate"), FormatError);
+}
+
+TEST(Cli, UintList) {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(p.parse({"--cells", "100,200,300"}));
+    const auto list = p.option_uint_list("cells");
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0], 100u);
+    EXPECT_EQ(list[2], 300u);
+}
+
+TEST(Cli, UintListMalformedThrows) {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(p.parse({"--cells", "100,x"}));
+    EXPECT_THROW(p.option_uint_list("cells"), FormatError);
+}
+
+TEST(Cli, UnregisteredAccessIsContractError) {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(p.parse({}));
+    EXPECT_THROW(p.flag("nope"), ContractError);
+    EXPECT_THROW(p.option("nope"), ContractError);
+}
+
+TEST(Cli, DuplicateRegistrationRejected) {
+    ArgParser p("prog", "x");
+    p.add_flag("a", "first");
+    EXPECT_THROW(p.add_flag("a", "again"), ContractError);
+    EXPECT_THROW(p.add_option("a", "again", ""), ContractError);
+}
+
+TEST(Cli, UsageListsEverything) {
+    ArgParser p = make_parser();
+    const std::string usage = p.usage();
+    for (const char* needle : {"--verbose", "--strikes", "default: 4500", "prog"}) {
+        EXPECT_NE(usage.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Cli, ArgcArgvEntryPoint) {
+    ArgParser p = make_parser();
+    const char* argv[] = {"prog", "--strikes", "7"};
+    ASSERT_TRUE(p.parse(3, argv));
+    EXPECT_EQ(p.option_uint("strikes"), 7u);
+}
+
+TEST(Cli, LastValueWins) {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(p.parse({"--strikes", "1", "--strikes", "2"}));
+    EXPECT_EQ(p.option_uint("strikes"), 2u);
+}
+
+} // namespace
+} // namespace deepstrike

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "pdn/grid.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::pdn {
+namespace {
+
+TEST(GridPdn, DcOperatingPointUniform) {
+    GridPdnParams params;
+    params.regions = 4;
+    GridPdnModel model(params);
+    model.reset(0.01);
+
+    const double expected_pkg = params.package.vdd - params.package.r_ohm * 0.04;
+    EXPECT_NEAR(model.package_voltage(), expected_pkg, 1e-9);
+    for (std::size_t r = 0; r < 4; ++r) {
+        EXPECT_NEAR(model.voltage(r), expected_pkg - params.r_vertical_ohm * 0.01, 1e-9);
+    }
+
+    // Holding the same loads keeps the DC point.
+    std::vector<double> loads(4, 0.01);
+    for (int i = 0; i < 500; ++i) model.step(loads);
+    for (std::size_t r = 0; r < 4; ++r) {
+        EXPECT_NEAR(model.voltage(r), expected_pkg - params.r_vertical_ohm * 0.01, 1e-4);
+    }
+}
+
+TEST(GridPdn, AggressorRegionDroopsDeepest) {
+    GridPdnParams params;
+    params.regions = 6;
+    const auto min_v = simulate_regional_droop(params, 0.01, 0, 0.3, 50, 10, 100);
+    ASSERT_EQ(min_v.size(), 6u);
+    // Monotone attenuation away from the aggressor.
+    for (std::size_t r = 1; r < 6; ++r) {
+        EXPECT_LE(min_v[r - 1], min_v[r] + 1e-9) << "region " << r;
+    }
+    EXPECT_LT(min_v[0], min_v[5] - 0.002);
+}
+
+TEST(GridPdn, SharedFloorEveryRegionDroops) {
+    // The package impedance is common: even the farthest region must see a
+    // substantial fraction of the glitch.
+    GridPdnParams params;
+    params.regions = 8;
+    const auto min_v = simulate_regional_droop(params, 0.01, 0, 0.3, 50, 10, 100);
+    const double aggressor_droop = params.package.vdd - min_v[0];
+    const double remote_droop = params.package.vdd - min_v[7];
+    EXPECT_GT(remote_droop, 0.4 * aggressor_droop);
+}
+
+TEST(GridPdn, StifferGridFlattensProfile) {
+    GridPdnParams soft;
+    soft.regions = 6;
+    soft.r_lateral_ohm = 0.8;
+    GridPdnParams stiff = soft;
+    stiff.r_lateral_ohm = 0.1;
+
+    const auto v_soft = simulate_regional_droop(soft, 0.01, 0, 0.3, 50, 10, 100);
+    const auto v_stiff = simulate_regional_droop(stiff, 0.01, 0, 0.3, 50, 10, 100);
+
+    const double spread_soft = v_soft[5] - v_soft[0];
+    const double spread_stiff = v_stiff[5] - v_stiff[0];
+    EXPECT_LT(spread_stiff, spread_soft);
+}
+
+TEST(GridPdn, SingleRegionMatchesLumpedModelClosely) {
+    // One region with negligible spreading resistance and all decap at the
+    // package reduces to the lumped model.
+    GridPdnParams params;
+    params.regions = 1;
+    params.r_vertical_ohm = 0.01;
+    params.c_region_f = 1e-9;
+    params.substeps = 256;
+
+    const auto grid_min = simulate_regional_droop(params, 0.05, 0, 0.22, 50, 10, 100);
+    const auto lumped =
+        simulate_current_step(params.package, 0.05, 0.22, 50, 10, 100);
+    EXPECT_NEAR(grid_min[0], trace_min(lumped), 0.01);
+}
+
+TEST(GridPdn, RecoversAfterPulse) {
+    GridPdnParams params;
+    params.regions = 4;
+    GridPdnModel model(params);
+    model.reset(0.02);
+    std::vector<double> loads(4, 0.02);
+    loads[2] += 0.4;
+    for (int i = 0; i < 20; ++i) model.step(loads);
+    loads[2] = 0.02;
+    for (int i = 0; i < 3000; ++i) model.step(loads);
+    const double expected_pkg = params.package.vdd - params.package.r_ohm * 0.08;
+    EXPECT_NEAR(model.voltage(2), expected_pkg - params.r_vertical_ohm * 0.02, 5e-4);
+}
+
+TEST(GridPdn, Validation) {
+    GridPdnParams params;
+    params.regions = 0;
+    EXPECT_THROW(GridPdnModel{params}, ContractError);
+
+    params = GridPdnParams{};
+    params.substeps = 1; // cannot resolve the grid pole at 1 ns
+    EXPECT_THROW(GridPdnModel{params}, ContractError);
+
+    params = GridPdnParams{};
+    params.r_lateral_ohm = 0.0;
+    EXPECT_THROW(GridPdnModel{params}, ContractError);
+
+    GridPdnModel ok{GridPdnParams{}};
+    EXPECT_THROW(ok.voltage(99), ContractError);
+    std::vector<double> wrong_size(2, 0.0);
+    EXPECT_THROW(ok.step(wrong_size), ContractError);
+    EXPECT_THROW(
+        simulate_regional_droop(GridPdnParams{}, 0.01, 99, 0.1, 1, 1, 1),
+        ContractError);
+}
+
+} // namespace
+} // namespace deepstrike::pdn

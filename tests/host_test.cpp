@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "host/controller.hpp"
+#include "host/frames.hpp"
+#include "host/scheme_file.hpp"
+#include "host/uart.hpp"
+#include "sim/device_agent.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::host {
+namespace {
+
+// ------------------------------------------------------------------ UART
+
+TEST(Uart, LoopbackBothDirections) {
+    UartChannel ch;
+    ch.host_send(0x42);
+    ch.device_send(0x99);
+    EXPECT_EQ(ch.device_recv().value(), 0x42);
+    EXPECT_EQ(ch.host_recv().value(), 0x99);
+    EXPECT_FALSE(ch.device_recv().has_value());
+    EXPECT_FALSE(ch.host_recv().has_value());
+}
+
+TEST(Uart, FifoOverrunDropsBytes) {
+    UartParams params;
+    params.fifo_capacity = 4;
+    UartChannel ch(params);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(ch.host_send(static_cast<std::uint8_t>(i)));
+    EXPECT_FALSE(ch.host_send(0xFF));
+    EXPECT_EQ(ch.device_pending(), 4u);
+}
+
+TEST(Uart, CorruptionFlipsBits) {
+    UartParams params;
+    params.corruption_probability = 1.0;
+    params.noise_seed = 5;
+    UartChannel ch(params);
+    int corrupted = 0;
+    for (int i = 0; i < 100; ++i) {
+        ch.host_send(0x00);
+        if (ch.device_recv().value() != 0x00) ++corrupted;
+    }
+    EXPECT_EQ(corrupted, 100);
+}
+
+// ----------------------------------------------------------------- frames
+
+TEST(Frames, Crc16KnownVector) {
+    // CRC16-CCITT ("123456789") = 0x29B1.
+    const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    EXPECT_EQ(crc16_ccitt(data, sizeof(data)), 0x29B1);
+}
+
+TEST(Frames, EncodeDecodeRoundTrip) {
+    Frame frame;
+    frame.type = FrameType::LoadScheme;
+    frame.payload = {1, 2, 3, 0xA5, 0xFF, 0};
+
+    FrameDecoder decoder;
+    std::optional<Frame> decoded;
+    for (std::uint8_t b : encode_frame(frame)) {
+        auto r = decoder.feed(b);
+        if (r) decoded = std::move(r);
+    }
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, FrameType::LoadScheme);
+    EXPECT_EQ(decoded->payload, frame.payload);
+    EXPECT_EQ(decoder.crc_failures(), 0u);
+}
+
+TEST(Frames, EmptyPayload) {
+    FrameDecoder decoder;
+    std::optional<Frame> decoded;
+    for (std::uint8_t b : encode_frame(Frame{FrameType::Arm, {}})) {
+        auto r = decoder.feed(b);
+        if (r) decoded = std::move(r);
+    }
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Frames, CorruptedFrameDroppedAndResyncs) {
+    Frame frame;
+    frame.type = FrameType::Arm;
+    frame.payload = {7, 7};
+    auto bytes = encode_frame(frame);
+    bytes[4] ^= 0x10; // corrupt payload
+
+    FrameDecoder decoder;
+    std::optional<Frame> decoded;
+    for (std::uint8_t b : bytes) {
+        auto r = decoder.feed(b);
+        if (r) decoded = std::move(r);
+    }
+    EXPECT_FALSE(decoded.has_value());
+    EXPECT_EQ(decoder.crc_failures(), 1u);
+
+    // Next good frame decodes fine.
+    for (std::uint8_t b : encode_frame(frame)) {
+        auto r = decoder.feed(b);
+        if (r) decoded = std::move(r);
+    }
+    EXPECT_TRUE(decoded.has_value());
+}
+
+TEST(Frames, GarbageBeforeSyncIgnored) {
+    FrameDecoder decoder;
+    for (std::uint8_t b : {0x00, 0x13, 0x37}) EXPECT_FALSE(decoder.feed(b).has_value());
+    std::optional<Frame> decoded;
+    for (std::uint8_t b : encode_frame(Frame{FrameType::Arm, {}})) {
+        auto r = decoder.feed(b);
+        if (r) decoded = std::move(r);
+    }
+    EXPECT_TRUE(decoded.has_value());
+}
+
+TEST(Frames, OversizedPayloadRejected) {
+    Frame frame;
+    frame.type = FrameType::TraceData;
+    frame.payload.assign(70000, 0);
+    EXPECT_THROW(encode_frame(frame), FormatError);
+}
+
+// ------------------------------------------------------------ scheme file
+
+TEST(SchemeFile, WriteParseRoundTrip) {
+    attack::AttackScheme s;
+    s.attack_delay_cycles = 8532;
+    s.strike_cycles = 1;
+    s.gap_cycles = 2;
+    s.num_strikes = 4500;
+    const std::string text = write_scheme_file(s, "strike CONV2");
+    const attack::AttackScheme parsed = parse_scheme_file(text);
+    EXPECT_EQ(parsed.attack_delay_cycles, s.attack_delay_cycles);
+    EXPECT_EQ(parsed.strike_cycles, s.strike_cycles);
+    EXPECT_EQ(parsed.gap_cycles, s.gap_cycles);
+    EXPECT_EQ(parsed.num_strikes, s.num_strikes);
+}
+
+TEST(SchemeFile, DefaultsAndComments) {
+    const attack::AttackScheme s = parse_scheme_file(
+        "# comment line\n"
+        "attack_delay = 10\n"
+        "num_attacks = 3\n");
+    EXPECT_EQ(s.attack_delay_cycles, 10u);
+    EXPECT_EQ(s.num_strikes, 3u);
+    EXPECT_EQ(s.strike_cycles, 1u);
+    EXPECT_EQ(s.gap_cycles, 0u);
+}
+
+TEST(SchemeFile, MalformedInputsRejected) {
+    EXPECT_THROW(parse_scheme_file("attack_delay 10\nnum_attacks = 1\n"), FormatError);
+    EXPECT_THROW(parse_scheme_file("attack_delay = ten\nnum_attacks = 1\n"), FormatError);
+    EXPECT_THROW(parse_scheme_file("bogus_key = 1\n"), FormatError);
+    EXPECT_THROW(parse_scheme_file("attack_delay = 1\n"), FormatError); // no num_attacks
+    EXPECT_THROW(parse_scheme_file("num_attacks = 1\n"), FormatError);  // no delay
+    EXPECT_THROW(parse_scheme_file("attack_delay = 1\nattack_delay = 2\n"
+                                   "num_attacks = 1\n"),
+                 FormatError); // duplicate
+    EXPECT_THROW(parse_scheme_file("attack_delay = 1\nnum_attacks = 1\n"
+                                   "attack_period = 0\n"),
+                 FormatError); // zero-length strikes
+}
+
+// ------------------------------------ host controller <-> device agent
+
+TEST(HostDevice, UploadArmReadTrace) {
+    UartChannel channel;
+    HostController host(channel);
+    sim::DeviceAgent device(channel, attack::DetectorConfig{});
+
+    // Upload a scheme.
+    attack::AttackScheme scheme;
+    scheme.attack_delay_cycles = 100;
+    scheme.num_strikes = 5;
+    scheme.gap_cycles = 3;
+    host.upload_scheme(scheme, "test plan");
+    device.service();
+    EXPECT_TRUE(device.has_scheme());
+    host.poll();
+    EXPECT_TRUE(host.last_ack_ok().value());
+
+    // Arm.
+    host.arm();
+    device.service();
+    EXPECT_TRUE(device.armed());
+
+    // Record a trace on-device and read it back.
+    std::vector<std::uint8_t> readouts(3000);
+    for (std::size_t i = 0; i < readouts.size(); ++i) {
+        readouts[i] = static_cast<std::uint8_t>(80 + i % 10);
+    }
+    device.record_trace(readouts);
+    host.request_trace(static_cast<std::uint32_t>(readouts.size()));
+    device.service();
+    const std::vector<std::uint8_t> received = host.poll_trace();
+    EXPECT_EQ(received, readouts);
+}
+
+TEST(HostDevice, MalformedSchemeNaks) {
+    UartChannel channel;
+    HostController host(channel);
+    sim::DeviceAgent device(channel, attack::DetectorConfig{});
+
+    Frame bad;
+    bad.type = FrameType::LoadScheme;
+    const std::string text = "not a scheme at all";
+    bad.payload.assign(text.begin(), text.end());
+    channel.host_send_all(encode_frame(bad));
+    device.service();
+    host.poll();
+    ASSERT_TRUE(host.last_ack_ok().has_value());
+    EXPECT_FALSE(host.last_ack_ok().value());
+    EXPECT_FALSE(device.has_scheme());
+    EXPECT_EQ(device.frames_rejected(), 1u);
+}
+
+TEST(HostDevice, TraceTruncatedToRequestedLength) {
+    UartChannel channel;
+    HostController host(channel);
+    sim::DeviceAgent device(channel, attack::DetectorConfig{});
+
+    device.record_trace(std::vector<std::uint8_t>(500, 42));
+    host.request_trace(100);
+    device.service();
+    EXPECT_EQ(host.poll_trace().size(), 100u);
+}
+
+TEST(HostDevice, SurvivesNoisyLink) {
+    // With a lightly corrupting UART, CRC drops bad frames; repeated
+    // uploads eventually succeed and no garbage scheme is accepted.
+    UartParams params;
+    params.corruption_probability = 0.002;
+    params.noise_seed = 17;
+    UartChannel channel(params);
+    HostController host(channel);
+    sim::DeviceAgent device(channel, attack::DetectorConfig{});
+
+    attack::AttackScheme scheme;
+    scheme.attack_delay_cycles = 55;
+    scheme.num_strikes = 2;
+
+    bool accepted = false;
+    for (int attempt = 0; attempt < 50 && !accepted; ++attempt) {
+        host.upload_scheme(scheme);
+        device.service();
+        host.poll();
+        accepted = device.has_scheme();
+    }
+    EXPECT_TRUE(accepted);
+}
+
+} // namespace
+} // namespace deepstrike::host

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace deepstrike {
+namespace {
+
+TEST(Json, Scalars) {
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+    EXPECT_EQ(Json("hello").dump(), "\"hello\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+    EXPECT_EQ(Json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(Json::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(Json::escape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+    EXPECT_EQ(Json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ObjectInsertionOrderPreserved) {
+    Json obj = Json::object();
+    obj.set("zeta", 1).set("alpha", 2).set("mid", 3);
+    EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, ObjectSetOverwrites) {
+    Json obj = Json::object();
+    obj.set("k", 1);
+    obj.set("k", 2);
+    EXPECT_EQ(obj.dump(), "{\"k\":2}");
+}
+
+TEST(Json, ArraysAndNesting) {
+    Json arr = Json::array();
+    arr.push(1).push("two");
+    Json inner = Json::object();
+    inner.set("deep", true);
+    arr.push(std::move(inner));
+    EXPECT_EQ(arr.dump(), "[1,\"two\",{\"deep\":true}]");
+}
+
+TEST(Json, NullPromotesOnFirstUse) {
+    Json j;
+    j.set("auto", 1);
+    EXPECT_TRUE(j.is_object());
+
+    Json k;
+    k.push(5);
+    EXPECT_TRUE(k.is_array());
+}
+
+TEST(Json, TypeMisuseThrows) {
+    Json arr = Json::array();
+    EXPECT_THROW(arr.set("k", 1), ContractError);
+    Json obj = Json::object();
+    EXPECT_THROW(obj.push(1), ContractError);
+    Json scalar(5);
+    EXPECT_THROW(scalar.set("k", 1), ContractError);
+    EXPECT_THROW(scalar.push(1), ContractError);
+}
+
+TEST(Json, PrettyPrinting) {
+    Json obj = Json::object();
+    obj.set("a", 1);
+    Json arr = Json::array();
+    arr.push(2);
+    obj.set("b", std::move(arr));
+    EXPECT_EQ(obj.dump(2),
+              "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(Json, EmptyContainers) {
+    EXPECT_EQ(Json::object().dump(), "{}");
+    EXPECT_EQ(Json::array().dump(), "[]");
+    EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+} // namespace
+} // namespace deepstrike

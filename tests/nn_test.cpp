@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/lenet.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::nn {
+namespace {
+
+FloatTensor random_tensor(Shape shape, Rng& rng, double range = 1.0) {
+    FloatTensor t(shape);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.at_unchecked(i) = static_cast<float>(rng.uniform(-range, range));
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------- shapes
+
+TEST(Conv2d, OutputShapeAndMacCount) {
+    Rng rng(1);
+    Conv2d conv(3, 8, 5, rng);
+    const Shape in{3, 12, 12};
+    EXPECT_EQ(conv.output_shape(in), Shape({8, 8, 8}));
+    EXPECT_EQ(conv.mac_count(in), 8u * 8 * 8 * 3 * 5 * 5);
+}
+
+TEST(Conv2d, RejectsBadInput) {
+    Rng rng(2);
+    Conv2d conv(3, 8, 5, rng);
+    EXPECT_THROW(conv.output_shape(Shape{2, 12, 12}), ContractError); // channels
+    EXPECT_THROW(conv.output_shape(Shape{3, 4, 4}), ContractError);   // too small
+    EXPECT_THROW(conv.output_shape(Shape{3, 12}), ContractError);     // rank
+}
+
+TEST(MaxPool2d, OutputShape) {
+    MaxPool2d pool;
+    EXPECT_EQ(pool.output_shape(Shape{6, 24, 24}), Shape({6, 12, 12}));
+    EXPECT_THROW(pool.output_shape(Shape{6, 23, 24}), ContractError);
+}
+
+TEST(Dense, OutputShape) {
+    Rng rng(3);
+    Dense dense(24, 10, rng);
+    EXPECT_EQ(dense.output_shape(Shape{2, 3, 4}), Shape({10}));
+    EXPECT_THROW(dense.output_shape(Shape{25}), ContractError);
+}
+
+// ----------------------------------------------------------- forward math
+
+TEST(Conv2d, HandComputedForward) {
+    Rng rng(4);
+    Conv2d conv(1, 1, 2, rng);
+    // Set weight to [[1, 2], [3, 4]], bias 0.5.
+    conv.weight().value.at(0, 0, 0, 0) = 1.0f;
+    conv.weight().value.at(0, 0, 0, 1) = 2.0f;
+    conv.weight().value.at(0, 0, 1, 0) = 3.0f;
+    conv.weight().value.at(0, 0, 1, 1) = 4.0f;
+    conv.bias().value.at(0) = 0.5f;
+
+    FloatTensor input(Shape{1, 3, 3});
+    float v = 1.0f;
+    for (std::size_t i = 0; i < 9; ++i) input[i] = v++;
+
+    const FloatTensor out = conv.forward(input);
+    // Window at (0,0): 1*1 + 2*2 + 3*4 + 4*5 + 0.5 = 37.5
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 37.5f);
+    // Window at (1,1): 1*5 + 2*6 + 3*8 + 4*9 + 0.5 = 77.5
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 77.5f);
+}
+
+TEST(MaxPool2d, ForwardSelectsMax) {
+    MaxPool2d pool;
+    FloatTensor input(Shape{1, 2, 2});
+    input.at(0, 0, 0) = 1.0f;
+    input.at(0, 0, 1) = -2.0f;
+    input.at(0, 1, 0) = 3.5f;
+    input.at(0, 1, 1) = 0.0f;
+    const FloatTensor out = pool.forward(input);
+    EXPECT_EQ(out.shape(), Shape({1, 1, 1}));
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.5f);
+}
+
+TEST(Dense, HandComputedForward) {
+    Rng rng(5);
+    Dense dense(3, 2, rng);
+    // W = [[1,2,3],[4,5,6]], b = [0.5, -0.5]
+    float w = 1.0f;
+    for (std::size_t i = 0; i < 6; ++i) dense.weight().value[i] = w++;
+    dense.bias().value.at(0) = 0.5f;
+    dense.bias().value.at(1) = -0.5f;
+
+    FloatTensor input(Shape{3});
+    input.at(0) = 1.0f;
+    input.at(1) = 0.0f;
+    input.at(2) = -1.0f;
+
+    const FloatTensor out = dense.forward(input);
+    EXPECT_FLOAT_EQ(out.at(0), 1.0f - 3.0f + 0.5f);
+    EXPECT_FLOAT_EQ(out.at(1), 4.0f - 6.0f - 0.5f);
+}
+
+TEST(Tanh, ForwardValues) {
+    TanhActivation tanh_layer;
+    FloatTensor input(Shape{3});
+    input.at(0) = 0.0f;
+    input.at(1) = 100.0f;
+    input.at(2) = -100.0f;
+    const FloatTensor out = tanh_layer.forward(input);
+    EXPECT_FLOAT_EQ(out.at(0), 0.0f);
+    EXPECT_NEAR(out.at(1), 1.0f, 1e-6);
+    EXPECT_NEAR(out.at(2), -1.0f, 1e-6);
+}
+
+TEST(Softmax, SumsToOneAndOrders) {
+    FloatTensor logits(Shape{4});
+    logits.at(0) = 1.0f;
+    logits.at(1) = 3.0f;
+    logits.at(2) = 2.0f;
+    logits.at(3) = -1.0f;
+    const FloatTensor p = softmax(logits);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) sum += p[i];
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    EXPECT_GT(p.at(1), p.at(2));
+    EXPECT_GT(p.at(2), p.at(0));
+    EXPECT_GT(p.at(0), p.at(3));
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+    FloatTensor logits(Shape{2});
+    logits.at(0) = 1000.0f;
+    logits.at(1) = 999.0f;
+    const FloatTensor p = softmax(logits);
+    EXPECT_TRUE(std::isfinite(p.at(0)));
+    EXPECT_NEAR(p.at(0) + p.at(1), 1.0, 1e-6);
+    EXPECT_GT(p.at(0), p.at(1));
+}
+
+// ----------------------------------------------- gradient (finite diff)
+
+/// Numerical gradient check: perturb each input/parameter element and
+/// compare the finite difference of a scalar loss against backprop.
+template <typename MakeLayer>
+void check_gradients(MakeLayer make_layer, Shape input_shape, std::uint64_t seed) {
+    Rng rng(seed);
+    auto layer = make_layer(rng);
+    FloatTensor input = random_tensor(input_shape, rng);
+
+    // Scalar loss = weighted sum of outputs (fixed random weights).
+    const Shape out_shape = layer->output_shape(input_shape);
+    FloatTensor loss_w = random_tensor(out_shape, rng);
+
+    auto loss_of = [&](const FloatTensor& x) {
+        const FloatTensor y = layer->forward(x);
+        double loss = 0.0;
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            loss += static_cast<double>(y.at_unchecked(i)) * loss_w.at_unchecked(i);
+        }
+        return loss;
+    };
+
+    // Analytic gradients.
+    layer->forward(input);
+    for (Parameter* p : layer->parameters()) p->zero_grad();
+    const FloatTensor grad_input = layer->backward(loss_w);
+
+    const double eps = 1e-3;
+
+    // d loss / d input.
+    for (std::size_t i = 0; i < input.size(); i += std::max<std::size_t>(1, input.size() / 17)) {
+        FloatTensor plus = input;
+        FloatTensor minus = input;
+        plus.at_unchecked(i) += static_cast<float>(eps);
+        minus.at_unchecked(i) -= static_cast<float>(eps);
+        const double numeric = (loss_of(plus) - loss_of(minus)) / (2 * eps);
+        EXPECT_NEAR(grad_input.at_unchecked(i), numeric, 2e-2)
+            << "input grad element " << i;
+    }
+
+    // d loss / d parameters.
+    layer->forward(input);
+    for (Parameter* p : layer->parameters()) p->zero_grad();
+    layer->backward(loss_w);
+    for (Parameter* p : layer->parameters()) {
+        for (std::size_t i = 0; i < p->value.size();
+             i += std::max<std::size_t>(1, p->value.size() / 13)) {
+            const float saved = p->value.at_unchecked(i);
+            p->value.at_unchecked(i) = saved + static_cast<float>(eps);
+            const double up = loss_of(input);
+            p->value.at_unchecked(i) = saved - static_cast<float>(eps);
+            const double down = loss_of(input);
+            p->value.at_unchecked(i) = saved;
+            const double numeric = (up - down) / (2 * eps);
+            EXPECT_NEAR(p->grad.at_unchecked(i), numeric, 2e-2)
+                << "param grad element " << i;
+        }
+    }
+}
+
+TEST(Gradients, Conv2d) {
+    check_gradients(
+        [](Rng& rng) { return std::make_unique<Conv2d>(2, 3, 3, rng); },
+        Shape{2, 6, 6}, 101);
+}
+
+TEST(Gradients, Dense) {
+    check_gradients(
+        [](Rng& rng) { return std::make_unique<Dense>(12, 5, rng); },
+        Shape{12}, 102);
+}
+
+TEST(Gradients, Tanh) {
+    check_gradients(
+        [](Rng&) { return std::make_unique<TanhActivation>(); },
+        Shape{10}, 103);
+}
+
+TEST(Gradients, MaxPool) {
+    check_gradients(
+        [](Rng&) { return std::make_unique<MaxPool2d>(); },
+        Shape{2, 4, 4}, 104);
+}
+
+TEST(Gradients, Relu) {
+    check_gradients(
+        [](Rng&) { return std::make_unique<ReluActivation>(); },
+        Shape{12}, 106);
+}
+
+TEST(Gradients, AvgPool) {
+    check_gradients(
+        [](Rng&) { return std::make_unique<AvgPool2d>(); },
+        Shape{2, 4, 4}, 107);
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+    ReluActivation relu;
+    FloatTensor input(Shape{3});
+    input.at(0) = -2.0f;
+    input.at(1) = 0.0f;
+    input.at(2) = 1.5f;
+    const FloatTensor out = relu.forward(input);
+    EXPECT_FLOAT_EQ(out.at(0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(1), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(2), 1.5f);
+}
+
+TEST(AvgPool2d, ForwardAverages) {
+    AvgPool2d pool;
+    FloatTensor input(Shape{1, 2, 2});
+    input.at(0, 0, 0) = 1.0f;
+    input.at(0, 0, 1) = 2.0f;
+    input.at(0, 1, 0) = 3.0f;
+    input.at(0, 1, 1) = 6.0f;
+    const FloatTensor out = pool.forward(input);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0f);
+    EXPECT_THROW(pool.output_shape(Shape{1, 3, 2}), ContractError);
+}
+
+TEST(Gradients, SoftmaxCrossEntropy) {
+    Rng rng(105);
+    FloatTensor logits = random_tensor(Shape{6}, rng, 2.0);
+    const std::size_t label = 2;
+    const LossResult res = softmax_cross_entropy(logits, label);
+
+    const double eps = 1e-4;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        FloatTensor plus = logits;
+        FloatTensor minus = logits;
+        plus.at_unchecked(i) += static_cast<float>(eps);
+        minus.at_unchecked(i) -= static_cast<float>(eps);
+        const double up = softmax_cross_entropy(plus, label).loss;
+        const double down = softmax_cross_entropy(minus, label).loss;
+        EXPECT_NEAR(res.grad_logits.at_unchecked(i), (up - down) / (2 * eps), 1e-3);
+    }
+}
+
+// ------------------------------------------------------------ Sequential
+
+TEST(Sequential, LeNetShapesAndParamCount) {
+    Rng rng(7);
+    LeNet net = build_lenet(rng);
+    EXPECT_EQ(net.model.output_shape(lenet_input_shape()), Shape({10}));
+    // conv1: 6*1*25+6, conv2: 16*6*25+16, fc1: 120*1024+120, fc2: 10*120+10
+    const std::size_t expected = (6 * 25 + 6) + (16 * 6 * 25 + 16) +
+                                 (120 * 1024 + 120) + (10 * 120 + 10);
+    EXPECT_EQ(net.model.parameter_count(), expected);
+}
+
+TEST(Sequential, ForwardBackwardRuns) {
+    Rng rng(8);
+    LeNet net = build_lenet(rng);
+    FloatTensor input = random_tensor(lenet_input_shape(), rng);
+    const FloatTensor logits = net.model.forward(input);
+    EXPECT_EQ(logits.size(), 10u);
+    const LossResult loss = softmax_cross_entropy(logits, 3);
+    net.model.zero_grad();
+    net.model.backward(loss.grad_logits);
+    // Gradients must be non-zero somewhere in every parameterized layer.
+    for (Parameter* p : net.model.parameters()) {
+        double norm = 0.0;
+        for (std::size_t i = 0; i < p->grad.size(); ++i) {
+            norm += std::abs(p->grad.at_unchecked(i));
+        }
+        EXPECT_GT(norm, 0.0);
+    }
+}
+
+TEST(Sequential, BackwardWithoutForwardThrows) {
+    Rng rng(9);
+    Conv2d conv(1, 1, 3, rng);
+    FloatTensor g(Shape{1, 2, 2});
+    EXPECT_THROW(conv.backward(g), ContractError);
+}
+
+} // namespace
+} // namespace deepstrike::nn

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "sim/optimizer.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+namespace {
+
+struct OptimizerFixture : public ::testing::Test {
+    static void SetUpTestSuite() {
+        platform = new Platform(PlatformConfig{},
+                                deepstrike::testing::random_qweights(81));
+        test_set = new data::Dataset(data::make_datasets(11, 1, 60).test);
+        profiling = new ProfilingRun(run_profiling(*platform));
+    }
+    static void TearDownTestSuite() {
+        delete profiling;
+        delete test_set;
+        delete platform;
+    }
+
+    static Platform* platform;
+    static data::Dataset* test_set;
+    static ProfilingRun* profiling;
+};
+
+Platform* OptimizerFixture::platform = nullptr;
+data::Dataset* OptimizerFixture::test_set = nullptr;
+ProfilingRun* OptimizerFixture::profiling = nullptr;
+
+TEST_F(OptimizerFixture, RespectsBudgetAndCapacity) {
+    OptimizerConfig cfg;
+    cfg.total_budget = 1200;
+    cfg.pilot_strikes = 150;
+    cfg.pilot_images = 25;
+
+    const OptimizedPlan plan =
+        optimize_strike_allocation(*platform, *test_set, *profiling, cfg);
+    EXPECT_LE(plan.total_strikes(), cfg.total_budget);
+    EXPECT_GT(plan.total_strikes(), 0u);
+    ASSERT_EQ(plan.allocations.size(), profiling->profile.segments.size());
+    for (const auto& a : plan.allocations) {
+        const std::size_t cap =
+            profiling->profile.segments[a.segment_index].duration_samples() / 4;
+        EXPECT_LE(a.strikes, cap) << "segment " << a.segment_index;
+    }
+    EXPECT_EQ(plan.scheme_bits.popcount(), plan.total_strikes());
+}
+
+TEST_F(OptimizerFixture, PrefersDamagingSegments) {
+    OptimizerConfig cfg;
+    cfg.total_budget = 1200;
+    cfg.pilot_strikes = 150;
+    cfg.pilot_images = 25;
+
+    const OptimizedPlan plan =
+        optimize_strike_allocation(*platform, *test_set, *profiling, cfg);
+
+    // The pool segment (index 1) never faults; it must get nothing while
+    // some conv segment gets a positive share.
+    EXPECT_EQ(plan.allocations[1].strikes, 0u);
+    EXPECT_GT(plan.allocations[0].strikes + plan.allocations[2].strikes, 0u);
+}
+
+TEST_F(OptimizerFixture, CombinedSchemeReplaysEndToEnd) {
+    OptimizerConfig cfg;
+    cfg.total_budget = 900;
+    cfg.pilot_strikes = 150;
+    cfg.pilot_images = 25;
+
+    const OptimizedPlan plan =
+        optimize_strike_allocation(*platform, *test_set, *profiling, cfg);
+    const AccuracyResult res = evaluate_bits_attack(
+        *platform, *test_set, 30, plan.scheme_bits, cfg.detector, cfg.fault_seed);
+    EXPECT_GT(res.faults.total(), 0u);
+}
+
+TEST_F(OptimizerFixture, Validation) {
+    OptimizerConfig cfg;
+    cfg.total_budget = 0;
+    EXPECT_THROW(optimize_strike_allocation(*platform, *test_set, *profiling, cfg),
+                 ContractError);
+
+    ProfilingRun no_trigger = *profiling;
+    no_trigger.detector_fired = false;
+    EXPECT_THROW(
+        optimize_strike_allocation(*platform, *test_set, no_trigger, {}),
+        ContractError);
+}
+
+} // namespace
+} // namespace deepstrike::sim

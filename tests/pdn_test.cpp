@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pdn/delay.hpp"
+#include "pdn/pdn.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::pdn {
+namespace {
+
+TEST(Pdn, DcOperatingPoint) {
+    PdnModel model(PdnParams::pynq_z1());
+    model.reset(0.1);
+    const PdnParams& p = model.params();
+    EXPECT_NEAR(model.voltage(), p.vdd - p.r_ohm * 0.1, 1e-12);
+    EXPECT_NEAR(model.inductor_current(), 0.1, 1e-12);
+
+    // Holding the same load keeps the system at the DC point.
+    for (int i = 0; i < 1000; ++i) model.step(0.1);
+    EXPECT_NEAR(model.voltage(), p.vdd - p.r_ohm * 0.1, 1e-6);
+}
+
+TEST(Pdn, StepLoadCausesDroopThenRecovery) {
+    const PdnParams p = PdnParams::pynq_z1();
+    const auto trace = simulate_current_step(p, 0.05, 0.3, 100, 200, 700);
+
+    const double v_idle = p.vdd - p.r_ohm * 0.05;
+    // Pre-step: at idle voltage.
+    EXPECT_NEAR(trace[50], v_idle, 1e-6);
+    // During the pulse: drooped at least the DC amount of the extra load.
+    const double during_min = *std::min_element(trace.begin() + 100, trace.begin() + 300);
+    EXPECT_LT(during_min, v_idle - p.r_ohm * 0.3 * 0.8);
+    // Long after: recovered to idle.
+    EXPECT_NEAR(trace.back(), v_idle, 1e-4);
+}
+
+TEST(Pdn, DroopScalesWithCurrent) {
+    const PdnParams p = PdnParams::pynq_z1();
+    const double droop1 =
+        p.vdd - trace_min(simulate_current_step(p, 0.0, 0.1, 10, 50, 10));
+    const double droop2 =
+        p.vdd - trace_min(simulate_current_step(p, 0.0, 0.2, 10, 50, 10));
+    EXPECT_GT(droop2, droop1 * 1.7); // near-linear in current
+    EXPECT_LT(droop2, droop1 * 2.3);
+}
+
+TEST(Pdn, ShortPulseShallowerThanSustained) {
+    const PdnParams p = PdnParams::pynq_z1();
+    const double short_droop =
+        p.vdd - trace_min(simulate_current_step(p, 0.0, 0.3, 10, 5, 50));
+    const double long_droop =
+        p.vdd - trace_min(simulate_current_step(p, 0.0, 0.3, 10, 500, 50));
+    EXPECT_LT(short_droop, long_droop);
+}
+
+TEST(Pdn, SmallSignalCharacteristics) {
+    PdnModel model(PdnParams::pynq_z1());
+    // f0 = 1 / (2*pi*sqrt(LC)) with L=0.5nH, C=30nF -> ~41 MHz.
+    EXPECT_NEAR(model.natural_freq_hz(), 41.1e6, 1.0e6);
+    // zeta = R/2 * sqrt(C/L) with R=0.155 -> ~0.6.
+    EXPECT_NEAR(model.damping_ratio(), 0.6, 0.01);
+}
+
+TEST(Pdn, RejectsBadParams) {
+    PdnParams p = PdnParams::pynq_z1();
+    p.r_ohm = 0.0;
+    EXPECT_THROW(PdnModel{p}, ContractError);
+
+    p = PdnParams::pynq_z1();
+    p.dt_s = 1e-6; // way above resonance period
+    EXPECT_THROW(PdnModel{p}, ContractError);
+
+    p = PdnParams::pynq_z1();
+    p.vdd = -1.0;
+    EXPECT_THROW(PdnModel{p}, ContractError);
+}
+
+TEST(Pdn, VoltageClampedUnderAbsurdLoad) {
+    PdnModel model(PdnParams::pynq_z1());
+    model.reset(0.0);
+    for (int i = 0; i < 10000; ++i) model.step(1000.0);
+    EXPECT_GE(model.voltage(), 0.0);
+}
+
+class PdnStabilityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PdnStabilityTest, StableAcrossDampingSweep) {
+    // Vary R across under- to over-damped regimes; the integrator must
+    // remain bounded and settle back to DC.
+    PdnParams p = PdnParams::pynq_z1();
+    p.r_ohm = GetParam();
+    const auto trace = simulate_current_step(p, 0.02, 0.3, 50, 300, 2000);
+    for (double v : trace) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, p.vdd * 1.25);
+    }
+    EXPECT_NEAR(trace.back(), p.vdd - p.r_ohm * 0.02, 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(DampingSweep, PdnStabilityTest,
+                         ::testing::Values(0.02, 0.05, 0.155, 0.25, 0.35, 0.45));
+
+TEST(Pdn, StiffResistanceRejected) {
+    // R so large that dt no longer resolves L/R is a configuration error,
+    // not a silent divergence.
+    PdnParams p = PdnParams::pynq_z1();
+    p.r_ohm = 1.0; // dt*R/L = 2
+    EXPECT_THROW(PdnModel{p}, ContractError);
+}
+
+// ---------------------------------------------------------------- delay
+
+TEST(DelayModel, UnityAtNominal) {
+    DelayModel d{};
+    EXPECT_NEAR(d.factor(d.vdd), 1.0, 1e-12);
+}
+
+TEST(DelayModel, MonotoneDecreasingInVoltage) {
+    DelayModel d{};
+    double prev = d.factor(0.45);
+    for (double v = 0.47; v <= 1.2; v += 0.02) {
+        const double f = d.factor(v);
+        EXPECT_LT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(DelayModel, ClampedNearThreshold) {
+    DelayModel d{};
+    const double at_vth = d.factor(d.vth);
+    const double below = d.factor(d.vth - 0.2);
+    EXPECT_TRUE(std::isfinite(at_vth));
+    EXPECT_DOUBLE_EQ(at_vth, below); // clamped to the same ceiling
+}
+
+class DelayInverseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DelayInverseTest, VoltageForFactorIsInverse) {
+    DelayModel d{};
+    const double v = GetParam();
+    const double f = d.factor(v);
+    EXPECT_NEAR(d.voltage_for_factor(f), v, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(VoltageSweep, DelayInverseTest,
+                         ::testing::Values(0.99, 0.97, 0.95, 0.92, 0.88, 0.80, 0.70,
+                                           0.60, 0.50));
+
+TEST(DelayModel, InverseOfSubUnityFactorIsNominal) {
+    DelayModel d{};
+    EXPECT_DOUBLE_EQ(d.voltage_for_factor(0.5), d.vdd);
+}
+
+} // namespace
+} // namespace deepstrike::pdn

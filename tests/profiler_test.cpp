@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "attack/profiler.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace deepstrike::attack {
+namespace {
+
+/// Builds a synthetic readout trace: baseline with Gaussian noise, with
+/// rectangular activity dips described by (start, length, depth).
+struct Burst {
+    std::size_t start;
+    std::size_t length;
+    double depth;
+};
+
+std::vector<std::uint8_t> synthetic_trace(std::size_t total, double baseline,
+                                          const std::vector<Burst>& bursts,
+                                          double noise_sigma, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> trace(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        double level = baseline;
+        for (const Burst& b : bursts) {
+            if (i >= b.start && i < b.start + b.length) level = baseline - b.depth;
+        }
+        const double noisy = level + rng.normal(0.0, noise_sigma);
+        trace[i] = static_cast<std::uint8_t>(
+            std::clamp(noisy, 0.0, 128.0) + 0.5);
+    }
+    return trace;
+}
+
+TEST(Profiler, FindsSingleSegment) {
+    const auto trace = synthetic_trace(20000, 89.0, {{5000, 6000, 4.0}}, 0.5, 1);
+    const Profile p = profile_trace(trace);
+    EXPECT_NEAR(p.baseline, 89.0, 1.0);
+    ASSERT_EQ(p.segments.size(), 1u);
+    EXPECT_NEAR(static_cast<double>(p.segments[0].start_sample), 5000.0, 100.0);
+    EXPECT_NEAR(static_cast<double>(p.segments[0].end_sample), 11000.0, 100.0);
+    EXPECT_NEAR(p.segments[0].depth, 4.0, 0.6);
+}
+
+TEST(Profiler, SeparatesSegmentsAcrossStalls) {
+    const auto trace = synthetic_trace(
+        40000, 89.0,
+        {{2000, 5000, 3.0}, {9000, 1000, 1.0}, {12000, 8000, 3.0}, {22000, 15000, 1.8}},
+        0.5, 2);
+    const Profile p = profile_trace(trace);
+    ASSERT_EQ(p.segments.size(), 4u);
+    EXPECT_EQ(p.segments[0].guess, LayerClass::Convolution);
+    EXPECT_EQ(p.segments[1].guess, LayerClass::Pooling);
+    EXPECT_EQ(p.segments[2].guess, LayerClass::Convolution);
+    EXPECT_EQ(p.segments[3].guess, LayerClass::FullyConnected); // by depth band
+}
+
+TEST(Profiler, VeryLongSegmentClassifiedFcByDuration) {
+    const auto trace = synthetic_trace(40000, 89.0, {{4000, 30000, 1.8}}, 0.5, 3);
+    const Profile p = profile_trace(trace);
+    ASSERT_EQ(p.segments.size(), 1u);
+    EXPECT_EQ(p.segments[0].guess, LayerClass::FullyConnected);
+}
+
+TEST(Profiler, IgnoresShortBlips) {
+    // A 20-sample dip is below min_segment_samples and must be dropped.
+    const auto trace = synthetic_trace(10000, 89.0, {{5000, 20, 5.0}}, 0.3, 4);
+    const Profile p = profile_trace(trace);
+    EXPECT_TRUE(p.segments.empty());
+}
+
+TEST(Profiler, NoiseAloneYieldsNoSegments) {
+    const auto trace = synthetic_trace(30000, 89.0, {}, 0.5, 5);
+    const Profile p = profile_trace(trace);
+    EXPECT_TRUE(p.segments.empty());
+}
+
+TEST(Profiler, BridgesShortIdleGapsWithinLayer) {
+    // Two bursts separated by an 80-sample gap (< min_stall_samples) merge.
+    const auto trace = synthetic_trace(20000, 89.0,
+                                       {{5000, 1000, 3.0}, {6080, 1000, 3.0}}, 0.4, 6);
+    const Profile p = profile_trace(trace);
+    ASSERT_EQ(p.segments.size(), 1u);
+    EXPECT_GT(p.segments[0].duration_samples(), 1900u);
+}
+
+TEST(Profiler, EmptyTraceThrows) {
+    std::vector<std::uint8_t> empty;
+    EXPECT_THROW(profile_trace(empty), ContractError);
+}
+
+TEST(Profiler, ProfileToStringListsSegments) {
+    const auto trace = synthetic_trace(20000, 89.0, {{5000, 6000, 4.0}}, 0.5, 7);
+    const Profile p = profile_trace(trace);
+    const std::string text = p.to_string();
+    EXPECT_NE(text.find("baseline"), std::string::npos);
+    EXPECT_NE(text.find("convolution"), std::string::npos);
+}
+
+TEST(PlanAttack, ConvertsSamplesToCycles) {
+    ProfiledSegment seg;
+    seg.start_sample = 2000;
+    seg.end_sample = 4000;
+    // Trigger fired at sample 1000; 2 samples per cycle.
+    const AttackScheme s = plan_attack(seg, 1000, 2.0, 100);
+    EXPECT_EQ(s.attack_delay_cycles, 500u);  // (2000-1000)/2
+    EXPECT_EQ(s.num_strikes, 100u);
+    EXPECT_EQ(s.strike_cycles, 1u);
+    // 1000 cycles of window, 100 strike cycles -> gap (1000-100)/99 = 9.
+    EXPECT_EQ(s.gap_cycles, 9u);
+}
+
+TEST(PlanAttack, TriggerAfterSegmentStartClampsDelayToZero) {
+    ProfiledSegment seg;
+    seg.start_sample = 500;
+    seg.end_sample = 1500;
+    const AttackScheme s = plan_attack(seg, 800, 2.0, 10);
+    EXPECT_EQ(s.attack_delay_cycles, 0u);
+}
+
+TEST(PlanAttack, DensePackingHasZeroGap) {
+    ProfiledSegment seg;
+    seg.start_sample = 0;
+    seg.end_sample = 200; // 100 cycles
+    const AttackScheme s = plan_attack(seg, 0, 2.0, 150);
+    EXPECT_EQ(s.gap_cycles, 0u);
+}
+
+TEST(PlanAttack, Validation) {
+    ProfiledSegment seg;
+    seg.start_sample = 10;
+    seg.end_sample = 10;
+    EXPECT_THROW(plan_attack(seg, 0, 2.0, 5), ContractError); // empty segment
+    seg.end_sample = 20;
+    EXPECT_THROW(plan_attack(seg, 0, 2.0, 0), ContractError); // no strikes
+    EXPECT_THROW(plan_attack(seg, 0, 0.0, 5), ContractError); // bad rate
+}
+
+TEST(LayerClassNames, AllDistinct) {
+    EXPECT_STRNE(layer_class_name(LayerClass::Pooling),
+                 layer_class_name(LayerClass::Convolution));
+    EXPECT_STRNE(layer_class_name(LayerClass::Convolution),
+                 layer_class_name(LayerClass::FullyConnected));
+    EXPECT_STRNE(layer_class_name(LayerClass::Unknown),
+                 layer_class_name(LayerClass::Pooling));
+}
+
+} // namespace
+} // namespace deepstrike::attack

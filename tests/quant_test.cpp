@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/qlenet.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::quant {
+namespace {
+
+using deepstrike::testing::random_qimage;
+using deepstrike::testing::random_qtensor;
+using fx::Q3_4;
+
+TEST(Quantize, LeNetWeightShapes) {
+    Rng rng(1);
+    nn::LeNet net = nn::build_lenet(rng);
+    const QLeNetWeights w = quantize_lenet(net);
+    EXPECT_EQ(w.conv1_w.shape(), Shape({6, 1, 5, 5}));
+    EXPECT_EQ(w.conv1_b.shape(), Shape({6}));
+    EXPECT_EQ(w.conv2_w.shape(), Shape({16, 6, 5, 5}));
+    EXPECT_EQ(w.fc1_w.shape(), Shape({120, 1024}));
+    EXPECT_EQ(w.fc2_w.shape(), Shape({10, 120}));
+}
+
+TEST(Quantize, WeightsMatchFloatWithinLsb) {
+    Rng rng(2);
+    nn::LeNet net = nn::build_lenet(rng);
+    const QLeNetWeights w = quantize_lenet(net);
+    const auto& fw = net.handles.conv1->weight().value;
+    for (std::size_t i = 0; i < fw.size(); ++i) {
+        EXPECT_NEAR(w.conv1_w.at_unchecked(i).to_real(), fw.at_unchecked(i),
+                    Q3_4::resolution() / 2 + 1e-6);
+    }
+}
+
+TEST(QConv2d, MatchesFloatConvolutionWithinTolerance) {
+    Rng rng(3);
+    const QTensor input = random_qtensor(Shape{2, 6, 6}, rng, 1.0);
+    const QTensor weight = random_qtensor(Shape{3, 2, 3, 3}, rng, 0.5);
+    const QTensor bias = random_qtensor(Shape{3}, rng, 0.25);
+
+    const QTensor out = qconv2d(input, weight, bias, /*apply_tanh=*/false);
+    EXPECT_EQ(out.shape(), Shape({3, 4, 4}));
+
+    // Float reference on the dequantized operands: the fixed-point result
+    // must match within one output LSB (single rounding at writeback).
+    for (std::size_t oc = 0; oc < 3; ++oc) {
+        for (std::size_t r = 0; r < 4; ++r) {
+            for (std::size_t c = 0; c < 4; ++c) {
+                double acc = bias.at(oc).to_real();
+                for (std::size_t ic = 0; ic < 2; ++ic) {
+                    for (std::size_t kr = 0; kr < 3; ++kr) {
+                        for (std::size_t kc = 0; kc < 3; ++kc) {
+                            acc += input.at(ic, r + kr, c + kc).to_real() *
+                                   weight.at(oc, ic, kr, kc).to_real();
+                        }
+                    }
+                }
+                if (std::abs(acc) < 7.5) {
+                    EXPECT_NEAR(out.at(oc, r, c).to_real(), acc,
+                                Q3_4::resolution() / 2 + 1e-9);
+                }
+            }
+        }
+    }
+}
+
+TEST(QConv2d, TanhApplied) {
+    Rng rng(4);
+    const QTensor input = random_qtensor(Shape{1, 4, 4}, rng, 2.0);
+    const QTensor weight = random_qtensor(Shape{1, 1, 3, 3}, rng, 1.0);
+    QTensor bias(Shape{1});
+    const QTensor out = qconv2d(input, weight, bias, /*apply_tanh=*/true);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_LE(std::abs(out.at_unchecked(i).to_real()), 1.0);
+    }
+}
+
+TEST(QConv2d, ValidatesShapes) {
+    Rng rng(5);
+    const QTensor input = random_qtensor(Shape{2, 6, 6}, rng);
+    const QTensor weight = random_qtensor(Shape{3, 4, 3, 3}, rng); // wrong in_c
+    const QTensor bias = random_qtensor(Shape{3}, rng);
+    EXPECT_THROW(qconv2d(input, weight, bias, false), ContractError);
+}
+
+TEST(QMaxPool2, SelectsMaximum) {
+    QTensor input(Shape{1, 2, 2});
+    input.at(0, 0, 0) = Q3_4::from_real(0.5);
+    input.at(0, 0, 1) = Q3_4::from_real(-1.0);
+    input.at(0, 1, 0) = Q3_4::from_real(2.0);
+    input.at(0, 1, 1) = Q3_4::from_real(0.0);
+    const QTensor out = qmaxpool2(input);
+    EXPECT_EQ(out.shape(), Shape({1, 1, 1}));
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0).to_real(), 2.0);
+}
+
+TEST(QMaxPool2, OddDimsThrow) {
+    QTensor input(Shape{1, 3, 4});
+    EXPECT_THROW(qmaxpool2(input), ContractError);
+}
+
+TEST(QDense, MatchesFloatWithinTolerance) {
+    Rng rng(6);
+    const QTensor input = random_qtensor(Shape{8}, rng, 1.0);
+    const QTensor weight = random_qtensor(Shape{4, 8}, rng, 0.5);
+    const QTensor bias = random_qtensor(Shape{4}, rng, 0.25);
+    const QTensor out = qdense(input, weight, bias, false);
+    for (std::size_t o = 0; o < 4; ++o) {
+        double acc = bias.at(o).to_real();
+        for (std::size_t i = 0; i < 8; ++i) {
+            acc += input.at(i).to_real() * weight.at(o, i).to_real();
+        }
+        if (std::abs(acc) < 7.5) {
+            EXPECT_NEAR(out.at(o).to_real(), acc, Q3_4::resolution() / 2 + 1e-9);
+        }
+    }
+}
+
+TEST(QDense, FeatureMismatchThrows) {
+    Rng rng(7);
+    const QTensor input = random_qtensor(Shape{9}, rng);
+    const QTensor weight = random_qtensor(Shape{4, 8}, rng);
+    const QTensor bias = random_qtensor(Shape{4}, rng);
+    EXPECT_THROW(qdense(input, weight, bias, false), ContractError);
+}
+
+TEST(QLeNetReference, ForwardShapes) {
+    const QLeNetReference ref(deepstrike::testing::random_qweights(8));
+    const QLeNetActivations acts = ref.forward(random_qimage(9));
+    EXPECT_EQ(acts.conv1_out.shape(), Shape({6, 24, 24}));
+    EXPECT_EQ(acts.pool1_out.shape(), Shape({6, 12, 12}));
+    EXPECT_EQ(acts.conv2_out.shape(), Shape({16, 8, 8}));
+    EXPECT_EQ(acts.fc1_out.shape(), Shape({120}));
+    EXPECT_EQ(acts.logits.shape(), Shape({10}));
+}
+
+TEST(QLeNetReference, Deterministic) {
+    const QLeNetReference ref(deepstrike::testing::random_qweights(10));
+    const QTensor img = random_qimage(11);
+    EXPECT_EQ(ref.forward(img).logits, ref.forward(img).logits);
+}
+
+TEST(QLeNetReference, RejectsWrongInputShape) {
+    const QLeNetReference ref(deepstrike::testing::random_qweights(12));
+    QTensor bad(Shape{1, 27, 28});
+    EXPECT_THROW(ref.forward(bad), ContractError);
+}
+
+TEST(QLeNetReference, QuantizedTracksFloatModel) {
+    // Train a tiny model on easy data; the quantized network must agree
+    // with the float network on a clear majority of samples.
+    data::AugmentParams mild;
+    mild.noise_sigma = 0.03;
+    mild.max_shift_px = 1.0;
+    auto ds = data::make_datasets(321, 120, 40, mild);
+
+    Rng rng(13);
+    nn::LeNet net = nn::build_lenet(rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch_size = 12;
+    nn::train(net.model, ds.train, cfg);
+
+    const QLeNetReference ref(quantize_lenet(net));
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < ds.test.size(); ++i) {
+        const std::size_t fpred = argmax(net.model.forward(ds.test.images[i]));
+        if (fpred == ref.predict(ds.test.images[i])) ++agree;
+    }
+    EXPECT_GE(agree, ds.test.size() * 8 / 10);
+}
+
+} // namespace
+} // namespace deepstrike::quant

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "accel/schedule.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::accel {
+namespace {
+
+TEST(Schedule, SegmentOrderMatchesLeNet) {
+    const Schedule s = build_lenet_schedule(AccelConfig::pynq_z1());
+    // stall, CONV1, stall, POOL1, stall, CONV2, stall, FC1, stall, FC2, stall
+    ASSERT_EQ(s.segments.size(), 11u);
+    EXPECT_EQ(s.segments[1].kind, SegmentKind::Conv);
+    EXPECT_EQ(s.segments[1].label, "CONV1");
+    EXPECT_EQ(s.segments[3].kind, SegmentKind::Pool);
+    EXPECT_EQ(s.segments[3].label, "POOL1");
+    EXPECT_EQ(s.segments[5].kind, SegmentKind::Conv);
+    EXPECT_EQ(s.segments[5].label, "CONV2");
+    EXPECT_EQ(s.segments[7].kind, SegmentKind::Dense);
+    EXPECT_EQ(s.segments[7].label, "FC1");
+    EXPECT_EQ(s.segments[9].kind, SegmentKind::Dense);
+    EXPECT_EQ(s.segments[9].label, "FC2");
+    for (std::size_t i = 0; i < s.segments.size(); i += 2) {
+        EXPECT_EQ(s.segments[i].kind, SegmentKind::Stall);
+    }
+}
+
+TEST(Schedule, SegmentsAreContiguous) {
+    const Schedule s = build_lenet_schedule(AccelConfig::pynq_z1());
+    std::size_t cursor = 0;
+    for (const LayerSegment& seg : s.segments) {
+        EXPECT_EQ(seg.start_cycle, cursor);
+        cursor = seg.end_cycle();
+    }
+    EXPECT_EQ(cursor, s.total_cycles);
+}
+
+TEST(Schedule, OpCountsMatchLeNetGeometry) {
+    const Schedule s = build_lenet_schedule(AccelConfig::pynq_z1());
+    EXPECT_EQ(s.segment_for("CONV1").total_ops, 86400u);
+    EXPECT_EQ(s.segment_for("POOL1").total_ops, 3456u);
+    EXPECT_EQ(s.segment_for("CONV2").total_ops, 153600u);
+    EXPECT_EQ(s.segment_for("FC1").total_ops, 122880u);
+    EXPECT_EQ(s.segment_for("FC2").total_ops, 1200u);
+}
+
+TEST(Schedule, PaperLayerDurationOrdering) {
+    // Sec. IV: FC1 takes the longest; CONV2 is larger and takes longer
+    // than CONV1.
+    const Schedule s = build_lenet_schedule(AccelConfig::pynq_z1());
+    const std::size_t conv1 = s.segment_for("CONV1").cycles;
+    const std::size_t conv2 = s.segment_for("CONV2").cycles;
+    const std::size_t fc1 = s.segment_for("FC1").cycles;
+    const std::size_t pool1 = s.segment_for("POOL1").cycles;
+    EXPECT_GT(fc1, conv2);
+    EXPECT_GT(conv2, conv1);
+    EXPECT_GT(conv1, pool1);
+}
+
+TEST(Schedule, SegmentAtLookup) {
+    const Schedule s = build_lenet_schedule(AccelConfig::pynq_z1());
+    const LayerSegment& conv1 = s.segment_for("CONV1");
+    EXPECT_EQ(s.segment_at(conv1.start_cycle), &conv1);
+    EXPECT_EQ(s.segment_at(conv1.end_cycle() - 1), &conv1);
+    EXPECT_EQ(s.segment_at(s.total_cycles), nullptr);
+}
+
+TEST(Schedule, SegmentForMissingKindThrows) {
+    Schedule empty;
+    EXPECT_THROW(empty.segment_for("CONV1"), ContractError);
+}
+
+TEST(Schedule, UsesDspFlags) {
+    EXPECT_TRUE(segment_uses_dsp(SegmentKind::Conv));
+    EXPECT_TRUE(segment_uses_dsp(SegmentKind::Dense));
+    EXPECT_FALSE(segment_uses_dsp(SegmentKind::Pool));
+    EXPECT_FALSE(segment_uses_dsp(SegmentKind::Stall));
+}
+
+TEST(Schedule, Conv1Underutilization) {
+    const AccelConfig cfg = AccelConfig::pynq_z1();
+    const Schedule s = build_lenet_schedule(cfg);
+    EXPECT_EQ(s.segment_for("CONV1").ops_per_cycle,
+              cfg.macs_per_cycle_conv1());
+    EXPECT_EQ(s.segment_for("CONV2").ops_per_cycle,
+              cfg.macs_per_cycle_conv());
+    EXPECT_LT(cfg.macs_per_cycle_conv1(), cfg.macs_per_cycle_conv());
+}
+
+TEST(ActivityTrace, CoversScheduleAndIsNonNegative) {
+    const AccelConfig cfg = AccelConfig::pynq_z1();
+    const Schedule s = build_lenet_schedule(cfg);
+    const auto trace = activity_current_trace(s, cfg);
+    ASSERT_EQ(trace.size(), s.total_cycles);
+    for (double i : trace) EXPECT_GE(i, cfg.i_accel_static_a - 1e-12);
+}
+
+TEST(ActivityTrace, LayerCurrentOrdering) {
+    // Mid-segment (past the ramps): conv draws more than FC, FC more than
+    // pool, pool more than stall.
+    const AccelConfig cfg = AccelConfig::pynq_z1();
+    const Schedule s = build_lenet_schedule(cfg);
+    const auto trace = activity_current_trace(s, cfg);
+
+    auto mid = [&](const std::string& label) {
+        const LayerSegment& seg = s.segment_for(label);
+        return trace[seg.start_cycle + seg.cycles / 2];
+    };
+    const double stall = trace[s.segments[0].start_cycle + 10];
+    EXPECT_GT(mid("CONV2"), mid("FC1"));
+    EXPECT_GT(mid("FC1"), mid("POOL1"));
+    EXPECT_GT(mid("POOL1"), stall);
+}
+
+TEST(ActivityTrace, ConvLayersDrawFullArrayPower) {
+    // Conv1 underutilizes issue slots but clocks the whole array: its
+    // mid-segment current equals conv2's.
+    const AccelConfig cfg = AccelConfig::pynq_z1();
+    const Schedule s = build_lenet_schedule(cfg);
+    const auto trace = activity_current_trace(s, cfg);
+    const LayerSegment& c1 = s.segment_for("CONV1");
+    const LayerSegment& c2 = s.segment_for("CONV2");
+    EXPECT_NEAR(trace[c1.start_cycle + c1.cycles / 2],
+                trace[c2.start_cycle + c2.cycles / 2], 1e-12);
+}
+
+TEST(ActivityTrace, RampsAtSegmentEdges) {
+    const AccelConfig cfg = AccelConfig::pynq_z1();
+    const Schedule s = build_lenet_schedule(cfg);
+    const auto trace = activity_current_trace(s, cfg);
+    const LayerSegment& conv2 = s.segment_for("CONV2");
+    // First cycle of the segment draws much less than mid-segment.
+    EXPECT_LT(trace[conv2.start_cycle] - cfg.i_accel_static_a,
+              0.2 * (trace[conv2.start_cycle + conv2.cycles / 2] -
+                     cfg.i_accel_static_a));
+    // Monotone ramp over the first ramp window.
+    for (std::size_t c = conv2.start_cycle + 1;
+         c < conv2.start_cycle + cfg.activity_ramp_cycles; ++c) {
+        EXPECT_GE(trace[c], trace[c - 1] - 1e-12);
+    }
+}
+
+TEST(Schedule, ToStringMentionsAllLayers) {
+    const Schedule s = build_lenet_schedule(AccelConfig::pynq_z1());
+    const std::string text = s.to_string(100e6);
+    for (const char* name : {"CONV1", "POOL1", "CONV2", "FC1", "FC2"}) {
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+    }
+}
+
+} // namespace
+} // namespace deepstrike::accel

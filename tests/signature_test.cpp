@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "attack/signature.hpp"
+#include "sim/experiment.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::attack {
+namespace {
+
+/// Synthetic readout trace with one rectangular activity dip.
+std::vector<std::uint8_t> dip_trace(std::size_t total, std::size_t start,
+                                    std::size_t len, double depth, double noise,
+                                    std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> t(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        double level = 89.0;
+        if (i >= start && i < start + len) level -= depth;
+        t[i] = static_cast<std::uint8_t>(
+            std::clamp(level + rng.normal(0.0, noise), 0.0, 128.0) + 0.5);
+    }
+    return t;
+}
+
+ProfiledSegment make_segment(std::size_t start, std::size_t len) {
+    ProfiledSegment seg;
+    seg.start_sample = start;
+    seg.end_sample = start + len;
+    return seg;
+}
+
+TEST(Signature, ExtractBasics) {
+    const auto trace = dip_trace(10000, 3000, 2000, 4.0, 0.0, 1);
+    const LayerSignature sig =
+        extract_signature(trace, make_segment(3000, 2000), 89.0, "CONV_X");
+    EXPECT_EQ(sig.label, "CONV_X");
+    EXPECT_EQ(sig.duration_samples, 2000u);
+    EXPECT_NEAR(sig.mean_depth, 4.0, 0.1);
+    ASSERT_EQ(sig.envelope.size(), kSignatureBins);
+    for (double e : sig.envelope) EXPECT_NEAR(e, 4.0, 0.5);
+}
+
+TEST(Signature, ExtractValidatesBounds) {
+    const auto trace = dip_trace(100, 10, 20, 3.0, 0.0, 2);
+    EXPECT_THROW(extract_signature(trace, make_segment(90, 20), 89.0), ContractError);
+    EXPECT_THROW(extract_signature(trace, make_segment(50, 0), 89.0), ContractError);
+}
+
+TEST(Signature, DistanceZeroForSelf) {
+    const auto trace = dip_trace(10000, 3000, 2000, 4.0, 0.3, 3);
+    const LayerSignature sig =
+        extract_signature(trace, make_segment(3000, 2000), 89.0);
+    EXPECT_NEAR(signature_distance(sig, sig), 0.0, 1e-12);
+}
+
+TEST(Signature, DistanceSeparatesDepthAndDuration) {
+    const auto shallow_short = dip_trace(20000, 1000, 800, 1.5, 0.2, 4);
+    const auto deep_long = dip_trace(20000, 1000, 8000, 4.0, 0.2, 5);
+
+    const LayerSignature a =
+        extract_signature(shallow_short, make_segment(1000, 800), 89.0);
+    const LayerSignature b =
+        extract_signature(deep_long, make_segment(1000, 8000), 89.0);
+    const LayerSignature a2 =
+        extract_signature(dip_trace(20000, 1000, 800, 1.5, 0.2, 6),
+                          make_segment(1000, 800), 89.0);
+
+    EXPECT_LT(signature_distance(a, a2), signature_distance(a, b));
+}
+
+TEST(Signature, LibraryClassifiesNearest) {
+    SignatureLibrary lib;
+    const auto conv_trace = dip_trace(20000, 1000, 4000, 4.0, 0.3, 7);
+    LayerSignature conv =
+        extract_signature(conv_trace, make_segment(1000, 4000), 89.0, "CONV");
+    lib.add(conv);
+    const auto pool_trace = dip_trace(20000, 1000, 500, 1.0, 0.3, 8);
+    lib.add(extract_signature(pool_trace, make_segment(1000, 500), 89.0, "POOL"));
+
+    // A fresh conv-like probe with different noise matches CONV.
+    const auto probe_trace = dip_trace(20000, 2000, 4200, 3.9, 0.3, 9);
+    const LayerSignature probe =
+        extract_signature(probe_trace, make_segment(2000, 4200), 89.0);
+    const auto match = lib.classify(probe);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->signature->label, "CONV");
+}
+
+TEST(Signature, ClassifyRespectsMaxDistance) {
+    SignatureLibrary lib;
+    const auto trace = dip_trace(20000, 1000, 4000, 4.0, 0.0, 10);
+    lib.add(extract_signature(trace, make_segment(1000, 4000), 89.0, "CONV"));
+
+    const auto far_trace = dip_trace(20000, 1000, 100, 0.2, 0.0, 11);
+    const LayerSignature probe =
+        extract_signature(far_trace, make_segment(1000, 100), 89.0);
+    EXPECT_FALSE(lib.classify(probe, 0.5).has_value());
+    EXPECT_TRUE(lib.classify(probe, 1e9).has_value());
+}
+
+TEST(Signature, EmptyLibraryReturnsNothing) {
+    SignatureLibrary lib;
+    const auto trace = dip_trace(1000, 100, 200, 2.0, 0.0, 12);
+    const LayerSignature probe =
+        extract_signature(trace, make_segment(100, 200), 89.0);
+    EXPECT_FALSE(lib.classify(probe).has_value());
+}
+
+TEST(Signature, CrossRunRecognitionOnThePlatform) {
+    // Build a library from one profiling run; re-profile with a different
+    // TDC noise seed; every segment must match its own label.
+    sim::Platform platform(sim::PlatformConfig{},
+                           deepstrike::testing::random_qweights(41));
+    const sim::ProfilingRun first = sim::run_profiling(platform);
+    ASSERT_EQ(first.profile.segments.size(), 5u);
+    const std::vector<std::string> labels = {"CONV1", "POOL1", "CONV2", "FC1", "FC2"};
+    const SignatureLibrary lib = SignatureLibrary::from_profile(
+        first.cosim.tdc_readouts, first.profile, labels);
+    EXPECT_EQ(lib.size(), 5u);
+
+    sim::PlatformConfig cfg2;
+    cfg2.tdc_noise_seed = 12345;
+    sim::Platform platform2(cfg2, deepstrike::testing::random_qweights(41));
+    const sim::ProfilingRun second = sim::run_profiling(platform2);
+    ASSERT_EQ(second.profile.segments.size(), 5u);
+
+    for (std::size_t i = 0; i < 5; ++i) {
+        const LayerSignature probe = extract_signature(
+            second.cosim.tdc_readouts, second.profile.segments[i],
+            second.profile.baseline);
+        const auto match = lib.classify(probe);
+        ASSERT_TRUE(match.has_value());
+        EXPECT_EQ(match->signature->label, labels[i]) << "segment " << i;
+    }
+}
+
+TEST(Signature, FromProfileValidatesLabelCount) {
+    const auto trace = dip_trace(20000, 1000, 4000, 4.0, 0.2, 13);
+    const Profile profile = profile_trace(trace);
+    ASSERT_EQ(profile.segments.size(), 1u);
+    EXPECT_THROW(SignatureLibrary::from_profile(trace, profile, {"A", "B"}),
+                 ContractError);
+}
+
+} // namespace
+} // namespace deepstrike::attack

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/platform.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+namespace {
+
+using deepstrike::testing::random_qweights;
+
+Platform make_platform(std::uint64_t weight_seed = 1) {
+    return Platform(PlatformConfig{}, random_qweights(weight_seed));
+}
+
+TEST(Platform, ConfigConsistencyEnforced) {
+    PlatformConfig cfg;
+    cfg.pdn.dt_s = 2e-9; // does not match 10 ticks per 10 ns cycle
+    EXPECT_THROW(Platform(cfg, random_qweights(1)), ContractError);
+
+    cfg = PlatformConfig{};
+    cfg.tdc_sample_ticks = {2, 12}; // beyond ticks_per_cycle
+    EXPECT_THROW(Platform(cfg, random_qweights(1)), ContractError);
+}
+
+TEST(Platform, CosimTraceDimensions) {
+    Platform platform = make_platform();
+    NoAttackSource source;
+    const CosimResult r = platform.simulate_inference(source);
+    const std::size_t cycles = platform.engine().schedule().total_cycles;
+    EXPECT_EQ(r.capture_v.size(), cycles * 2);
+    EXPECT_EQ(r.min_v_per_cycle.size(), cycles);
+    EXPECT_EQ(r.tdc_readouts.size(), cycles * 2);
+    EXPECT_EQ(r.strike_cycles, 0u);
+    EXPECT_TRUE(r.tick_voltage.empty());
+}
+
+TEST(Platform, TickVoltageRecordingOptIn) {
+    Platform platform = make_platform();
+    NoAttackSource source;
+    const CosimResult r = platform.simulate_inference(source, true);
+    EXPECT_EQ(r.tick_voltage.size(),
+              platform.engine().schedule().total_cycles *
+                  platform.config().ticks_per_cycle);
+}
+
+TEST(Platform, CosimDeterministic) {
+    Platform platform = make_platform();
+    NoAttackSource s1;
+    NoAttackSource s2;
+    const CosimResult a = platform.simulate_inference(s1);
+    const CosimResult b = platform.simulate_inference(s2);
+    EXPECT_EQ(a.tdc_readouts, b.tdc_readouts);
+    EXPECT_EQ(a.capture_v, b.capture_v);
+}
+
+TEST(Platform, VoltageStaysBelowNominalAndAboveFloor) {
+    Platform platform = make_platform();
+    NoAttackSource source;
+    const CosimResult r = platform.simulate_inference(source);
+    for (double v : r.capture_v) {
+        EXPECT_LT(v, platform.config().pdn.vdd);
+        EXPECT_GT(v, 0.9);
+    }
+}
+
+TEST(Platform, ConvSegmentsDroopDeeperThanStalls) {
+    Platform platform = make_platform();
+    NoAttackSource source;
+    const CosimResult r = platform.simulate_inference(source);
+    const auto& sched = platform.engine().schedule();
+    const auto& conv2 = sched.segment_for("CONV2");
+
+    double conv_min = 2.0;
+    for (std::size_t c = conv2.start_cycle; c < conv2.end_cycle(); ++c) {
+        conv_min = std::min(conv_min, r.min_v_per_cycle[c]);
+    }
+    double stall_min = 2.0;
+    for (std::size_t c = 5; c < sched.segments[0].end_cycle(); ++c) {
+        stall_min = std::min(stall_min, r.min_v_per_cycle[c]);
+    }
+    EXPECT_LT(conv_min, stall_min - 0.005);
+}
+
+TEST(Platform, CleanCosimTraceCausesNoFaults) {
+    Platform platform = make_platform();
+    NoAttackSource source;
+    const CosimResult r = platform.simulate_inference(source);
+    Rng rng(1);
+    const accel::RunResult run =
+        platform.infer(deepstrike::testing::random_qimage(3), &r.capture_v, rng);
+    EXPECT_EQ(run.faults_total.total(), 0u);
+}
+
+TEST(Profiling, DetectorFiresNearConv1Start) {
+    Platform platform = make_platform();
+    const ProfilingRun run = run_profiling(platform);
+    EXPECT_TRUE(run.detector_fired);
+
+    const auto& conv1 = platform.engine().schedule().segment_for("CONV1");
+    const std::size_t conv1_start_sample = conv1.start_cycle * 2;
+    EXPECT_GE(run.trigger_sample, conv1_start_sample);
+    // Fires within the activity ramp (a few hundred samples).
+    EXPECT_LE(run.trigger_sample, conv1_start_sample + 400);
+}
+
+TEST(Profiling, FindsAllFiveLayers) {
+    Platform platform = make_platform();
+    const ProfilingRun run = run_profiling(platform);
+    ASSERT_EQ(run.profile.segments.size(), 5u);
+    EXPECT_EQ(run.profile.segments[0].guess, attack::LayerClass::Convolution);
+    EXPECT_EQ(run.profile.segments[1].guess, attack::LayerClass::Pooling);
+    EXPECT_EQ(run.profile.segments[2].guess, attack::LayerClass::Convolution);
+    EXPECT_EQ(run.profile.segments[3].guess, attack::LayerClass::FullyConnected);
+    // Segment boundaries track the schedule (in TDC samples = 2/cycle).
+    const auto& sched = platform.engine().schedule();
+    EXPECT_NEAR(
+        static_cast<double>(run.profile.segments[2].start_sample),
+        static_cast<double>(sched.segment_for("CONV2").start_cycle * 2),
+        300.0);
+}
+
+TEST(GuidedAttack, StrikesLandInsideTargetSegment) {
+    Platform platform = make_platform();
+    const ProfilingRun prof = run_profiling(platform);
+    ASSERT_GE(prof.profile.segments.size(), 3u);
+
+    const auto& target = prof.profile.segments[2]; // conv2
+    const attack::AttackScheme scheme = attack::plan_attack(
+        target, prof.trigger_sample, platform.config().samples_per_cycle(), 200);
+    const accel::VoltageTrace trace =
+        guided_attack_trace(platform, attack::DetectorConfig{}, scheme);
+
+    // Strike dips below the conv-safe voltage only within (or just after)
+    // the conv2 segment.
+    const auto& sched = platform.engine().schedule();
+    const auto& conv2 = sched.segment_for("CONV2");
+    const double safe = platform.engine().conv_safe_voltage();
+    std::size_t dips_inside = 0;
+    std::size_t dips_outside = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i] >= safe) continue;
+        const std::size_t cycle = i / 2;
+        if (cycle >= conv2.start_cycle && cycle < conv2.end_cycle() + 64) ++dips_inside;
+        else ++dips_outside;
+    }
+    EXPECT_GT(dips_inside, 100u);
+    EXPECT_EQ(dips_outside, 0u);
+}
+
+TEST(BlindAttack, TracesDiffer) {
+    Platform platform = make_platform();
+    attack::AttackScheme scheme;
+    scheme.num_strikes = 100;
+    scheme.gap_cycles = 10;
+    const auto traces = blind_attack_traces(platform, scheme, 3, 7);
+    ASSERT_EQ(traces.size(), 3u);
+    EXPECT_NE(traces[0], traces[1]);
+    EXPECT_NE(traces[1], traces[2]);
+}
+
+TEST(EvaluateAccuracy, CleanMatchesGoldenPredictions) {
+    Platform platform = make_platform();
+    auto ds = data::make_datasets(5, 1, 30);
+    const AccuracyResult clean = evaluate_accuracy(platform, ds.test, 30, nullptr, 1);
+    EXPECT_EQ(clean.images, 30u);
+    EXPECT_EQ(clean.faults.total(), 0u);
+
+    const quant::QNetwork& golden = platform.engine().network();
+    std::size_t golden_correct = 0;
+    for (std::size_t i = 0; i < 30; ++i) {
+        if (golden.predict(ds.test.images[i]) == ds.test.labels[i]) ++golden_correct;
+    }
+    EXPECT_DOUBLE_EQ(clean.accuracy, golden_correct / 30.0);
+}
+
+TEST(DspRig, FaultRateMonotoneInCells) {
+    DspRigConfig cfg;
+    cfg.trials = 1500;
+    double prev = -1.0;
+    for (std::size_t cells : {4000UL, 10000UL, 16000UL, 22000UL}) {
+        const DspRigResult r = run_dsp_characterization(cells, cfg);
+        EXPECT_GE(r.total_rate(), prev - 0.02) << cells;
+        prev = r.total_rate();
+    }
+    EXPECT_GT(prev, 0.5);
+}
+
+TEST(DspRig, NearZeroAtFewCellsNearFullAt24k) {
+    DspRigConfig cfg;
+    cfg.trials = 1500;
+    EXPECT_LT(run_dsp_characterization(2000, cfg).total_rate(), 0.02);
+    EXPECT_GT(run_dsp_characterization(24000, cfg).total_rate(), 0.95);
+}
+
+TEST(DspRig, DuplicationPeaksMidRange) {
+    DspRigConfig cfg;
+    cfg.trials = 3000;
+    const double dup_low = run_dsp_characterization(8000, cfg).duplication_rate;
+    const double dup_mid = run_dsp_characterization(15000, cfg).duplication_rate;
+    const double dup_high = run_dsp_characterization(24000, cfg).duplication_rate;
+    EXPECT_GT(dup_mid, dup_low);
+    EXPECT_GT(dup_mid, dup_high);
+}
+
+TEST(DspRig, DeeperDroopWithMoreCells) {
+    DspRigConfig cfg;
+    cfg.trials = 10;
+    const double v8 = run_dsp_characterization(8000, cfg).min_voltage;
+    const double v24 = run_dsp_characterization(24000, cfg).min_voltage;
+    EXPECT_LT(v24, v8);
+}
+
+TEST(DspRig, Validation) {
+    DspRigConfig cfg;
+    EXPECT_THROW(run_dsp_characterization(0, cfg), ContractError);
+    cfg.trials = 0;
+    EXPECT_THROW(run_dsp_characterization(100, cfg), ContractError);
+}
+
+} // namespace
+} // namespace deepstrike::sim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "fabric/drc.hpp"
+#include "fabric/resources.hpp"
+#include "striker/striker.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::striker {
+namespace {
+
+pdn::DelayModel nominal_delay() { return pdn::DelayModel{}; }
+
+TEST(Striker, DisabledDrawsNothing) {
+    StrikerBank bank(StrikerParams::end_to_end(), nominal_delay());
+    EXPECT_FALSE(bank.enabled());
+    EXPECT_DOUBLE_EQ(bank.current_a(1.0), 0.0);
+    bank.set_enabled(true);
+    EXPECT_GT(bank.current_a(1.0), 0.0);
+    bank.set_enabled(false);
+    EXPECT_DOUBLE_EQ(bank.current_a(1.0), 0.0);
+}
+
+TEST(Striker, CurrentScalesLinearlyWithCells) {
+    StrikerParams p1 = StrikerParams::end_to_end();
+    p1.n_cells = 1000;
+    StrikerParams p2 = p1;
+    p2.n_cells = 4000;
+    StrikerBank b1(p1, nominal_delay());
+    StrikerBank b2(p2, nominal_delay());
+    EXPECT_NEAR(b2.current_a(1.0, true), 4.0 * b1.current_a(1.0, true), 1e-12);
+}
+
+TEST(Striker, SelfSlowingFeedback) {
+    // Lower voltage -> slower oscillation -> less current.
+    StrikerBank bank(StrikerParams::end_to_end(), nominal_delay());
+    const double at_nominal = bank.current_a(1.0, true);
+    const double at_droop = bank.current_a(0.9, true);
+    EXPECT_LT(at_droop, at_nominal);
+    EXPECT_GT(at_droop, 0.5 * at_nominal);
+}
+
+TEST(Striker, ToggleFrequencyPlausible) {
+    StrikerBank bank(StrikerParams::end_to_end(), nominal_delay());
+    // Loop of ~0.4 ns -> toggle ~1.25 GHz at nominal.
+    EXPECT_NEAR(bank.toggle_freq_hz(1.0), 1.25e9, 0.05e9);
+    EXPECT_LT(bank.toggle_freq_hz(0.9), bank.toggle_freq_hz(1.0));
+}
+
+TEST(Striker, PaperCellCounts) {
+    EXPECT_EQ(StrikerParams::end_to_end().n_cells, 8000u);
+    EXPECT_EQ(StrikerParams::characterization_max().n_cells, 24000u);
+}
+
+TEST(Striker, EndToEndBankUsesAbout15PercentOfSlices) {
+    // Paper Sec. IV: "The power striker circuit consumes 15.03% logic
+    // slices" — 8000 LUT6_2 = ~2000 slices of 13300.
+    const fabric::Netlist nl = build_striker_netlist(8000);
+    const auto util = fabric::utilization(nl, fabric::DeviceModel::pynq_z1());
+    EXPECT_NEAR(util.slice_pct(), 15.03, 0.1);
+    EXPECT_TRUE(util.fits());
+}
+
+TEST(Striker, NetlistStructure) {
+    const fabric::Netlist nl = build_striker_netlist(3);
+    // Per cell: 1 LUT6_2 + 2 LDCE; plus the start InPort.
+    const fabric::ResourceUsage u = fabric::count_resources(nl);
+    EXPECT_EQ(u.luts, 3u);
+    EXPECT_EQ(u.ffs, 6u);
+    EXPECT_EQ(nl.cell_count(), 3u * 3 + 1);
+}
+
+TEST(Striker, NetlistPassesDrcButRoFails) {
+    EXPECT_EQ(fabric::run_drc(build_striker_netlist(8)).count(
+                  fabric::DrcRule::CombinationalLoop),
+              0u);
+    EXPECT_GT(fabric::run_drc(build_ro_netlist(8)).count(
+                  fabric::DrcRule::CombinationalLoop),
+              0u);
+}
+
+TEST(Striker, InvalidParamsRejected) {
+    StrikerParams p = StrikerParams::end_to_end();
+    p.n_cells = 0;
+    EXPECT_THROW(StrikerBank(p, nominal_delay()), ContractError);
+    EXPECT_THROW(build_striker_netlist(0), ContractError);
+    EXPECT_THROW(build_ro_netlist(0), ContractError);
+}
+
+TEST(Striker, LatchSchemeBeatsRoPowerPerLut) {
+    // Paper Sec. III-C: two oscillating loops per LUT give "higher attack
+    // efficiency with less hardware overhead" than a LUT ring oscillator.
+    const double latch_power = striker_power_per_lut_w({}, nominal_delay());
+    const double ro_power = ro_power_per_lut_w({}, nominal_delay());
+    EXPECT_GT(latch_power, ro_power);
+}
+
+TEST(RoBank, FrequencyAndCurrent) {
+    RoBank ro({}, nominal_delay());
+    // Single-LUT loop: toggle at 1/(2 * 250ps) = 2 GHz.
+    EXPECT_NEAR(ro.toggle_freq_hz(1.0), 2.0e9, 1e7);
+    EXPECT_DOUBLE_EQ(ro.current_a(1.0, false), 0.0);
+    EXPECT_GT(ro.current_a(1.0, true), 0.0);
+}
+
+} // namespace
+} // namespace deepstrike::striker

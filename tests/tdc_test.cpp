@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "fabric/resources.hpp"
+#include "tdc/netlist_builder.hpp"
+#include "tdc/tdc.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace deepstrike::tdc {
+namespace {
+
+pdn::DelayModel nominal_delay() { return pdn::DelayModel{}; }
+
+TEST(Tdc, CalibrationHitsTargetAtNominal) {
+    const TdcConfig cfg = TdcConfig::paper_config();
+    const TdcSensor sensor(cfg, nominal_delay());
+    EXPECT_NEAR(sensor.expected_stages(1.0), static_cast<double>(cfg.target_ones), 1e-9);
+}
+
+TEST(Tdc, ThetaFitsInsideClockPeriod) {
+    const TdcConfig cfg = TdcConfig::paper_config();
+    const TdcSensor sensor(cfg, nominal_delay());
+    EXPECT_LT(sensor.theta_s(), 1.0 / cfg.f_dr_hz);
+    EXPECT_GT(sensor.theta_s(), 0.0);
+}
+
+TEST(Tdc, InfeasibleCalibrationRejected) {
+    TdcConfig cfg = TdcConfig::paper_config();
+    cfg.f_dr_hz = 2e9; // 0.5 ns period cannot hold theta = 2.5 ns
+    EXPECT_THROW(TdcSensor(cfg, nominal_delay()), ConfigError);
+}
+
+TEST(Tdc, ConfigValidation) {
+    TdcConfig cfg = TdcConfig::paper_config();
+    cfg.l_carry = 300; // exceeds 8-bit readout
+    EXPECT_THROW(TdcSensor(cfg, nominal_delay()), ContractError);
+
+    cfg = TdcConfig::paper_config();
+    cfg.target_ones = 128; // == l_carry
+    EXPECT_THROW(TdcSensor(cfg, nominal_delay()), ContractError);
+}
+
+TEST(Tdc, StagesMonotoneInVoltage) {
+    const TdcSensor sensor(TdcConfig::paper_config(), nominal_delay());
+    double prev = sensor.expected_stages(0.80);
+    for (double v = 0.82; v <= 1.05; v += 0.01) {
+        const double s = sensor.expected_stages(v);
+        EXPECT_GE(s, prev);
+        prev = s;
+    }
+}
+
+TEST(Tdc, StagesClampToChainLength) {
+    TdcConfig cfg = TdcConfig::paper_config();
+    const TdcSensor sensor(cfg, nominal_delay());
+    // Far above nominal the edge would pass the whole chain; clamp applies.
+    EXPECT_LE(sensor.expected_stages(1.25), static_cast<double>(cfg.l_carry));
+    // Deep droop: edge barely enters the chain.
+    EXPECT_GE(sensor.expected_stages(0.45), 0.0);
+}
+
+class TdcInverseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TdcInverseTest, VoltageForReadoutInvertsExpectedStages) {
+    const TdcSensor sensor(TdcConfig::paper_config(), nominal_delay());
+    const double v = GetParam();
+    const double stages = sensor.expected_stages(v);
+    EXPECT_NEAR(sensor.voltage_for_readout(stages), v, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(VoltageSweep, TdcInverseTest,
+                         ::testing::Values(0.999, 0.99, 0.98, 0.96, 0.93, 0.90));
+
+TEST(Tdc, SampleIsThermometerPlusNoise) {
+    const TdcConfig cfg = TdcConfig::paper_config();
+    const TdcSensor sensor(cfg, nominal_delay());
+    Rng rng(3);
+    RunningStats readouts;
+    for (int i = 0; i < 2000; ++i) {
+        const TdcSample s = sensor.sample(1.0, rng);
+        EXPECT_EQ(s.raw.size(), cfg.l_carry);
+        EXPECT_EQ(s.readout, s.raw.popcount());
+        readouts.add(s.readout);
+    }
+    EXPECT_NEAR(readouts.mean(), static_cast<double>(cfg.target_ones), 0.5);
+    EXPECT_NEAR(readouts.stddev(), cfg.noise_sigma_stages, 0.15);
+}
+
+TEST(Tdc, SampleTracksDroop) {
+    const TdcSensor sensor(TdcConfig::paper_config(), nominal_delay());
+    Rng rng(5);
+    RunningStats nominal;
+    RunningStats drooped;
+    for (int i = 0; i < 500; ++i) {
+        nominal.add(sensor.sample(1.0, rng).readout);
+        drooped.add(sensor.sample(0.97, rng).readout);
+    }
+    EXPECT_GT(nominal.mean() - drooped.mean(), 5.0);
+}
+
+TEST(Tdc, EncoderCountsOnes) {
+    EXPECT_EQ(encode_ones_count(BitVec::from_string("110110")), 4);
+    EXPECT_EQ(encode_ones_count(BitVec(128)), 0);
+    BitVec all(128);
+    for (std::size_t i = 0; i < 128; ++i) all.set(i, true);
+    EXPECT_EQ(encode_ones_count(all), 128);
+}
+
+TEST(Tdc, EncoderRejectsOverwideVector) {
+    EXPECT_THROW(encode_ones_count(BitVec(256)), ContractError);
+}
+
+TEST(Tdc, BubblesPreserveCount) {
+    // Bubble insertion flips one 1->0 below the boundary and one 0->1 above
+    // it, leaving the population count unchanged.
+    TdcConfig cfg = TdcConfig::paper_config();
+    cfg.bubble_probability = 1.0;
+    cfg.noise_sigma_stages = 0.0;
+    const TdcSensor sensor(cfg, nominal_delay());
+    Rng rng(7);
+    const TdcSample s = sensor.sample(1.0, rng);
+    EXPECT_EQ(s.readout, cfg.target_ones);
+    // And the raw code is NOT a clean thermometer (has a bubble).
+    EXPECT_LT(s.raw.longest_one_run(), static_cast<std::size_t>(cfg.target_ones));
+}
+
+TEST(TdcNetlist, ResourceFootprint) {
+    const fabric::Netlist nl = build_tdc_netlist(TdcConfig::paper_config());
+    const fabric::ResourceUsage u = fabric::count_resources(nl);
+    // 4 DL_LUT + encoder tree LUTs; 128 sampling FFs + readout register.
+    EXPECT_GE(u.luts, 4u + 40u);
+    EXPECT_GE(u.ffs, 128u);
+    EXPECT_EQ(u.dsps, 0u);
+    // Fits trivially on the device.
+    EXPECT_TRUE(fabric::utilization(nl, fabric::DeviceModel::pynq_z1()).fits());
+}
+
+TEST(TdcNetlist, CarryChainLengthMustBeMultipleOf4) {
+    TdcConfig cfg = TdcConfig::paper_config();
+    cfg.l_carry = 126;
+    cfg.target_ones = 90;
+    EXPECT_THROW(build_tdc_netlist(cfg), ContractError);
+}
+
+} // namespace
+} // namespace deepstrike::tdc

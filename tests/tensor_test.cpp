@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace deepstrike {
+namespace {
+
+TEST(Shape, ElementsAndDims) {
+    const Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.elements(), 24u);
+    EXPECT_EQ(s.dim(1), 3u);
+    EXPECT_EQ(s.to_string(), "[2x3x4]");
+}
+
+TEST(Shape, EmptyShapeHasOneElement) {
+    const Shape s;
+    EXPECT_EQ(s.rank(), 0u);
+    EXPECT_EQ(s.elements(), 1u);
+}
+
+TEST(Shape, TooManyDimsThrows) {
+    EXPECT_THROW(Shape({1, 2, 3, 4, 5}), ContractError);
+}
+
+TEST(Tensor, RowMajorLayout) {
+    FloatTensor t(Shape{2, 3});
+    float v = 0.0f;
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) t.at(r, c) = v++;
+    }
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_FLOAT_EQ(t[i], static_cast<float>(i));
+    }
+}
+
+TEST(Tensor, FillAndEquality) {
+    FloatTensor a(Shape{4}, 2.0f);
+    FloatTensor b(Shape{4});
+    b.fill(2.0f);
+    EXPECT_EQ(a, b);
+    b.at(2) = 3.0f;
+    EXPECT_NE(a, b);
+}
+
+TEST(Tensor, BoundsChecking) {
+    FloatTensor t(Shape{2, 2});
+    EXPECT_THROW(t.at(2, 0), ContractError);
+    EXPECT_THROW(t.at(0, 2), ContractError);
+    EXPECT_THROW(t[4], ContractError);
+    EXPECT_THROW(t.at(0), ContractError); // rank mismatch
+}
+
+TEST(Tensor, FourDimensionalAccess) {
+    FloatTensor t(Shape{2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 7.0f;
+    EXPECT_FLOAT_EQ(t[t.index({1, 2, 3, 4})], 7.0f);
+    EXPECT_EQ(t.index({1, 2, 3, 4}), t.size() - 1);
+}
+
+TEST(Tensor, QuantizeDequantizeRoundTrip) {
+    Rng rng(5);
+    FloatTensor t(Shape{3, 3});
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.at_unchecked(i) = static_cast<float>(rng.uniform(-4.0, 4.0));
+    }
+    const QTensor q = quantize(t);
+    const FloatTensor back = dequantize(q);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_NEAR(back.at_unchecked(i), t.at_unchecked(i),
+                    fx::Q3_4::resolution() / 2 + 1e-6);
+    }
+}
+
+TEST(Tensor, QuantizeSaturatesOutOfRange) {
+    FloatTensor t(Shape{2});
+    t.at(0) = 100.0f;
+    t.at(1) = -100.0f;
+    const QTensor q = quantize(t);
+    EXPECT_EQ(q.at(0), fx::Q3_4::max());
+    EXPECT_EQ(q.at(1), fx::Q3_4::min());
+}
+
+TEST(Tensor, ArgmaxFloat) {
+    FloatTensor t(Shape{5});
+    t.at(0) = 1.0f;
+    t.at(1) = 5.0f;
+    t.at(2) = 3.0f;
+    t.at(3) = 5.0f; // tie resolves to the lowest index
+    t.at(4) = 0.0f;
+    EXPECT_EQ(argmax(t), 1u);
+}
+
+TEST(Tensor, ArgmaxQuantized) {
+    QTensor t(Shape{3});
+    t.at(0) = fx::Q3_4::from_real(-1.0);
+    t.at(1) = fx::Q3_4::from_real(0.5);
+    t.at(2) = fx::Q3_4::from_real(0.25);
+    EXPECT_EQ(argmax(t), 1u);
+}
+
+TEST(Tensor, ArgmaxEmptyThrows) {
+    FloatTensor t;
+    EXPECT_THROW(argmax(t), ContractError);
+}
+
+} // namespace
+} // namespace deepstrike

@@ -1,0 +1,47 @@
+// Shared fixtures/helpers for the deepstrike test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "quant/qlenet.hpp"
+#include "util/rng.hpp"
+
+namespace deepstrike::testing {
+
+/// Fills a QTensor with small random Q3.4 values in [-max_real, max_real].
+inline QTensor random_qtensor(Shape shape, Rng& rng, double max_real = 1.0) {
+    QTensor t(shape);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.at_unchecked(i) = fx::Q3_4::from_real(rng.uniform(-max_real, max_real));
+    }
+    return t;
+}
+
+/// Random (untrained) LeNet weights: correct shapes, plausible magnitudes.
+/// Most accelerator/attack tests only need bit-level consistency, not a
+/// trained network, and this avoids training in unit tests.
+inline quant::QLeNetWeights random_qweights(std::uint64_t seed) {
+    Rng rng(seed);
+    quant::QLeNetWeights w;
+    w.conv1_w = random_qtensor(Shape{6, 1, 5, 5}, rng, 0.5);
+    w.conv1_b = random_qtensor(Shape{6}, rng, 0.25);
+    w.conv2_w = random_qtensor(Shape{16, 6, 5, 5}, rng, 0.35);
+    w.conv2_b = random_qtensor(Shape{16}, rng, 0.25);
+    w.fc1_w = random_qtensor(Shape{120, 1024}, rng, 0.2);
+    w.fc1_b = random_qtensor(Shape{120}, rng, 0.25);
+    w.fc2_w = random_qtensor(Shape{10, 120}, rng, 0.3);
+    w.fc2_b = random_qtensor(Shape{10}, rng, 0.25);
+    return w;
+}
+
+/// Random [1,28,28] image with pixels in [0,1].
+inline QTensor random_qimage(std::uint64_t seed) {
+    Rng rng(seed);
+    QTensor img(Shape{1, 28, 28});
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        img.at_unchecked(i) = fx::Q3_4::from_real(rng.uniform(0.0, 1.0));
+    }
+    return img;
+}
+
+} // namespace deepstrike::testing

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "sim/thermal.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+namespace {
+
+TEST(Thermal, StartsAtIdleSteadyState) {
+    ThermalParams p;
+    ThermalModel model(p);
+    EXPECT_NEAR(model.junction_c(), p.ambient_c + p.r_th_k_per_w * p.idle_power_w,
+                1e-9);
+    EXPECT_FALSE(model.over_threshold());
+}
+
+TEST(Thermal, ConvergesToSteadyState) {
+    ThermalParams p;
+    ThermalModel model(p);
+    const double power = 2.0;
+    for (int i = 0; i < 1000; ++i) model.step(power, p.tau_s() / 10.0);
+    EXPECT_NEAR(model.junction_c(), model.steady_state_c(power), 0.01);
+}
+
+TEST(Thermal, ExponentialApproachHalfLife) {
+    ThermalParams p;
+    ThermalModel model(p);
+    const double start = model.junction_c();
+    const double power = 3.0;
+    const double target = model.steady_state_c(power);
+    model.step(power, p.tau_s()); // one time constant
+    const double expected = target + (start - target) * std::exp(-1.0);
+    EXPECT_NEAR(model.junction_c(), expected, 1e-9);
+}
+
+TEST(Thermal, LargeStepIsStable) {
+    // The exponential update cannot overshoot regardless of dt.
+    ThermalParams p;
+    ThermalModel model(p);
+    model.step(5.0, 1e6);
+    EXPECT_NEAR(model.junction_c(), model.steady_state_c(5.0), 1e-6);
+}
+
+TEST(Thermal, MaxSustainablePower) {
+    ThermalParams p;
+    ThermalModel model(p);
+    const double max_p = model.max_sustainable_power_w();
+    EXPECT_NEAR(model.steady_state_c(max_p), p.shutdown_c, 1e-9);
+}
+
+TEST(Thermal, VerdictCrashesAtFullDutyHighPower) {
+    ThermalParams p;
+    // 24k-cell striker continuously on: ~0.66 A at ~1 V plus victim load.
+    const ThermalVerdict always_on = thermal_verdict(p, 0.3, 5.0, 1.0);
+    EXPECT_TRUE(always_on.crashes);
+    EXPECT_LT(always_on.max_safe_duty, 1.0);
+
+    // The paper's attack duty (4500 one-cycle strikes across ~52k cycles
+    // per inference ~ 9% duty) stays comfortably safe at end-to-end power.
+    const ThermalVerdict paper_like = thermal_verdict(p, 0.3, 0.25, 0.09);
+    EXPECT_FALSE(paper_like.crashes);
+}
+
+TEST(Thermal, VerdictSafeDutyMonotoneInStrikerPower) {
+    ThermalParams p;
+    const double duty_low = thermal_verdict(p, 0.3, 1.0, 0.5).max_safe_duty;
+    const double duty_high = thermal_verdict(p, 0.3, 6.0, 0.5).max_safe_duty;
+    EXPECT_GT(duty_low, duty_high);
+}
+
+TEST(Thermal, Validation) {
+    ThermalParams p;
+    p.r_th_k_per_w = 0.0;
+    EXPECT_THROW(ThermalModel{p}, ContractError);
+    p = ThermalParams{};
+    p.shutdown_c = p.ambient_c - 1.0;
+    EXPECT_THROW(ThermalModel{p}, ContractError);
+    EXPECT_THROW(thermal_verdict(ThermalParams{}, 0.1, 0.1, 1.5), ContractError);
+    ThermalModel ok{ThermalParams{}};
+    EXPECT_THROW(ok.step(1.0, 0.0), ContractError);
+}
+
+} // namespace
+} // namespace deepstrike::sim

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/lenet.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::nn {
+namespace {
+
+/// Tiny easy dataset: 60 clean samples (augmentation off) so a few epochs
+/// converge fast in unit-test time.
+data::Dataset easy_dataset(std::size_t n) {
+    data::AugmentParams mild;
+    mild.noise_sigma = 0.02;
+    mild.max_shift_px = 0.5;
+    mild.min_scale = 0.97;
+    mild.max_scale = 1.03;
+    mild.max_rotate_rad = 0.03;
+    mild.max_shear = 0.02;
+    mild.min_stroke = 0.9;
+    data::Dataset ds;
+    for (std::size_t i = 0; i < n; ++i) {
+        data::Sample s = data::render_sample(1234, i, mild);
+        ds.images.push_back(std::move(s.image));
+        ds.labels.push_back(s.label);
+    }
+    return ds;
+}
+
+TEST(Trainer, LossDecreasesAndAccuracyImproves) {
+    Rng rng(55);
+    LeNet net = build_lenet(rng);
+    data::Dataset train_set = easy_dataset(60);
+
+    TrainConfig config;
+    config.epochs = 3;
+    config.batch_size = 10;
+    config.learning_rate = 0.08;
+
+    const double acc_before = evaluate_accuracy(net.model, train_set);
+    const auto history = train(net.model, train_set, config);
+    const double acc_after = evaluate_accuracy(net.model, train_set);
+
+    ASSERT_EQ(history.size(), 3u);
+    EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+    EXPECT_GT(acc_after, acc_before);
+    EXPECT_GT(acc_after, 0.8);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+    data::Dataset train_set = easy_dataset(30);
+    TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 10;
+
+    Rng rng_a(77);
+    LeNet a = build_lenet(rng_a);
+    Rng rng_b(77);
+    LeNet b = build_lenet(rng_b);
+
+    const auto ha = train(a.model, train_set, config);
+    const auto hb = train(b.model, train_set, config);
+    EXPECT_DOUBLE_EQ(ha[0].mean_loss, hb[0].mean_loss);
+    // Weights identical after training.
+    auto pa = a.model.parameters();
+    auto pb = b.model.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i]->value, pb[i]->value);
+    }
+}
+
+TEST(Trainer, RejectsEmptyDataset) {
+    Rng rng(1);
+    LeNet net = build_lenet(rng);
+    data::Dataset empty;
+    EXPECT_THROW(train(net.model, empty, {}), ContractError);
+    EXPECT_THROW(evaluate_accuracy(net.model, empty), ContractError);
+}
+
+TEST(Serialize, RoundTrip) {
+    namespace fs = std::filesystem;
+    const fs::path path = fs::temp_directory_path() / "ds_weights_roundtrip.dsw";
+
+    Rng rng_a(91);
+    LeNet a = build_lenet(rng_a);
+    save_weights(a.model, path.string());
+
+    Rng rng_b(92); // different init
+    LeNet b = build_lenet(rng_b);
+    load_weights(b.model, path.string());
+
+    auto pa = a.model.parameters();
+    auto pb = b.model.parameters();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i]->value, pb[i]->value);
+    }
+    fs::remove(path);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+    namespace fs = std::filesystem;
+    const fs::path path = fs::temp_directory_path() / "ds_weights_badmagic.dsw";
+    {
+        std::FILE* f = std::fopen(path.string().c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("NOTAWEIGHTFILE", f);
+        std::fclose(f);
+    }
+    Rng rng(93);
+    LeNet net = build_lenet(rng);
+    EXPECT_THROW(load_weights(net.model, path.string()), FormatError);
+    fs::remove(path);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+    namespace fs = std::filesystem;
+    const fs::path path = fs::temp_directory_path() / "ds_weights_trunc.dsw";
+    Rng rng(94);
+    LeNet net = build_lenet(rng);
+    save_weights(net.model, path.string());
+
+    // Truncate to half size.
+    const auto full = fs::file_size(path);
+    fs::resize_file(path, full / 2);
+    EXPECT_THROW(load_weights(net.model, path.string()), FormatError);
+    fs::remove(path);
+}
+
+TEST(Serialize, RejectsWrongArchitecture) {
+    namespace fs = std::filesystem;
+    const fs::path path = fs::temp_directory_path() / "ds_weights_arch.dsw";
+    Rng rng(95);
+    LeNet net = build_lenet(rng);
+    save_weights(net.model, path.string());
+
+    // A different (smaller) model must refuse these weights.
+    Sequential other;
+    other.emplace<Dense>(10, 4, rng);
+    EXPECT_THROW(load_weights(other, path.string()), FormatError);
+    fs::remove(path);
+}
+
+TEST(Serialize, MissingFileThrowsIoError) {
+    Rng rng(96);
+    LeNet net = build_lenet(rng);
+    EXPECT_THROW(load_weights(net.model, "/nonexistent/path.dsw"), IoError);
+}
+
+TEST(TrainOrLoad, UsesCacheOnSecondCall) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "ds_cache_test";
+    fs::remove_all(dir);
+
+    LeNetTrainSpec spec;
+    spec.train_size = 40;
+    spec.test_size = 20;
+    spec.train_config.epochs = 1;
+    spec.cache_dir = dir.string();
+
+    const TrainedLeNet first = train_or_load_lenet(spec);
+    EXPECT_FALSE(first.loaded_from_cache);
+    const TrainedLeNet second = train_or_load_lenet(spec);
+    EXPECT_TRUE(second.loaded_from_cache);
+    EXPECT_DOUBLE_EQ(first.test_accuracy, second.test_accuracy);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace deepstrike::nn

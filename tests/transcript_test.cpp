@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "host/transcript.hpp"
+#include "sim/experiment.hpp"
+#include "test_helpers.hpp"
+
+namespace deepstrike::host {
+namespace {
+
+TEST(Transcript, RecordsBothDirections) {
+    FrameTranscript transcript;
+    transcript.feed(Direction::HostToDevice, encode_frame({FrameType::Arm, {}}));
+    transcript.feed(Direction::DeviceToHost, encode_frame({FrameType::Ack, {0}}));
+    transcript.feed(Direction::HostToDevice,
+                    encode_frame({FrameType::ReadTrace, {16, 0, 0, 0}}));
+
+    ASSERT_EQ(transcript.entries().size(), 3u);
+    EXPECT_EQ(transcript.count(Direction::HostToDevice), 2u);
+    EXPECT_EQ(transcript.count(Direction::DeviceToHost), 1u);
+    EXPECT_EQ(transcript.count(FrameType::Arm), 1u);
+    EXPECT_EQ(transcript.entries()[1].frame.type, FrameType::Ack);
+}
+
+TEST(Transcript, DropsCorruptFramesLikeTheEndpoints) {
+    FrameTranscript transcript;
+    auto bytes = encode_frame({FrameType::Arm, {1, 2, 3}});
+    bytes[5] ^= 0x40;
+    transcript.feed(Direction::HostToDevice, bytes);
+    EXPECT_TRUE(transcript.entries().empty());
+    // Resyncs on the next good frame.
+    transcript.feed(Direction::HostToDevice, encode_frame({FrameType::Arm, {}}));
+    EXPECT_EQ(transcript.entries().size(), 1u);
+}
+
+TEST(Transcript, InterleavedStreamsStaySeparate) {
+    // Bytes of the two directions interleave arbitrarily on a real tap;
+    // each direction decodes independently.
+    FrameTranscript transcript;
+    const auto a = encode_frame({FrameType::Arm, {}});
+    const auto b = encode_frame({FrameType::Ack, {0}});
+    const std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i < a.size()) transcript.feed(Direction::HostToDevice, a[i]);
+        if (i < b.size()) transcript.feed(Direction::DeviceToHost, b[i]);
+    }
+    EXPECT_EQ(transcript.entries().size(), 2u);
+}
+
+TEST(Transcript, ToStringAndClear) {
+    FrameTranscript transcript;
+    transcript.feed(Direction::HostToDevice, encode_frame({FrameType::Arm, {}}));
+    const std::string log = transcript.to_string();
+    EXPECT_NE(log.find("host->device"), std::string::npos);
+    EXPECT_NE(log.find("Arm"), std::string::npos);
+    transcript.clear();
+    EXPECT_TRUE(transcript.entries().empty());
+}
+
+TEST(Transcript, FrameTypeNames) {
+    EXPECT_STREQ(frame_type_name(FrameType::LoadScheme), "LoadScheme");
+    EXPECT_STREQ(frame_type_name(FrameType::TraceData), "TraceData");
+    EXPECT_STREQ(frame_type_name(FrameType::Nak), "Nak");
+}
+
+} // namespace
+} // namespace deepstrike::host
+
+namespace deepstrike::sim {
+namespace {
+
+TEST(RepeatedInferences, DetectorRearmsAndStrikesEveryRun) {
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(71));
+
+    attack::DetectorConfig dcfg;
+    attack::AttackScheme scheme;
+    scheme.attack_delay_cycles = 100;
+    scheme.num_strikes = 50;
+    scheme.gap_cycles = 4;
+    attack::AttackController controller(dcfg, scheme);
+
+    const auto stats = simulate_repeated_inferences(platform, controller, 3);
+    ASSERT_EQ(stats.size(), 3u);
+    for (const auto& s : stats) {
+        EXPECT_TRUE(s.detector_fired);
+        EXPECT_EQ(s.strike_cycles, 50u);
+        EXPECT_EQ(s.capture_v.size(),
+                  platform.engine().schedule().total_cycles * 2);
+    }
+    // Deterministic platform: every inference triggers at the same sample.
+    EXPECT_EQ(stats[0].trigger_sample, stats[1].trigger_sample);
+    EXPECT_EQ(stats[1].trigger_sample, stats[2].trigger_sample);
+}
+
+TEST(RepeatedInferences, Validation) {
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(72));
+    attack::AttackController controller(attack::DetectorConfig{},
+                                        attack::AttackScheme{});
+    EXPECT_THROW(simulate_repeated_inferences(platform, controller, 0), ContractError);
+}
+
+} // namespace
+} // namespace deepstrike::sim

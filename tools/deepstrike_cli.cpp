@@ -1,0 +1,486 @@
+// deepstrike — the adversary's (and defender's) host-side tool.
+//
+// Wraps the library's end-to-end flows into subcommands:
+//
+//   deepstrike train        train/cache a victim model, report accuracies
+//   deepstrike profile      co-simulate one inference, print the recovered
+//                           layer schedule seen through the TDC
+//   deepstrike plan         compile an attacking scheme file for a target
+//   deepstrike attack       run the guided attack, report accuracy damage
+//   deepstrike characterize sweep striker cells against the DSP rig
+//   deepstrike defend       evaluate the glitch monitor + throttle defense
+//   deepstrike resources    utilization + DRC table of all circuits
+//
+// Every subcommand accepts --help.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "accel/netlist_builder.hpp"
+#include "defense/monitor.hpp"
+#include "fabric/drc.hpp"
+#include "fabric/resources.hpp"
+#include "host/scheme_file.hpp"
+#include "nn/zoo.hpp"
+#include "quant/qnetwork.hpp"
+#include "sim/campaign.hpp"
+#include "sim/experiment.hpp"
+#include "sim/vcd.hpp"
+#include "striker/striker.hpp"
+#include "tdc/netlist_builder.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+using namespace deepstrike;
+
+namespace {
+
+nn::Architecture parse_arch(const std::string& name) {
+    if (name == "lenet5") return nn::Architecture::LeNet5;
+    if (name == "minicnn") return nn::Architecture::MiniCnn;
+    if (name == "mlp") return nn::Architecture::Mlp;
+    throw ConfigError("unknown architecture '" + name + "' (lenet5|minicnn|mlp)");
+}
+
+void add_common_victim_options(ArgParser& parser) {
+    parser.add_option("arch", "victim architecture: lenet5|minicnn|mlp", "lenet5");
+    parser.add_option("train-size", "training samples", "3000");
+    parser.add_option("test-size", "test samples", "600");
+    parser.add_option("epochs", "training epochs", "4");
+    parser.add_option("data-seed", "synthetic dataset seed", "42");
+}
+
+struct Victim {
+    nn::TrainedModel trained;
+    quant::QNetwork network;
+    sim::Platform platform;
+    data::Dataset test_set;
+};
+
+Victim load_victim(const ArgParser& parser) {
+    nn::ZooTrainSpec spec;
+    spec.architecture = parse_arch(parser.option("arch"));
+    spec.train_size = parser.option_uint("train-size");
+    spec.test_size = parser.option_uint("test-size");
+    spec.train_config.epochs = parser.option_uint("epochs");
+    spec.data_seed = parser.option_uint("data-seed");
+
+    nn::TrainedModel trained = nn::train_or_load(spec);
+    quant::QNetwork network =
+        quant::quantize_sequential(trained.model, Shape{1, 28, 28});
+    quant::QNetwork network_copy = network; // platform consumes one copy
+    sim::Platform platform(sim::PlatformConfig{}, std::move(network_copy));
+    data::Dataset test = data::make_datasets(spec.data_seed, 1, spec.test_size).test;
+    return Victim{std::move(trained), std::move(network), std::move(platform),
+                  std::move(test)};
+}
+
+// ----------------------------------------------------------------- train
+
+int cmd_train(const std::vector<std::string>& args) {
+    ArgParser parser("deepstrike train", "Train (or load) a victim model.");
+    add_common_victim_options(parser);
+    parser.add_flag("help", "show this help");
+    if (!parser.parse(args)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
+        return 2;
+    }
+    if (parser.flag("help")) {
+        std::printf("%s", parser.usage().c_str());
+        return 0;
+    }
+
+    Victim victim = load_victim(parser);
+    std::printf("architecture        : %s\n", parser.option("arch").c_str());
+    std::printf("float test accuracy : %.4f%s\n", victim.trained.test_accuracy,
+                victim.trained.loaded_from_cache ? " (cache)" : "");
+    std::printf("quantized accuracy  : %.4f\n",
+                victim.network.evaluate_accuracy(victim.test_set));
+    std::printf("parameters          : %zu (8-bit Q3.4)\n",
+                victim.network.parameter_count());
+    std::printf("\n%s", victim.platform.engine().schedule().to_string(
+                            victim.platform.config().accel.fabric_clock_hz).c_str());
+    return 0;
+}
+
+// --------------------------------------------------------------- profile
+
+int cmd_profile(const std::vector<std::string>& args) {
+    ArgParser parser("deepstrike profile",
+                     "Profile one victim inference through the TDC side channel.");
+    add_common_victim_options(parser);
+    parser.add_option("csv", "write readout trace to this CSV file", "");
+    parser.add_option("vcd", "write waveform (voltage/strike/readout) to this VCD file",
+                      "");
+    parser.add_flag("help", "show this help");
+    if (!parser.parse(args)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
+        return 2;
+    }
+    if (parser.flag("help")) {
+        std::printf("%s", parser.usage().c_str());
+        return 0;
+    }
+
+    Victim victim = load_victim(parser);
+    const sim::ProfilingRun run = sim::run_profiling(victim.platform);
+    std::printf("detector: %s (trigger sample %zu)\n",
+                run.detector_fired ? "fired" : "did not fire", run.trigger_sample);
+    std::printf("%s", run.profile.to_string().c_str());
+
+    const std::string csv_path = parser.option("csv");
+    if (!csv_path.empty()) {
+        CsvWriter csv(csv_path);
+        csv.row("sample", "readout");
+        for (std::size_t i = 0; i < run.cosim.tdc_readouts.size(); ++i) {
+            csv.row(i, static_cast<int>(run.cosim.tdc_readouts[i]));
+        }
+        std::printf("trace written to %s (%zu samples)\n", csv_path.c_str(),
+                    run.cosim.tdc_readouts.size());
+    }
+    const std::string vcd_path = parser.option("vcd");
+    if (!vcd_path.empty()) {
+        sim::write_cosim_vcd(vcd_path, run.cosim);
+        std::printf("waveform written to %s\n", vcd_path.c_str());
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------------ plan
+
+int cmd_plan(const std::vector<std::string>& args) {
+    ArgParser parser("deepstrike plan",
+                     "Profile, pick a target segment, and compile an attacking "
+                     "scheme file.");
+    add_common_victim_options(parser);
+    parser.add_option("target", "profiled segment index to strike", "2");
+    parser.add_option("strikes", "number of strikes", "4500");
+    parser.add_option("out", "scheme file path", "scheme.txt");
+    parser.add_flag("help", "show this help");
+    if (!parser.parse(args)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
+        return 2;
+    }
+    if (parser.flag("help")) {
+        std::printf("%s", parser.usage().c_str());
+        return 0;
+    }
+
+    Victim victim = load_victim(parser);
+    const sim::ProfilingRun run = sim::run_profiling(victim.platform);
+    const std::size_t target = parser.option_uint("target");
+    if (!run.detector_fired || target >= run.profile.segments.size()) {
+        std::fprintf(stderr, "target segment %zu unavailable (%zu segments found)\n",
+                     target, run.profile.segments.size());
+        return 1;
+    }
+    std::printf("%s", run.profile.to_string().c_str());
+
+    const attack::AttackScheme scheme = attack::plan_attack(
+        run.profile.segments[target], run.trigger_sample,
+        victim.platform.config().samples_per_cycle(), parser.option_uint("strikes"));
+    const std::string text = host::write_scheme_file(
+        scheme, "target segment #" + std::to_string(target));
+
+    const std::string out = parser.option("out");
+    std::ofstream file(out, std::ios::trunc);
+    if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    file << text;
+    std::printf("scheme written to %s:\n%s", out.c_str(), text.c_str());
+    return 0;
+}
+
+// ---------------------------------------------------------------- attack
+
+int cmd_attack(const std::vector<std::string>& args) {
+    ArgParser parser("deepstrike attack",
+                     "Run the guided attack end to end and report the damage.");
+    add_common_victim_options(parser);
+    parser.add_option("scheme", "attacking scheme file (skip planning)", "");
+    parser.add_option("target", "profiled segment index to strike", "2");
+    parser.add_option("strikes", "number of strikes", "4500");
+    parser.add_option("images", "test images to evaluate", "300");
+    parser.add_flag("blind", "non-TDC-guided baseline instead");
+    parser.add_flag("help", "show this help");
+    if (!parser.parse(args)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
+        return 2;
+    }
+    if (parser.flag("help")) {
+        std::printf("%s", parser.usage().c_str());
+        return 0;
+    }
+
+    Victim victim = load_victim(parser);
+    const std::size_t images = parser.option_uint("images");
+
+    const sim::AccuracyResult clean =
+        sim::evaluate_accuracy(victim.platform, victim.test_set, images, nullptr, 1);
+
+    attack::AttackScheme scheme;
+    const std::string scheme_path = parser.option("scheme");
+    std::size_t trigger_sample = 0;
+    if (!scheme_path.empty()) {
+        std::ifstream file(scheme_path);
+        if (!file) {
+            std::fprintf(stderr, "cannot read %s\n", scheme_path.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << file.rdbuf();
+        scheme = host::parse_scheme_file(text.str());
+    } else {
+        const sim::ProfilingRun run = sim::run_profiling(victim.platform);
+        const std::size_t target = parser.option_uint("target");
+        if (!run.detector_fired || target >= run.profile.segments.size()) {
+            std::fprintf(stderr, "target segment %zu unavailable\n", target);
+            return 1;
+        }
+        trigger_sample = run.trigger_sample;
+        scheme = attack::plan_attack(run.profile.segments[target], trigger_sample,
+                                     victim.platform.config().samples_per_cycle(),
+                                     parser.option_uint("strikes"));
+    }
+
+    sim::AccuracyResult attacked;
+    if (parser.flag("blind")) {
+        const auto traces =
+            sim::blind_attack_traces(victim.platform, scheme, 10, 777);
+        attacked = sim::evaluate_accuracy_multi(victim.platform, victim.test_set,
+                                                images, traces, 1);
+    } else {
+        const accel::VoltageTrace trace = sim::guided_attack_trace(
+            victim.platform, attack::DetectorConfig{}, scheme);
+        attacked =
+            sim::evaluate_accuracy(victim.platform, victim.test_set, images, &trace, 1);
+    }
+
+    std::printf("mode                : %s\n", parser.flag("blind") ? "blind" : "guided");
+    std::printf("strikes             : %zu (delay %zu, gap %zu)\n", scheme.num_strikes,
+                scheme.attack_delay_cycles, scheme.gap_cycles);
+    std::printf("clean accuracy      : %.4f\n", clean.accuracy);
+    std::printf("under attack        : %.4f (drop %.2f%%)\n", attacked.accuracy,
+                100.0 * (clean.accuracy - attacked.accuracy));
+    std::printf("faults per image    : %.1f duplication, %.2f random\n",
+                static_cast<double>(attacked.faults.duplication) / attacked.images,
+                static_cast<double>(attacked.faults.random) / attacked.images);
+    return 0;
+}
+
+// -------------------------------------------------------------- campaign
+
+int cmd_campaign(const std::vector<std::string>& args) {
+    ArgParser parser("deepstrike campaign",
+                     "Full per-layer strike-count sweep with a structured report.");
+    add_common_victim_options(parser);
+    parser.add_option("strikes", "comma-separated strike grid", "500,1000,2000,3000,4500");
+    parser.add_option("images", "test images per point", "200");
+    parser.add_option("json", "write the JSON report here", "campaign.json");
+    parser.add_option("markdown", "write the markdown report here", "");
+    parser.add_flag("no-blind", "skip the blind baseline");
+    parser.add_flag("help", "show this help");
+    if (!parser.parse(args)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
+        return 2;
+    }
+    if (parser.flag("help")) {
+        std::printf("%s", parser.usage().c_str());
+        return 0;
+    }
+
+    Victim victim = load_victim(parser);
+    sim::CampaignConfig cfg;
+    cfg.strike_grid = parser.option_uint_list("strikes");
+    cfg.eval_images = parser.option_uint("images");
+    if (parser.flag("no-blind")) cfg.blind_offsets = 0;
+
+    const sim::CampaignReport report =
+        sim::run_campaign(victim.platform, victim.test_set, cfg);
+    std::printf("%s", report.to_markdown().c_str());
+
+    const std::string json_path = parser.option("json");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::trunc);
+        out << report.to_json().dump(2) << '\n';
+        std::printf("\nJSON report written to %s\n", json_path.c_str());
+    }
+    const std::string md_path = parser.option("markdown");
+    if (!md_path.empty()) {
+        std::ofstream out(md_path, std::ios::trunc);
+        out << report.to_markdown();
+        std::printf("markdown report written to %s\n", md_path.c_str());
+    }
+    return 0;
+}
+
+// ----------------------------------------------------------- characterize
+
+int cmd_characterize(const std::vector<std::string>& args) {
+    ArgParser parser("deepstrike characterize",
+                     "DSP fault characterization rig (Fig. 6).");
+    parser.add_option("cells", "comma-separated striker cell counts",
+                      "2000,4000,8000,12000,16000,20000,24000");
+    parser.add_option("trials", "random-input trials per point", "10000");
+    parser.add_flag("help", "show this help");
+    if (!parser.parse(args)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
+        return 2;
+    }
+    if (parser.flag("help")) {
+        std::printf("%s", parser.usage().c_str());
+        return 0;
+    }
+
+    sim::DspRigConfig cfg;
+    cfg.trials = parser.option_uint("trials");
+    std::printf("%10s %12s %14s %14s %14s\n", "cells", "min_V", "duplication",
+                "random", "total");
+    for (std::size_t cells : parser.option_uint_list("cells")) {
+        const sim::DspRigResult r = sim::run_dsp_characterization(cells, cfg);
+        std::printf("%10zu %12.4f %13.2f%% %13.2f%% %13.2f%%\n", cells, r.min_voltage,
+                    100.0 * r.duplication_rate, 100.0 * r.random_rate,
+                    100.0 * r.total_rate());
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------- defend
+
+int cmd_defend(const std::vector<std::string>& args) {
+    ArgParser parser("deepstrike defend",
+                     "Evaluate the glitch monitor + clock throttle against a "
+                     "guided attack.");
+    add_common_victim_options(parser);
+    parser.add_option("strikes", "attack strikes on the conv target", "4500");
+    parser.add_option("images", "test images to evaluate", "200");
+    parser.add_flag("help", "show this help");
+    if (!parser.parse(args)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
+        return 2;
+    }
+    if (parser.flag("help")) {
+        std::printf("%s", parser.usage().c_str());
+        return 0;
+    }
+
+    Victim victim = load_victim(parser);
+    const std::size_t images = parser.option_uint("images");
+    const sim::ProfilingRun prof = sim::run_profiling(victim.platform);
+    if (prof.profile.segments.size() < 3) {
+        std::fprintf(stderr, "profiling failed\n");
+        return 1;
+    }
+
+    const attack::AttackScheme scheme = attack::plan_attack(
+        prof.profile.segments[2], prof.trigger_sample,
+        victim.platform.config().samples_per_cycle(), parser.option_uint("strikes"));
+    attack::AttackController controller(attack::DetectorConfig{}, scheme);
+    sim::GuidedSource source(controller);
+    const sim::CosimResult cosim = victim.platform.simulate_inference(source);
+
+    const defense::DefenseOutcome def = defense::run_monitor(
+        cosim.tdc_readouts, victim.platform.engine().schedule().total_cycles);
+    const sim::AccuracyResult clean =
+        sim::evaluate_accuracy(victim.platform, victim.test_set, images, nullptr, 1);
+    const sim::AccuracyResult undefended = sim::evaluate_accuracy(
+        victim.platform, victim.test_set, images, &cosim.capture_v, 1);
+    const sim::AccuracyResult defended = sim::evaluate_accuracy_defended(
+        victim.platform, victim.test_set, images, cosim.capture_v, def.throttle, 1);
+
+    std::printf("clean accuracy      : %.4f\n", clean.accuracy);
+    std::printf("under attack        : %.4f\n", undefended.accuracy);
+    std::printf("with defense        : %.4f\n", defended.accuracy);
+    std::printf("alarms              : %zu\n", def.alarms);
+    std::printf("throttled fraction  : %.1f%% (slowdown %.2fx)\n",
+                100.0 * def.throttled_fraction, def.slowdown());
+    return 0;
+}
+
+// ------------------------------------------------------------- resources
+
+int cmd_resources(const std::vector<std::string>& args) {
+    ArgParser parser("deepstrike resources",
+                     "Resource utilization + DRC of all circuits.");
+    parser.add_option("striker-cells", "power striker cell count", "8000");
+    parser.add_flag("help", "show this help");
+    if (!parser.parse(args)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
+        return 2;
+    }
+    if (parser.flag("help")) {
+        std::printf("%s", parser.usage().c_str());
+        return 0;
+    }
+
+    const fabric::DeviceModel dev = fabric::DeviceModel::pynq_z1();
+    auto report = [&dev](const fabric::Netlist& nl) {
+        const auto util = fabric::utilization(nl, dev);
+        const std::size_t loops =
+            fabric::run_drc(nl).count(fabric::DrcRule::CombinationalLoop);
+        std::printf("%-24s %8zu %8zu %6zu %6zu %8.2f%% %s\n", nl.name().c_str(),
+                    util.used.luts, util.used.ffs, util.used.dsps, util.used.brams,
+                    util.slice_pct(), loops == 0 ? "PASS" : "FAIL");
+    };
+
+    std::printf("device: %s\n", dev.name.c_str());
+    std::printf("%-24s %8s %8s %6s %6s %9s %s\n", "design", "LUT", "FF", "DSP", "BRAM",
+                "slices", "DRC");
+    report(tdc::build_tdc_netlist(tdc::TdcConfig::paper_config()));
+    report(striker::build_striker_netlist(parser.option_uint("striker-cells")));
+    report(striker::build_ro_netlist(parser.option_uint("striker-cells")));
+    return 0;
+}
+
+void print_global_usage() {
+    std::printf(
+        "deepstrike — DAC'21 DeepStrike reproduction toolkit\n\n"
+        "usage: deepstrike <command> [options]\n\n"
+        "commands:\n"
+        "  train         train/cache a victim model and report accuracies\n"
+        "  profile       recover the victim's layer schedule via the TDC\n"
+        "  plan          compile an attacking scheme file\n"
+        "  attack        run the guided (or --blind) attack, report damage\n"
+        "  campaign      per-layer strike sweep with JSON/markdown report\n"
+        "  characterize  DSP fault rates vs. striker cells (Fig. 6)\n"
+        "  defend        glitch monitor + throttle evaluation\n"
+        "  resources     utilization and DRC of all circuits\n\n"
+        "run 'deepstrike <command> --help' for per-command options.\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Log::set_level(LogLevel::Info);
+    if (argc < 2) {
+        print_global_usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+    try {
+        if (command == "train") return cmd_train(args);
+        if (command == "profile") return cmd_profile(args);
+        if (command == "plan") return cmd_plan(args);
+        if (command == "attack") return cmd_attack(args);
+        if (command == "campaign") return cmd_campaign(args);
+        if (command == "characterize") return cmd_characterize(args);
+        if (command == "defend") return cmd_defend(args);
+        if (command == "resources") return cmd_resources(args);
+        if (command == "--help" || command == "help") {
+            print_global_usage();
+            return 0;
+        }
+        std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+        print_global_usage();
+        return 2;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
