@@ -7,17 +7,22 @@
 // tighter sign-off shifts fault onset to fewer striker cells; more jitter
 // widens the transition region.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "sim/runner.hpp"
 
 using namespace deepstrike;
 
 namespace {
 
-/// Cells needed to reach a given total fault rate (linear scan).
-std::size_t cells_for_rate(const sim::DspRigConfig& cfg, double rate) {
-    for (std::size_t cells = 2000; cells <= 30000; cells += 1000) {
-        if (sim::run_dsp_characterization(cells, cfg).total_rate() >= rate) return cells;
+/// Cells needed to reach a given total fault rate, read off a sweep
+/// computed once per config (the runner parallelizes the curve's points).
+std::size_t cells_for_rate(const std::vector<std::size_t>& cell_grid,
+                           const std::vector<sim::DspRigResult>& sweep,
+                           double rate) {
+    for (std::size_t i = 0; i < cell_grid.size(); ++i) {
+        if (sweep[i].total_rate() >= rate) return cell_grid[i];
     }
     return 0;
 }
@@ -34,6 +39,11 @@ int main() {
     std::printf("%-14s %-13s %12s %12s %12s %14s\n", "path_fraction", "jitter_sigma",
                 "cells@10%", "cells@50%", "cells@90%", "width(10-90%)");
 
+    std::vector<std::size_t> cell_grid;
+    for (std::size_t cells = 2000; cells <= 30000; cells += 1000) {
+        cell_grid.push_back(cells);
+    }
+
     for (double fraction : {0.85, 0.87, 0.89, 0.91}) {
         for (double jitter : {0.008, 0.015, 0.025}) {
             sim::DspRigConfig cfg;
@@ -41,9 +51,11 @@ int main() {
             cfg.dsp_timing.nominal_path_fraction = fraction;
             cfg.dsp_timing.op_jitter_sigma = jitter;
 
-            const std::size_t c10 = cells_for_rate(cfg, 0.10);
-            const std::size_t c50 = cells_for_rate(cfg, 0.50);
-            const std::size_t c90 = cells_for_rate(cfg, 0.90);
+            const std::vector<sim::DspRigResult> sweep =
+                sim::run_dsp_characterization_sweep(cell_grid, cfg);
+            const std::size_t c10 = cells_for_rate(cell_grid, sweep, 0.10);
+            const std::size_t c50 = cells_for_rate(cell_grid, sweep, 0.50);
+            const std::size_t c90 = cells_for_rate(cell_grid, sweep, 0.90);
             const std::size_t width = (c90 && c10) ? c90 - c10 : 0;
 
             std::printf("%-14.2f %-13.3f %12zu %12zu %12zu %14zu\n", fraction, jitter,

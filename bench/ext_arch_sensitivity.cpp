@@ -8,10 +8,12 @@
 // dominate the attack surface; the MLP (FC-only, more sign-off slack plus
 // duplication absorption) is markedly harder to damage.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "nn/zoo.hpp"
 #include "quant/qnetwork.hpp"
+#include "sim/runner.hpp"
 
 using namespace deepstrike;
 
@@ -53,32 +55,51 @@ int main() {
         }
 
         std::printf("  %-10s %8s %10s %10s\n", "target", "strikes", "accuracy", "drop");
-        double worst_drop = 0.0;
-        std::string worst_label = "-";
+
+        // One sweep point per profiled segment, executed in parallel over
+        // the runner (traces shared through its cache).
+        struct SegPoint {
+            std::string label;
+            std::size_t strikes = 0;
+            sim::AccuracyResult result;
+            bool skipped = true;
+        };
+        std::vector<SegPoint> points(prof.profile.segments.size());
+        sim::SweepRunner runner(platform);
+        std::vector<sim::SweepTask> tasks;
         for (std::size_t si = 0; si < prof.profile.segments.size(); ++si) {
             const auto& seg = prof.profile.segments[si];
-            const std::size_t strikes =
+            points[si].label = std::string(attack::layer_class_name(seg.guess)) +
+                               "#" + std::to_string(si);
+            points[si].strikes =
                 std::min<std::size_t>(4500, seg.duration_samples() / 4);
-            if (strikes == 0) continue;
-            const attack::AttackScheme scheme = attack::plan_attack(
-                seg, prof.trigger_sample, platform.config().samples_per_cycle(),
-                strikes);
-            const accel::VoltageTrace trace =
-                sim::guided_attack_trace(platform, attack::DetectorConfig{}, scheme);
-            const sim::AccuracyResult res =
-                sim::evaluate_accuracy(platform, test, kEvalImages, &trace, 8);
+            if (points[si].strikes == 0) continue;
+            tasks.push_back({points[si].label, [&, si] {
+                const attack::AttackScheme scheme = attack::plan_attack(
+                    prof.profile.segments[si], prof.trigger_sample,
+                    platform.config().samples_per_cycle(), points[si].strikes);
+                const auto trace =
+                    runner.guided_trace(attack::DetectorConfig{}, scheme);
+                points[si].result = sim::evaluate_accuracy(
+                    platform, test, kEvalImages, trace.get(), 8);
+                points[si].skipped = false;
+            }});
+        }
+        runner.run(std::string("arch_sensitivity/") + nn::architecture_name(arch),
+                   std::move(tasks));
 
-            const double drop = clean.accuracy - res.accuracy;
-            const std::string label =
-                std::string(attack::layer_class_name(seg.guess)) + "#" +
-                std::to_string(si);
-            std::printf("  %-10s %8zu %10.4f %+10.4f\n", label.c_str(), strikes,
-                        res.accuracy, -drop);
-            csv.row(nn::architecture_name(arch), clean.accuracy, label, strikes,
-                    res.accuracy, drop);
+        double worst_drop = 0.0;
+        std::string worst_label = "-";
+        for (const SegPoint& p : points) {
+            if (p.skipped) continue;
+            const double drop = clean.accuracy - p.result.accuracy;
+            std::printf("  %-10s %8zu %10.4f %+10.4f\n", p.label.c_str(), p.strikes,
+                        p.result.accuracy, -drop);
+            csv.row(nn::architecture_name(arch), clean.accuracy, p.label, p.strikes,
+                    p.result.accuracy, drop);
             if (drop > worst_drop) {
                 worst_drop = drop;
-                worst_label = label;
+                worst_label = p.label;
             }
         }
         std::printf("  most vulnerable: %s (drop %.1f%%)\n", worst_label.c_str(),

@@ -7,11 +7,15 @@
 // accuracy on the accelerator under the injected faults. Strikes last one
 // fabric cycle (10 ns); the maximum number of strikes per layer is bounded
 // by the layer's execution length, as in the paper.
+//
+// The whole sweep runs through sim::run_campaign on the parallel
+// SweepRunner core; the printed table is a view of the campaign report.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "sim/campaign.hpp"
 
 using namespace deepstrike;
 
@@ -19,27 +23,28 @@ int main() {
     bench::banner("Fig. 5(b) - testing accuracy vs. number of strikes per layer");
     bench::TrainedPlatform tp = bench::trained_platform();
 
-    const std::size_t kEvalImages = 300;
-    const std::uint64_t kFaultSeed = 2468;
+    sim::CampaignConfig cfg;
+    cfg.strike_grid = {500, 1000, 2000, 3000, 4500};
+    cfg.eval_images = 300;
+    cfg.fault_seed = 2468;
+    cfg.blind_offsets = 10;
+    cfg.blind_offset_seed = 777;
 
-    // Quantized accelerator baseline (the paper's 96.17% analogue).
-    const sim::AccuracyResult clean =
-        sim::evaluate_accuracy(tp.platform, tp.test_set, kEvalImages, nullptr, kFaultSeed);
-    std::printf("untampered accelerator accuracy: %.4f (%zu images)\n", clean.accuracy,
-                clean.images);
+    sim::RunManifest manifest;
+    const sim::CampaignReport report =
+        sim::run_campaign(tp.platform, tp.test_set, cfg, &manifest);
 
-    // Profile the victim through the side channel.
-    const sim::ProfilingRun prof = sim::run_profiling(tp.platform);
-    if (!prof.detector_fired || prof.profile.segments.size() < 5) {
+    std::printf("untampered accelerator accuracy: %.4f (%zu images)\n",
+                report.clean_accuracy, report.eval_images);
+    if (!report.detector_fired || report.profile.segments.size() < 5) {
         std::printf("ERROR: profiling failed (%zu segments)\n",
-                    prof.profile.segments.size());
+                    report.profile.segments.size());
         return 1;
     }
     std::printf("\nside-channel profile (trigger at sample %zu):\n%s\n",
-                prof.trigger_sample, prof.profile.to_string().c_str());
+                report.trigger_sample, report.profile.to_string().c_str());
 
     const char* layer_names[5] = {"CONV1", "POOL1", "CONV2", "FC1", "FC2"};
-    const std::vector<std::size_t> strike_grid = {500, 1000, 2000, 3000, 4500};
 
     CsvWriter csv = bench::open_csv("fig5b_accuracy_vs_strikes.csv");
     csv.row("target", "strikes", "accuracy", "accuracy_drop", "dup_faults_per_image",
@@ -52,62 +57,33 @@ int main() {
     double best_drop = 0.0;
     std::string best_layer;
 
-    for (std::size_t si = 0; si < prof.profile.segments.size() && si < 5; ++si) {
-        const attack::ProfiledSegment& seg = prof.profile.segments[si];
-        // Strikes must fit the layer: one strike cycle needs one gap cycle.
-        const std::size_t max_strikes = seg.duration_samples() / 4;
-        bool printed_cap = false;
-        for (std::size_t strikes : strike_grid) {
-            std::size_t n = strikes;
-            if (n > max_strikes) {
-                if (printed_cap) continue; // layer already swept to its max
-                n = max_strikes;
-                printed_cap = true;
-            }
-            if (n == 0) continue;
-            const attack::AttackScheme scheme = attack::plan_attack(
-                seg, prof.trigger_sample, tp.platform.config().samples_per_cycle(), n);
-            const accel::VoltageTrace trace =
-                sim::guided_attack_trace(tp.platform, attack::DetectorConfig{}, scheme);
-            const sim::AccuracyResult res = sim::evaluate_accuracy(
-                tp.platform, tp.test_set, kEvalImages, &trace, kFaultSeed);
+    for (const sim::CampaignPoint& p : report.points) {
+        const char* label = "BLIND";
+        if (!p.is_blind()) {
+            if (*p.segment_index >= 5) continue;
+            label = layer_names[*p.segment_index];
+        }
+        const double dup_per_img =
+            static_cast<double>(p.faults.duplication) / static_cast<double>(p.images);
+        const double rand_per_img =
+            static_cast<double>(p.faults.random) / static_cast<double>(p.images);
+        std::printf("%-8s %8zu %6zu %10.4f %+10.4f %12.1f %12.2f\n", label,
+                    p.strikes, p.gap_cycles, p.accuracy, -p.drop, dup_per_img,
+                    rand_per_img);
+        csv.row(label, p.strikes, p.accuracy, p.drop, dup_per_img, rand_per_img);
 
-            const double drop = clean.accuracy - res.accuracy;
-            std::printf("%-8s %8zu %6zu %10.4f %+10.4f %12.1f %12.2f\n", layer_names[si],
-                        n, scheme.gap_cycles, res.accuracy, -drop,
-                        static_cast<double>(res.faults.duplication) / res.images,
-                        static_cast<double>(res.faults.random) / res.images);
-            csv.row(layer_names[si], n, res.accuracy, drop,
-                    static_cast<double>(res.faults.duplication) / res.images,
-                    static_cast<double>(res.faults.random) / res.images);
-            if (si == 2) conv2_max_drop = std::max(conv2_max_drop, drop);
-            if (drop > best_drop) {
-                best_drop = drop;
-                best_layer = layer_names[si];
-            }
+        if (p.is_blind()) continue;
+        if (*p.segment_index == 2) conv2_max_drop = std::max(conv2_max_drop, p.drop);
+        if (p.drop > best_drop) {
+            best_drop = p.drop;
+            best_layer = label;
         }
     }
 
-    // Blind baseline: identical strike counts sprayed randomly across the
-    // whole execution (the paper's top curve).
-    std::printf("\nblind (non-TDC-guided) baseline:\n");
-    for (std::size_t strikes : strike_grid) {
-        attack::AttackScheme scheme;
-        scheme.num_strikes = strikes;
-        scheme.strike_cycles = 1;
-        scheme.gap_cycles = std::max<std::size_t>(
-            1, tp.platform.engine().schedule().total_cycles / strikes / 2);
-        const auto traces = sim::blind_attack_traces(tp.platform, scheme, 10, 777);
-        const sim::AccuracyResult res = sim::evaluate_accuracy_multi(
-            tp.platform, tp.test_set, kEvalImages, traces, kFaultSeed);
-        std::printf("%-8s %8zu %6s %10.4f %+10.4f %12.1f %12.2f\n", "BLIND", strikes, "-",
-                    res.accuracy, res.accuracy - clean.accuracy,
-                    static_cast<double>(res.faults.duplication) / res.images,
-                    static_cast<double>(res.faults.random) / res.images);
-        csv.row("BLIND", strikes, res.accuracy, clean.accuracy - res.accuracy,
-                static_cast<double>(res.faults.duplication) / res.images,
-                static_cast<double>(res.faults.random) / res.images);
-    }
+    std::printf("\nsweep: %zu points in %.2fs on %zu threads "
+                "(trace cache: %zu misses, %zu hits)\n",
+                manifest.points.size(), manifest.total_seconds, manifest.threads,
+                manifest.trace_cache_misses, manifest.trace_cache_hits);
 
     std::printf("\npaper-shape checks:\n");
     std::printf("  CONV2 is the most fault-sensitive layer : %s (max drop %.1f%% on %s)\n",

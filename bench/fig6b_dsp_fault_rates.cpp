@@ -7,8 +7,10 @@
 // observationally (match = correct, equals previous input's result =
 // duplication fault, anything else = random fault).
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "sim/runner.hpp"
 
 using namespace deepstrike;
 
@@ -29,6 +31,14 @@ int main() {
     std::printf("\n%12s %12s %12s %12s %12s\n", "cells", "dup_rate", "random_rate",
                 "total_rate", "min_voltage");
 
+    std::vector<std::size_t> cell_grid;
+    for (std::size_t cells = 2000; cells <= 24000; cells += 2000) {
+        cell_grid.push_back(cells);
+    }
+    sim::RunManifest manifest;
+    const std::vector<sim::DspRigResult> sweep =
+        sim::run_dsp_characterization_sweep(cell_grid, cfg, 0, &manifest);
+
     double total_at_24k = 0.0;
     double total_at_4k = 0.0;
     double dup_peak = 0.0;
@@ -36,8 +46,9 @@ int main() {
     double prev_total = 0.0;
     bool monotone = true;
 
-    for (std::size_t cells = 2000; cells <= 24000; cells += 2000) {
-        const sim::DspRigResult r = sim::run_dsp_characterization(cells, cfg);
+    for (std::size_t i = 0; i < cell_grid.size(); ++i) {
+        const std::size_t cells = cell_grid[i];
+        const sim::DspRigResult& r = sweep[i];
         std::printf("%12zu %12.4f %12.4f %12.4f %12.4f\n", cells, r.duplication_rate,
                     r.random_rate, r.total_rate(), r.min_voltage);
         csv.row(cells, r.duplication_rate, r.random_rate, r.total_rate(), r.min_voltage);
@@ -51,6 +62,9 @@ int main() {
         if (r.total_rate() + 0.02 < prev_total) monotone = false;
         prev_total = r.total_rate();
     }
+
+    std::printf("\nsweep: %zu points in %.2fs on %zu threads\n",
+                manifest.points.size(), manifest.total_seconds, manifest.threads);
 
     std::printf("\npaper-shape checks:\n");
     std::printf("  total fault rate ~100%% at 24,000 cells : %s (%.1f%%)\n",

@@ -10,7 +10,7 @@ namespace deepstrike::sim {
 const CampaignPoint* CampaignReport::most_damaging() const {
     const CampaignPoint* best = nullptr;
     for (const CampaignPoint& p : points) {
-        if (p.target == "BLIND") continue;
+        if (p.is_blind()) continue;
         if (best == nullptr || p.drop > best->drop) best = &p;
     }
     return best;
@@ -38,7 +38,13 @@ Json CampaignReport::to_json() const {
     for (const CampaignPoint& p : points) {
         Json j = Json::object();
         j.set("target", p.target);
-        j.set("segment_index", p.segment_index);
+        // Blind points carry no profiled segment; serialize as -1 rather
+        // than leaking a size_t sentinel into the report.
+        if (p.segment_index) {
+            j.set("segment_index", static_cast<std::uint64_t>(*p.segment_index));
+        } else {
+            j.set("segment_index", -1);
+        }
         j.set("strikes", p.strikes);
         j.set("gap_cycles", p.gap_cycles);
         j.set("accuracy", p.accuracy);
@@ -89,25 +95,22 @@ std::string CampaignReport::to_markdown() const {
     return os.str();
 }
 
-CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_set,
-                            const CampaignConfig& config) {
-    expects(!config.strike_grid.empty(), "run_campaign: non-empty strike grid");
-    expects(config.eval_images > 0, "run_campaign: eval images > 0");
+namespace {
 
-    CampaignReport report;
-    report.eval_images = std::min(config.eval_images, test_set.size());
+/// Static description of one campaign point, planned up front so the
+/// parallel phase only executes (trace + evaluation) work.
+struct PlannedPoint {
+    std::string label;
+    std::optional<std::size_t> segment_index;
+    std::size_t strikes = 0;
+    attack::AttackScheme scheme;
+    std::size_t blind_offsets = 0; // > 0 marks a blind-baseline point
+};
 
-    const AccuracyResult clean = evaluate_accuracy(
-        platform, test_set, config.eval_images, nullptr, config.fault_seed);
-    report.clean_accuracy = clean.accuracy;
-
-    const ProfilingRun prof =
-        run_profiling(platform, config.detector, config.profiler);
-    report.detector_fired = prof.detector_fired;
-    report.trigger_sample = prof.trigger_sample;
-    report.profile = prof.profile;
-    if (!prof.detector_fired) return report;
-
+std::vector<PlannedPoint> plan_points(const Platform& platform,
+                                      const ProfilingRun& prof,
+                                      const CampaignConfig& config) {
+    std::vector<PlannedPoint> planned;
     for (std::size_t si = 0; si < prof.profile.segments.size(); ++si) {
         const attack::ProfiledSegment& seg = prof.profile.segments[si];
         const std::size_t cap = seg.duration_samples() / 4; // gap >= 1
@@ -121,52 +124,102 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
             }
             if (n == 0) continue;
 
-            const attack::AttackScheme scheme =
-                attack::plan_attack(seg, prof.trigger_sample,
-                                    platform.config().samples_per_cycle(), n);
-            const accel::VoltageTrace trace =
-                guided_attack_trace(platform, config.detector, scheme);
-            const AccuracyResult res = evaluate_accuracy(
-                platform, test_set, config.eval_images, &trace, config.fault_seed);
-
-            CampaignPoint point;
-            point.target = "segment#" + std::to_string(si) + " " +
-                           attack::layer_class_name(seg.guess);
+            PlannedPoint point;
+            point.label = "segment#" + std::to_string(si) + " " +
+                          attack::layer_class_name(seg.guess);
             point.segment_index = si;
             point.strikes = n;
-            point.gap_cycles = scheme.gap_cycles;
-            point.accuracy = res.accuracy;
-            point.drop = clean.accuracy - res.accuracy;
-            point.faults = res.faults;
-            point.images = res.images;
-            report.points.push_back(std::move(point));
+            point.scheme =
+                attack::plan_attack(seg, prof.trigger_sample,
+                                    platform.config().samples_per_cycle(), n);
+            planned.push_back(std::move(point));
         }
     }
 
     if (config.blind_offsets > 0) {
         const std::size_t total_cycles = platform.engine().schedule().total_cycles;
         for (std::size_t strikes : config.strike_grid) {
-            attack::AttackScheme scheme;
-            scheme.num_strikes = strikes;
-            scheme.strike_cycles = 1;
-            scheme.gap_cycles =
-                std::max<std::size_t>(1, total_cycles / strikes / 2);
-            const auto traces = blind_attack_traces(
-                platform, scheme, config.blind_offsets, config.blind_offset_seed);
-            const AccuracyResult res = evaluate_accuracy_multi(
-                platform, test_set, config.eval_images, traces, config.fault_seed);
-
-            CampaignPoint point;
-            point.target = "BLIND";
-            point.segment_index = static_cast<std::size_t>(-1);
+            PlannedPoint point;
+            point.label = "BLIND";
             point.strikes = strikes;
-            point.gap_cycles = scheme.gap_cycles;
+            point.blind_offsets = config.blind_offsets;
+            point.scheme.num_strikes = strikes;
+            point.scheme.strike_cycles = 1;
+            point.scheme.gap_cycles =
+                std::max<std::size_t>(1, total_cycles / strikes / 2);
+            planned.push_back(std::move(point));
+        }
+    }
+    return planned;
+}
+
+} // namespace
+
+CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_set,
+                            const CampaignConfig& config, RunManifest* manifest) {
+    expects(!config.strike_grid.empty(), "run_campaign: non-empty strike grid");
+    expects(config.eval_images > 0, "run_campaign: eval images > 0");
+    expects(test_set.size() > 0, "run_campaign: non-empty test set");
+
+    CampaignReport report;
+    // Clamp once; every evaluation below uses exactly this many images.
+    const std::size_t eval_images = std::min(config.eval_images, test_set.size());
+    report.eval_images = eval_images;
+
+    const ProfilingRun prof =
+        run_profiling(platform, config.detector, config.profiler);
+    report.detector_fired = prof.detector_fired;
+    report.trigger_sample = prof.trigger_sample;
+    report.profile = prof.profile;
+
+    SweepRunner runner(platform, RunnerConfig{config.threads, true});
+
+    // The clean baseline is point 0 of the sweep so it overlaps with the
+    // attack points; drops are filled in afterwards.
+    std::vector<PlannedPoint> planned;
+    if (prof.detector_fired) planned = plan_points(platform, prof, config);
+    report.points.resize(planned.size());
+
+    std::vector<SweepTask> tasks;
+    tasks.reserve(planned.size() + 1);
+    tasks.push_back({"clean baseline", [&] {
+                         const AccuracyResult clean = evaluate_accuracy(
+                             platform, test_set, eval_images, nullptr,
+                             config.fault_seed);
+                         report.clean_accuracy = clean.accuracy;
+                     }});
+    for (std::size_t idx = 0; idx < planned.size(); ++idx) {
+        const PlannedPoint& pp = planned[idx];
+        tasks.push_back({pp.label + " x" + std::to_string(pp.strikes), [&, idx] {
+            const PlannedPoint& p = planned[idx];
+            AccuracyResult res;
+            if (p.blind_offsets > 0) {
+                const auto traces = runner.blind_traces(
+                    p.scheme, p.blind_offsets, config.blind_offset_seed);
+                res = evaluate_accuracy_multi(platform, test_set, eval_images,
+                                              *traces, config.fault_seed);
+            } else {
+                const auto trace = runner.guided_trace(config.detector, p.scheme);
+                res = evaluate_accuracy(platform, test_set, eval_images,
+                                        trace.get(), config.fault_seed);
+            }
+
+            CampaignPoint& point = report.points[idx];
+            point.target = p.label;
+            point.segment_index = p.segment_index;
+            point.strikes = p.scheme.num_strikes;
+            point.gap_cycles = p.scheme.gap_cycles;
             point.accuracy = res.accuracy;
-            point.drop = clean.accuracy - res.accuracy;
             point.faults = res.faults;
             point.images = res.images;
-            report.points.push_back(std::move(point));
-        }
+        }});
+    }
+
+    RunManifest mf = runner.run("campaign", std::move(tasks));
+    if (manifest != nullptr) *manifest = std::move(mf);
+
+    for (CampaignPoint& point : report.points) {
+        point.drop = report.clean_accuracy - point.accuracy;
     }
     return report;
 }

@@ -6,6 +6,12 @@
 // guided attack, and evaluates accelerator accuracy over the test set;
 // optionally a blind baseline at the same intensities. This is what the
 // fig5b bench and the `deepstrike campaign` CLI command run.
+//
+// Execution goes through sim::SweepRunner: points run in parallel over the
+// persistent thread pool and share co-simulated traces through its cache.
+// Reports are bit-identical at any thread count; the run manifest (timing,
+// cache statistics) is surfaced separately so it never perturbs report
+// bytes.
 #pragma once
 
 #include <optional>
@@ -13,6 +19,7 @@
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "util/json.hpp"
 
 namespace deepstrike::sim {
@@ -24,19 +31,24 @@ struct CampaignConfig {
     /// Blind baseline replays per strike count (0 disables the baseline).
     std::size_t blind_offsets = 10;
     std::uint64_t blind_offset_seed = 777;
+    /// Sweep worker width (0 = the global --threads knob).
+    std::size_t threads = 0;
     attack::DetectorConfig detector{};
     attack::ProfilerConfig profiler{};
 };
 
 struct CampaignPoint {
     std::string target;     // profiled segment label ("segment#2 conv") or "BLIND"
-    std::size_t segment_index = 0;
+    /// Index of the profiled segment; empty for blind-baseline points.
+    std::optional<std::size_t> segment_index;
     std::size_t strikes = 0;
     std::size_t gap_cycles = 0;
     double accuracy = 0.0;
     double drop = 0.0; // clean - accuracy
     accel::FaultCounts faults;
     std::size_t images = 0;
+
+    bool is_blind() const { return !segment_index.has_value(); }
 };
 
 struct CampaignReport {
@@ -56,8 +68,10 @@ struct CampaignReport {
 
 /// Runs the campaign. Strike counts exceeding a segment's capacity
 /// (duration/2 cycles) are clamped to it, mirroring the paper's
-/// layer-length-bounded maxima.
+/// layer-length-bounded maxima. When `manifest` is non-null it receives
+/// the sweep-execution record (threads, per-point timing, cache stats).
 CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_set,
-                            const CampaignConfig& config = {});
+                            const CampaignConfig& config = {},
+                            RunManifest* manifest = nullptr);
 
 } // namespace deepstrike::sim

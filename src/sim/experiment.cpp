@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <array>
 
-#include "util/parallel.hpp"
-
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace deepstrike::sim {
 
@@ -94,13 +94,14 @@ AccuracyResult evaluate_accuracy_multi(const Platform& platform,
     AccuracyResult result;
     result.images = n_images;
     // Per-image work is independent (the engine is immutable and the RNG is
-    // per-image), so evaluate across threads and reduce.
+    // per-image), so evaluate across threads and reduce. Seeds derive from
+    // the image index alone — results are bit-identical at any thread count.
     std::vector<std::uint8_t> correct(n_images, 0);
     std::vector<accel::FaultCounts> faults(n_images);
     parallel_for(n_images, [&](std::size_t i) {
         const accel::VoltageTrace* trace =
             traces.empty() ? nullptr : &traces[i % traces.size()];
-        Rng fault_rng(fault_seed ^ (0xABCD1234ULL * (i + 1)));
+        Rng fault_rng(derive_seed(fault_seed, i));
         const QTensor qimage = quant::quantize_image(dataset.images[i]);
         const accel::RunResult run = platform.infer(qimage, trace, fault_rng);
         faults[i] = run.faults_total;
@@ -152,7 +153,7 @@ AccuracyResult evaluate_accuracy_defended(const Platform& platform,
     std::vector<std::uint8_t> correct(n_images, 0);
     std::vector<accel::FaultCounts> faults(n_images);
     parallel_for(n_images, [&](std::size_t i) {
-        Rng fault_rng(fault_seed ^ (0xABCD1234ULL * (i + 1)));
+        Rng fault_rng(derive_seed(fault_seed, i));
         const QTensor qimage = quant::quantize_image(dataset.images[i]);
         const accel::RunResult run =
             platform.infer(qimage, &trace, fault_rng, &throttle);

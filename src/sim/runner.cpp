@@ -1,0 +1,224 @@
+#include "sim/runner.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "sim/experiment.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace deepstrike::sim {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::uint64_t detector_hash(const attack::DetectorConfig& d) {
+    std::uint64_t h = derive_seed(0xDE7EC708ULL, d.trigger_hw, d.hold_samples,
+                                  d.auto_rearm ? 1u : 0u, d.rearm_samples);
+    for (std::size_t bit : d.zone_bits) h = derive_seed(h, bit);
+    return h;
+}
+
+} // namespace
+
+Json RunManifest::to_json() const {
+    Json root = Json::object();
+    root.set("sweep", sweep);
+    root.set("threads", static_cast<std::uint64_t>(threads));
+    root.set("points", static_cast<std::uint64_t>(points.size()));
+    root.set("total_seconds", total_seconds);
+    root.set("trace_cache_hits", static_cast<std::uint64_t>(trace_cache_hits));
+    root.set("trace_cache_misses", static_cast<std::uint64_t>(trace_cache_misses));
+
+    Json pts = Json::array();
+    for (const SweepPointStats& p : points) {
+        Json j = Json::object();
+        j.set("label", p.label);
+        j.set("seconds", p.seconds);
+        j.set("ok", p.ok);
+        if (!p.ok) j.set("error", p.error);
+        pts.push(std::move(j));
+    }
+    root.set("point_stats", std::move(pts));
+    return root;
+}
+
+struct SweepRunner::CacheEntry {
+    std::mutex mutex;
+    std::condition_variable ready_cv;
+    bool ready = false;
+    std::exception_ptr error;
+    std::shared_ptr<const accel::VoltageTrace> guided;
+    std::shared_ptr<const std::vector<accel::VoltageTrace>> blind;
+};
+
+SweepRunner::SweepRunner(RunnerConfig config) : config_(config) {}
+
+SweepRunner::SweepRunner(const Platform& platform, RunnerConfig config)
+    : platform_(&platform), config_(config) {}
+
+std::size_t SweepRunner::threads() const {
+    return config_.threads == 0 ? global_thread_count() : config_.threads;
+}
+
+std::uint64_t SweepRunner::scheme_hash(const attack::AttackScheme& scheme) {
+    return derive_seed(0x5C4E3EULL, scheme.attack_delay_cycles,
+                       scheme.strike_cycles, scheme.gap_cycles,
+                       scheme.num_strikes);
+}
+
+std::size_t SweepRunner::trace_cache_size() const {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_.size();
+}
+
+std::shared_ptr<SweepRunner::CacheEntry> SweepRunner::lookup(std::uint64_t key,
+                                                             bool& creator) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        creator = false;
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+    }
+    creator = true;
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    auto entry = std::make_shared<CacheEntry>();
+    cache_.emplace(key, entry);
+    return entry;
+}
+
+template <typename Compute>
+std::shared_ptr<SweepRunner::CacheEntry> SweepRunner::resolve(std::uint64_t key,
+                                                              Compute compute) {
+    bool creator = false;
+    std::shared_ptr<CacheEntry> entry = lookup(key, creator);
+    if (creator) {
+        std::exception_ptr error;
+        try {
+            compute(*entry);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(entry->mutex);
+            entry->error = error;
+            entry->ready = true;
+        }
+        entry->ready_cv.notify_all();
+    } else {
+        std::unique_lock<std::mutex> lock(entry->mutex);
+        entry->ready_cv.wait(lock, [&] { return entry->ready; });
+    }
+    if (entry->error) std::rethrow_exception(entry->error);
+    return entry;
+}
+
+std::shared_ptr<const accel::VoltageTrace>
+SweepRunner::guided_trace(const attack::DetectorConfig& detector,
+                          const attack::AttackScheme& scheme) {
+    expects(platform_ != nullptr, "SweepRunner::guided_trace: platform-bound runner required");
+    auto compute = [&](CacheEntry& entry) {
+        entry.guided = std::make_shared<const accel::VoltageTrace>(
+            guided_attack_trace(*platform_, detector, scheme));
+    };
+    if (!config_.cache_traces) {
+        CacheEntry entry;
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        compute(entry);
+        return entry.guided;
+    }
+    const std::uint64_t key =
+        derive_seed(0x617D3DULL, scheme_hash(scheme), detector_hash(detector));
+    return resolve(key, compute)->guided;
+}
+
+std::shared_ptr<const std::vector<accel::VoltageTrace>>
+SweepRunner::blind_traces(const attack::AttackScheme& scheme, std::size_t n_offsets,
+                          std::uint64_t offset_seed) {
+    expects(platform_ != nullptr, "SweepRunner::blind_traces: platform-bound runner required");
+    auto compute = [&](CacheEntry& entry) {
+        entry.blind = std::make_shared<const std::vector<accel::VoltageTrace>>(
+            blind_attack_traces(*platform_, scheme, n_offsets, offset_seed));
+    };
+    if (!config_.cache_traces) {
+        CacheEntry entry;
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        compute(entry);
+        return entry.blind;
+    }
+    const std::uint64_t key =
+        derive_seed(0xB71ADULL, scheme_hash(scheme), n_offsets, offset_seed);
+    return resolve(key, compute)->blind;
+}
+
+RunManifest SweepRunner::run(const std::string& sweep_name,
+                             std::vector<SweepTask> tasks) {
+    RunManifest manifest;
+    manifest.sweep = sweep_name;
+    manifest.threads = threads();
+    manifest.points.resize(tasks.size());
+
+    const std::size_t hits_before = trace_cache_hits();
+    const std::size_t misses_before = trace_cache_misses();
+    const auto sweep_start = std::chrono::steady_clock::now();
+
+    std::vector<std::exception_ptr> errors(tasks.size());
+    ThreadPool::global().for_each(
+        tasks.size(),
+        [&](std::size_t i) {
+            SweepPointStats& stats = manifest.points[i];
+            stats.label = tasks[i].label;
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                expects(static_cast<bool>(tasks[i].work),
+                        "SweepRunner::run: every task needs a callable");
+                tasks[i].work();
+                stats.ok = true;
+            } catch (const std::exception& e) {
+                errors[i] = std::current_exception();
+                stats.error = e.what();
+            } catch (...) {
+                errors[i] = std::current_exception();
+                stats.error = "unknown error";
+            }
+            stats.seconds = seconds_since(t0);
+        },
+        threads());
+
+    manifest.total_seconds = seconds_since(sweep_start);
+    manifest.trace_cache_hits = trace_cache_hits() - hits_before;
+    manifest.trace_cache_misses = trace_cache_misses() - misses_before;
+
+    // Deterministic error propagation: the lowest-indexed failure wins,
+    // regardless of which thread hit it first.
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+    return manifest;
+}
+
+std::vector<DspRigResult> run_dsp_characterization_sweep(
+    const std::vector<std::size_t>& cells, const DspRigConfig& config,
+    std::size_t threads, RunManifest* manifest) {
+    SweepRunner runner(RunnerConfig{threads, false});
+    std::vector<DspRigResult> results(cells.size());
+
+    std::vector<SweepTask> tasks;
+    tasks.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        tasks.push_back({"cells=" + std::to_string(cells[i]), [&, i] {
+                             results[i] = run_dsp_characterization(cells[i], config);
+                         }});
+    }
+    RunManifest mf = runner.run("dsp_characterization", std::move(tasks));
+    if (manifest != nullptr) *manifest = std::move(mf);
+    return results;
+}
+
+} // namespace deepstrike::sim

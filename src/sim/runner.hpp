@@ -1,0 +1,138 @@
+// Parallel sweep-execution core.
+//
+// Every headline experiment (Fig. 5b accuracy-vs-strikes, Fig. 6b fault
+// rates, the ablations) is a sweep of independent (configuration x
+// evaluation) points. SweepRunner is the one place that executes such
+// sweeps: it schedules labelled point tasks over the persistent
+// util::ThreadPool, times each point, and emits a structured JSON run
+// manifest (threads, per-point wall-clock, trace-cache statistics).
+//
+// Determinism contract: the runner only controls *where/when* a point
+// runs, never its inputs. Point tasks derive their RNG streams from
+// logical coordinates via util::derive_seed and write results into
+// caller-owned slots indexed by point, so a sweep's outputs are
+// bit-identical at any thread count.
+//
+// The runner also owns the co-simulated voltage-trace cache. The
+// structural property documented in sim/platform.hpp — the accelerator's
+// power draw is data-independent, so ONE electrical trace per attack
+// configuration serves every image — makes the trace the natural unit of
+// reuse across points; traces are cached keyed by a hash of the attack
+// scheme (plus detector configuration / blind-replay parameters), with
+// concurrent requests for the same key deduplicated so each trace is
+// co-simulated exactly once.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attack/detector.hpp"
+#include "attack/signal_ram.hpp"
+#include "sim/experiment.hpp"
+#include "sim/platform.hpp"
+#include "util/json.hpp"
+
+namespace deepstrike::sim {
+
+struct RunnerConfig {
+    /// Worker width for sweep execution; 0 = the global thread knob
+    /// (set_global_thread_count / --threads).
+    std::size_t threads = 0;
+    /// Disable to co-simulate every trace request from scratch.
+    bool cache_traces = true;
+};
+
+/// One independent unit of sweep work. `work` writes its result into
+/// caller-owned storage at the point's own index.
+struct SweepTask {
+    std::string label;
+    std::function<void()> work;
+};
+
+struct SweepPointStats {
+    std::string label;
+    double seconds = 0.0;
+    bool ok = false;
+    std::string error; // populated when !ok
+};
+
+/// Structured record of one sweep execution (written next to, never into,
+/// result reports — reports must stay byte-identical across thread counts).
+struct RunManifest {
+    std::string sweep;
+    std::size_t threads = 0;
+    double total_seconds = 0.0;
+    std::size_t trace_cache_hits = 0;
+    std::size_t trace_cache_misses = 0;
+    std::vector<SweepPointStats> points;
+
+    Json to_json() const;
+};
+
+class SweepRunner {
+public:
+    /// Platform-free runner (e.g. the DSP characterization rig).
+    explicit SweepRunner(RunnerConfig config = {});
+
+    /// Platform-bound runner with the voltage-trace cache enabled.
+    explicit SweepRunner(const Platform& platform, RunnerConfig config = {});
+
+    /// Resolved worker width for this runner.
+    std::size_t threads() const;
+
+    /// Executes the tasks over the pool, returning the manifest. Results
+    /// land wherever the tasks wrote them (indexed caller storage). The
+    /// lowest-indexed point failure is rethrown after every point ran.
+    RunManifest run(const std::string& sweep_name, std::vector<SweepTask> tasks);
+
+    /// Guided-attack trace for the scheme, co-simulated once per distinct
+    /// (detector config, scheme) and shared thereafter. Thread-safe;
+    /// concurrent first requests for one key block on a single co-sim.
+    std::shared_ptr<const accel::VoltageTrace>
+    guided_trace(const attack::DetectorConfig& detector,
+                 const attack::AttackScheme& scheme);
+
+    /// Blind-baseline trace set, cached per (scheme, n_offsets, seed).
+    std::shared_ptr<const std::vector<accel::VoltageTrace>>
+    blind_traces(const attack::AttackScheme& scheme, std::size_t n_offsets,
+                 std::uint64_t offset_seed);
+
+    std::size_t trace_cache_hits() const { return cache_hits_.load(); }
+    std::size_t trace_cache_misses() const { return cache_misses_.load(); }
+    std::size_t trace_cache_size() const;
+
+    /// 64-bit structural hash of a scheme (the cache-key ingredient).
+    static std::uint64_t scheme_hash(const attack::AttackScheme& scheme);
+
+private:
+    struct CacheEntry;
+
+    std::shared_ptr<CacheEntry> lookup(std::uint64_t key, bool& creator);
+    template <typename Compute>
+    std::shared_ptr<CacheEntry> resolve(std::uint64_t key, Compute compute);
+
+    const Platform* platform_ = nullptr;
+    RunnerConfig config_;
+
+    mutable std::mutex cache_mutex_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<CacheEntry>> cache_;
+    std::atomic<std::size_t> cache_hits_{0};
+    std::atomic<std::size_t> cache_misses_{0};
+};
+
+/// Fig. 6(b)-style characterization sweep: each striker cell count is one
+/// independent point over the pool. Results are indexed like `cells`;
+/// every point derives its randomness from the rig config alone, so the
+/// curve is bit-identical at any thread count.
+std::vector<DspRigResult> run_dsp_characterization_sweep(
+    const std::vector<std::size_t>& cells, const DspRigConfig& config = {},
+    std::size_t threads = 0, RunManifest* manifest = nullptr);
+
+} // namespace deepstrike::sim

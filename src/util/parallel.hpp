@@ -1,26 +1,104 @@
-// Small parallel-for helper for the embarrassingly parallel sweeps
-// (per-image accuracy evaluation, per-point rig characterization).
+// Persistent worker pool for the embarrassingly parallel sweeps
+// (per-image accuracy evaluation, per-point campaign execution, rig
+// characterization).
 //
-// Deliberately minimal: spawn N worker threads over a static index
-// partition. Work items must be independent; exceptions in workers are
-// rethrown (first one wins) after all threads join.
+// One process-wide pool (ThreadPool::global()) is shared by every layer;
+// its width is a runtime knob (set_global_thread_count / the CLI's
+// --threads flag). Tasks may submit further tasks and wait on them from
+// inside the pool: a waiting thread helps execute queued tasks instead of
+// blocking, so nested parallel sections (a campaign point evaluating
+// images in parallel) cannot deadlock. Exceptions thrown by a task are
+// captured and rethrown to whoever waits on it.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace deepstrike {
 
-/// Number of workers used by parallel_for when `threads == 0`.
+/// Number of workers used when a thread count of 0 (= auto) is requested.
 std::size_t default_thread_count();
 
-/// Runs fn(i) for i in [0, count) across `threads` workers (0 = auto).
-/// Blocks until all items complete. fn must be safe to call concurrently
-/// for distinct i.
+/// Sets the width of the process-wide pool (0 = auto). Takes effect the
+/// next time ThreadPool::global() is called; call it before starting
+/// parallel work (the CLI does so while parsing --threads).
+void set_global_thread_count(std::size_t threads);
+
+/// The currently effective global width (resolves 0 to the auto value).
+std::size_t global_thread_count();
+
+class ThreadPool {
+public:
+    /// Spawns `threads` persistent workers (0 = default_thread_count()).
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /// Completes all queued tasks, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t thread_count() const { return workers_.size(); }
+
+    /// Handle to a submitted task.
+    class Task {
+    public:
+        Task() = default;
+        bool valid() const { return state_ != nullptr; }
+
+        /// Blocks until the task completes, rethrowing its exception.
+        /// Safe to call from inside the pool (the caller helps execute
+        /// queued tasks while waiting).
+        void wait();
+
+    private:
+        friend class ThreadPool;
+        struct State;
+        Task(ThreadPool* pool, std::shared_ptr<State> state)
+            : pool_(pool), state_(std::move(state)) {}
+
+        ThreadPool* pool_ = nullptr;
+        std::shared_ptr<State> state_;
+    };
+
+    /// Enqueues fn for execution; the returned handle outlives the pool's
+    /// queue entry.
+    Task submit(std::function<void()> fn);
+
+    /// Runs fn(i) for i in [0, count) over at most `width` concurrent
+    /// workers (0 = pool width); the calling thread participates. Blocks
+    /// until every item ran; the first exception (by submission order of
+    /// discovery) is rethrown after the sweep completes. width <= 1 runs
+    /// strictly sequentially in index order on the calling thread.
+    void for_each(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t width = 0);
+
+    /// The process-wide pool, (re)created on demand at the width requested
+    /// via set_global_thread_count.
+    static ThreadPool& global();
+
+private:
+    void worker_loop();
+    void run_task(const std::shared_ptr<Task::State>& state);
+    std::shared_ptr<Task::State> try_pop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::deque<std::shared_ptr<Task::State>> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, count) across `threads` workers (0 = auto) of
+/// the global pool. Blocks until all items complete. fn must be safe to
+/// call concurrently for distinct i.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

@@ -12,6 +12,18 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
 }
 } // namespace
 
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> tags) {
+    // Chain SplitMix64 finalizations: each tag folds into the running
+    // hash with an odd offset so that tag 0 still perturbs the state.
+    std::uint64_t h = SplitMix64(base).next();
+    for (std::uint64_t tag : tags) {
+        h = SplitMix64(h ^ (tag * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL))
+                .next();
+    }
+    return h;
+}
+
 Rng::Rng(std::uint64_t seed) {
     SplitMix64 sm(seed);
     for (auto& word : s_) word = sm.next();

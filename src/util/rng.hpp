@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 
 namespace deepstrike {
@@ -29,6 +30,21 @@ public:
 private:
     std::uint64_t state_;
 };
+
+/// Derives an independent stream seed from a base seed and a path of
+/// tags (sweep index, point index, image index, ...). Deterministic in
+/// (base, tags) and order-sensitive, so derive_seed(s, a, b) and
+/// derive_seed(s, b, a) are decorrelated. This is how sweeps assign
+/// per-point / per-image RNG streams: the derivation depends only on the
+/// logical coordinates of the work item, never on which thread runs it,
+/// which keeps whole campaigns bit-identical at any thread count.
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> tags);
+
+template <typename... Tags>
+std::uint64_t derive_seed(std::uint64_t base, Tags... tags) {
+    return derive_seed(base, {static_cast<std::uint64_t>(tags)...});
+}
 
 /// Xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
 class Rng {

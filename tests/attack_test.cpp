@@ -138,7 +138,9 @@ TEST_P(SchemeRoundTripTest, CompileParseIsIdentity) {
     EXPECT_EQ(parsed.attack_delay_cycles, s.attack_delay_cycles);
     EXPECT_EQ(parsed.strike_cycles, s.strike_cycles);
     EXPECT_EQ(parsed.num_strikes, s.num_strikes);
-    if (s.num_strikes > 1) EXPECT_EQ(parsed.gap_cycles, s.gap_cycles);
+    if (s.num_strikes > 1) {
+        EXPECT_EQ(parsed.gap_cycles, s.gap_cycles);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSchemes, SchemeRoundTripTest,

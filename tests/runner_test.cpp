@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace deepstrike::sim {
+namespace {
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, SubmitAndWait) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<ThreadPool::Task> tasks;
+    for (int i = 0; i < 50; ++i) {
+        tasks.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+    }
+    for (auto& t : tasks) t.wait();
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWaiter) {
+    ThreadPool pool(2);
+    ThreadPool::Task bad = pool.submit([] { throw ConfigError("boom"); });
+    EXPECT_THROW(bad.wait(), ConfigError);
+}
+
+TEST(ThreadPool, ReusableAcrossSubmissionsAndAfterException) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.submit([] { throw ConfigError("first"); }).wait(), ConfigError);
+
+    // The pool must stay fully usable: several further rounds of work.
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 3; ++round) {
+        std::vector<ThreadPool::Task> tasks;
+        for (int i = 0; i < 20; ++i) {
+            tasks.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+        }
+        for (auto& t : tasks) t.wait();
+    }
+    EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
+    // A task that submits a subtask and waits for it must finish even on a
+    // single-worker pool (the waiting thread helps run the queue).
+    ThreadPool pool(1);
+    std::atomic<int> counter{0};
+    ThreadPool::Task outer = pool.submit([&] {
+        ThreadPool::Task inner = pool.submit([&counter] { counter.fetch_add(1); });
+        inner.wait();
+        counter.fetch_add(1);
+    });
+    outer.wait();
+    EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, NestedForEachInsidePoolTask) {
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.for_each(4, [&](std::size_t) {
+        pool.for_each(8, [&](std::size_t) { counter.fetch_add(1); });
+    });
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ForEachRethrowsAfterRunningEveryItem) {
+    ThreadPool pool(4);
+    std::atomic<int> hits{0};
+    EXPECT_THROW(pool.for_each(100,
+                               [&](std::size_t i) {
+                                   hits.fetch_add(1);
+                                   if (i == 13) throw ConfigError("bad point");
+                               }),
+                 ConfigError);
+    EXPECT_EQ(hits.load(), 100);
+}
+
+// ------------------------------------------------------------ derive_seed
+
+TEST(DeriveSeed, DeterministicAndTagSensitive) {
+    EXPECT_EQ(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+    EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 3, 2)); // order matters
+    EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));       // tag 0 still mixes
+    EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+    EXPECT_NE(derive_seed(7), 7u);
+}
+
+// ------------------------------------------------------------ sweep runner
+
+TEST(SweepRunner, RunsEveryTaskAndTimesThem) {
+    SweepRunner runner(RunnerConfig{4, true});
+    std::vector<int> out(10, 0);
+    std::vector<SweepTask> tasks;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        tasks.push_back({"point#" + std::to_string(i),
+                         [&out, i] { out[i] = static_cast<int>(i) * 2; }});
+    }
+    const RunManifest mf = runner.run("unit", std::move(tasks));
+
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+    }
+    EXPECT_EQ(mf.sweep, "unit");
+    EXPECT_EQ(mf.threads, 4u);
+    ASSERT_EQ(mf.points.size(), 10u);
+    for (const auto& p : mf.points) {
+        EXPECT_TRUE(p.ok);
+        EXPECT_GE(p.seconds, 0.0);
+    }
+    const std::string json = mf.to_json().dump();
+    for (const char* needle : {"\"sweep\"", "\"threads\"", "\"total_seconds\"",
+                               "\"point_stats\"", "\"trace_cache_hits\""}) {
+        EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(SweepRunner, LowestIndexedFailureWins) {
+    SweepRunner runner(RunnerConfig{4, true});
+    std::vector<SweepTask> tasks;
+    for (std::size_t i = 0; i < 8; ++i) {
+        tasks.push_back({"p", [i] {
+                             if (i >= 5) throw ConfigError("point " + std::to_string(i));
+                         }});
+    }
+    try {
+        runner.run("failing", std::move(tasks));
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("point 5"), std::string::npos) << what;
+    }
+}
+
+struct RunnerPlatformFixture : public ::testing::Test {
+    static void SetUpTestSuite() {
+        platform = new Platform(PlatformConfig{},
+                                deepstrike::testing::random_qweights(61));
+        dataset = new data::Dataset(data::make_datasets(9, 1, 30).test);
+        profiling = new ProfilingRun(run_profiling(*platform));
+    }
+    static void TearDownTestSuite() {
+        delete profiling;
+        delete dataset;
+        delete platform;
+    }
+
+    static Platform* platform;
+    static data::Dataset* dataset;
+    static ProfilingRun* profiling;
+};
+
+Platform* RunnerPlatformFixture::platform = nullptr;
+data::Dataset* RunnerPlatformFixture::dataset = nullptr;
+ProfilingRun* RunnerPlatformFixture::profiling = nullptr;
+
+TEST_F(RunnerPlatformFixture, TraceCacheHitMissAccounting) {
+    ASSERT_TRUE(profiling->detector_fired);
+    ASSERT_GE(profiling->profile.segments.size(), 3u);
+
+    SweepRunner runner(*platform, RunnerConfig{1, true});
+    const double spc = platform->config().samples_per_cycle();
+    const attack::AttackScheme scheme_a = attack::plan_attack(
+        profiling->profile.segments[2], profiling->trigger_sample, spc, 100);
+    const attack::AttackScheme scheme_b = attack::plan_attack(
+        profiling->profile.segments[0], profiling->trigger_sample, spc, 60);
+
+    const auto t1 = runner.guided_trace({}, scheme_a);
+    EXPECT_EQ(runner.trace_cache_misses(), 1u);
+    EXPECT_EQ(runner.trace_cache_hits(), 0u);
+
+    const auto t2 = runner.guided_trace({}, scheme_a); // repeated scheme
+    EXPECT_EQ(runner.trace_cache_misses(), 1u);
+    EXPECT_EQ(runner.trace_cache_hits(), 1u);
+    EXPECT_EQ(t1.get(), t2.get()); // shared, not recomputed
+
+    const auto t3 = runner.guided_trace({}, scheme_b); // distinct scheme
+    EXPECT_EQ(runner.trace_cache_misses(), 2u);
+    EXPECT_NE(t3.get(), t1.get());
+
+    // Blind traces are cached under their own key space.
+    attack::AttackScheme blind;
+    blind.num_strikes = 50;
+    blind.gap_cycles = 20;
+    const auto b1 = runner.blind_traces(blind, 3, 99);
+    const auto b2 = runner.blind_traces(blind, 3, 99);
+    EXPECT_EQ(runner.trace_cache_misses(), 3u);
+    EXPECT_EQ(runner.trace_cache_hits(), 2u);
+    EXPECT_EQ(b1.get(), b2.get());
+    EXPECT_EQ(runner.trace_cache_size(), 3u);
+}
+
+TEST_F(RunnerPlatformFixture, ConcurrentRequestsCosimulateOnce) {
+    SweepRunner runner(*platform, RunnerConfig{8, true});
+    const attack::AttackScheme scheme = attack::plan_attack(
+        profiling->profile.segments[2], profiling->trigger_sample,
+        platform->config().samples_per_cycle(), 80);
+
+    std::vector<std::shared_ptr<const accel::VoltageTrace>> traces(8);
+    std::vector<SweepTask> tasks;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        tasks.push_back({"req", [&, i] { traces[i] = runner.guided_trace({}, scheme); }});
+    }
+    const RunManifest mf = runner.run("dedup", std::move(tasks));
+
+    EXPECT_EQ(mf.trace_cache_misses, 1u);
+    EXPECT_EQ(mf.trace_cache_hits, 7u);
+    for (const auto& t : traces) EXPECT_EQ(t.get(), traces[0].get());
+}
+
+TEST_F(RunnerPlatformFixture, CampaignReportBitIdenticalAcrossThreadCounts) {
+    CampaignConfig cfg;
+    cfg.strike_grid = {200, 700};
+    cfg.eval_images = 20;
+    cfg.blind_offsets = 2;
+
+    cfg.threads = 1;
+    const CampaignReport serial = run_campaign(*platform, *dataset, cfg);
+    cfg.threads = 8;
+    const CampaignReport parallel = run_campaign(*platform, *dataset, cfg);
+
+    EXPECT_EQ(serial.to_json().dump(2), parallel.to_json().dump(2));
+    EXPECT_EQ(serial.to_markdown(), parallel.to_markdown());
+}
+
+TEST_F(RunnerPlatformFixture, CampaignManifestRecordsSweep) {
+    CampaignConfig cfg;
+    cfg.strike_grid = {200};
+    cfg.eval_images = 10;
+    cfg.blind_offsets = 2;
+    cfg.threads = 2;
+
+    RunManifest manifest;
+    const CampaignReport report = run_campaign(*platform, *dataset, cfg, &manifest);
+
+    // clean baseline + guided points + 1 blind point.
+    EXPECT_EQ(manifest.points.size(), report.points.size() + 1);
+    EXPECT_EQ(manifest.threads, 2u);
+    EXPECT_EQ(manifest.sweep, "campaign");
+    for (const auto& p : manifest.points) EXPECT_TRUE(p.ok);
+    // Every scheme in this campaign is distinct: all misses, no hits.
+    EXPECT_EQ(manifest.trace_cache_misses, report.points.size());
+    EXPECT_EQ(manifest.trace_cache_hits, 0u);
+}
+
+TEST_F(RunnerPlatformFixture, BlindPointsCarryNoSegmentIndex) {
+    CampaignConfig cfg;
+    cfg.strike_grid = {150};
+    cfg.eval_images = 8;
+    cfg.blind_offsets = 2;
+    cfg.threads = 1;
+
+    const CampaignReport report = run_campaign(*platform, *dataset, cfg);
+    bool saw_blind = false;
+    for (const auto& p : report.points) {
+        if (p.target == "BLIND") {
+            saw_blind = true;
+            EXPECT_TRUE(p.is_blind());
+            EXPECT_FALSE(p.segment_index.has_value());
+        } else {
+            EXPECT_FALSE(p.is_blind());
+            ASSERT_TRUE(p.segment_index.has_value());
+            EXPECT_LT(*p.segment_index, report.profile.segments.size());
+        }
+    }
+    ASSERT_TRUE(saw_blind);
+
+    // The JSON sentinel is -1, not a wrapped size_t.
+    const std::string json = report.to_json().dump(2);
+    EXPECT_NE(json.find("\"segment_index\": -1"), std::string::npos);
+    EXPECT_EQ(json.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(DspSweep, MatchesPointwiseCharacterization) {
+    DspRigConfig cfg;
+    cfg.trials = 400;
+    const std::vector<std::size_t> cells = {4000, 12000, 20000};
+
+    RunManifest manifest;
+    const auto sweep = run_dsp_characterization_sweep(cells, cfg, 4, &manifest);
+    ASSERT_EQ(sweep.size(), cells.size());
+    EXPECT_EQ(manifest.points.size(), cells.size());
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const DspRigResult ref = run_dsp_characterization(cells[i], cfg);
+        EXPECT_EQ(sweep[i].n_striker_cells, ref.n_striker_cells);
+        EXPECT_DOUBLE_EQ(sweep[i].duplication_rate, ref.duplication_rate);
+        EXPECT_DOUBLE_EQ(sweep[i].random_rate, ref.random_rate);
+        EXPECT_DOUBLE_EQ(sweep[i].min_voltage, ref.min_voltage);
+    }
+}
+
+} // namespace
+} // namespace deepstrike::sim

@@ -28,13 +28,27 @@
 #include "sim/vcd.hpp"
 #include "striker/striker.hpp"
 #include "tdc/netlist_builder.hpp"
+#include "sim/runner.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 using namespace deepstrike;
 
 namespace {
+
+void add_threads_option(ArgParser& parser) {
+    parser.add_option("threads", "sweep worker threads (0 = all hardware threads)",
+                      "0");
+}
+
+/// Applies --threads to the process-wide pool. Reports are bit-identical
+/// at any setting; only wall-clock changes.
+std::size_t apply_threads_option(const ArgParser& parser) {
+    set_global_thread_count(parser.option_uint("threads"));
+    return global_thread_count();
+}
 
 nn::Architecture parse_arch(const std::string& name) {
     if (name == "lenet5") return nn::Architecture::LeNet5;
@@ -204,6 +218,7 @@ int cmd_attack(const std::vector<std::string>& args) {
     parser.add_option("target", "profiled segment index to strike", "2");
     parser.add_option("strikes", "number of strikes", "4500");
     parser.add_option("images", "test images to evaluate", "300");
+    add_threads_option(parser);
     parser.add_flag("blind", "non-TDC-guided baseline instead");
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
@@ -215,6 +230,7 @@ int cmd_attack(const std::vector<std::string>& args) {
         return 0;
     }
 
+    apply_threads_option(parser);
     Victim victim = load_victim(parser);
     const std::size_t images = parser.option_uint("images");
 
@@ -281,6 +297,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
     parser.add_option("images", "test images per point", "200");
     parser.add_option("json", "write the JSON report here", "campaign.json");
     parser.add_option("markdown", "write the markdown report here", "");
+    parser.add_option("manifest", "write the sweep-execution manifest (JSON) here", "");
+    add_threads_option(parser);
     parser.add_flag("no-blind", "skip the blind baseline");
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
@@ -292,27 +310,39 @@ int cmd_campaign(const std::vector<std::string>& args) {
         return 0;
     }
 
+    apply_threads_option(parser);
     Victim victim = load_victim(parser);
     sim::CampaignConfig cfg;
     cfg.strike_grid = parser.option_uint_list("strikes");
     cfg.eval_images = parser.option_uint("images");
     if (parser.flag("no-blind")) cfg.blind_offsets = 0;
 
+    sim::RunManifest manifest;
     const sim::CampaignReport report =
-        sim::run_campaign(victim.platform, victim.test_set, cfg);
+        sim::run_campaign(victim.platform, victim.test_set, cfg, &manifest);
     std::printf("%s", report.to_markdown().c_str());
+    std::printf("\nsweep: %zu points in %.2fs on %zu threads "
+                "(trace cache: %zu misses, %zu hits)\n",
+                manifest.points.size(), manifest.total_seconds, manifest.threads,
+                manifest.trace_cache_misses, manifest.trace_cache_hits);
 
     const std::string json_path = parser.option("json");
     if (!json_path.empty()) {
         std::ofstream out(json_path, std::ios::trunc);
         out << report.to_json().dump(2) << '\n';
-        std::printf("\nJSON report written to %s\n", json_path.c_str());
+        std::printf("JSON report written to %s\n", json_path.c_str());
     }
     const std::string md_path = parser.option("markdown");
     if (!md_path.empty()) {
         std::ofstream out(md_path, std::ios::trunc);
         out << report.to_markdown();
         std::printf("markdown report written to %s\n", md_path.c_str());
+    }
+    const std::string manifest_path = parser.option("manifest");
+    if (!manifest_path.empty()) {
+        std::ofstream out(manifest_path, std::ios::trunc);
+        out << manifest.to_json().dump(2) << '\n';
+        std::printf("run manifest written to %s\n", manifest_path.c_str());
     }
     return 0;
 }
@@ -325,6 +355,7 @@ int cmd_characterize(const std::vector<std::string>& args) {
     parser.add_option("cells", "comma-separated striker cell counts",
                       "2000,4000,8000,12000,16000,20000,24000");
     parser.add_option("trials", "random-input trials per point", "10000");
+    add_threads_option(parser);
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
         std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
@@ -335,16 +366,23 @@ int cmd_characterize(const std::vector<std::string>& args) {
         return 0;
     }
 
+    apply_threads_option(parser);
     sim::DspRigConfig cfg;
     cfg.trials = parser.option_uint("trials");
+    const std::vector<std::size_t> cell_grid = parser.option_uint_list("cells");
+    sim::RunManifest manifest;
+    const std::vector<sim::DspRigResult> sweep =
+        sim::run_dsp_characterization_sweep(cell_grid, cfg, 0, &manifest);
     std::printf("%10s %12s %14s %14s %14s\n", "cells", "min_V", "duplication",
                 "random", "total");
-    for (std::size_t cells : parser.option_uint_list("cells")) {
-        const sim::DspRigResult r = sim::run_dsp_characterization(cells, cfg);
-        std::printf("%10zu %12.4f %13.2f%% %13.2f%% %13.2f%%\n", cells, r.min_voltage,
-                    100.0 * r.duplication_rate, 100.0 * r.random_rate,
+    for (std::size_t i = 0; i < cell_grid.size(); ++i) {
+        const sim::DspRigResult& r = sweep[i];
+        std::printf("%10zu %12.4f %13.2f%% %13.2f%% %13.2f%%\n", cell_grid[i],
+                    r.min_voltage, 100.0 * r.duplication_rate, 100.0 * r.random_rate,
                     100.0 * r.total_rate());
     }
+    std::printf("sweep: %zu points in %.2fs on %zu threads\n",
+                manifest.points.size(), manifest.total_seconds, manifest.threads);
     return 0;
 }
 
@@ -357,6 +395,7 @@ int cmd_defend(const std::vector<std::string>& args) {
     add_common_victim_options(parser);
     parser.add_option("strikes", "attack strikes on the conv target", "4500");
     parser.add_option("images", "test images to evaluate", "200");
+    add_threads_option(parser);
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
         std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
@@ -367,6 +406,7 @@ int cmd_defend(const std::vector<std::string>& args) {
         return 0;
     }
 
+    apply_threads_option(parser);
     Victim victim = load_victim(parser);
     const std::size_t images = parser.option_uint("images");
     const sim::ProfilingRun prof = sim::run_profiling(victim.platform);
