@@ -2,17 +2,34 @@
 // These bound the wall-clock cost of the figure benches: one inference
 // co-simulation is ~1M PDN steps + ~200k TDC samples, and one faulted
 // accelerator run is ~365k DSP op evaluations.
+//
+// The binary also emits a machine-readable perf trajectory: after the run
+// it writes BENCH_micro.json (override with DS_BENCH_JSON) mapping each
+// benchmark name to ns/op and ops/s at the producing git revision, which
+// CI consumes for regression smoke checks.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
 
 #include "accel/engine.hpp"
 #include "attack/detector.hpp"
+#include "attack/profiler.hpp"
+#include "data/synth_mnist.hpp"
 #include "host/frames.hpp"
 #include "pdn/pdn.hpp"
 #include "quant/qlenet.hpp"
+#include "sim/experiment.hpp"
 #include "sim/platform.hpp"
 #include "striker/striker.hpp"
 #include "tdc/tdc.hpp"
 #include "util/bitvec.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+
+#ifndef DS_GIT_REV
+#define DS_GIT_REV "unknown"
+#endif
 
 namespace ds = deepstrike;
 
@@ -161,6 +178,56 @@ void BM_CosimFullInference(benchmark::State& state) {
 }
 BENCHMARK(BM_CosimFullInference);
 
+// One guided campaign point end to end, the unit of work SweepRunner
+// schedules: co-simulate the attack trace for a CONV2-targeting scheme,
+// then evaluate 25 faulted images on it. Setup (profiling, planning) runs
+// once outside the timed loop, as it does once per campaign.
+ds::attack::AttackScheme conv2_scheme(const ds::sim::Platform& platform,
+                                      const ds::attack::DetectorConfig& detector,
+                                      std::size_t strikes) {
+    const ds::sim::ProfilingRun prof = ds::sim::run_profiling(platform, detector);
+    // Pick the profiled segment that best overlaps CONV2's schedule window
+    // (converted to TDC-sample coordinates via the trigger).
+    const auto& conv2 = platform.engine().schedule().segment_for("CONV2");
+    const double spc = platform.config().samples_per_cycle();
+    const double c2_begin =
+        static_cast<double>(prof.trigger_sample) +
+        static_cast<double>(conv2.start_cycle) * spc;
+    const double c2_end = static_cast<double>(prof.trigger_sample) +
+                          static_cast<double>(conv2.end_cycle()) * spc;
+    std::size_t best = 0;
+    double best_overlap = -1e300;
+    for (std::size_t i = 0; i < prof.profile.segments.size(); ++i) {
+        const auto& seg = prof.profile.segments[i];
+        const double overlap =
+            std::min(static_cast<double>(seg.end_sample), c2_end) -
+            std::max(static_cast<double>(seg.start_sample), c2_begin);
+        if (overlap > best_overlap) {
+            best_overlap = overlap;
+            best = i;
+        }
+    }
+    const ds::attack::ProfiledSegment& target = prof.profile.segments[best];
+    const std::size_t n =
+        std::min<std::size_t>(strikes, target.duration_samples() / 4);
+    return ds::attack::plan_attack(target, prof.trigger_sample, spc, n);
+}
+
+void BM_GuidedCampaignPoint(benchmark::State& state) {
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    const ds::data::DatasetPair data = ds::data::make_datasets(11, 1, 25);
+    const ds::attack::DetectorConfig detector{};
+    const ds::attack::AttackScheme scheme = conv2_scheme(platform, detector, 2000);
+    for (auto _ : state) {
+        const ds::accel::VoltageTrace trace =
+            ds::sim::guided_attack_trace(platform, detector, scheme);
+        const ds::sim::AccuracyResult res =
+            ds::sim::evaluate_accuracy(platform, data.test, 25, &trace, 99);
+        benchmark::DoNotOptimize(res.accuracy);
+    }
+}
+BENCHMARK(BM_GuidedCampaignPoint)->Unit(benchmark::kMillisecond);
+
 void BM_BitVecPopcount(benchmark::State& state) {
     ds::Rng rng(6);
     ds::BitVec v(4096);
@@ -182,6 +249,61 @@ void BM_Crc16(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc16);
 
+// Console output plus collection of every completed run for the JSON
+// trajectory file.
+class JsonCollector : public benchmark::ConsoleReporter {
+public:
+    struct Entry {
+        std::string name;
+        double ns_per_op = 0.0;
+        double ops_per_second = 0.0;
+        std::int64_t iterations = 0;
+    };
+    std::vector<Entry> entries;
+
+    void ReportRuns(const std::vector<Run>& reports) override {
+        for (const Run& run : reports) {
+            if (run.iterations <= 0) continue;
+            Entry e;
+            e.name = run.benchmark_name();
+            const double iters = static_cast<double>(run.iterations);
+            e.ns_per_op = run.real_accumulated_time / iters * 1e9;
+            e.ops_per_second = e.ns_per_op > 0.0 ? 1e9 / e.ns_per_op : 0.0;
+            e.iterations = run.iterations;
+            entries.push_back(std::move(e));
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+    // These benches bound the *serial* cost of one unit of sweep work;
+    // pin the pool to one worker so measurements are pool-width-independent.
+    ds::set_global_thread_count(1);
+
+    JsonCollector reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    ds::Json root = ds::Json::object();
+    root.set("git_rev", DS_GIT_REV);
+    root.set("bench", "micro_primitives");
+    ds::Json marks = ds::Json::object();
+    for (const JsonCollector::Entry& e : reporter.entries) {
+        ds::Json m = ds::Json::object();
+        m.set("ns_per_op", e.ns_per_op);
+        m.set("ops_per_second", e.ops_per_second);
+        m.set("iterations", e.iterations);
+        marks.set(e.name, std::move(m));
+    }
+    root.set("benchmarks", std::move(marks));
+
+    const char* path = std::getenv("DS_BENCH_JSON");
+    std::ofstream out(path != nullptr ? path : "BENCH_micro.json");
+    out << root.dump(2) << "\n";
+    return 0;
+}

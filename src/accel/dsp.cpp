@@ -29,16 +29,6 @@ DspSlice::DspSlice(std::uint32_t id, const DspTimingParams& params, Rng& constru
     path_delay_s_ = params.clock_period_s * params.nominal_path_fraction * (1.0 + var);
 }
 
-FaultKind DspSlice::evaluate(double v, const pdn::DelayModel& delay, Rng& op_rng,
-                             double path_scale) const {
-    const double jitter = op_rng.normal(0.0, params_.op_jitter_sigma);
-    const double d = path_delay_s_ * path_scale * delay.factor(v) * (1.0 + jitter);
-    const double period = params_.clock_period_s;
-    if (d <= period) return FaultKind::None;
-    if (d <= period * (1.0 + params_.duplication_band)) return FaultKind::Duplication;
-    return FaultKind::Random;
-}
-
 double DspSlice::safe_voltage(const pdn::DelayModel& delay) const {
     // Worst case: 4-sigma fast jitter. Any voltage above this cannot
     // produce d > T even at +4 sigma.

@@ -63,7 +63,24 @@ public:
     /// `path_scale` derates the effective path for layer modes that do not
     /// exercise the full cascade (e.g. single-channel conv1); 1.0 = full.
     FaultKind evaluate(double v, const pdn::DelayModel& delay, Rng& op_rng,
-                       double path_scale = 1.0) const;
+                       double path_scale = 1.0) const {
+        return evaluate_with_factor(delay.factor(v), op_rng, path_scale);
+    }
+
+    /// Same evaluation with the voltage-dependent delay factor supplied by
+    /// the caller. factor(v) is shared by every op captured at the same
+    /// sample, so gated hot loops compute it once per (cycle, DDR half)
+    /// instead of per op — the delay expression keeps the exact order of
+    /// evaluate(), making the two entry points bit-identical.
+    FaultKind evaluate_with_factor(double factor, Rng& op_rng,
+                                   double path_scale = 1.0) const {
+        const double jitter = op_rng.normal(0.0, params_.op_jitter_sigma);
+        const double d = path_delay_s_ * path_scale * factor * (1.0 + jitter);
+        const double period = params_.clock_period_s;
+        if (d <= period) return FaultKind::None;
+        if (d <= period * (1.0 + params_.duplication_band)) return FaultKind::Duplication;
+        return FaultKind::Random;
+    }
 
     /// Fast pre-check: the highest voltage at which *any* op on this slice
     /// could fault (including 4-sigma jitter). Above it, evaluate() can be

@@ -1,13 +1,20 @@
 #include "accel/engine.hpp"
 
+#include <utility>
+
+#include "accel/engine_detail.hpp"
 #include "util/error.hpp"
 
 namespace deepstrike::accel {
 
 using fx::Q3_4;
-using fx::TanhLut;
 
 FaultCounts RunResult::faults_for(const std::string& label) const {
+    if (!layer_index.empty()) {
+        const auto it = layer_index.find(label);
+        if (it == layer_index.end()) return {};
+        return faults_by_layer[it->second].counts;
+    }
     for (const LayerFaults& lf : faults_by_layer) {
         if (lf.label == label) return lf.counts;
     }
@@ -23,53 +30,29 @@ DspSlice make_pool_slice(const AccelConfig& config, std::uint64_t variation_seed
     return DspSlice(0xFFFF, config.logic_timing, pool_rng);
 }
 
-/// Voltage at the capture edge of DDR half `half` in `cycle` (two halves
-/// per cycle); nominal when the trace does not cover the cycle.
-inline double capture_voltage(const VoltageTrace* voltage, std::size_t cycle,
-                              std::size_t half, double vdd) {
-    const std::size_t idx = cycle * 2 + half;
-    if (voltage == nullptr || idx >= voltage->size()) return vdd;
-    return (*voltage)[idx];
-}
-
-inline bool throttled(const std::vector<bool>* throttle, std::size_t cycle) {
-    return throttle != nullptr && cycle < throttle->size() && (*throttle)[cycle];
-}
-
-inline Q3_4 apply_activation(Q3_4 v, quant::Activation activation) {
-    switch (activation) {
-        case quant::Activation::None: return v;
-        case quant::Activation::Tanh: return TanhLut::instance()(v);
-        case quant::Activation::Relu: return quant::qrelu(v);
-    }
-    return v;
-}
-
-/// Per-DSP pipeline state for duplication faults: the last product captured
-/// on each physical slice (in op-stream order).
-struct DspPipeline {
-    std::vector<fx::Acc> last_product;
-
-    explicit DspPipeline(std::size_t n_dsps) : last_product(n_dsps, 0) {}
-};
-
-/// Evaluates one op, optionally with triple-modular-redundancy voting:
-/// under TMR an op only faults when at least two of three independent
-/// evaluations fault, and the surviving fault kind is the majority kind.
-FaultKind evaluate_op(const DspSlice& slice, double v, const pdn::DelayModel& delay,
-                      Rng& rng, double path_scale, bool tmr) {
-    if (!tmr) return slice.evaluate(v, delay, rng, path_scale);
-    int dup = 0;
-    int rnd = 0;
-    for (int r = 0; r < 3; ++r) {
-        switch (slice.evaluate(v, delay, rng, path_scale)) {
-            case FaultKind::Duplication: ++dup; break;
-            case FaultKind::Random: ++rnd; break;
-            case FaultKind::None: break;
+/// Output-element ranges whose op spans intersect an unsafe window
+/// (merged, ascending). Elements outside these ranges execute entirely at
+/// safe voltage and are computed by the golden range kernels.
+std::vector<std::pair<std::size_t, std::size_t>> hot_element_ranges(
+    const SegmentOverlay& overlay, const LayerSegment& seg, std::size_t ops_per_elem,
+    std::size_t n_elems) {
+    std::vector<std::pair<std::size_t, std::size_t>> hot;
+    const std::size_t n_ops = n_elems * ops_per_elem;
+    for (const CycleWindow& w : overlay.unsafe) {
+        const std::size_t op_lo =
+            std::min((w.begin - seg.start_cycle) * seg.ops_per_cycle, n_ops);
+        const std::size_t op_hi =
+            std::min((w.end - seg.start_cycle) * seg.ops_per_cycle, n_ops);
+        if (op_lo >= op_hi) continue;
+        const std::size_t e_lo = op_lo / ops_per_elem;
+        const std::size_t e_hi = (op_hi - 1) / ops_per_elem + 1;
+        if (!hot.empty() && e_lo <= hot.back().second) {
+            hot.back().second = std::max(hot.back().second, e_hi);
+        } else {
+            hot.emplace_back(e_lo, e_hi);
         }
     }
-    if (dup + rnd < 2) return FaultKind::None;
-    return dup >= rnd ? FaultKind::Duplication : FaultKind::Random;
+    return hot;
 }
 
 } // namespace
@@ -100,6 +83,7 @@ AccelEngine::AccelEngine(quant::QNetwork network, const AccelConfig& config,
     for (const DspSlice& d : fc_dsps_) {
         fc_safe_v_ = std::max(fc_safe_v_, d.safe_voltage(delay_));
     }
+    pool_safe_v_ = pool_logic_.safe_voltage(delay_);
 }
 
 AccelEngine::AccelEngine(const quant::QLeNetWeights& weights, const AccelConfig& config,
@@ -117,196 +101,377 @@ bool AccelEngine::segment_under_voltage(const LayerSegment& seg,
     return false;
 }
 
+OverlayPlan AccelEngine::plan_overlay(const VoltageTrace* voltage) const {
+    OverlayPlan plan;
+    plan.trace_samples = voltage == nullptr ? 0 : voltage->size();
+    plan.layers.resize(network_.layers.size());
+    if (voltage == nullptr) return plan;
+    for (std::size_t i = 0; i < network_.layers.size(); ++i) {
+        const LayerSegment& seg = schedule_.segment_for_layer(i);
+        switch (network_.layers[i].kind) {
+            case quant::QLayerKind::Conv:
+                plan.layers[i].unsafe = unsafe_windows(seg, voltage, conv_safe_v_);
+                break;
+            case quant::QLayerKind::Pool2:
+            case quant::QLayerKind::AvgPool2:
+                // Pool comparators are registered on the fabric clock: one
+                // capture per cycle, at the second DDR sample (cycle end).
+                plan.layers[i].unsafe =
+                    unsafe_windows(seg, voltage, pool_safe_v_, /*half_mask=*/2u);
+                break;
+            case quant::QLayerKind::Dense:
+                plan.layers[i].unsafe = unsafe_windows(seg, voltage, fc_safe_v_);
+                break;
+        }
+    }
+    return plan;
+}
+
 QTensor AccelEngine::run_conv(const QTensor& input, const quant::QLayer& layer,
-                              const LayerSegment& seg, const VoltageTrace* voltage,
-                              Rng& rng, const std::vector<bool>* throttle,
+                              const LayerSegment& seg, const SegmentOverlay& overlay,
+                              const VoltageTrace* voltage, Rng& rng,
+                              const std::vector<bool>* throttle,
                               FaultCounts& counts) const {
-    if (!segment_under_voltage(seg, voltage, conv_safe_v_)) {
+    if (!overlay.any()) {
         return quant::qconv2d(input, layer.weight, layer.bias, layer.activation);
     }
 
     const QTensor& w = layer.weight;
-    const QTensor& b = layer.bias;
     const std::size_t in_c = input.shape().dim(0);
     const std::size_t out_c = w.shape().dim(0);
     const std::size_t k = w.shape().dim(2);
     const std::size_t out_h = input.shape().dim(1) - k + 1;
     const std::size_t out_w = input.shape().dim(2) - k + 1;
-    const std::size_t mpc = seg.ops_per_cycle;
-    const double path_scale = config_.path_derate(layer);
+    const std::size_t opp = in_c * k * k; // ops per output element
+    const std::size_t n_elems = out_c * out_h * out_w;
 
     QTensor out(Shape{out_c, out_h, out_w});
-    DspPipeline pipe(config_.conv_dsp_count);
-
-    std::size_t g = 0; // global op index within the segment
-    for (std::size_t oc = 0; oc < out_c; ++oc) {
-        for (std::size_t r = 0; r < out_h; ++r) {
-            for (std::size_t c = 0; c < out_w; ++c) {
-                fx::Acc acc = static_cast<fx::Acc>(b[oc].raw()) << Q3_4::frac_bits;
-                for (std::size_t ic = 0; ic < in_c; ++ic) {
-                    for (std::size_t kr = 0; kr < k; ++kr) {
-                        for (std::size_t kc = 0; kc < k; ++kc) {
-                            const std::size_t cycle = seg.start_cycle + g / mpc;
-                            const std::size_t dsp = (g % mpc) / 2;
-                            const std::size_t half = (g % mpc) % 2;
-                            const fx::Acc true_p = DspSlice::compute(
-                                input.at(ic, r + kr, c + kc), Q3_4::zero(),
-                                w.at(oc, ic, kr, kc));
-
-                            fx::Acc contrib = true_p;
-                            const double v =
-                                capture_voltage(voltage, cycle, half, delay_.vdd);
-                            if (v < conv_safe_v_ && !throttled(throttle, cycle)) {
-                                switch (evaluate_op(conv_dsps_[dsp], v, delay_, rng,
-                                                    path_scale,
-                                                    config_.tmr_protection)) {
-                                    case FaultKind::None:
-                                        break;
-                                    case FaultKind::Duplication:
-                                        contrib = pipe.last_product[dsp];
-                                        ++counts.duplication;
-                                        break;
-                                    case FaultKind::Random:
-                                        contrib = DspSlice::random_fault_value(rng);
-                                        ++counts.random;
-                                        break;
-                                }
-                            }
-                            pipe.last_product[dsp] = true_p;
-                            acc += contrib;
-                            ++g;
-                        }
-                    }
-                }
-                out.at(oc, r, c) =
-                    apply_activation(Q3_4::from_accumulator(acc), layer.activation);
-            }
+    std::size_t cursor = 0;
+    for (const auto& [e0, e1] : hot_element_ranges(overlay, seg, opp, n_elems)) {
+        if (cursor < e0) {
+            quant::qconv2d_outputs(input, w, layer.bias, layer.activation, cursor, e0,
+                                   out);
         }
+        run_conv_window(input, layer, seg, overlay, voltage, rng, throttle, counts, e0,
+                        e1, out);
+        cursor = e1;
+    }
+    if (cursor < n_elems) {
+        quant::qconv2d_outputs(input, w, layer.bias, layer.activation, cursor, n_elems,
+                               out);
     }
     return out;
 }
 
-QTensor AccelEngine::run_fc(const QTensor& input, const quant::QLayer& layer,
-                            const LayerSegment& seg, const VoltageTrace* voltage,
-                            Rng& rng, const std::vector<bool>* throttle,
-                            FaultCounts& counts) const {
-    if (!segment_under_voltage(seg, voltage, fc_safe_v_)) {
-        return quant::qdense(input, layer.weight, layer.bias, layer.activation);
-    }
-
+void AccelEngine::run_conv_window(const QTensor& input, const quant::QLayer& layer,
+                                  const LayerSegment& seg, const SegmentOverlay& overlay,
+                                  const VoltageTrace* voltage, Rng& rng,
+                                  const std::vector<bool>* throttle,
+                                  FaultCounts& counts, std::size_t elem_begin,
+                                  std::size_t elem_end, QTensor& out) const {
     const QTensor& w = layer.weight;
     const QTensor& b = layer.bias;
-    const std::size_t out_n = w.shape().dim(0);
-    const std::size_t in_n = w.shape().dim(1);
+    const std::size_t in_c = input.shape().dim(0);
+    const std::size_t in_h = input.shape().dim(1);
+    const std::size_t in_w = input.shape().dim(2);
+    const std::size_t k = w.shape().dim(2);
+    const std::size_t kk = k * k;
+    const std::size_t out_h = in_h - k + 1;
+    const std::size_t out_w = in_w - k + 1;
+    const std::size_t plane = out_h * out_w;
+    const std::size_t opp = in_c * kk;
     const std::size_t mpc = seg.ops_per_cycle;
+    const double path_scale = config_.path_derate(layer);
+    const bool tmr = config_.tmr_protection;
+    const double vdd = delay_.vdd;
 
-    QTensor out(Shape{out_n});
-    DspPipeline pipe(config_.fc_dsp_count);
+    const Q3_4* in_data = input.data();
+    const Q3_4* w_data = w.data();
+    const Q3_4* b_data = b.data();
+    Q3_4* out_data = out.data();
+    const double* vs = voltage->data();
+    const std::size_t vn = voltage->size();
 
-    std::size_t g = 0;
-    for (std::size_t o = 0; o < out_n; ++o) {
-        fx::Acc acc = static_cast<fx::Acc>(b[o].raw()) << Q3_4::frac_bits;
-        for (std::size_t i = 0; i < in_n; ++i) {
-            const std::size_t cycle = seg.start_cycle + g / mpc;
-            const std::size_t dsp = (g % mpc) / 2;
-            const std::size_t half = (g % mpc) % 2;
-            const fx::Acc true_p = DspSlice::compute(
-                input.at_unchecked(i), Q3_4::zero(), w.at_unchecked(o * in_n + i));
+    const auto true_product_at = [&](std::size_t g) {
+        const std::size_t pixel = g / opp;
+        const std::size_t rem = g % opp;
+        const std::size_t oc = pixel / plane;
+        const std::size_t rc = pixel % plane;
+        const std::size_t r = rc / out_w;
+        const std::size_t c = rc % out_w;
+        const std::size_t ic = rem / kk;
+        const std::size_t kr = (rem % kk) / k;
+        const std::size_t kc = rem % k;
+        return static_cast<fx::Acc>(in_data[(ic * in_h + r + kr) * in_w + c + kc].raw()) *
+               w_data[(oc * in_c + ic) * kk + kr * k + kc].raw();
+    };
 
-            fx::Acc contrib = true_p;
-            const double v = capture_voltage(voltage, cycle, half, delay_.vdd);
-            if (v < fc_safe_v_ && !throttled(throttle, cycle)) {
-                switch (evaluate_op(fc_dsps_[dsp], v, delay_, rng, 1.0,
-                                    config_.tmr_protection)) {
+    // A duplication fault captures the last product issued on the same DSP
+    // slice. Slice d owns positions 2d / 2d+1 of every cycle, so that
+    // predecessor's op index is pure arithmetic: the pair partner earlier in
+    // the same cycle (odd positions), or the slice's last position in the
+    // previous cycle (even positions). The reference path records the true
+    // product of every op unconditionally, so the predecessor's *true*
+    // product is exactly what the stale output register holds; no pipeline
+    // array needs to be carried or seeded. First-cycle slices with no
+    // predecessor hold the reset value 0.
+    const auto stale_product_at = [&](std::size_t g, std::size_t pos) -> fx::Acc {
+        if (pos & 1) return true_product_at(g - 1);
+        if (g < mpc) return 0;
+        const std::size_t last_pos = pos + 1 < mpc ? pos + 1 : pos;
+        return true_product_at(g - pos + last_pos - mpc);
+    };
+
+    // Golden-plus-deltas evaluation. The fault model's RNG consumption is
+    // image-independent: an op draws exactly when its DDR-half sample is
+    // under the safe voltage and its cycle is unthrottled, and none of that
+    // depends on the image data. So instead of threading every op of the
+    // covered range through a gated loop, compute the golden accumulators
+    // with tight integer kernels, then walk only the unsafe-window ops in
+    // ascending op order — drawing the RNG exactly as the sequential per-op
+    // path would — and patch the owning element's accumulator with the
+    // integer delta (faulted contribution minus true product). Integer sums
+    // are exact under reassociation, so the result is byte-identical to the
+    // reference per-op evaluation.
+    const std::size_t op_begin = elem_begin * opp;
+    const std::size_t op_end = elem_end * opp;
+
+    std::vector<fx::Acc> accs(elem_end - elem_begin);
+    for (std::size_t p = elem_begin; p < elem_end; ++p) {
+        const std::size_t oc = p / plane;
+        const std::size_t rc = p % plane;
+        const std::size_t r = rc / out_w;
+        const std::size_t c = rc % out_w;
+        std::int32_t acc32 = 0; // |product| <= 2^14, opp <= 2^16: no overflow
+        const Q3_4* w_oc = w_data + oc * opp;
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+            for (std::size_t kr = 0; kr < k; ++kr) {
+                const Q3_4* in_row = in_data + (ic * in_h + r + kr) * in_w + c;
+                const Q3_4* w_row = w_oc + ic * kk + kr * k;
+                for (std::size_t kc = 0; kc < k; ++kc) {
+                    acc32 += static_cast<std::int32_t>(in_row[kc].raw()) * w_row[kc].raw();
+                }
+            }
+        }
+        accs[p - elem_begin] =
+            (static_cast<fx::Acc>(b_data[oc].raw()) << Q3_4::frac_bits) + acc32;
+    }
+
+    // Fault pass: per window, the per-cycle delay factors are shared by
+    // every op captured at the same DDR half sample (fac memo, reset at
+    // window entry and at each cycle rollover, as in the reference walk).
+    const std::size_t n_w = overlay.unsafe.size();
+    const bool no_throttle = throttle == nullptr;
+    for (std::size_t wi = 0; wi < n_w; ++wi) {
+        std::size_t lo = (overlay.unsafe[wi].begin - seg.start_cycle) * mpc;
+        std::size_t hi = (overlay.unsafe[wi].end - seg.start_cycle) * mpc;
+        if (hi <= op_begin) continue;
+        if (lo >= op_end) break;
+        lo = std::max(lo, op_begin);
+        hi = std::min(hi, op_end);
+        std::size_t cycle = seg.start_cycle + lo / mpc;
+        std::size_t pos = lo % mpc;
+        double fac[2] = {-1.0, -1.0};
+        for (std::size_t g = lo; g < hi; ++g) {
+            const std::size_t sidx = cycle * 2 + (pos & 1);
+            const double v = sidx < vn ? vs[sidx] : vdd;
+            if (v < conv_safe_v_ && (no_throttle || !detail::throttled(throttle, cycle))) {
+                double& f = fac[pos & 1];
+                if (f < 0.0) f = delay_.factor(v);
+                switch (detail::evaluate_op_with_factor(conv_dsps_[pos >> 1], f, rng,
+                                                        path_scale, tmr)) {
                     case FaultKind::None:
                         break;
                     case FaultKind::Duplication:
-                        contrib = pipe.last_product[dsp];
+                        accs[g / opp - elem_begin] +=
+                            stale_product_at(g, pos) - true_product_at(g);
                         ++counts.duplication;
                         break;
                     case FaultKind::Random:
-                        contrib = DspSlice::random_fault_value(rng);
+                        accs[g / opp - elem_begin] +=
+                            DspSlice::random_fault_value(rng) - true_product_at(g);
                         ++counts.random;
                         break;
                 }
             }
-            pipe.last_product[dsp] = true_p;
-            acc += contrib;
-            ++g;
-        }
-        out.at(o) = apply_activation(Q3_4::from_accumulator(acc), layer.activation);
-    }
-    return out;
-}
-
-QTensor AccelEngine::run_pool(const QTensor& input, const quant::QLayer& layer,
-                              const LayerSegment& seg, const VoltageTrace* voltage,
-                              Rng& rng, const std::vector<bool>* throttle,
-                              FaultCounts& counts) const {
-    const bool average = layer.kind == quant::QLayerKind::AvgPool2;
-    const double pool_safe_v = pool_logic_.safe_voltage(delay_);
-    if (!segment_under_voltage(seg, voltage, pool_safe_v)) {
-        return average ? quant::qavgpool2(input) : quant::qmaxpool2(input);
-    }
-
-    const std::size_t ch = input.shape().dim(0);
-    const std::size_t oh = input.shape().dim(1) / 2;
-    const std::size_t ow = input.shape().dim(2) / 2;
-    QTensor out(Shape{ch, oh, ow});
-
-    std::size_t g = 0;
-    const std::size_t opc = seg.ops_per_cycle;
-    for (std::size_t c = 0; c < ch; ++c) {
-        for (std::size_t r = 0; r < oh; ++r) {
-            for (std::size_t wdx = 0; wdx < ow; ++wdx) {
-                Q3_4 window[4] = {input.at(c, 2 * r, 2 * wdx),
-                                  input.at(c, 2 * r, 2 * wdx + 1),
-                                  input.at(c, 2 * r + 1, 2 * wdx),
-                                  input.at(c, 2 * r + 1, 2 * wdx + 1)};
-                bool faulted = false;
-                for (std::size_t cmp = 0; cmp < 4; ++cmp) {
-                    const std::size_t cycle = seg.start_cycle + g / opc;
-                    // Pool comparators are registered on the fabric clock:
-                    // one capture at end of cycle (second half sample).
-                    const double v = capture_voltage(voltage, cycle, 1, delay_.vdd);
-                    if (v < pool_safe_v && !throttled(throttle, cycle) &&
-                        pool_logic_.evaluate(v, delay_, rng) != FaultKind::None) {
-                        faulted = true;
-                        ++counts.random;
-                    }
-                    ++g;
-                }
-                if (faulted) {
-                    // Comparator/adder mis-operated: an arbitrary window
-                    // element (possibly the right one) wins.
-                    out.at(c, r, wdx) = window[rng.uniform_int(0, 3)];
-                } else if (average) {
-                    const std::int32_t sum = window[0].raw() + window[1].raw() +
-                                             window[2].raw() + window[3].raw();
-                    const std::int32_t avg =
-                        sum >= 0 ? (sum + 2) / 4 : -((-sum + 2) / 4);
-                    out.at(c, r, wdx) = Q3_4::from_raw(static_cast<std::int16_t>(avg));
-                } else {
-                    out.at(c, r, wdx) = std::max(std::max(window[0], window[1]),
-                                                 std::max(window[2], window[3]));
-                }
+            if (++pos == mpc) {
+                pos = 0;
+                ++cycle;
+                fac[0] = fac[1] = -1.0;
             }
         }
     }
+
+    for (std::size_t p = elem_begin; p < elem_end; ++p) {
+        out_data[p] = detail::apply_activation(
+            Q3_4::from_accumulator(accs[p - elem_begin]), layer.activation);
+    }
+}
+
+QTensor AccelEngine::run_fc(const QTensor& input, const quant::QLayer& layer,
+                            const LayerSegment& seg, const SegmentOverlay& overlay,
+                            const VoltageTrace* voltage, Rng& rng,
+                            const std::vector<bool>* throttle,
+                            FaultCounts& counts) const {
+    if (!overlay.any()) {
+        return quant::qdense(input, layer.weight, layer.bias, layer.activation);
+    }
+
+    const std::size_t out_n = layer.weight.shape().dim(0);
+    const std::size_t in_n = layer.weight.shape().dim(1);
+
+    QTensor out(Shape{out_n});
+    std::size_t cursor = 0;
+    for (const auto& [e0, e1] : hot_element_ranges(overlay, seg, in_n, out_n)) {
+        if (cursor < e0) {
+            quant::qdense_outputs(input, layer.weight, layer.bias, layer.activation,
+                                  cursor, e0, out);
+        }
+        run_fc_window(input, layer, seg, overlay, voltage, rng, throttle, counts, e0, e1,
+                      out);
+        cursor = e1;
+    }
+    if (cursor < out_n) {
+        quant::qdense_outputs(input, layer.weight, layer.bias, layer.activation, cursor,
+                              out_n, out);
+    }
     return out;
 }
 
+void AccelEngine::run_fc_window(const QTensor& input, const quant::QLayer& layer,
+                                const LayerSegment& seg, const SegmentOverlay& overlay,
+                                const VoltageTrace* voltage, Rng& rng,
+                                const std::vector<bool>* throttle, FaultCounts& counts,
+                                std::size_t elem_begin, std::size_t elem_end,
+                                QTensor& out) const {
+    const QTensor& w = layer.weight;
+    const QTensor& b = layer.bias;
+    const std::size_t in_n = w.shape().dim(1);
+    const std::size_t mpc = seg.ops_per_cycle;
+    const bool tmr = config_.tmr_protection;
+    const double vdd = delay_.vdd;
+
+    const Q3_4* in_data = input.data();
+    const Q3_4* w_data = w.data();
+    const Q3_4* b_data = b.data();
+    Q3_4* out_data = out.data();
+    const double* vs = voltage->data();
+    const std::size_t vn = voltage->size();
+
+    const auto true_product_at = [&](std::size_t g) {
+        return static_cast<fx::Acc>(in_data[g % in_n].raw()) * w_data[g].raw();
+    };
+
+    // See run_conv_window: the stale register of the issuing slice is
+    // recovered from the op stream, not carried in a pipeline array.
+    const auto stale_product_at = [&](std::size_t g, std::size_t pos) -> fx::Acc {
+        if (pos & 1) return true_product_at(g - 1);
+        if (g < mpc) return 0;
+        const std::size_t last_pos = pos + 1 < mpc ? pos + 1 : pos;
+        return true_product_at(g - pos + last_pos - mpc);
+    };
+
+    // Golden-plus-deltas evaluation; see run_conv_window for the argument.
+    const std::size_t op_begin = elem_begin * in_n;
+    const std::size_t op_end = elem_end * in_n;
+
+    std::vector<fx::Acc> accs(elem_end - elem_begin);
+    for (std::size_t o = elem_begin; o < elem_end; ++o) {
+        const Q3_4* w_row = w_data + o * in_n;
+        std::int32_t acc32 = 0; // |product| <= 2^14, fan-in <= 2^16: no overflow
+        for (std::size_t i = 0; i < in_n; ++i) {
+            acc32 += static_cast<std::int32_t>(in_data[i].raw()) * w_row[i].raw();
+        }
+        accs[o - elem_begin] =
+            (static_cast<fx::Acc>(b_data[o].raw()) << Q3_4::frac_bits) + acc32;
+    }
+
+    const std::size_t n_w = overlay.unsafe.size();
+    const bool no_throttle = throttle == nullptr;
+    for (std::size_t wi = 0; wi < n_w; ++wi) {
+        std::size_t lo = (overlay.unsafe[wi].begin - seg.start_cycle) * mpc;
+        std::size_t hi = (overlay.unsafe[wi].end - seg.start_cycle) * mpc;
+        if (hi <= op_begin) continue;
+        if (lo >= op_end) break;
+        lo = std::max(lo, op_begin);
+        hi = std::min(hi, op_end);
+        std::size_t cycle = seg.start_cycle + lo / mpc;
+        std::size_t pos = lo % mpc;
+        double fac[2] = {-1.0, -1.0};
+        for (std::size_t g = lo; g < hi; ++g) {
+            const std::size_t sidx = cycle * 2 + (pos & 1);
+            const double v = sidx < vn ? vs[sidx] : vdd;
+            if (v < fc_safe_v_ && (no_throttle || !detail::throttled(throttle, cycle))) {
+                double& f = fac[pos & 1];
+                if (f < 0.0) f = delay_.factor(v);
+                switch (detail::evaluate_op_with_factor(fc_dsps_[pos >> 1], f, rng, 1.0,
+                                                        tmr)) {
+                    case FaultKind::None:
+                        break;
+                    case FaultKind::Duplication:
+                        accs[g / in_n - elem_begin] +=
+                            stale_product_at(g, pos) - true_product_at(g);
+                        ++counts.duplication;
+                        break;
+                    case FaultKind::Random:
+                        accs[g / in_n - elem_begin] +=
+                            DspSlice::random_fault_value(rng) - true_product_at(g);
+                        ++counts.random;
+                        break;
+                }
+            }
+            if (++pos == mpc) {
+                pos = 0;
+                ++cycle;
+                fac[0] = fac[1] = -1.0;
+            }
+        }
+    }
+
+    for (std::size_t o = elem_begin; o < elem_end; ++o) {
+        out_data[o] = detail::apply_activation(
+            Q3_4::from_accumulator(accs[o - elem_begin]), layer.activation);
+    }
+}
+
+QTensor AccelEngine::run_pool(const QTensor& input, const quant::QLayer& layer,
+                              const LayerSegment& seg, const SegmentOverlay& overlay,
+                              const VoltageTrace* voltage, Rng& rng,
+                              const std::vector<bool>* throttle,
+                              FaultCounts& counts) const {
+    if (!overlay.any()) {
+        return layer.kind == quant::QLayerKind::AvgPool2 ? quant::qavgpool2(input)
+                                                         : quant::qmaxpool2(input);
+    }
+    // Pool segments are tiny (a few thousand comparator ops); when a window
+    // touches one, the whole-segment per-op path is already cheap and
+    // trivially byte-identical.
+    return run_pool_reference(input, layer, seg, voltage, rng, throttle, counts);
+}
+
 RunResult AccelEngine::run(const QTensor& image, const VoltageTrace* voltage,
-                           Rng& fault_rng, const std::vector<bool>* throttle) const {
+                           Rng& fault_rng, const std::vector<bool>* throttle,
+                           const OverlayPlan* plan) const {
     expects(image.shape() == network_.input_shape, "AccelEngine::run: input shape");
+    OverlayPlan local;
+    if (plan == nullptr) {
+        local = plan_overlay(voltage);
+        plan = &local;
+    } else {
+        expects(plan->layers.size() == network_.layers.size() &&
+                    plan->trace_samples == (voltage == nullptr ? 0 : voltage->size()),
+                "AccelEngine::run: overlay plan does not match trace/network");
+    }
 
     RunResult result;
     result.faults_by_layer.reserve(network_.layers.size());
+    result.layer_index.reserve(network_.layers.size());
 
     QTensor x = image;
     for (std::size_t i = 0; i < network_.layers.size(); ++i) {
         const quant::QLayer& layer = network_.layers[i];
         const LayerSegment& seg = schedule_.segment_for_layer(i);
+        const SegmentOverlay& overlay = plan->layers[i];
 
         if (layer.kind == quant::QLayerKind::Dense && x.shape().rank() != 1) {
             QTensor flat(Shape{x.size()});
@@ -319,17 +484,21 @@ RunResult AccelEngine::run(const QTensor& image, const VoltageTrace* voltage,
         FaultCounts counts;
         switch (layer.kind) {
             case quant::QLayerKind::Conv:
-                x = run_conv(x, layer, seg, voltage, fault_rng, throttle, counts);
+                x = run_conv(x, layer, seg, overlay, voltage, fault_rng, throttle,
+                             counts);
                 break;
             case quant::QLayerKind::Pool2:
             case quant::QLayerKind::AvgPool2:
-                x = run_pool(x, layer, seg, voltage, fault_rng, throttle, counts);
+                x = run_pool(x, layer, seg, overlay, voltage, fault_rng, throttle,
+                             counts);
                 break;
             case quant::QLayerKind::Dense:
-                x = run_fc(x, layer, seg, voltage, fault_rng, throttle, counts);
+                x = run_fc(x, layer, seg, overlay, voltage, fault_rng, throttle,
+                           counts);
                 break;
         }
         result.faults_total += counts;
+        result.layer_index.emplace(layer.label, result.faults_by_layer.size());
         result.faults_by_layer.push_back({layer.label, counts});
     }
 

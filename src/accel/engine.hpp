@@ -10,15 +10,27 @@
 //   random fault      -> the op contributes garbage from the product register
 // Cycles at safe voltage take a fast path that is bit-exact with the
 // QNetwork golden model (a property the tests enforce).
+//
+// Execution is interval-gated (see accel/overlay.hpp): op ranges mapped to
+// safe cycles run on the golden quantized kernels, and only ops inside
+// unsafe [cycle_begin, cycle_end) windows take the per-op fault path, with
+// stale DSP output registers recovered on demand by direct op-stream index
+// arithmetic so duplication faults stay bit-exact. The fault RNG is only
+// drawn when an op's capture voltage is below the safe threshold, so the
+// gated path consumes the exact same RNG stream as the retained per-op
+// reference implementation (run_reference) — byte-identical results, which
+// tests/overlay_test.cpp enforces across randomized traces.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "accel/config.hpp"
 #include "accel/dsp.hpp"
+#include "accel/overlay.hpp"
 #include "accel/schedule.hpp"
 #include "quant/qnetwork.hpp"
 
@@ -36,14 +48,6 @@ struct FaultCounts {
     }
 };
 
-/// Die voltage at each DSP capture edge during one inference: two samples
-/// per fabric cycle (index = cycle * 2 + ddr_half). Produced by the
-/// co-simulator. Ops captured on the first DDR edge of a strike cycle see
-/// a shallower droop than ops captured at the pulse bottom — this
-/// intra-cycle spread is a large part of why the observed fault rates are
-/// smooth functions of attack intensity.
-using VoltageTrace = std::vector<double>;
-
 struct RunResult {
     QTensor logits;
     std::size_t predicted = 0;
@@ -56,8 +60,13 @@ struct RunResult {
     /// One entry per network layer, in execution order.
     std::vector<LayerFaults> faults_by_layer;
 
+    /// Label -> index into faults_by_layer, built once by the engine so
+    /// per-label queries don't re-scan the layer list.
+    std::unordered_map<std::string, std::size_t> layer_index;
+
     /// Faults attributed to the layer with the given label (zero counts if
-    /// the label is unknown).
+    /// the label is unknown). Uses the prebuilt index; hand-assembled
+    /// results without one fall back to a linear scan.
     FaultCounts faults_for(const std::string& label) const;
 };
 
@@ -82,6 +91,14 @@ public:
     double dsp_safe_voltage() const { return std::max(conv_safe_v_, fc_safe_v_); }
     double conv_safe_voltage() const { return conv_safe_v_; }
     double fc_safe_voltage() const { return fc_safe_v_; }
+    double pool_safe_voltage() const { return pool_safe_v_; }
+
+    /// Precomputes the per-layer unsafe-interval overlay for `voltage`
+    /// (nullptr = nominal: every layer safe). The plan depends only on the
+    /// (trace, schedule, safe voltages) triple — one plan serves every
+    /// image evaluated on the trace; pass it to run() to avoid re-scanning
+    /// the trace per image.
+    OverlayPlan plan_overlay(const VoltageTrace* voltage) const;
 
     /// Runs one inference. `voltage` may be nullptr (nominal, fault-free)
     /// or shorter than the schedule (remaining cycles assume nominal).
@@ -90,8 +107,19 @@ public:
     /// `throttle` optionally marks fabric cycles where a defensive clock
     /// throttle is active: DSP ops in those cycles run at half rate and
     /// cannot miss timing at attack-scale droops (see src/defense).
+    /// `plan` optionally supplies the precomputed overlay for `voltage`
+    /// (must match its sample count); when omitted it is computed locally.
     RunResult run(const QTensor& image, const VoltageTrace* voltage, Rng& fault_rng,
-                  const std::vector<bool>* throttle = nullptr) const;
+                  const std::vector<bool>* throttle = nullptr,
+                  const OverlayPlan* plan = nullptr) const;
+
+    /// Retained whole-segment per-op implementation: gates golden-vs-per-op
+    /// per segment instead of per cycle window. Byte-identical to run() by
+    /// construction (the overlay property tests assert it); kept as the
+    /// equivalence oracle and as the before/after benchmark reference.
+    RunResult run_reference(const QTensor& image, const VoltageTrace* voltage,
+                            Rng& fault_rng,
+                            const std::vector<bool>* throttle = nullptr) const;
 
     /// Convenience: fault-free inference.
     RunResult run_clean(const QTensor& image) const;
@@ -100,15 +128,52 @@ public:
     const std::vector<DspSlice>& fc_dsps() const { return fc_dsps_; }
 
 private:
+    // --- interval-gated fast path (engine.cpp) ---
     QTensor run_conv(const QTensor& input, const quant::QLayer& layer,
-                     const LayerSegment& seg, const VoltageTrace* voltage, Rng& rng,
+                     const LayerSegment& seg, const SegmentOverlay& overlay,
+                     const VoltageTrace* voltage, Rng& rng,
                      const std::vector<bool>* throttle, FaultCounts& counts) const;
     QTensor run_fc(const QTensor& input, const quant::QLayer& layer,
-                   const LayerSegment& seg, const VoltageTrace* voltage, Rng& rng,
+                   const LayerSegment& seg, const SegmentOverlay& overlay,
+                   const VoltageTrace* voltage, Rng& rng,
                    const std::vector<bool>* throttle, FaultCounts& counts) const;
     QTensor run_pool(const QTensor& input, const quant::QLayer& layer,
-                     const LayerSegment& seg, const VoltageTrace* voltage, Rng& rng,
+                     const LayerSegment& seg, const SegmentOverlay& overlay,
+                     const VoltageTrace* voltage, Rng& rng,
                      const std::vector<bool>* throttle, FaultCounts& counts) const;
+
+    /// Per-op execution of output elements [elem_begin, elem_end) of a conv
+    /// layer. Ops inside the overlay's unsafe windows take the full fault
+    /// path; ops between windows accumulate true products directly (no RNG,
+    /// matching the reference, which only draws below the safe voltage).
+    /// Duplication faults recover the stale DSP register by op-stream index
+    /// arithmetic instead of carrying a pipeline array (fast path).
+    void run_conv_window(const QTensor& input, const quant::QLayer& layer,
+                         const LayerSegment& seg, const SegmentOverlay& overlay,
+                         const VoltageTrace* voltage, Rng& rng,
+                         const std::vector<bool>* throttle, FaultCounts& counts,
+                         std::size_t elem_begin, std::size_t elem_end,
+                         QTensor& out) const;
+    void run_fc_window(const QTensor& input, const quant::QLayer& layer,
+                       const LayerSegment& seg, const SegmentOverlay& overlay,
+                       const VoltageTrace* voltage, Rng& rng,
+                       const std::vector<bool>* throttle, FaultCounts& counts,
+                       std::size_t elem_begin, std::size_t elem_end,
+                       QTensor& out) const;
+
+    // --- retained reference path (engine_reference.cpp) ---
+    QTensor run_conv_reference(const QTensor& input, const quant::QLayer& layer,
+                               const LayerSegment& seg, const VoltageTrace* voltage,
+                               Rng& rng, const std::vector<bool>* throttle,
+                               FaultCounts& counts) const;
+    QTensor run_fc_reference(const QTensor& input, const quant::QLayer& layer,
+                             const LayerSegment& seg, const VoltageTrace* voltage,
+                             Rng& rng, const std::vector<bool>* throttle,
+                             FaultCounts& counts) const;
+    QTensor run_pool_reference(const QTensor& input, const quant::QLayer& layer,
+                               const LayerSegment& seg, const VoltageTrace* voltage,
+                               Rng& rng, const std::vector<bool>* throttle,
+                               FaultCounts& counts) const;
 
     /// True when any capture sample of the segment dips below `safe_v`.
     bool segment_under_voltage(const LayerSegment& seg, const VoltageTrace* voltage,
@@ -123,6 +188,7 @@ private:
     DspSlice pool_logic_; // relaxed-timing comparator path (shared model)
     double conv_safe_v_;
     double fc_safe_v_;
+    double pool_safe_v_;
 };
 
 } // namespace deepstrike::accel

@@ -1,0 +1,33 @@
+#include "accel/overlay.hpp"
+
+namespace deepstrike::accel {
+
+std::vector<CycleWindow> unsafe_windows(const LayerSegment& seg,
+                                        const VoltageTrace* voltage, double safe_v,
+                                        unsigned half_mask) {
+    std::vector<CycleWindow> out;
+    if (voltage == nullptr) return out;
+    const double* v = voltage->data();
+    const std::size_t n = voltage->size();
+    const std::size_t end_cycle = seg.end_cycle();
+    for (std::size_t cycle = seg.start_cycle; cycle < end_cycle; ++cycle) {
+        bool unsafe = false;
+        for (std::size_t half = 0; half < 2; ++half) {
+            if ((half_mask & (1u << half)) == 0) continue;
+            const std::size_t idx = cycle * 2 + half;
+            if (idx < n && v[idx] < safe_v) {
+                unsafe = true;
+                break;
+            }
+        }
+        if (!unsafe) continue;
+        if (!out.empty() && out.back().end == cycle) {
+            ++out.back().end;
+        } else {
+            out.push_back({cycle, cycle + 1});
+        }
+    }
+    return out;
+}
+
+} // namespace deepstrike::accel

@@ -1,18 +1,8 @@
 #include "pdn/delay.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 namespace deepstrike::pdn {
-
-double DelayModel::factor(double v) const {
-    // Below vth + margin the transistor barely conducts; cap the factor at
-    // the value reached at that margin (practically: guaranteed failure).
-    const double margin = 0.02 * vdd;
-    const double v_eff = std::max(v, vth + margin);
-    const double f = std::pow((vdd - vth) / (v_eff - vth), alpha);
-    return f;
-}
 
 double DelayModel::voltage_for_factor(double factor_target) const {
     if (factor_target <= 1.0) return vdd;

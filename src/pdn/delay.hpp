@@ -9,6 +9,9 @@
 // which is monotone in V and diverges as V approaches Vth.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 namespace deepstrike::pdn {
 
 struct DelayModel {
@@ -18,8 +21,16 @@ struct DelayModel {
 
     /// Relative delay factor at voltage `v` (1.0 at nominal, grows as the
     /// supply droops). Clamped when v approaches vth so hard glitches give
-    /// a huge-but-finite delay instead of dividing by zero.
-    double factor(double v) const;
+    /// a huge-but-finite delay instead of dividing by zero. Inline: every
+    /// TDC sample and every under-voltage DSP op evaluates it.
+    double factor(double v) const {
+        // Below vth + margin the transistor barely conducts; cap the factor
+        // at the value reached at that margin (practically: guaranteed
+        // failure).
+        const double margin = 0.02 * vdd;
+        const double v_eff = std::max(v, vth + margin);
+        return std::pow((vdd - vth) / (v_eff - vth), alpha);
+    }
 
     /// Inverse: the voltage at which delay equals `factor` times nominal.
     /// Useful for calibrating fault thresholds.

@@ -42,20 +42,7 @@ void PdnModel::reset(double i_idle_a) {
     // Vdd - R*I.
     i_l_ = i_idle_a;
     v_ = params_.vdd - params_.r_ohm * i_idle_a;
-}
-
-double PdnModel::step(double i_load_a) {
-    // Semi-implicit (symplectic) Euler: update current with the old
-    // voltage, then voltage with the new current. Stable for oscillatory
-    // systems at our dt.
-    const double dt = params_.dt_s;
-    i_l_ += dt * (params_.vdd - v_ - params_.r_ohm * i_l_) / params_.l_henry;
-    v_ += dt * (i_l_ - i_load_a) / params_.c_farad;
-    // The die voltage physically cannot exceed the regulator much or go
-    // negative; clamp to a sane envelope to keep downstream delay models
-    // defined even under absurd attack currents.
-    v_ = std::clamp(v_, 0.0, params_.vdd * 1.25);
-    return v_;
+    steady_ = false;
 }
 
 std::vector<double> simulate_current_step(const PdnParams& params, double i_idle_a,

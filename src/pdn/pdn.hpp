@@ -18,6 +18,7 @@
 // measurements; see DESIGN.md substitution table.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -39,8 +40,33 @@ public:
     explicit PdnModel(const PdnParams& params);
 
     /// Advances one dt step with the instantaneous total load current (A)
-    /// and returns the new die voltage (V).
-    double step(double i_load_a);
+    /// and returns the new die voltage (V). Inline: this is the co-sim
+    /// master tick, called ticks_per_cycle times per fabric cycle.
+    double step(double i_load_a) {
+        // step() is a deterministic function of (v_, i_l_, i_load_a). Once
+        // one step leaves both state variables bit-unchanged — the discrete
+        // RLC system has reached its floating-point fixed point, which it
+        // does between strikes because the rounded increments underflow the
+        // state's ulp — every further step under the same load is the
+        // identity and can be skipped verbatim. This is the dominant tick
+        // cost in idle stretches of a co-simulated inference.
+        if (steady_ && i_load_a == steady_load_) return v_;
+        const double prev_v = v_;
+        const double prev_i_l = i_l_;
+        // Semi-implicit (symplectic) Euler: update current with the old
+        // voltage, then voltage with the new current. Stable for
+        // oscillatory systems at our dt.
+        const double dt = params_.dt_s;
+        i_l_ += dt * (params_.vdd - v_ - params_.r_ohm * i_l_) / params_.l_henry;
+        v_ += dt * (i_l_ - i_load_a) / params_.c_farad;
+        // The die voltage physically cannot exceed the regulator much or go
+        // negative; clamp to a sane envelope to keep downstream delay
+        // models defined even under absurd attack currents.
+        v_ = std::clamp(v_, 0.0, params_.vdd * 1.25);
+        steady_ = v_ == prev_v && i_l_ == prev_i_l;
+        steady_load_ = i_load_a;
+        return v_;
+    }
 
     double voltage() const { return v_; }
     double inductor_current() const { return i_l_; }
@@ -57,6 +83,10 @@ private:
     PdnParams params_;
     double v_;   // die voltage
     double i_l_; // inductor (regulator) current
+    // Fixed-point detection: true when the last step changed neither state
+    // variable, making further steps under steady_load_ identities.
+    bool steady_ = false;
+    double steady_load_ = 0.0;
 };
 
 /// Convenience: simulates a rectangular current pulse on a fresh PDN and

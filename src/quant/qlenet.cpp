@@ -68,26 +68,55 @@ QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias
     const std::size_t out_h = in_h - k + 1;
     const std::size_t out_w = in_w - k + 1;
     QTensor out(Shape{out_c, out_h, out_w});
+    qconv2d_outputs(input, weight, bias, activation, 0, out.size(), out);
+    return out;
+}
 
-    for (std::size_t oc = 0; oc < out_c; ++oc) {
-        // Bias enters the accumulator in product units (2^(2*frac)).
-        const fx::Acc bias_acc = static_cast<fx::Acc>(bias[oc].raw()) << Q3_4::frac_bits;
-        for (std::size_t r = 0; r < out_h; ++r) {
-            for (std::size_t c = 0; c < out_w; ++c) {
-                fx::Acc acc = bias_acc;
-                for (std::size_t ic = 0; ic < in_c; ++ic) {
-                    for (std::size_t kr = 0; kr < k; ++kr) {
-                        for (std::size_t kc = 0; kc < k; ++kc) {
-                            acc += Q3_4::wide_product(input.at(ic, r + kr, c + kc),
-                                                      weight.at(oc, ic, kr, kc));
-                        }
-                    }
+void qconv2d_outputs(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                     Activation activation, std::size_t elem_begin,
+                     std::size_t elem_end, QTensor& out) {
+    const std::size_t in_c = input.shape().dim(0);
+    const std::size_t in_h = input.shape().dim(1);
+    const std::size_t in_w = input.shape().dim(2);
+    const std::size_t k = weight.shape().dim(2);
+    const std::size_t kk = k * k;
+    const std::size_t out_w = in_w - k + 1;
+    const std::size_t plane = (in_h - k + 1) * out_w;
+    expects(elem_begin <= elem_end && elem_end <= out.size(),
+            "qconv2d_outputs: element range");
+
+    const Q3_4* in_data = input.data();
+    const Q3_4* w_data = weight.data();
+    const Q3_4* b_data = bias.data();
+    Q3_4* out_data = out.data();
+
+    // Integer sums are exact under any accumulation width that cannot
+    // overflow, so the golden kernel accumulates products in 32 bits
+    // (|product| <= 2^14, so up to 2^17 products are safe) and widens once
+    // at the end. int16*int16 -> int32 row sums vectorize on baseline SSE2.
+    expects(in_c * kk <= 65536, "qconv2d_outputs: receptive field fits int32");
+
+    for (std::size_t p = elem_begin; p < elem_end; ++p) {
+        const std::size_t oc = p / plane;
+        const std::size_t rc = p % plane;
+        const std::size_t r = rc / out_w;
+        const std::size_t c = rc % out_w;
+        std::int32_t acc32 = 0;
+        const Q3_4* w_oc = w_data + oc * in_c * kk;
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+            for (std::size_t kr = 0; kr < k; ++kr) {
+                const Q3_4* in_row = in_data + (ic * in_h + r + kr) * in_w + c;
+                const Q3_4* w_row = w_oc + ic * kk + kr * k;
+                for (std::size_t kc = 0; kc < k; ++kc) {
+                    acc32 += static_cast<std::int32_t>(in_row[kc].raw()) * w_row[kc].raw();
                 }
-                out.at(oc, r, c) = apply_activation(Q3_4::from_accumulator(acc), activation);
             }
         }
+        // Bias enters the accumulator in product units (2^(2*frac)).
+        const fx::Acc acc =
+            (static_cast<fx::Acc>(b_data[oc].raw()) << Q3_4::frac_bits) + acc32;
+        out_data[p] = apply_activation(Q3_4::from_accumulator(acc), activation);
     }
-    return out;
 }
 
 QTensor qmaxpool2(const QTensor& input) {
@@ -154,15 +183,35 @@ QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,
     expects(bias.size() == out_n, "qdense: bias size");
 
     QTensor out(Shape{out_n});
-    for (std::size_t o = 0; o < out_n; ++o) {
-        fx::Acc acc = static_cast<fx::Acc>(bias[o].raw()) << Q3_4::frac_bits;
-        for (std::size_t i = 0; i < in_n; ++i) {
-            acc += Q3_4::wide_product(input.at_unchecked(i),
-                                      weight.at_unchecked(o * in_n + i));
-        }
-        out.at(o) = apply_activation(Q3_4::from_accumulator(acc), activation);
-    }
+    qdense_outputs(input, weight, bias, activation, 0, out_n, out);
     return out;
+}
+
+void qdense_outputs(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                    Activation activation, std::size_t elem_begin,
+                    std::size_t elem_end, QTensor& out) {
+    const std::size_t in_n = weight.shape().dim(1);
+    expects(elem_begin <= elem_end && elem_end <= out.size(),
+            "qdense_outputs: element range");
+
+    const Q3_4* in_data = input.data();
+    const Q3_4* w_data = weight.data();
+    const Q3_4* b_data = bias.data();
+    Q3_4* out_data = out.data();
+
+    // Same 32-bit exact-accumulation argument as qconv2d_outputs.
+    expects(in_n <= 65536, "qdense_outputs: fan-in fits int32");
+
+    for (std::size_t o = elem_begin; o < elem_end; ++o) {
+        std::int32_t acc32 = 0;
+        const Q3_4* w_row = w_data + o * in_n;
+        for (std::size_t i = 0; i < in_n; ++i) {
+            acc32 += static_cast<std::int32_t>(in_data[i].raw()) * w_row[i].raw();
+        }
+        const fx::Acc acc =
+            (static_cast<fx::Acc>(b_data[o].raw()) << Q3_4::frac_bits) + acc32;
+        out_data[o] = apply_activation(Q3_4::from_accumulator(acc), activation);
+    }
 }
 
 QLeNetReference::QLeNetReference(QLeNetWeights weights) : weights_(std::move(weights)) {}

@@ -83,6 +83,15 @@ QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias
 QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias,
                 bool apply_tanh);
 
+/// Range kernel behind qconv2d: computes output elements [elem_begin,
+/// elem_end) in row-major (oc, r, c) order into a preallocated `out`,
+/// leaving the rest untouched. The accelerator's interval-gated fast path
+/// uses it to fill the safe gaps between fault windows; accumulation order
+/// is identical to qconv2d, so the bytes match the full kernel exactly.
+void qconv2d_outputs(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                     Activation activation, std::size_t elem_begin,
+                     std::size_t elem_end, QTensor& out);
+
 /// 2x2/stride-2 max pooling.
 QTensor qmaxpool2(const QTensor& input);
 
@@ -99,5 +108,11 @@ QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,
 /// Back-compat: bool selects tanh.
 QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,
                bool apply_tanh);
+
+/// Range kernel behind qdense: computes output elements [elem_begin,
+/// elem_end) into a preallocated `out` (see qconv2d_outputs).
+void qdense_outputs(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                    Activation activation, std::size_t elem_begin,
+                    std::size_t elem_end, QTensor& out);
 
 } // namespace deepstrike::quant

@@ -194,14 +194,16 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
             const PlannedPoint& p = planned[idx];
             AccuracyResult res;
             if (p.blind_offsets > 0) {
-                const auto traces = runner.blind_traces(
+                const auto bundle = runner.blind_bundle(
                     p.scheme, p.blind_offsets, config.blind_offset_seed);
                 res = evaluate_accuracy_multi(platform, test_set, eval_images,
-                                              *traces, config.fault_seed);
+                                              bundle->traces, config.fault_seed,
+                                              &bundle->plans);
             } else {
-                const auto trace = runner.guided_trace(config.detector, p.scheme);
+                const auto bundle = runner.guided_bundle(config.detector, p.scheme);
                 res = evaluate_accuracy(platform, test_set, eval_images,
-                                        trace.get(), config.fault_seed);
+                                        &bundle->trace, config.fault_seed,
+                                        &bundle->plan);
             }
 
             CampaignPoint& point = report.points[idx];

@@ -76,20 +76,40 @@ std::vector<accel::VoltageTrace> blind_attack_traces(const Platform& platform,
 
 AccuracyResult evaluate_accuracy(const Platform& platform, const data::Dataset& dataset,
                                  std::size_t n_images, const accel::VoltageTrace* trace,
-                                 std::uint64_t fault_seed) {
+                                 std::uint64_t fault_seed,
+                                 const accel::OverlayPlan* plan) {
     std::vector<accel::VoltageTrace> traces;
-    if (trace != nullptr) traces.push_back(*trace);
-    return evaluate_accuracy_multi(platform, dataset, n_images, traces, fault_seed);
+    std::vector<accel::OverlayPlan> plans;
+    if (trace != nullptr) {
+        traces.push_back(*trace);
+        if (plan != nullptr) plans.push_back(*plan);
+    }
+    return evaluate_accuracy_multi(platform, dataset, n_images, traces, fault_seed,
+                                   plans.empty() ? nullptr : &plans);
 }
 
 AccuracyResult evaluate_accuracy_multi(const Platform& platform,
                                        const data::Dataset& dataset,
                                        std::size_t n_images,
                                        const std::vector<accel::VoltageTrace>& traces,
-                                       std::uint64_t fault_seed) {
+                                       std::uint64_t fault_seed,
+                                       const std::vector<accel::OverlayPlan>* plans) {
     expects(dataset.size() > 0, "evaluate_accuracy: non-empty dataset");
     n_images = std::min(n_images, dataset.size());
     expects(n_images > 0, "evaluate_accuracy: at least one image");
+    expects(plans == nullptr || plans->size() == traces.size(),
+            "evaluate_accuracy: one overlay plan per trace");
+
+    // Overlay plans depend only on (trace, schedule): build each once here
+    // rather than re-scanning the trace inside every per-image inference.
+    std::vector<accel::OverlayPlan> local_plans;
+    if (plans == nullptr && !traces.empty()) {
+        local_plans.reserve(traces.size());
+        for (const accel::VoltageTrace& t : traces) {
+            local_plans.push_back(platform.engine().plan_overlay(&t));
+        }
+        plans = &local_plans;
+    }
 
     AccuracyResult result;
     result.images = n_images;
@@ -101,9 +121,12 @@ AccuracyResult evaluate_accuracy_multi(const Platform& platform,
     parallel_for(n_images, [&](std::size_t i) {
         const accel::VoltageTrace* trace =
             traces.empty() ? nullptr : &traces[i % traces.size()];
+        const accel::OverlayPlan* plan =
+            traces.empty() ? nullptr : &(*plans)[i % traces.size()];
         Rng fault_rng(derive_seed(fault_seed, i));
         const QTensor qimage = quant::quantize_image(dataset.images[i]);
-        const accel::RunResult run = platform.infer(qimage, trace, fault_rng);
+        const accel::RunResult run =
+            platform.infer(qimage, trace, fault_rng, nullptr, plan);
         faults[i] = run.faults_total;
         correct[i] = run.predicted == dataset.labels[i] ? 1 : 0;
     });
@@ -143,10 +166,17 @@ AccuracyResult evaluate_accuracy_defended(const Platform& platform,
                                           std::size_t n_images,
                                           const accel::VoltageTrace& trace,
                                           const std::vector<bool>& throttle,
-                                          std::uint64_t fault_seed) {
+                                          std::uint64_t fault_seed,
+                                          const accel::OverlayPlan* plan) {
     expects(dataset.size() > 0, "evaluate_accuracy_defended: non-empty dataset");
     n_images = std::min(n_images, dataset.size());
     expects(n_images > 0, "evaluate_accuracy_defended: at least one image");
+
+    accel::OverlayPlan local_plan;
+    if (plan == nullptr) {
+        local_plan = platform.engine().plan_overlay(&trace);
+        plan = &local_plan;
+    }
 
     AccuracyResult result;
     result.images = n_images;
@@ -156,7 +186,7 @@ AccuracyResult evaluate_accuracy_defended(const Platform& platform,
         Rng fault_rng(derive_seed(fault_seed, i));
         const QTensor qimage = quant::quantize_image(dataset.images[i]);
         const accel::RunResult run =
-            platform.infer(qimage, &trace, fault_rng, &throttle);
+            platform.infer(qimage, &trace, fault_rng, &throttle, plan);
         faults[i] = run.faults_total;
         correct[i] = run.predicted == dataset.labels[i] ? 1 : 0;
     });

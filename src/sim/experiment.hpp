@@ -52,16 +52,23 @@ struct AccuracyResult {
 /// Evaluates test accuracy of the accelerator under a fixed voltage trace
 /// (pass nullptr for the clean baseline). Uses the first `n_images` of the
 /// dataset; fault randomness is seeded per-image from `fault_seed`.
+/// `plan` optionally supplies the precomputed fault overlay for `trace`;
+/// when omitted it is computed once here (not once per image).
 AccuracyResult evaluate_accuracy(const Platform& platform, const data::Dataset& dataset,
                                  std::size_t n_images, const accel::VoltageTrace* trace,
-                                 std::uint64_t fault_seed);
+                                 std::uint64_t fault_seed,
+                                 const accel::OverlayPlan* plan = nullptr);
 
-/// Blind variant: image i uses trace i % traces.size().
+/// Blind variant: image i uses trace i % traces.size(). `plans`, when
+/// given, must hold one overlay per trace (same indexing); otherwise the
+/// plans are computed once per trace before the parallel sweep.
 AccuracyResult evaluate_accuracy_multi(const Platform& platform,
                                        const data::Dataset& dataset,
                                        std::size_t n_images,
                                        const std::vector<accel::VoltageTrace>& traces,
-                                       std::uint64_t fault_seed);
+                                       std::uint64_t fault_seed,
+                                       const std::vector<accel::OverlayPlan>* plans =
+                                           nullptr);
 
 /// Defended variant: the per-cycle throttle mask (defense::run_monitor)
 /// suppresses DSP fault evaluation in throttled cycles.
@@ -70,7 +77,8 @@ AccuracyResult evaluate_accuracy_defended(const Platform& platform,
                                           std::size_t n_images,
                                           const accel::VoltageTrace& trace,
                                           const std::vector<bool>& throttle,
-                                          std::uint64_t fault_seed);
+                                          std::uint64_t fault_seed,
+                                          const accel::OverlayPlan* plan = nullptr);
 
 // --------------------------------------------- repeated inferences
 

@@ -22,6 +22,24 @@ Platform::Platform(const PlatformConfig& config, quant::QNetwork network)
         expects(t < config.ticks_per_cycle, "Platform: TDC sample tick within cycle");
     }
     activity_ = accel::activity_current_trace(engine_.schedule(), config.accel);
+
+    // Replay the sequential tick matching of the event lists once, into a
+    // per-tick action table the hot loop can index directly.
+    tick_actions_.assign(config.ticks_per_cycle, TickAction{});
+    std::size_t sample_idx = 0;
+    std::size_t capture_idx = 0;
+    for (std::size_t tick = 0; tick < config.ticks_per_cycle; ++tick) {
+        if (sample_idx < config.tdc_sample_ticks.size() &&
+            tick == config.tdc_sample_ticks[sample_idx]) {
+            tick_actions_[tick].tdc_slot = static_cast<std::int8_t>(sample_idx);
+            ++sample_idx;
+        }
+        if (capture_idx < config.dsp_capture_ticks.size() &&
+            tick == config.dsp_capture_ticks[capture_idx]) {
+            tick_actions_[tick].capture_slot = static_cast<std::int8_t>(capture_idx);
+            ++capture_idx;
+        }
+    }
 }
 
 Platform::Platform(const PlatformConfig& config, quant::QLeNetWeights weights)
@@ -49,6 +67,10 @@ CosimResult Platform::simulate_inference(StrikeSource& source,
     if (record_tick_voltage) result.tick_voltage.reserve(total_cycles * tpc);
 
     double v = pdn_model.voltage();
+    const std::size_t n_caps = config_.dsp_capture_ticks.size();
+    const TickAction* actions = tick_actions_.data();
+    tdc::TdcSample scratch;        // reused across all samples (no per-sample alloc)
+    tdc::TdcSampler sampler(sensor_); // skips the delay pow() on repeated voltages
     for (std::size_t cycle = 0; cycle < total_cycles; ++cycle) {
         const bool strike = source.strike_bit(cycle);
         if (strike) {
@@ -58,25 +80,24 @@ CosimResult Platform::simulate_inference(StrikeSource& source,
 
         const double i_victim = config_.accel.i_platform_idle_a + activity_[cycle];
         double min_v = v;
-        std::size_t sample_idx = 0;
-        std::size_t capture_idx = 0;
+        double* cap_out = result.capture_v.data() + cycle * n_caps;
         for (std::size_t tick = 0; tick < tpc; ++tick) {
-            const double i_total = i_victim + striker_.current_a(v, strike);
+            // An idle striker draws exactly 0 A, so the call is hoisted out
+            // of the (overwhelmingly common) non-strike cycles.
+            const double i_total =
+                strike ? i_victim + striker_.current_a(v, true) : i_victim;
             v = pdn_model.step(i_total);
             min_v = std::min(min_v, v);
             if (record_tick_voltage) result.tick_voltage.push_back(v);
 
-            if (sample_idx < config_.tdc_sample_ticks.size() &&
-                tick == config_.tdc_sample_ticks[sample_idx]) {
-                const tdc::TdcSample sample = sensor_.sample(v, tdc_rng);
-                result.tdc_readouts.push_back(sample.readout);
-                source.on_tdc_sample(sample);
-                ++sample_idx;
+            const TickAction act = actions[tick];
+            if (act.tdc_slot >= 0) {
+                sampler.sample_into(v, tdc_rng, scratch);
+                result.tdc_readouts.push_back(scratch.readout);
+                source.on_tdc_sample(scratch);
             }
-            if (capture_idx < config_.dsp_capture_ticks.size() &&
-                tick == config_.dsp_capture_ticks[capture_idx]) {
-                result.capture_v[cycle * config_.dsp_capture_ticks.size() + capture_idx] = v;
-                ++capture_idx;
+            if (act.capture_slot >= 0) {
+                cap_out[act.capture_slot] = v;
             }
         }
         result.min_v_per_cycle[cycle] = min_v;
@@ -85,9 +106,9 @@ CosimResult Platform::simulate_inference(StrikeSource& source,
 }
 
 accel::RunResult Platform::infer(const QTensor& image, const accel::VoltageTrace* voltage,
-                                 Rng& fault_rng,
-                                 const std::vector<bool>* throttle) const {
-    return engine_.run(image, voltage, fault_rng, throttle);
+                                 Rng& fault_rng, const std::vector<bool>* throttle,
+                                 const accel::OverlayPlan* plan) const {
+    return engine_.run(image, voltage, fault_rng, throttle, plan);
 }
 
 } // namespace deepstrike::sim

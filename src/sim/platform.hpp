@@ -138,21 +138,33 @@ public:
 
     /// Functional inference on a previously computed voltage trace.
     /// `throttle` optionally marks defensively clock-throttled cycles
-    /// (see defense::run_monitor).
+    /// (see defense::run_monitor). `plan` optionally supplies the
+    /// precomputed fault overlay for `voltage` (one per campaign point;
+    /// see AccelEngine::plan_overlay).
     accel::RunResult infer(const QTensor& image, const accel::VoltageTrace* voltage,
                            Rng& fault_rng,
-                           const std::vector<bool>* throttle = nullptr) const;
+                           const std::vector<bool>* throttle = nullptr,
+                           const accel::OverlayPlan* plan = nullptr) const;
 
     /// Idle current (platform + accelerator static) used for PDN settling.
     double idle_current_a() const;
 
 private:
+    /// What happens at one tick offset within a fabric cycle; precomputed
+    /// at construction so the tick loop replays a flat table instead of
+    /// re-matching the configured tick lists every tick.
+    struct TickAction {
+        std::int8_t tdc_slot = -1;     // index into tdc_sample_ticks, -1 = none
+        std::int8_t capture_slot = -1; // index into dsp_capture_ticks, -1 = none
+    };
+
     PlatformConfig config_;
     pdn::DelayModel delay_;
     tdc::TdcSensor sensor_;
     striker::StrikerBank striker_;
     accel::AccelEngine engine_;
-    std::vector<double> activity_; // per-cycle accelerator current
+    std::vector<double> activity_;         // per-cycle accelerator current
+    std::vector<TickAction> tick_actions_; // per-tick event schedule
 };
 
 } // namespace deepstrike::sim

@@ -53,8 +53,8 @@ struct SweepRunner::CacheEntry {
     std::condition_variable ready_cv;
     bool ready = false;
     std::exception_ptr error;
-    std::shared_ptr<const accel::VoltageTrace> guided;
-    std::shared_ptr<const std::vector<accel::VoltageTrace>> blind;
+    std::shared_ptr<const GuidedTraceBundle> guided;
+    std::shared_ptr<const BlindTraceBundle> blind;
 };
 
 SweepRunner::SweepRunner(RunnerConfig config) : config_(config) {}
@@ -119,13 +119,15 @@ std::shared_ptr<SweepRunner::CacheEntry> SweepRunner::resolve(std::uint64_t key,
     return entry;
 }
 
-std::shared_ptr<const accel::VoltageTrace>
-SweepRunner::guided_trace(const attack::DetectorConfig& detector,
-                          const attack::AttackScheme& scheme) {
-    expects(platform_ != nullptr, "SweepRunner::guided_trace: platform-bound runner required");
+std::shared_ptr<const GuidedTraceBundle>
+SweepRunner::guided_bundle(const attack::DetectorConfig& detector,
+                           const attack::AttackScheme& scheme) {
+    expects(platform_ != nullptr, "SweepRunner::guided_bundle: platform-bound runner required");
     auto compute = [&](CacheEntry& entry) {
-        entry.guided = std::make_shared<const accel::VoltageTrace>(
-            guided_attack_trace(*platform_, detector, scheme));
+        auto bundle = std::make_shared<GuidedTraceBundle>();
+        bundle->trace = guided_attack_trace(*platform_, detector, scheme);
+        bundle->plan = platform_->engine().plan_overlay(&bundle->trace);
+        entry.guided = std::move(bundle);
     };
     if (!config_.cache_traces) {
         CacheEntry entry;
@@ -138,13 +140,18 @@ SweepRunner::guided_trace(const attack::DetectorConfig& detector,
     return resolve(key, compute)->guided;
 }
 
-std::shared_ptr<const std::vector<accel::VoltageTrace>>
-SweepRunner::blind_traces(const attack::AttackScheme& scheme, std::size_t n_offsets,
+std::shared_ptr<const BlindTraceBundle>
+SweepRunner::blind_bundle(const attack::AttackScheme& scheme, std::size_t n_offsets,
                           std::uint64_t offset_seed) {
-    expects(platform_ != nullptr, "SweepRunner::blind_traces: platform-bound runner required");
+    expects(platform_ != nullptr, "SweepRunner::blind_bundle: platform-bound runner required");
     auto compute = [&](CacheEntry& entry) {
-        entry.blind = std::make_shared<const std::vector<accel::VoltageTrace>>(
-            blind_attack_traces(*platform_, scheme, n_offsets, offset_seed));
+        auto bundle = std::make_shared<BlindTraceBundle>();
+        bundle->traces = blind_attack_traces(*platform_, scheme, n_offsets, offset_seed);
+        bundle->plans.reserve(bundle->traces.size());
+        for (const accel::VoltageTrace& t : bundle->traces) {
+            bundle->plans.push_back(platform_->engine().plan_overlay(&t));
+        }
+        entry.blind = std::move(bundle);
     };
     if (!config_.cache_traces) {
         CacheEntry entry;
@@ -155,6 +162,20 @@ SweepRunner::blind_traces(const attack::AttackScheme& scheme, std::size_t n_offs
     const std::uint64_t key =
         derive_seed(0xB71ADULL, scheme_hash(scheme), n_offsets, offset_seed);
     return resolve(key, compute)->blind;
+}
+
+std::shared_ptr<const accel::VoltageTrace>
+SweepRunner::guided_trace(const attack::DetectorConfig& detector,
+                          const attack::AttackScheme& scheme) {
+    auto bundle = guided_bundle(detector, scheme);
+    return {bundle, &bundle->trace};
+}
+
+std::shared_ptr<const std::vector<accel::VoltageTrace>>
+SweepRunner::blind_traces(const attack::AttackScheme& scheme, std::size_t n_offsets,
+                          std::uint64_t offset_seed) {
+    auto bundle = blind_bundle(scheme, n_offsets, offset_seed);
+    return {bundle, &bundle->traces};
 }
 
 RunManifest SweepRunner::run(const std::string& sweep_name,

@@ -76,6 +76,20 @@ struct RunManifest {
     Json to_json() const;
 };
 
+/// A cached co-simulated trace together with its precomputed fault-overlay
+/// plan (AccelEngine::plan_overlay): the complete per-attack-configuration
+/// precomputation, shared across every image of a campaign point.
+struct GuidedTraceBundle {
+    accel::VoltageTrace trace;
+    accel::OverlayPlan plan;
+};
+
+/// Blind-baseline equivalent; `plans` is indexed like `traces`.
+struct BlindTraceBundle {
+    std::vector<accel::VoltageTrace> traces;
+    std::vector<accel::OverlayPlan> plans;
+};
+
 class SweepRunner {
 public:
     /// Platform-free runner (e.g. the DSP characterization rig).
@@ -92,14 +106,24 @@ public:
     /// lowest-indexed point failure is rethrown after every point ran.
     RunManifest run(const std::string& sweep_name, std::vector<SweepTask> tasks);
 
-    /// Guided-attack trace for the scheme, co-simulated once per distinct
-    /// (detector config, scheme) and shared thereafter. Thread-safe;
-    /// concurrent first requests for one key block on a single co-sim.
+    /// Guided-attack trace + overlay plan for the scheme, co-simulated and
+    /// planned once per distinct (detector config, scheme) and shared
+    /// thereafter. Thread-safe; concurrent first requests for one key
+    /// block on a single co-sim.
+    std::shared_ptr<const GuidedTraceBundle>
+    guided_bundle(const attack::DetectorConfig& detector,
+                  const attack::AttackScheme& scheme);
+
+    /// Blind-baseline trace set + plans, cached per (scheme, n_offsets,
+    /// seed).
+    std::shared_ptr<const BlindTraceBundle>
+    blind_bundle(const attack::AttackScheme& scheme, std::size_t n_offsets,
+                 std::uint64_t offset_seed);
+
+    /// Trace-only views of the bundles above (back-compat).
     std::shared_ptr<const accel::VoltageTrace>
     guided_trace(const attack::DetectorConfig& detector,
                  const attack::AttackScheme& scheme);
-
-    /// Blind-baseline trace set, cached per (scheme, n_offsets, seed).
     std::shared_ptr<const std::vector<accel::VoltageTrace>>
     blind_traces(const attack::AttackScheme& scheme, std::size_t n_offsets,
                  std::uint64_t offset_seed);

@@ -7,11 +7,6 @@
 
 namespace deepstrike::tdc {
 
-std::uint8_t encode_ones_count(const BitVec& raw) {
-    expects(raw.size() <= 255, "encode_ones_count: readout must fit 8 bits");
-    return static_cast<std::uint8_t>(raw.popcount());
-}
-
 TdcSensor::TdcSensor(const TdcConfig& config, const pdn::DelayModel& delay)
     : config_(config), delay_(delay) {
     expects(config.l_carry > 0 && config.l_carry <= 255, "TdcSensor: 0 < L_CARRY <= 255");
@@ -50,28 +45,13 @@ double TdcSensor::voltage_for_readout(double readout) const {
 }
 
 TdcSample TdcSensor::sample(double v, Rng& rng) const {
-    const double stages = expected_stages(v);
-    const double noisy = stages + rng.normal(0.0, config_.noise_sigma_stages);
-    const auto boundary = static_cast<std::ptrdiff_t>(std::lround(noisy));
-    const auto clamped = std::clamp<std::ptrdiff_t>(
-        boundary, 0, static_cast<std::ptrdiff_t>(config_.l_carry));
-
     TdcSample s;
-    s.raw = BitVec(config_.l_carry);
-    for (std::ptrdiff_t i = 0; i < clamped; ++i) s.raw.set(static_cast<std::size_t>(i), true);
-
-    // Metastability bubbles: with small probability, one stage just below
-    // the boundary reads 0 and the one just above reads 1. The encoder
-    // counts ones, so a *pair* leaves the readout unchanged — matching real
-    // TDCs where bubbles mostly cancel in the population count.
-    if (clamped >= 2 && static_cast<std::size_t>(clamped) + 1 < config_.l_carry &&
-        rng.bernoulli(config_.bubble_probability)) {
-        s.raw.set(static_cast<std::size_t>(clamped - 2), false);
-        s.raw.set(static_cast<std::size_t>(clamped + 1), true);
-    }
-
-    s.readout = encode_ones_count(s.raw);
+    sample_into(v, rng, s);
     return s;
+}
+
+void TdcSensor::sample_into(double v, Rng& rng, TdcSample& out) const {
+    emit_from_stages(expected_stages(v), rng, out);
 }
 
 } // namespace deepstrike::tdc

@@ -16,11 +16,14 @@
 // readout sits at a chosen operating point (~90 ones, per the paper).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "pdn/delay.hpp"
 #include "util/bitvec.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace deepstrike::tdc {
@@ -46,7 +49,11 @@ struct TdcSample {
 };
 
 /// Thermometer-code encoder: 128-bit vector -> 8-bit ones count.
-std::uint8_t encode_ones_count(const BitVec& raw);
+/// Inline: runs once per TDC sample, twice per co-simulated fabric cycle.
+inline std::uint8_t encode_ones_count(const BitVec& raw) {
+    expects(raw.size() <= 255, "encode_ones_count: readout must fit 8 bits");
+    return static_cast<std::uint8_t>(raw.popcount());
+}
 
 class TdcSensor {
 public:
@@ -57,6 +64,47 @@ public:
 
     /// Samples the sensor at die voltage `v`; rng supplies jitter/bubbles.
     TdcSample sample(double v, Rng& rng) const;
+
+    /// Same draw, writing into a caller-owned sample (storage reused across
+    /// calls). The co-simulator samples the TDC twice per fabric cycle, so
+    /// this is the platform's hottest allocation site when naive.
+    void sample_into(double v, Rng& rng, TdcSample& out) const;
+
+    /// Second half of sample_into: adds sampling noise to the deterministic
+    /// expected stage count and materializes the thermometer code + readout.
+    /// Split out so callers that see the same voltage repeatedly (the PDN
+    /// settles to an exact floating-point fixed point between strikes) can
+    /// reuse the expected_stages() result — see TdcSampler.
+    void emit_from_stages(double stages, Rng& rng, TdcSample& out) const {
+        const double noisy = stages + rng.normal(0.0, config_.noise_sigma_stages);
+        // clamp(lround(noisy), 0, L_CARRY) without the libm round call:
+        // adding 0.5 is exact below the 2^7 binade (the sum lands on the
+        // argument's grid), and the only tie-rounded sums land at or above
+        // L_CARRY where the clamp absorbs the difference, so truncating
+        // noisy + 0.5 with a zero floor is value-identical on this domain.
+        const double shifted = noisy + 0.5;
+        const auto clamped = shifted <= 0.0
+            ? std::ptrdiff_t{0}
+            : std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(shifted),
+                                       static_cast<std::ptrdiff_t>(config_.l_carry));
+
+        out.raw.assign_prefix(config_.l_carry, static_cast<std::size_t>(clamped));
+
+        // Metastability bubbles: with small probability, one stage just below
+        // the boundary reads 0 and the one just above reads 1. The encoder
+        // counts ones, so a *pair* leaves the readout unchanged — matching real
+        // TDCs where bubbles mostly cancel in the population count.
+        if (clamped >= 2 && static_cast<std::size_t>(clamped) + 1 < config_.l_carry &&
+            rng.bernoulli(config_.bubble_probability)) {
+            out.raw.set(static_cast<std::size_t>(clamped - 2), false);
+            out.raw.set(static_cast<std::size_t>(clamped + 1), true);
+        }
+
+        // The population count is now arithmetic (prefix length, +-0 for a
+        // bubble pair), but keep the real encoder on the raw vector — detector
+        // taps read `raw`, and the encoder is part of what is being modeled.
+        out.readout = encode_ones_count(out.raw);
+    }
 
     /// Noise-free expected readout at voltage `v` (real-valued stages);
     /// exposed for calibration tests and the profiler's inverse mapping.
@@ -73,6 +121,32 @@ private:
     TdcConfig config_;
     pdn::DelayModel delay_;
     double theta_s_ = 0.0;
+};
+
+/// Sampling front-end that memoizes expected_stages() on the exact voltage
+/// bit pattern. Between strikes the RLC supply settles to a floating-point
+/// fixed point, so the overwhelming majority of consecutive co-sim samples
+/// repeat the previous voltage verbatim and skip the delay-model pow().
+/// Byte-exact by construction (a hit replays the identical stage count);
+/// one instance per simulation loop — not thread-safe, unlike the sensor.
+class TdcSampler {
+public:
+    explicit TdcSampler(const TdcSensor& sensor) : sensor_(&sensor) {}
+
+    void sample_into(double v, Rng& rng, TdcSample& out) {
+        if (!valid_ || v != last_v_) {
+            last_v_ = v;
+            last_stages_ = sensor_->expected_stages(v);
+            valid_ = true;
+        }
+        sensor_->emit_from_stages(last_stages_, rng, out);
+    }
+
+private:
+    const TdcSensor* sensor_;
+    double last_v_ = 0.0;
+    double last_stages_ = 0.0;
+    bool valid_ = false;
 };
 
 } // namespace deepstrike::tdc

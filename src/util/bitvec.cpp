@@ -17,18 +17,6 @@ BitVec BitVec::from_string(const std::string& bits) {
     return v;
 }
 
-bool BitVec::get(std::size_t i) const {
-    expects(i < size_, "BitVec::get index in range");
-    return (words_[i / 64] >> (i % 64)) & 1ULL;
-}
-
-void BitVec::set(std::size_t i, bool value) {
-    expects(i < size_, "BitVec::set index in range");
-    const std::uint64_t mask = 1ULL << (i % 64);
-    if (value) words_[i / 64] |= mask;
-    else words_[i / 64] &= ~mask;
-}
-
 void BitVec::push_back(bool value) {
     if (size_ % 64 == 0) words_.push_back(0);
     ++size_;
@@ -37,12 +25,6 @@ void BitVec::push_back(bool value) {
 
 void BitVec::append(const BitVec& other) {
     for (std::size_t i = 0; i < other.size(); ++i) push_back(other.get(i));
-}
-
-std::size_t BitVec::popcount() const {
-    std::size_t n = 0;
-    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
-    return n;
 }
 
 std::size_t BitVec::longest_one_run() const {

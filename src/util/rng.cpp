@@ -6,12 +6,6 @@
 
 namespace deepstrike {
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-    return (x << k) | (x >> (64 - k));
-}
-} // namespace
-
 std::uint64_t derive_seed(std::uint64_t base,
                           std::initializer_list<std::uint64_t> tags) {
     // Chain SplitMix64 finalizations: each tag folds into the running
@@ -32,27 +26,6 @@ Rng::Rng(std::uint64_t seed) {
     if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-std::uint64_t Rng::next() {
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-double Rng::uniform() {
-    // 53 high bits -> double in [0,1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-    return lo + (hi - lo) * uniform();
-}
-
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
     expects(lo <= hi, "uniform_int: lo <= hi");
     const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
@@ -63,34 +36,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
         const std::uint64_t r = next();
         if (r >= threshold) return lo + static_cast<std::int64_t>(r % span);
     }
-}
-
-double Rng::normal() {
-    if (have_cached_normal_) {
-        have_cached_normal_ = false;
-        return cached_normal_;
-    }
-    // Box–Muller; u1 in (0,1] avoids log(0).
-    double u1 = 0.0;
-    do {
-        u1 = uniform();
-    } while (u1 == 0.0);
-    const double u2 = uniform();
-    const double mag = std::sqrt(-2.0 * std::log(u1));
-    const double ang = 2.0 * M_PI * u2;
-    cached_normal_ = mag * std::sin(ang);
-    have_cached_normal_ = true;
-    return mag * std::cos(ang);
-}
-
-double Rng::normal(double mean, double stddev) {
-    return mean + stddev * normal();
-}
-
-bool Rng::bernoulli(double p) {
-    if (p <= 0.0) return false;
-    if (p >= 1.0) return true;
-    return uniform() < p;
 }
 
 Rng Rng::fork(std::uint64_t tag) {

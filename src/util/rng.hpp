@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <initializer_list>
 #include <limits>
@@ -59,25 +60,71 @@ public:
 
     result_type operator()() { return next(); }
 
-    std::uint64_t next();
+    // The draw primitives are defined inline: every stochastic hot loop
+    // (per-op fault evaluation, TDC sampling) pays for them per event, and
+    // the out-of-line call overhead is measurable there. Inlining cannot
+    // change any drawn value — the integer ops are exact and the floating
+    // expressions keep their evaluation order (no FMA contraction on the
+    // baseline x86-64 target).
+    std::uint64_t next() {
+        const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl_(s_[3], 45);
+        return result;
+    }
 
-    /// Uniform double in [0, 1).
-    double uniform();
+    /// Uniform double in [0, 1): 53 high bits of one draw.
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
     /// Uniform double in [lo, hi).
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
     /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
     std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
     /// Standard normal via Box–Muller (cached second deviate).
-    double normal();
+    double normal() {
+        if (have_cached_normal_) {
+            have_cached_normal_ = false;
+            return cached_normal_;
+        }
+        // Box–Muller; u1 in (0,1] avoids log(0).
+        double u1 = 0.0;
+        do {
+            u1 = uniform();
+        } while (u1 == 0.0);
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        const double ang = 2.0 * M_PI * u2;
+#if defined(__GNUC__) && defined(__GLIBC__)
+        // glibc's sincos() shares the argument reduction and polynomial
+        // kernels of the separate sin()/cos() calls, so the pair is
+        // bit-identical to the two-call form while costing one call.
+        double s = 0.0, c = 0.0;
+        __builtin_sincos(ang, &s, &c);
+#else
+        const double s = std::sin(ang);
+        const double c = std::cos(ang);
+#endif
+        cached_normal_ = mag * s;
+        have_cached_normal_ = true;
+        return mag * c;
+    }
 
     /// Normal with given mean / standard deviation.
-    double normal(double mean, double stddev);
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
 
     /// Bernoulli trial with success probability p (clamped to [0,1]).
-    bool bernoulli(double p);
+    bool bernoulli(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return uniform() < p;
+    }
 
     /// Derives an independent child stream; deterministic in (this stream, tag).
     Rng fork(std::uint64_t tag);
@@ -87,6 +134,10 @@ public:
     void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; have_cached_normal_ = false; }
 
 private:
+    static std::uint64_t rotl_(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> s_{};
     double cached_normal_ = 0.0;
     bool have_cached_normal_ = false;

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate CI on microbenchmark regressions.
+
+Compares a fresh DS_BENCH_JSON dump from bench/micro_primitives against the
+checked-in baseline (bench/BENCH_baseline.json) and exits non-zero when any
+gated benchmark's ns_per_op exceeds --max-ratio times its baseline value.
+
+Only stdlib; runs anywhere python3 exists.
+
+Usage:
+  check_bench_regression.py --baseline bench/BENCH_baseline.json \
+      --current out.json [--max-ratio 2.0] [BM_Name ...]
+
+With no benchmark names, every benchmark present in the baseline is gated.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, dict):
+        raise SystemExit(f"{path}: no 'benchmarks' object")
+    return benches
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="checked-in baseline JSON")
+    parser.add_argument("--current", required=True, help="fresh DS_BENCH_JSON dump")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/baseline ns_per_op exceeds this")
+    parser.add_argument("names", nargs="*", help="benchmarks to gate (default: all in baseline)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    names = args.names or sorted(baseline)
+
+    failures = []
+    width = max(len(n) for n in names)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>6}")
+    for name in names:
+        if name not in baseline:
+            failures.append(f"{name}: not in baseline {args.baseline}")
+            continue
+        if name not in current:
+            failures.append(f"{name}: missing from current run {args.current}")
+            continue
+        base_ns = float(baseline[name]["ns_per_op"])
+        cur_ns = float(current[name]["ns_per_op"])
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        flag = "" if ratio <= args.max_ratio else "  << REGRESSION"
+        print(f"{name:<{width}}  {base_ns:>12.1f}  {cur_ns:>12.1f}  {ratio:>6.2f}{flag}")
+        if ratio > args.max_ratio:
+            failures.append(
+                f"{name}: {cur_ns:.1f} ns/op is {ratio:.2f}x baseline "
+                f"{base_ns:.1f} ns/op (limit {args.max_ratio:.2f}x)")
+
+    if failures:
+        print("\nperf-smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf-smoke OK: {len(names)} benchmark(s) within {args.max_ratio:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
