@@ -4,6 +4,7 @@
 
 #include "accel/engine_detail.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace deepstrike::accel {
 
@@ -123,6 +124,25 @@ OverlayPlan AccelEngine::plan_overlay(const VoltageTrace* voltage) const {
                 plan.layers[i].unsafe = unsafe_windows(seg, voltage, fc_safe_v_);
                 break;
         }
+    }
+    if (metrics::enabled()) {
+        std::uint64_t windows = 0;
+        std::uint64_t window_cycles = 0;
+        for (const SegmentOverlay& overlay : plan.layers) {
+            for (const CycleWindow& w : overlay.unsafe) {
+                ++windows;
+                window_cycles += w.end - w.begin;
+            }
+        }
+        metrics::counter("overlay.plans", "plans",
+                         "per-(trace,schedule) unsafe-window plans built")
+            .add();
+        metrics::counter("overlay.unsafe_windows", "windows",
+                         "merged unsafe cycle windows across all plans")
+            .add(windows);
+        metrics::counter("overlay.window_cycles", "cycles",
+                         "fabric cycles covered by unsafe windows")
+            .add(window_cycles);
     }
     return plan;
 }
@@ -504,6 +524,39 @@ RunResult AccelEngine::run(const QTensor& image, const VoltageTrace* voltage,
 
     result.logits = std::move(x);
     result.predicted = argmax(result.logits);
+
+    // One registry visit per inference (never per op): golden-vs-faulted op
+    // accounting derives from the static schedule and the overlay plan, so
+    // totals are identical at any thread count.
+    if (metrics::enabled()) {
+        std::uint64_t ops_total = 0;
+        std::uint64_t ops_unsafe = 0;
+        for (std::size_t i = 0; i < network_.layers.size(); ++i) {
+            const LayerSegment& seg = schedule_.segment_for_layer(i);
+            ops_total += seg.total_ops;
+            for (const CycleWindow& w : plan->layers[i].unsafe) {
+                const std::size_t b = w.begin - seg.start_cycle;
+                const std::size_t e = w.end - seg.start_cycle;
+                ops_unsafe += std::min(e * seg.ops_per_cycle, seg.total_ops) -
+                              std::min(b * seg.ops_per_cycle, seg.total_ops);
+            }
+        }
+        metrics::counter("accel.inferences", "inferences",
+                         "accelerator inference runs (faulted + clean)")
+            .add();
+        metrics::counter("accel.ops_total", "ops",
+                         "scheduled MAC/comparator ops executed")
+            .add(ops_total);
+        metrics::counter("accel.ops_unsafe", "ops",
+                         "ops inside unsafe voltage windows (per-op fault path)")
+            .add(ops_unsafe);
+        metrics::counter("accel.faults_duplication", "faults",
+                         "DSP duplication faults injected")
+            .add(result.faults_total.duplication);
+        metrics::counter("accel.faults_random", "faults",
+                         "DSP random faults injected")
+            .add(result.faults_total.random);
+    }
     return result;
 }
 

@@ -1,6 +1,8 @@
 #include "attack/detector.hpp"
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace deepstrike::attack {
 
@@ -28,6 +30,12 @@ bool DnnStartDetector::on_sample(const tdc::TdcSample& sample) {
                     triggered_ = false;
                     below_count_ = 0;
                     idle_count_ = 0;
+                    if (metrics::enabled()) {
+                        metrics::counter("detector.rearms", "events",
+                                         "armed->idle->armed transitions "
+                                         "(auto_rearm detectors)")
+                            .add();
+                    }
                 }
             } else {
                 idle_count_ = 0;
@@ -41,6 +49,18 @@ bool DnnStartDetector::on_sample(const tdc::TdcSample& sample) {
             triggered_ = true;
             trigger_sample_ = samples_seen_ - 1;
             idle_count_ = 0;
+            // Triggers fire at most once per inference, so unlike the
+            // per-tick modules this can talk to the registry directly.
+            if (metrics::enabled()) {
+                metrics::counter("detector.triggers", "events",
+                                 "start-detector FSM trigger events")
+                    .add();
+                metrics::histogram("detector.trigger_latency_samples", "samples",
+                                   "TDC samples from arming to trigger "
+                                   "(includes the hold window)")
+                    .observe(trigger_sample_);
+            }
+            trace::instant("detector.trigger", "attack");
             return true;
         }
     } else {

@@ -11,7 +11,7 @@
 //   dV/dt   = (I_L - I_load) / C
 //
 // With the calibrated parameters below this yields an underdamped response
-// (f0 ~ 40 MHz, zeta ~ 0.3): a striker current step produces its first
+// (f0 ~ 41 MHz, zeta ~ 0.6): a striker current step produces its first
 // droop minimum roughly 10 ns after activation, matching the paper's
 // observation that a single 10 ns strike suffices to fault one DSP
 // operation. Absolute amperes/volts are calibration constants, not
@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace deepstrike::pdn {
@@ -50,7 +51,15 @@ public:
         // state's ulp — every further step under the same load is the
         // identity and can be skipped verbatim. This is the dominant tick
         // cost in idle stretches of a co-simulated inference.
-        if (steady_ && i_load_a == steady_load_) return v_;
+        // Plain member counters, not metrics handles: this is the hottest
+        // function in the co-sim, so observability costs one increment here
+        // and the counters are flushed to util::metrics once per inference
+        // by sim::Platform (see docs/observability.md, pdn.steps*).
+        ++steps_;
+        if (steady_ && i_load_a == steady_load_) {
+            ++steps_skipped_;
+            return v_;
+        }
         const double prev_v = v_;
         const double prev_i_l = i_l_;
         // Semi-implicit (symplectic) Euler: update current with the old
@@ -75,6 +84,11 @@ public:
     /// Resets to the DC operating point for a standing load `i_idle_a`.
     void reset(double i_idle_a = 0.0);
 
+    /// Tick accounting since construction (reset() does not clear these):
+    /// total step() calls, and how many hit the fixed-point skip above.
+    std::uint64_t steps() const { return steps_; }
+    std::uint64_t steps_skipped() const { return steps_skipped_; }
+
     // Small-signal characteristics (for tests and documentation).
     double natural_freq_hz() const;
     double damping_ratio() const;
@@ -87,6 +101,8 @@ private:
     // variable, making further steps under steady_load_ identities.
     bool steady_ = false;
     double steady_load_ = 0.0;
+    std::uint64_t steps_ = 0;
+    std::uint64_t steps_skipped_ = 0;
 };
 
 /// Convenience: simulates a rectangular current pulse on a fresh PDN and

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace deepstrike::sim {
 
@@ -161,6 +163,8 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
     expects(config.eval_images > 0, "run_campaign: eval images > 0");
     expects(test_set.size() > 0, "run_campaign: non-empty test set");
 
+    trace::Span campaign_span("campaign", "campaign");
+
     CampaignReport report;
     // Clamp once; every evaluation below uses exactly this many images.
     const std::size_t eval_images = std::min(config.eval_images, test_set.size());
@@ -179,6 +183,11 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
     std::vector<PlannedPoint> planned;
     if (prof.detector_fired) planned = plan_points(platform, prof, config);
     report.points.resize(planned.size());
+    if (metrics::enabled()) {
+        metrics::counter("campaign.points_planned", "points",
+                         "attack points planned across campaigns")
+            .add(planned.size());
+    }
 
     std::vector<SweepTask> tasks;
     tasks.reserve(planned.size() + 1);

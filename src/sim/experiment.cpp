@@ -4,8 +4,10 @@
 #include <array>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace deepstrike::sim {
 
@@ -29,6 +31,7 @@ private:
 ProfilingRun run_profiling(const Platform& platform,
                            const attack::DetectorConfig& detector_config,
                            const attack::ProfilerConfig& profiler_config) {
+    trace::Span span("profiling", "experiment");
     ProfilingRun run;
     attack::DnnStartDetector detector(detector_config);
     ObservingSource source(detector);
@@ -109,6 +112,13 @@ AccuracyResult evaluate_accuracy_multi(const Platform& platform,
             local_plans.push_back(platform.engine().plan_overlay(&t));
         }
         plans = &local_plans;
+    }
+
+    trace::Span span("evaluate", "experiment");
+    if (metrics::enabled()) {
+        metrics::counter("eval.images", "images",
+                         "images classified during accuracy evaluation")
+            .add(n_images);
     }
 
     AccuracyResult result;

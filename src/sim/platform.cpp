@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace deepstrike::sim {
 
@@ -51,6 +53,7 @@ double Platform::idle_current_a() const {
 
 CosimResult Platform::simulate_inference(StrikeSource& source,
                                          bool record_tick_voltage) const {
+    trace::Span span("cosim.inference", "cosim");
     const std::size_t total_cycles = engine_.schedule().total_cycles;
     const std::size_t tpc = config_.ticks_per_cycle;
 
@@ -101,6 +104,34 @@ CosimResult Platform::simulate_inference(StrikeSource& source,
             }
         }
         result.min_v_per_cycle[cycle] = min_v;
+    }
+
+    // The tick loop above keeps its accounting in plain PdnModel/TdcSampler
+    // member counters; flush them to the registry once per co-simulation so
+    // the hot path never touches thread-shard lookup (docs/observability.md).
+    if (metrics::enabled()) {
+        metrics::counter("cosim.inferences", "inferences",
+                         "co-simulated victim inferences")
+            .add();
+        metrics::counter("cosim.cycles", "cycles",
+                         "co-simulated fabric cycles")
+            .add(total_cycles);
+        metrics::counter("pdn.steps", "ticks", "PdnModel::step calls")
+            .add(pdn_model.steps());
+        metrics::counter("pdn.steps_skipped", "ticks",
+                         "steps resolved by the floating-point fixed-point skip")
+            .add(pdn_model.steps_skipped());
+        metrics::counter("tdc.samples", "samples", "TDC sensor draws")
+            .add(sampler.samples());
+        metrics::counter("tdc.memo_hits", "samples",
+                         "TDC draws replaying the memoized expected-stage count")
+            .add(sampler.memo_hits());
+        metrics::counter("striker.active_cycles", "cycles",
+                         "fabric cycles with the power striker firing")
+            .add(result.strike_cycles);
+        metrics::histogram("striker.strike_cycles_per_inference", "cycles",
+                           "striker active cycles per co-simulated inference")
+            .observe(result.strike_cycles);
     }
     return result;
 }

@@ -5,8 +5,10 @@
 
 #include "sim/experiment.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace deepstrike::sim {
 
@@ -15,6 +17,25 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+// Trace-cache accounting. Hit/miss totals are functions of the request
+// sequence alone (the cache dedups concurrent first requests under one
+// mutex), so these counters are thread-count-independent like the rest.
+void count_cache_hit() {
+    if (metrics::enabled()) {
+        metrics::counter("runner.trace_cache_hits", "lookups",
+                         "voltage-trace cache lookups served from cache")
+            .add();
+    }
+}
+
+void count_cache_miss() {
+    if (metrics::enabled()) {
+        metrics::counter("runner.trace_cache_misses", "lookups",
+                         "voltage-trace cache lookups requiring a co-sim")
+            .add();
+    }
 }
 
 std::uint64_t detector_hash(const attack::DetectorConfig& d) {
@@ -34,6 +55,8 @@ Json RunManifest::to_json() const {
     root.set("total_seconds", total_seconds);
     root.set("trace_cache_hits", static_cast<std::uint64_t>(trace_cache_hits));
     root.set("trace_cache_misses", static_cast<std::uint64_t>(trace_cache_misses));
+    if (!metrics_out.empty()) root.set("metrics_out", metrics_out);
+    if (!trace_out.empty()) root.set("trace_out", trace_out);
 
     Json pts = Json::array();
     for (const SweepPointStats& p : points) {
@@ -84,10 +107,12 @@ std::shared_ptr<SweepRunner::CacheEntry> SweepRunner::lookup(std::uint64_t key,
     if (it != cache_.end()) {
         creator = false;
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        count_cache_hit();
         return it->second;
     }
     creator = true;
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    count_cache_miss();
     auto entry = std::make_shared<CacheEntry>();
     cache_.emplace(key, entry);
     return entry;
@@ -132,6 +157,7 @@ SweepRunner::guided_bundle(const attack::DetectorConfig& detector,
     if (!config_.cache_traces) {
         CacheEntry entry;
         cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        count_cache_miss();
         compute(entry);
         return entry.guided;
     }
@@ -156,6 +182,7 @@ SweepRunner::blind_bundle(const attack::AttackScheme& scheme, std::size_t n_offs
     if (!config_.cache_traces) {
         CacheEntry entry;
         cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        count_cache_miss();
         compute(entry);
         return entry.blind;
     }
@@ -180,6 +207,13 @@ SweepRunner::blind_traces(const attack::AttackScheme& scheme, std::size_t n_offs
 
 RunManifest SweepRunner::run(const std::string& sweep_name,
                              std::vector<SweepTask> tasks) {
+    trace::Span sweep_span("sweep:" + sweep_name, "runner");
+    if (metrics::enabled()) {
+        metrics::counter("runner.sweeps", "sweeps", "SweepRunner::run invocations")
+            .add();
+        metrics::counter("runner.points", "points", "sweep points executed")
+            .add(tasks.size());
+    }
     RunManifest manifest;
     manifest.sweep = sweep_name;
     manifest.threads = threads();
@@ -195,6 +229,7 @@ RunManifest SweepRunner::run(const std::string& sweep_name,
         [&](std::size_t i) {
             SweepPointStats& stats = manifest.points[i];
             stats.label = tasks[i].label;
+            trace::Span point_span("point:" + tasks[i].label, "runner");
             const auto t0 = std::chrono::steady_clock::now();
             try {
                 expects(static_cast<bool>(tasks[i].work),

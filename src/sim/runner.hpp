@@ -73,6 +73,13 @@ struct RunManifest {
     std::size_t trace_cache_misses = 0;
     std::vector<SweepPointStats> points;
 
+    /// Observability sink paths active during the run (`--metrics-out` /
+    /// `--trace-out`). Recorded here — in the manifest, with the other
+    /// timing-adjacent run facts — and omitted from to_json() when empty,
+    /// so manifests from sink-free runs are byte-unchanged.
+    std::string metrics_out;
+    std::string trace_out;
+
     Json to_json() const;
 };
 

@@ -134,19 +134,32 @@ public:
     explicit TdcSampler(const TdcSensor& sensor) : sensor_(&sensor) {}
 
     void sample_into(double v, Rng& rng, TdcSample& out) {
+        // Plain member counters (one add per sample, no registry lookup);
+        // sim::Platform flushes them to util::metrics after each co-sim
+        // (tdc.samples / tdc.memo_hits in docs/observability.md).
+        ++samples_;
         if (!valid_ || v != last_v_) {
             last_v_ = v;
             last_stages_ = sensor_->expected_stages(v);
             valid_ = true;
+        } else {
+            ++memo_hits_;
         }
         sensor_->emit_from_stages(last_stages_, rng, out);
     }
+
+    /// Sample accounting since construction: total draws and how many
+    /// replayed the memoized expected-stage count (same voltage bits).
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t memo_hits() const { return memo_hits_; }
 
 private:
     const TdcSensor* sensor_;
     double last_v_ = 0.0;
     double last_stages_ = 0.0;
     bool valid_ = false;
+    std::uint64_t samples_ = 0;
+    std::uint64_t memo_hits_ = 0;
 };
 
 } // namespace deepstrike::tdc

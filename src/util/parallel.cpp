@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace deepstrike {
 
@@ -41,7 +43,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
     const std::size_t n = threads == 0 ? default_thread_count() : threads;
     workers_.reserve(n);
     for (std::size_t t = 0; t < n; ++t) {
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back([this, t] {
+            // Lane label for --trace-out viewers; free when tracing is off.
+            trace::set_thread_name("worker-" + std::to_string(t));
+            worker_loop();
+        });
     }
 }
 

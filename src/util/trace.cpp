@@ -1,0 +1,182 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace deepstrike::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+
+struct ThreadBuffer {
+    std::mutex mutex; // coarse: spans are phase-granular, not per-tick
+    std::uint32_t tid = 0;
+    std::string name;
+    std::vector<Event> events;
+};
+
+/// Owns every thread's buffer via shared_ptr so events survive worker
+/// threads exiting before serialization. Leaked: thread_local handles may
+/// be released during static destruction.
+struct Collector {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::uint32_t next_tid = 1;
+    Clock::time_point origin = Clock::now();
+};
+
+Collector& collector() {
+    static Collector* c = new Collector;
+    return *c;
+}
+
+ThreadBuffer& local_buffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        Collector& c = collector();
+        std::lock_guard<std::mutex> lock(c.mutex);
+        b->tid = c.next_tid++;
+        c.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+std::uint64_t now_us() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - collector().origin)
+            .count());
+}
+
+void record(Event e) {
+    ThreadBuffer& buf = local_buffer();
+    e.tid = buf.tid;
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back(std::move(e));
+}
+
+} // namespace
+
+void set_enabled(bool on) {
+    if (on) {
+        Collector& c = collector();
+        std::lock_guard<std::mutex> lock(c.mutex);
+        for (auto& buf : c.buffers) {
+            std::lock_guard<std::mutex> buf_lock(buf->mutex);
+            buf->events.clear();
+        }
+        c.origin = Clock::now();
+    }
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_thread_name(const std::string& name) {
+    ThreadBuffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.name = name;
+}
+
+Span::Span(std::string name, std::string category)
+    : name_(std::move(name)), category_(std::move(category)) {
+    if (!enabled()) return;
+    active_ = true;
+    start_us_ = now_us();
+}
+
+Span::~Span() {
+    if (!active_) return;
+    Event e;
+    e.name = std::move(name_);
+    e.category = std::move(category_);
+    e.start_us = start_us_;
+    const std::uint64_t end = now_us();
+    e.duration_us = end > start_us_ ? end - start_us_ : 0;
+    record(std::move(e));
+}
+
+void instant(const std::string& name, const std::string& category) {
+    if (!enabled()) return;
+    Event e;
+    e.name = name;
+    e.category = category;
+    e.start_us = now_us();
+    e.instant = true;
+    record(std::move(e));
+}
+
+std::vector<Event> events() {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    std::vector<Event> all;
+    for (auto& buf : c.buffers) {
+        std::lock_guard<std::mutex> buf_lock(buf->mutex);
+        all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+    std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+        return a.tid != b.tid ? a.tid < b.tid : a.start_us < b.start_us;
+    });
+    return all;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> thread_names() {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    std::vector<std::pair<std::uint32_t, std::string>> names;
+    for (auto& buf : c.buffers) {
+        std::lock_guard<std::mutex> buf_lock(buf->mutex);
+        if (!buf->name.empty()) names.emplace_back(buf->tid, buf->name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+Json to_chrome_json() {
+    Json root = Json::object();
+    root.set("displayTimeUnit", "ms");
+
+    Json trace_events = Json::array();
+    for (const auto& [tid, name] : thread_names()) {
+        Json meta = Json::object();
+        meta.set("ph", "M");
+        meta.set("name", "thread_name");
+        meta.set("pid", 1);
+        meta.set("tid", static_cast<std::uint64_t>(tid));
+        Json args = Json::object();
+        args.set("name", name);
+        meta.set("args", std::move(args));
+        trace_events.push(std::move(meta));
+    }
+    for (const Event& e : events()) {
+        Json j = Json::object();
+        j.set("ph", e.instant ? "i" : "X");
+        j.set("name", e.name);
+        j.set("cat", e.category);
+        j.set("ts", e.start_us);
+        if (!e.instant) j.set("dur", e.duration_us);
+        j.set("pid", 1);
+        j.set("tid", static_cast<std::uint64_t>(e.tid));
+        if (e.instant) j.set("s", "t"); // thread-scoped instant
+        trace_events.push(std::move(j));
+    }
+    root.set("traceEvents", std::move(trace_events));
+    return root;
+}
+
+bool write_chrome_json(const std::string& path) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << to_chrome_json().dump(1) << '\n';
+    return static_cast<bool>(out);
+}
+
+} // namespace deepstrike::trace

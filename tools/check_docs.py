@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Docs consistency gate (CI `docs` job).
+
+Checks, over every tracked markdown file:
+
+1. Intra-repo markdown links `[text](path)` resolve to a real file
+   (relative to the doc, then to the repo root). External URLs and
+   pure anchors are ignored.
+2. Backticked repo paths (`src/...`, `docs/...`, `tools/...`, top-level
+   `*.md`, ...) name files that exist — catches docs drifting behind
+   renames. Generated artifacts (`build/`, `results/`, runtime outputs)
+   are out of scope.
+3. Every `--flag` a doc shows on a `deepstrike` command line exists in
+   the CLI. The flag inventory is parsed from tools/deepstrike_cli.cpp
+   (the add_option/add_flag registrations that produce --help), so the
+   check needs no compiled binary; lines invoking other tools (cmake,
+   ctest, git, the bench binaries) are skipped.
+
+Exit code 0 when clean, 1 with a per-file report otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK_RE = re.compile(r"`([^`\n]+)`")
+FLAG_RE = re.compile(r"(--[A-Za-z][A-Za-z0-9-]*)")
+REGISTRATION_RE = re.compile(r'add_(?:option|flag)\(\s*"([^"]+)"')
+
+# Backticked paths under these roots (or matching these names) must exist.
+CHECKED_PATH_PREFIXES = (
+    "src/", "docs/", "tools/", "tests/", "examples/", "bench/", ".github/",
+)
+CHECKED_TOPLEVEL = re.compile(r"^[A-Z][A-Z_]*\.md$")  # README.md, DESIGN.md, ...
+
+# Command lines mentioning these tools use their own flag namespaces.
+FOREIGN_COMMAND_WORDS = (
+    "cmake", "ctest", "git ", "pip", "python", "perfetto", "gtkwave",
+    "micro_primitives", "check_bench_regression", "check_docs",
+)
+
+
+def tracked_markdown():
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"], cwd=REPO, capture_output=True, text=True,
+        check=True)
+    return [REPO / line for line in out.stdout.splitlines() if line]
+
+
+def cli_flags():
+    """Flags registered by the deepstrike CLI (what --help would print)."""
+    source = (REPO / "tools" / "deepstrike_cli.cpp").read_text()
+    flags = {"--" + name for name in REGISTRATION_RE.findall(source)}
+    flags.add("--help")
+    return flags
+
+
+def strip_code_spans(line):
+    """Code spans stay (flags live there), but this hook is where e.g.
+    literal regex examples could be masked if docs ever need it."""
+    return line
+
+
+def check_links(doc, text, errors):
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if (doc.parent / path).exists() or (REPO / path).exists():
+            continue
+        errors.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+
+
+def check_backticked_paths(doc, text, errors):
+    for match in BACKTICK_RE.finditer(text):
+        token = match.group(1).strip()
+        if not re.fullmatch(r"[A-Za-z0-9_./-]+", token):
+            continue
+        is_checked = token.startswith(CHECKED_PATH_PREFIXES) or CHECKED_TOPLEVEL.fullmatch(token)
+        if not is_checked:
+            continue
+        if (REPO / token).exists():
+            continue
+        # Extensionless tokens name built binaries (`bench/fig6b_dsp_fault_rates`,
+        # `examples/quickstart`): accept them when their source file exists.
+        last = token.rstrip("/").rsplit("/", 1)[-1]
+        if "." not in last and any(
+                (REPO / (token + ext)).exists() for ext in (".cpp", ".hpp", ".py")):
+            continue
+        errors.append(f"{doc.relative_to(REPO)}: referenced path missing -> {token}")
+
+
+def check_cli_flags(doc, text, flags, errors):
+    for line in text.splitlines():
+        lowered = line.lower()
+        if any(word in lowered for word in FOREIGN_COMMAND_WORDS):
+            continue
+        if "--" not in line:
+            continue
+        # Only police flags on lines that are clearly about the deepstrike
+        # CLI: a `deepstrike` invocation or a flag-documentation line that
+        # names one of its flags in backticks.
+        mentions_cli = "deepstrike" in lowered or BACKTICK_RE.search(line)
+        if not mentions_cli:
+            continue
+        for flag in FLAG_RE.findall(strip_code_spans(line)):
+            if flag not in flags:
+                errors.append(
+                    f"{doc.relative_to(REPO)}: flag not in deepstrike --help "
+                    f"-> {flag} (line: {line.strip()[:80]})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.parse_args()
+
+    flags = cli_flags()
+    errors = []
+    docs = tracked_markdown()
+    for doc in docs:
+        text = doc.read_text()
+        check_links(doc, text, errors)
+        check_backticked_paths(doc, text, errors)
+        check_cli_flags(doc, text, flags, errors)
+
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s) in {len(docs)} markdown files:")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print(f"check_docs: OK ({len(docs)} markdown files, {len(flags)} CLI flags)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,9 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 using namespace deepstrike;
 
@@ -49,6 +51,58 @@ std::size_t apply_threads_option(const ArgParser& parser) {
     set_global_thread_count(parser.option_uint("threads"));
     return global_thread_count();
 }
+
+void add_observability_options(ArgParser& parser) {
+    parser.add_option("metrics-out",
+                      "write a metrics snapshot (JSON) here after the run", "");
+    parser.add_option("trace-out",
+                      "write a Chrome trace-event file (Perfetto/chrome://tracing) "
+                      "here after the run",
+                      "");
+}
+
+/// --metrics-out / --trace-out sinks. Observe-only: enabling them changes
+/// no report byte (see docs/observability.md); with both unset every
+/// instrumentation site is a relaxed-load no-op.
+struct ObservabilitySinks {
+    std::string metrics_path;
+    std::string trace_path;
+
+    static ObservabilitySinks begin(const ArgParser& parser) {
+        ObservabilitySinks sinks;
+        sinks.metrics_path = parser.option("metrics-out");
+        sinks.trace_path = parser.option("trace-out");
+        metrics::set_enabled(!sinks.metrics_path.empty());
+        if (!sinks.trace_path.empty()) {
+            trace::set_enabled(true);
+            trace::set_thread_name("main");
+        }
+        return sinks;
+    }
+
+    /// Flushes the sinks to disk; returns false if either write failed.
+    bool finish() const {
+        bool ok = true;
+        if (!metrics_path.empty()) {
+            if (metrics::write_json(metrics_path)) {
+                std::printf("metrics written to %s\n", metrics_path.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+                ok = false;
+            }
+        }
+        if (!trace_path.empty()) {
+            if (trace::write_chrome_json(trace_path)) {
+                std::printf("trace written to %s (load in https://ui.perfetto.dev)\n",
+                            trace_path.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+                ok = false;
+            }
+        }
+        return ok;
+    }
+};
 
 nn::Architecture parse_arch(const std::string& name) {
     if (name == "lenet5") return nn::Architecture::LeNet5;
@@ -127,6 +181,7 @@ int cmd_profile(const std::vector<std::string>& args) {
     parser.add_option("csv", "write readout trace to this CSV file", "");
     parser.add_option("vcd", "write waveform (voltage/strike/readout) to this VCD file",
                       "");
+    add_observability_options(parser);
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
         std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
@@ -137,6 +192,7 @@ int cmd_profile(const std::vector<std::string>& args) {
         return 0;
     }
 
+    const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
     Victim victim = load_victim(parser);
     const sim::ProfilingRun run = sim::run_profiling(victim.platform);
     std::printf("detector: %s (trigger sample %zu)\n",
@@ -158,7 +214,7 @@ int cmd_profile(const std::vector<std::string>& args) {
         sim::write_cosim_vcd(vcd_path, run.cosim);
         std::printf("waveform written to %s\n", vcd_path.c_str());
     }
-    return 0;
+    return sinks.finish() ? 0 : 1;
 }
 
 // ------------------------------------------------------------------ plan
@@ -219,6 +275,7 @@ int cmd_attack(const std::vector<std::string>& args) {
     parser.add_option("strikes", "number of strikes", "4500");
     parser.add_option("images", "test images to evaluate", "300");
     add_threads_option(parser);
+    add_observability_options(parser);
     parser.add_flag("blind", "non-TDC-guided baseline instead");
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
@@ -231,6 +288,7 @@ int cmd_attack(const std::vector<std::string>& args) {
     }
 
     apply_threads_option(parser);
+    const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
     Victim victim = load_victim(parser);
     const std::size_t images = parser.option_uint("images");
 
@@ -284,7 +342,7 @@ int cmd_attack(const std::vector<std::string>& args) {
     std::printf("faults per image    : %.1f duplication, %.2f random\n",
                 static_cast<double>(attacked.faults.duplication) / attacked.images,
                 static_cast<double>(attacked.faults.random) / attacked.images);
-    return 0;
+    return sinks.finish() ? 0 : 1;
 }
 
 // -------------------------------------------------------------- campaign
@@ -299,6 +357,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
     parser.add_option("markdown", "write the markdown report here", "");
     parser.add_option("manifest", "write the sweep-execution manifest (JSON) here", "");
     add_threads_option(parser);
+    add_observability_options(parser);
     parser.add_flag("no-blind", "skip the blind baseline");
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
@@ -311,6 +370,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
     }
 
     apply_threads_option(parser);
+    const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
     Victim victim = load_victim(parser);
     sim::CampaignConfig cfg;
     cfg.strike_grid = parser.option_uint_list("strikes");
@@ -320,6 +380,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
     sim::RunManifest manifest;
     const sim::CampaignReport report =
         sim::run_campaign(victim.platform, victim.test_set, cfg, &manifest);
+    manifest.metrics_out = sinks.metrics_path;
+    manifest.trace_out = sinks.trace_path;
     std::printf("%s", report.to_markdown().c_str());
     std::printf("\nsweep: %zu points in %.2fs on %zu threads "
                 "(trace cache: %zu misses, %zu hits)\n",
@@ -344,7 +406,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
         out << manifest.to_json().dump(2) << '\n';
         std::printf("run manifest written to %s\n", manifest_path.c_str());
     }
-    return 0;
+    return sinks.finish() ? 0 : 1;
 }
 
 // ----------------------------------------------------------- characterize
@@ -356,6 +418,7 @@ int cmd_characterize(const std::vector<std::string>& args) {
                       "2000,4000,8000,12000,16000,20000,24000");
     parser.add_option("trials", "random-input trials per point", "10000");
     add_threads_option(parser);
+    add_observability_options(parser);
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
         std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
@@ -367,6 +430,7 @@ int cmd_characterize(const std::vector<std::string>& args) {
     }
 
     apply_threads_option(parser);
+    const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
     sim::DspRigConfig cfg;
     cfg.trials = parser.option_uint("trials");
     const std::vector<std::size_t> cell_grid = parser.option_uint_list("cells");
@@ -383,7 +447,7 @@ int cmd_characterize(const std::vector<std::string>& args) {
     }
     std::printf("sweep: %zu points in %.2fs on %zu threads\n",
                 manifest.points.size(), manifest.total_seconds, manifest.threads);
-    return 0;
+    return sinks.finish() ? 0 : 1;
 }
 
 // ---------------------------------------------------------------- defend
@@ -396,6 +460,7 @@ int cmd_defend(const std::vector<std::string>& args) {
     parser.add_option("strikes", "attack strikes on the conv target", "4500");
     parser.add_option("images", "test images to evaluate", "200");
     add_threads_option(parser);
+    add_observability_options(parser);
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
         std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
@@ -407,6 +472,7 @@ int cmd_defend(const std::vector<std::string>& args) {
     }
 
     apply_threads_option(parser);
+    const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
     Victim victim = load_victim(parser);
     const std::size_t images = parser.option_uint("images");
     const sim::ProfilingRun prof = sim::run_profiling(victim.platform);
@@ -437,7 +503,7 @@ int cmd_defend(const std::vector<std::string>& args) {
     std::printf("alarms              : %zu\n", def.alarms);
     std::printf("throttled fraction  : %.1f%% (slowdown %.2fx)\n",
                 100.0 * def.throttled_fraction, def.slowdown());
-    return 0;
+    return sinks.finish() ? 0 : 1;
 }
 
 // ------------------------------------------------------------- resources
