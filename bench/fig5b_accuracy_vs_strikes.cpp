@@ -12,6 +12,7 @@
 // SweepRunner core; the printed table is a view of the campaign report.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -29,6 +30,13 @@ int main() {
     cfg.fault_seed = 2468;
     cfg.blind_offsets = 10;
     cfg.blind_offset_seed = 777;
+    // Opt-in checkpoint journaling (DS_JOURNAL=<path> [DS_RESUME=1]): the
+    // sweep is crash-safe and an interrupted run picks up where it left
+    // off. Off by default; the report bytes are identical either way.
+    if (const char* journal = std::getenv("DS_JOURNAL")) {
+        cfg.journal_path = journal;
+        cfg.resume = std::getenv("DS_RESUME") != nullptr;
+    }
 
     sim::RunManifest manifest;
     const sim::CampaignReport report =
@@ -84,6 +92,10 @@ int main() {
                 "(trace cache: %zu misses, %zu hits)\n",
                 manifest.points.size(), manifest.total_seconds, manifest.threads,
                 manifest.trace_cache_misses, manifest.trace_cache_hits);
+    if (manifest.points_resumed > 0) {
+        std::printf("resumed: %zu points restored from %s\n",
+                    manifest.points_resumed, manifest.journal.c_str());
+    }
 
     std::printf("\npaper-shape checks:\n");
     std::printf("  CONV2 is the most fault-sensitive layer : %s (max drop %.1f%% on %s)\n",

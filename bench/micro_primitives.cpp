@@ -9,6 +9,7 @@
 // CI consumes for regression smoke checks.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
@@ -20,6 +21,7 @@
 #include "pdn/pdn.hpp"
 #include "quant/qlenet.hpp"
 #include "sim/experiment.hpp"
+#include "sim/journal.hpp"
 #include "sim/platform.hpp"
 #include "striker/striker.hpp"
 #include "tdc/tdc.hpp"
@@ -227,6 +229,34 @@ void BM_GuidedCampaignPoint(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_GuidedCampaignPoint)->Unit(benchmark::kMillisecond);
+
+// The same campaign point with checkpoint journaling active, bounding the
+// hot-path cost of crash safety. append() only enqueues; the dedicated
+// writer thread absorbs the write+fsync, so this should track
+// BM_GuidedCampaignPoint within noise (CI gates the pair ratio).
+void BM_GuidedCampaignPointJournaled(benchmark::State& state) {
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    const ds::data::DatasetPair data = ds::data::make_datasets(11, 1, 25);
+    const ds::attack::DetectorConfig detector{};
+    const ds::attack::AttackScheme scheme = conv2_scheme(platform, detector, 2000);
+    const std::string path = "BENCH_journal.jsonl";
+    auto journal = ds::sim::CheckpointJournal::create(path, 0xBE7Cu, "bench");
+    std::size_t index = 0;
+    for (auto _ : state) {
+        const ds::accel::VoltageTrace trace =
+            ds::sim::guided_attack_trace(platform, detector, scheme);
+        const ds::sim::AccuracyResult res =
+            ds::sim::evaluate_accuracy(platform, data.test, 25, &trace, 99);
+        ds::Json payload = ds::Json::object();
+        payload.set("kind", "point");
+        payload.set("accuracy", res.accuracy);
+        journal->append(++index, std::move(payload));
+        benchmark::DoNotOptimize(res.accuracy);
+    }
+    journal.reset();
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_GuidedCampaignPointJournaled)->Unit(benchmark::kMillisecond);
 
 void BM_BitVecPopcount(benchmark::State& state) {
     ds::Rng rng(6);

@@ -1,10 +1,16 @@
 #include "sim/campaign.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
+#include "sim/journal.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
+#include "util/rng.hpp"
 #include "util/trace.hpp"
 
 namespace deepstrike::sim {
@@ -24,6 +30,7 @@ Json CampaignReport::to_json() const {
     root.set("eval_images", eval_images);
     root.set("detector_fired", detector_fired);
     root.set("trigger_sample", trigger_sample);
+    if (partial) root.set("partial", true);
 
     Json segments = Json::array();
     for (const auto& seg : profile.segments) {
@@ -155,6 +162,82 @@ std::vector<PlannedPoint> plan_points(const Platform& platform,
     return planned;
 }
 
+// Floating-point results cross the journal as IEEE-754 bit patterns so a
+// resumed report is bit-exact; the human-readable value rides alongside.
+std::string double_bits_hex(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+double double_from_bits_hex(const std::string& hex) {
+    if (hex.size() != 16) {
+        throw FormatError("journal: bad float bit pattern '" + hex + "'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(std::strtoull(hex.c_str(), &end, 16));
+    if (errno != 0 || end == nullptr || *end != '\0') {
+        throw FormatError("journal: bad float bit pattern '" + hex + "'");
+    }
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+/// 64-bit hash of everything that determines the campaign's results:
+/// the evaluation setup, the detector, the trigger, and every planned
+/// scheme. A journal written under a different fingerprint is rejected
+/// on resume rather than silently mixed into this configuration.
+std::uint64_t campaign_fingerprint(const CampaignConfig& config,
+                                   const ProfilingRun& prof,
+                                   const std::vector<PlannedPoint>& planned,
+                                   std::size_t eval_images) {
+    std::uint64_t h =
+        derive_seed(0xCA3F16ULL, eval_images, config.fault_seed,
+                    config.blind_offsets, config.blind_offset_seed);
+    for (std::size_t strikes : config.strike_grid) h = derive_seed(h, strikes);
+    h = derive_seed(h, config.detector.trigger_hw, config.detector.hold_samples,
+                    config.detector.auto_rearm ? 1u : 0u,
+                    config.detector.rearm_samples);
+    for (std::size_t bits : config.detector.zone_bits) h = derive_seed(h, bits);
+    h = derive_seed(h, prof.trigger_sample, prof.detector_fired ? 1u : 0u);
+    for (const PlannedPoint& p : planned) {
+        h = derive_seed(h, SweepRunner::scheme_hash(p.scheme), p.strikes,
+                        p.blind_offsets,
+                        p.segment_index ? *p.segment_index + 1 : 0);
+    }
+    return h;
+}
+
+// Journal record indexes: 0 = the clean baseline, 1 + i = planned[i].
+constexpr const char* kJournalSweepName = "campaign";
+
+Json clean_record(double accuracy) {
+    Json payload = Json::object();
+    payload.set("kind", "clean");
+    payload.set("accuracy_bits", double_bits_hex(accuracy));
+    payload.set("accuracy", accuracy);
+    return payload;
+}
+
+Json point_record(const std::string& label, const CampaignPoint& point) {
+    Json payload = Json::object();
+    payload.set("kind", "point");
+    payload.set("label", label);
+    payload.set("accuracy_bits", double_bits_hex(point.accuracy));
+    payload.set("accuracy", point.accuracy);
+    payload.set("duplication_faults",
+                static_cast<std::uint64_t>(point.faults.duplication));
+    payload.set("random_faults", static_cast<std::uint64_t>(point.faults.random));
+    payload.set("images", static_cast<std::uint64_t>(point.images));
+    return payload;
+}
+
 } // namespace
 
 CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_set,
@@ -176,7 +259,11 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
     report.trigger_sample = prof.trigger_sample;
     report.profile = prof.profile;
 
-    SweepRunner runner(platform, RunnerConfig{config.threads, true});
+    RunnerConfig runner_config{config.threads, true};
+    runner_config.max_point_retries = config.max_point_retries;
+    runner_config.retry_backoff_ms = config.retry_backoff_ms;
+    runner_config.deadline_seconds = config.deadline_seconds;
+    SweepRunner runner(platform, runner_config);
 
     // The clean baseline is point 0 of the sweep so it overlaps with the
     // attack points; drops are filled in afterwards.
@@ -189,17 +276,91 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
             .add(planned.size());
     }
 
+    std::vector<std::string> labels;
+    labels.reserve(planned.size());
+    for (const PlannedPoint& pp : planned) {
+        labels.push_back(pp.label + " x" + std::to_string(pp.strikes));
+    }
+
+    // Checkpoint journal: completed[j] marks journal index j (0 = clean
+    // baseline, 1 + i = planned[i]) as restored from a prior run; only
+    // the remainder becomes sweep tasks.
+    std::unique_ptr<CheckpointJournal> journal;
+    std::vector<bool> restored(planned.size() + 1, false);
+    if (!config.journal_path.empty()) {
+        const std::uint64_t fingerprint =
+            campaign_fingerprint(config, prof, planned, eval_images);
+        if (config.resume) {
+            journal = CheckpointJournal::resume(config.journal_path, fingerprint,
+                                                kJournalSweepName);
+            for (const JournalRecord& rec : journal->recovered()) {
+                if (rec.index == 0) {
+                    report.clean_accuracy = double_from_bits_hex(
+                        rec.payload.at("accuracy_bits").as_string());
+                    restored[0] = true;
+                    continue;
+                }
+                const std::size_t idx = rec.index - 1;
+                if (idx >= planned.size()) {
+                    throw FormatError("journal " + config.journal_path +
+                                      ": record index " +
+                                      std::to_string(rec.index) +
+                                      " exceeds the planned sweep");
+                }
+                if (rec.payload.at("label").as_string() != labels[idx]) {
+                    throw ConfigError("journal " + config.journal_path +
+                                      ": record " + std::to_string(rec.index) +
+                                      " label '" +
+                                      rec.payload.at("label").as_string() +
+                                      "' does not match planned point '" +
+                                      labels[idx] + "'");
+                }
+                const PlannedPoint& p = planned[idx];
+                CampaignPoint& point = report.points[idx];
+                point.target = p.label;
+                point.segment_index = p.segment_index;
+                point.strikes = p.scheme.num_strikes;
+                point.gap_cycles = p.scheme.gap_cycles;
+                point.accuracy = double_from_bits_hex(
+                    rec.payload.at("accuracy_bits").as_string());
+                point.faults.duplication =
+                    rec.payload.at("duplication_faults").as_uint();
+                point.faults.random = rec.payload.at("random_faults").as_uint();
+                point.images = rec.payload.at("images").as_uint();
+                restored[rec.index] = true;
+            }
+        } else {
+            journal = CheckpointJournal::create(config.journal_path, fingerprint,
+                                                kJournalSweepName);
+        }
+    }
+    std::size_t points_resumed = 0;
+    for (bool r : restored) points_resumed += r ? 1 : 0;
+    if (metrics::enabled() && points_resumed > 0) {
+        metrics::counter("campaign.points_resumed", "points",
+                         "campaign points restored from a journal")
+            .add(points_resumed);
+    }
+
     std::vector<SweepTask> tasks;
+    std::vector<std::size_t> task_journal_index; // parallel to tasks
     tasks.reserve(planned.size() + 1);
-    tasks.push_back({"clean baseline", [&] {
-                         const AccuracyResult clean = evaluate_accuracy(
-                             platform, test_set, eval_images, nullptr,
-                             config.fault_seed);
-                         report.clean_accuracy = clean.accuracy;
-                     }});
+    if (!restored[0]) {
+        tasks.push_back({"clean baseline", [&] {
+                             const AccuracyResult clean = evaluate_accuracy(
+                                 platform, test_set, eval_images, nullptr,
+                                 config.fault_seed);
+                             report.clean_accuracy = clean.accuracy;
+                             if (journal) {
+                                 journal->append(0,
+                                                 clean_record(clean.accuracy));
+                             }
+                         }});
+        task_journal_index.push_back(0);
+    }
     for (std::size_t idx = 0; idx < planned.size(); ++idx) {
-        const PlannedPoint& pp = planned[idx];
-        tasks.push_back({pp.label + " x" + std::to_string(pp.strikes), [&, idx] {
+        if (restored[idx + 1]) continue;
+        tasks.push_back({labels[idx], [&, idx] {
             const PlannedPoint& p = planned[idx];
             AccuracyResult res;
             if (p.blind_offsets > 0) {
@@ -223,10 +384,33 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
             point.accuracy = res.accuracy;
             point.faults = res.faults;
             point.images = res.images;
+            if (journal) journal->append(idx + 1, point_record(labels[idx], point));
         }});
+        task_journal_index.push_back(idx + 1);
     }
 
     RunManifest mf = runner.run("campaign", std::move(tasks));
+    if (journal) {
+        journal->flush();
+        mf.journal = journal->path();
+    }
+    mf.points_resumed = points_resumed;
+
+    // A deadline may have skipped points; a valid report contains only
+    // completed points, marked partial.
+    if (mf.points_skipped > 0) {
+        report.partial = true;
+        std::vector<bool> completed = restored;
+        for (std::size_t t = 0; t < mf.points.size(); ++t) {
+            if (!mf.points[t].skipped) completed[task_journal_index[t]] = true;
+        }
+        std::vector<CampaignPoint> kept;
+        kept.reserve(report.points.size());
+        for (std::size_t idx = 0; idx < planned.size(); ++idx) {
+            if (completed[idx + 1]) kept.push_back(std::move(report.points[idx]));
+        }
+        report.points = std::move(kept);
+    }
     if (manifest != nullptr) *manifest = std::move(mf);
 
     for (CampaignPoint& point : report.points) {

@@ -35,6 +35,21 @@ struct CampaignConfig {
     std::size_t threads = 0;
     attack::DetectorConfig detector{};
     attack::ProfilerConfig profiler{};
+
+    /// Checkpoint journal path; empty disables journaling. When set,
+    /// every completed point is appended to the journal (see
+    /// sim/journal.hpp) so an interrupted campaign can be resumed.
+    std::string journal_path;
+    /// Resume from an existing journal at `journal_path`: the journal's
+    /// fingerprint is validated against this configuration, completed
+    /// points are restored bit-exactly and skipped, and only the
+    /// remainder is executed. The final report is byte-identical to an
+    /// uninterrupted run at any thread count.
+    bool resume = false;
+    /// Per-point retry / deadline knobs, forwarded to RunnerConfig.
+    std::size_t max_point_retries = 0;
+    std::uint64_t retry_backoff_ms = 100;
+    double deadline_seconds = 0.0;
 };
 
 struct CampaignPoint {
@@ -58,6 +73,11 @@ struct CampaignReport {
     std::size_t trigger_sample = 0;
     attack::Profile profile;
     std::vector<CampaignPoint> points;
+
+    /// True when a deadline stopped the sweep before every planned point
+    /// ran; `points` then holds only completed points. Serialized (and
+    /// only serialized) when true, so complete-run reports are unchanged.
+    bool partial = false;
 
     /// The guided point with the largest accuracy drop (nullptr when none).
     const CampaignPoint* most_damaging() const;

@@ -1,7 +1,9 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <thread>
 
 #include "sim/experiment.hpp"
 #include "util/error.hpp"
@@ -38,6 +40,22 @@ void count_cache_miss() {
     }
 }
 
+void count_point_retry() {
+    if (metrics::enabled()) {
+        metrics::counter("runner.point_retries", "retries",
+                         "sweep points rerun after a failed attempt")
+            .add();
+    }
+}
+
+void count_deadline_skip() {
+    if (metrics::enabled()) {
+        metrics::counter("runner.points_deadline_skipped", "points",
+                         "sweep points skipped because the deadline expired")
+            .add();
+    }
+}
+
 std::uint64_t detector_hash(const attack::DetectorConfig& d) {
     std::uint64_t h = derive_seed(0xDE7EC708ULL, d.trigger_hw, d.hold_samples,
                                   d.auto_rearm ? 1u : 0u, d.rearm_samples);
@@ -57,6 +75,14 @@ Json RunManifest::to_json() const {
     root.set("trace_cache_misses", static_cast<std::uint64_t>(trace_cache_misses));
     if (!metrics_out.empty()) root.set("metrics_out", metrics_out);
     if (!trace_out.empty()) root.set("trace_out", trace_out);
+    if (partial) root.set("partial", true);
+    if (points_skipped != 0) {
+        root.set("points_skipped", static_cast<std::uint64_t>(points_skipped));
+    }
+    if (points_resumed != 0) {
+        root.set("points_resumed", static_cast<std::uint64_t>(points_resumed));
+    }
+    if (!journal.empty()) root.set("journal", journal);
 
     Json pts = Json::array();
     for (const SweepPointStats& p : points) {
@@ -64,7 +90,9 @@ Json RunManifest::to_json() const {
         j.set("label", p.label);
         j.set("seconds", p.seconds);
         j.set("ok", p.ok);
-        if (!p.ok) j.set("error", p.error);
+        if (!p.ok && !p.skipped) j.set("error", p.error);
+        if (p.retries != 0) j.set("retries", static_cast<std::uint64_t>(p.retries));
+        if (p.skipped) j.set("skipped", true);
         pts.push(std::move(j));
     }
     root.set("point_stats", std::move(pts));
@@ -229,19 +257,45 @@ RunManifest SweepRunner::run(const std::string& sweep_name,
         [&](std::size_t i) {
             SweepPointStats& stats = manifest.points[i];
             stats.label = tasks[i].label;
+            // Deadline: checked once before a point starts. Points already
+            // running always finish, so every recorded result is complete.
+            if (config_.deadline_seconds > 0.0 &&
+                seconds_since(sweep_start) >= config_.deadline_seconds) {
+                stats.skipped = true;
+                count_deadline_skip();
+                return;
+            }
             trace::Span point_span("point:" + tasks[i].label, "runner");
             const auto t0 = std::chrono::steady_clock::now();
-            try {
-                expects(static_cast<bool>(tasks[i].work),
-                        "SweepRunner::run: every task needs a callable");
-                tasks[i].work();
-                stats.ok = true;
-            } catch (const std::exception& e) {
-                errors[i] = std::current_exception();
-                stats.error = e.what();
-            } catch (...) {
-                errors[i] = std::current_exception();
-                stats.error = "unknown error";
+            std::uint64_t backoff_ms =
+                std::min(config_.retry_backoff_ms, config_.max_backoff_ms);
+            while (true) {
+                try {
+                    expects(static_cast<bool>(tasks[i].work),
+                            "SweepRunner::run: every task needs a callable");
+                    tasks[i].work();
+                    stats.ok = true;
+                    break;
+                } catch (const std::exception& e) {
+                    if (stats.retries >= config_.max_point_retries) {
+                        errors[i] = std::current_exception();
+                        stats.error = e.what();
+                        break;
+                    }
+                } catch (...) {
+                    if (stats.retries >= config_.max_point_retries) {
+                        errors[i] = std::current_exception();
+                        stats.error = "unknown error";
+                        break;
+                    }
+                }
+                ++stats.retries;
+                count_point_retry();
+                if (backoff_ms > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(backoff_ms));
+                }
+                backoff_ms = std::min(backoff_ms * 2, config_.max_backoff_ms);
             }
             stats.seconds = seconds_since(t0);
         },
@@ -250,6 +304,10 @@ RunManifest SweepRunner::run(const std::string& sweep_name,
     manifest.total_seconds = seconds_since(sweep_start);
     manifest.trace_cache_hits = trace_cache_hits() - hits_before;
     manifest.trace_cache_misses = trace_cache_misses() - misses_before;
+    for (const SweepPointStats& p : manifest.points) {
+        if (p.skipped) ++manifest.points_skipped;
+    }
+    manifest.partial = manifest.points_skipped != 0;
 
     // Deterministic error propagation: the lowest-indexed failure wins,
     // regardless of which thread hit it first.

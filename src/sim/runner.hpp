@@ -47,6 +47,18 @@ struct RunnerConfig {
     std::size_t threads = 0;
     /// Disable to co-simulate every trace request from scratch.
     bool cache_traces = true;
+    /// Rerun a failed point up to this many extra times before recording
+    /// the failure. Retries use capped exponential backoff; a point that
+    /// still fails after the last attempt is reported exactly as before
+    /// (lowest-indexed failure rethrown deterministically).
+    std::size_t max_point_retries = 0;
+    /// First-retry backoff; doubles per attempt, capped at max_backoff_ms.
+    std::uint64_t retry_backoff_ms = 100;
+    std::uint64_t max_backoff_ms = 2000;
+    /// Wall-clock budget for one run() in seconds; 0 = unlimited. Once
+    /// exceeded, points that have not started yet are skipped (running
+    /// points finish) and the manifest is marked partial.
+    double deadline_seconds = 0.0;
 };
 
 /// One independent unit of sweep work. `work` writes its result into
@@ -60,7 +72,9 @@ struct SweepPointStats {
     std::string label;
     double seconds = 0.0;
     bool ok = false;
-    std::string error; // populated when !ok
+    std::string error;         // populated when !ok
+    std::size_t retries = 0;   // extra attempts consumed by this point
+    bool skipped = false;      // never started (deadline exhausted)
 };
 
 /// Structured record of one sweep execution (written next to, never into,
@@ -79,6 +93,13 @@ struct RunManifest {
     /// so manifests from sink-free runs are byte-unchanged.
     std::string metrics_out;
     std::string trace_out;
+
+    /// Resilience facts. All default-valued fields are omitted from
+    /// to_json(), so manifests from plain complete runs are unchanged.
+    bool partial = false;              // a deadline skipped ≥1 point
+    std::size_t points_skipped = 0;    // never started (deadline)
+    std::size_t points_resumed = 0;    // restored from a journal, not run
+    std::string journal;               // checkpoint journal path, if any
 
     Json to_json() const;
 };

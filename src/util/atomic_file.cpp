@@ -1,0 +1,141 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace deepstrike {
+
+namespace {
+
+[[noreturn]] void throw_io(const std::string& path, const char* op) {
+    throw IoError(std::string(op) + " " + path + ": " + std::strerror(errno));
+}
+
+#if !defined(_WIN32)
+/// fsync the directory containing `path` so the rename itself is durable.
+void sync_parent_dir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+    if (fd < 0) return; // best effort: some filesystems refuse O_RDONLY dirs
+    ::fsync(fd);
+    ::close(fd);
+}
+#endif
+
+} // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+#if defined(_WIN32)
+    // No atomic-rename-over guarantee; plain rewrite is the best stdio does.
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) throw_io(path, "open");
+    const std::size_t n = std::fwrite(contents.data(), 1, contents.size(), f);
+    const bool ok = n == contents.size() && std::fclose(f) == 0;
+    if (!ok) throw_io(path, "write");
+#else
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) throw_io(tmp, "open");
+
+    std::size_t written = 0;
+    while (written < contents.size()) {
+        const ssize_t n =
+            ::write(fd, contents.data() + written, contents.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw_io(tmp, "write");
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throw_io(tmp, "fsync");
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        throw_io(path, "rename");
+    }
+    sync_parent_dir(path);
+#endif
+}
+
+SyncedAppendFile::SyncedAppendFile(const std::string& path, bool truncate)
+    : path_(path) {
+#if defined(_WIN32)
+    fd_ = -1;
+    std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (f == nullptr) throw_io(path, "open");
+    file_ = f;
+#else
+    const int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0) throw_io(path, "open");
+#endif
+}
+
+SyncedAppendFile::~SyncedAppendFile() {
+#if defined(_WIN32)
+    if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+#else
+    if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void SyncedAppendFile::append(std::string_view bytes) {
+#if defined(_WIN32)
+    auto* f = static_cast<std::FILE*>(file_);
+    if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        throw_io(path_, "write");
+    }
+#else
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        const ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_io(path_, "write");
+        }
+        written += static_cast<std::size_t>(n);
+    }
+#endif
+}
+
+void SyncedAppendFile::sync() {
+#if defined(_WIN32)
+    if (std::fflush(static_cast<std::FILE*>(file_)) != 0) throw_io(path_, "flush");
+#else
+    if (::fsync(fd_) != 0) throw_io(path_, "fsync");
+#endif
+}
+
+void truncate_file(const std::string& path, std::uint64_t length) {
+#if defined(_WIN32)
+    // Rewrite-in-place fallback: read prefix, write it back.
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    if (in == nullptr) throw_io(path, "open");
+    std::string prefix(length, '\0');
+    const std::size_t got = std::fread(prefix.data(), 1, prefix.size(), in);
+    std::fclose(in);
+    prefix.resize(got);
+    atomic_write_file(path, prefix);
+#else
+    if (::truncate(path.c_str(), static_cast<off_t>(length)) != 0) {
+        throw_io(path, "truncate");
+    }
+#endif
+}
+
+} // namespace deepstrike

@@ -1,0 +1,45 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace deepstrike {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+std::array<std::uint32_t, 256> make_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+    static const std::array<std::uint32_t, 256> table = make_table();
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string crc32_hex(std::uint32_t crc) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(8, '0');
+    for (int i = 7; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[crc & 0xFu];
+        crc >>= 4;
+    }
+    return out;
+}
+
+} // namespace deepstrike

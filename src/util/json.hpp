@@ -1,8 +1,10 @@
-// Minimal JSON document builder (write-only).
+// Minimal JSON document builder + reader.
 //
 // Campaign reports and CLI outputs need machine-readable exports; this is
 // a small value tree with correct string escaping and deterministic key
-// order (insertion order), not a general-purpose JSON library.
+// order (insertion order), not a general-purpose JSON library. The
+// checkpoint journal reads its records back through parse() and the
+// typed accessors; both sides round-trip through the same tree.
 #pragma once
 
 #include <cstdint>
@@ -28,14 +30,42 @@ public:
     static Json object();
     static Json array();
 
+    /// Parses one JSON document (trailing whitespace allowed, nothing
+    /// else). Integral number literals come back as the Integer kind,
+    /// everything else numeric as Number. Throws FormatError on any
+    /// syntax error, including trailing garbage.
+    static Json parse(const std::string& text);
+
     /// Object insertion (first call on a null turns it into an object).
     Json& set(const std::string& key, Json value);
 
     /// Array append (first call on a null turns it into an array).
     Json& push(Json value);
 
+    bool is_null() const { return kind_ == Kind::Null; }
+    bool is_bool() const { return kind_ == Kind::Bool; }
+    bool is_integer() const { return kind_ == Kind::Integer; }
+    bool is_number() const { return kind_ == Kind::Number || kind_ == Kind::Integer; }
+    bool is_string() const { return kind_ == Kind::String; }
     bool is_object() const { return kind_ == Kind::Object; }
     bool is_array() const { return kind_ == Kind::Array; }
+
+    // Typed readers; each throws FormatError when the value is not of
+    // the requested kind (as_uint additionally on negative integers).
+    bool as_bool() const;
+    std::int64_t as_int() const;
+    std::uint64_t as_uint() const;
+    double as_number() const; // Number or Integer
+    const std::string& as_string() const;
+
+    /// Object member lookup; nullptr when absent (or not an object).
+    const Json* find(const std::string& key) const;
+    /// Object member access; throws FormatError when absent.
+    const Json& at(const std::string& key) const;
+    /// Array element access; throws FormatError out of range.
+    const Json& at(std::size_t index) const;
+    /// Element count (array) / member count (object); 0 otherwise.
+    std::size_t size() const;
 
     /// Serializes; `indent` > 0 pretty-prints with that many spaces.
     std::string dump(int indent = 0) const;

@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "sim/campaign.hpp"
+#include "sim/journal.hpp"
 #include "test_helpers.hpp"
 #include "util/error.hpp"
 
@@ -80,6 +87,146 @@ TEST(Campaign, Validation) {
 TEST(Campaign, EmptyMostDamagingWhenNoGuidedPoints) {
     CampaignReport report;
     EXPECT_EQ(report.most_damaging(), nullptr);
+}
+
+// ----------------------------------------------------------- resume
+
+std::string journal_temp_path(const std::string& name) {
+    return ::testing::TempDir() + "ds_campaign_test_" + name;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// Keeps the header plus the first `keep_records` complete records,
+/// simulating a campaign killed after that many points were persisted.
+void truncate_journal_to(const std::string& path, std::size_t keep_records) {
+    std::istringstream lines(read_file(path));
+    std::string line;
+    std::string kept;
+    std::size_t records = 0;
+    while (std::getline(lines, line)) {
+        const bool is_header = kept.empty();
+        if (!is_header && records == keep_records) break;
+        kept += line + "\n";
+        if (!is_header) ++records;
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << kept;
+}
+
+struct ResumeFixture : public ::testing::Test {
+    static void SetUpTestSuite() {
+        platform = new Platform(PlatformConfig{},
+                                deepstrike::testing::random_qweights(61));
+        dataset = new data::Dataset(data::make_datasets(9, 1, 30).test);
+    }
+    static void TearDownTestSuite() {
+        delete dataset;
+        delete platform;
+    }
+    static Platform* platform;
+    static data::Dataset* dataset;
+};
+
+Platform* ResumeFixture::platform = nullptr;
+data::Dataset* ResumeFixture::dataset = nullptr;
+
+TEST_F(ResumeFixture, ResumedReportsAreByteIdenticalAtAnyThreadCount) {
+    const std::string path = journal_temp_path("resume.jsonl");
+    CampaignConfig cfg = small_config();
+    cfg.threads = 1;
+
+    // Reference: an uninterrupted, journal-free run.
+    const CampaignReport reference = run_campaign(*platform, *dataset, cfg);
+    const std::string reference_json = reference.to_json().dump(2);
+    const std::string reference_md = reference.to_markdown();
+
+    // Journaled run: identical bytes, journal fully populated.
+    cfg.journal_path = path;
+    const CampaignReport journaled = run_campaign(*platform, *dataset, cfg);
+    EXPECT_EQ(journaled.to_json().dump(2), reference_json);
+
+    const std::size_t total_records = 1 + reference.points.size(); // + clean
+    for (const std::size_t keep : {std::size_t{0}, std::size_t{2},
+                                   total_records - 1, total_records}) {
+        // Simulate a crash with `keep` records persisted...
+        cfg.journal_path.clear();
+        cfg.resume = false;
+        cfg.threads = 1;
+        cfg.journal_path = path;
+        run_campaign(*platform, *dataset, cfg); // rebuild a full journal
+        truncate_journal_to(path, keep);
+
+        // ...then resume, serially and wide.
+        cfg.resume = true;
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+            cfg.threads = threads;
+            RunManifest manifest;
+            const CampaignReport resumed =
+                run_campaign(*platform, *dataset, cfg, &manifest);
+            EXPECT_EQ(resumed.to_json().dump(2), reference_json)
+                << "keep=" << keep << " threads=" << threads;
+            EXPECT_EQ(resumed.to_markdown(), reference_md);
+            EXPECT_EQ(manifest.points_resumed, keep);
+            EXPECT_EQ(manifest.points.size(), total_records - keep);
+            EXPECT_EQ(manifest.journal, path);
+            if (keep == total_records) {
+                // Zero remaining: nothing reruns, the report is rebuilt
+                // entirely from the journal.
+                EXPECT_EQ(manifest.points.size(), 0u);
+            }
+            truncate_journal_to(path, keep); // reset for the next width
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(ResumeFixture, ResumeRejectsJournalFromDifferentConfig) {
+    const std::string path = journal_temp_path("mismatch.jsonl");
+    CampaignConfig cfg = small_config();
+    cfg.threads = 1;
+    cfg.journal_path = path;
+    run_campaign(*platform, *dataset, cfg);
+
+    cfg.resume = true;
+    cfg.fault_seed += 1; // different campaign → different fingerprint
+    EXPECT_THROW(run_campaign(*platform, *dataset, cfg), ConfigError);
+
+    cfg.fault_seed -= 1;
+    EXPECT_NO_THROW(run_campaign(*platform, *dataset, cfg));
+    std::remove(path.c_str());
+}
+
+TEST_F(ResumeFixture, DeadlineProducesValidPartialReport) {
+    CampaignConfig cfg = small_config();
+    cfg.threads = 1;
+    cfg.deadline_seconds = 1e-9; // expires before any point starts
+    cfg.journal_path = journal_temp_path("partial.jsonl");
+
+    RunManifest manifest;
+    const CampaignReport report =
+        run_campaign(*platform, *dataset, cfg, &manifest);
+    EXPECT_TRUE(report.partial);
+    EXPECT_TRUE(manifest.partial);
+    EXPECT_GT(manifest.points_skipped, 0u);
+    // Only completed points appear; the report is still well-formed JSON
+    // with the partial marker set.
+    EXPECT_TRUE(report.points.empty());
+    const std::string json = report.to_json().dump(2);
+    EXPECT_NE(json.find("\"partial\": true"), std::string::npos);
+    std::remove(cfg.journal_path.c_str());
+}
+
+TEST(CampaignReportJson, PartialKeyOnlyWhenPartial) {
+    CampaignReport report;
+    EXPECT_EQ(report.to_json().dump().find("\"partial\""), std::string::npos);
+    report.partial = true;
+    EXPECT_NE(report.to_json().dump().find("\"partial\":true"), std::string::npos);
 }
 
 } // namespace

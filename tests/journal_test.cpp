@@ -1,0 +1,310 @@
+// Checkpoint journal + supporting util-layer I/O primitives.
+//
+// The failure-mode matrix here is the journal's contract: a torn tail
+// recovers silently (truncate + rerun the lost points), everything else
+// — corrupt checksums, foreign fingerprints, missing headers — fails
+// loudly. A journal must never silently mix stale results into a run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/journal.hpp"
+#include "util/atomic_file.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace deepstrike::sim {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + "ds_journal_test_" + name;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+}
+
+// ---------------------------------------------------------------- checksum
+
+TEST(Crc32, KnownVectors) {
+    // The canonical CRC-32 (IEEE 802.3) check value.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32, SeedChainsIncrementally) {
+    const std::string text = "hello, journal";
+    const std::uint32_t whole = crc32(text);
+    const std::uint32_t part = crc32(text.substr(7), crc32(text.substr(0, 7)));
+    EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32, HexFormatting) {
+    EXPECT_EQ(crc32_hex(0xCBF43926u), "cbf43926");
+    EXPECT_EQ(crc32_hex(0x0000000Au), "0000000a");
+}
+
+// -------------------------------------------------------------- atomic file
+
+TEST(AtomicFile, WriteReplacesAtomically) {
+    const std::string path = temp_path("atomic.txt");
+    atomic_write_file(path, "first");
+    EXPECT_EQ(read_file(path), "first");
+    atomic_write_file(path, "second, longer contents");
+    EXPECT_EQ(read_file(path), "second, longer contents");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFile, WriteToBadDirectoryThrowsIoError) {
+    EXPECT_THROW(atomic_write_file("/nonexistent-dir/x/y.txt", "data"), IoError);
+}
+
+TEST(AtomicFile, SyncedAppendAccumulates) {
+    const std::string path = temp_path("append.txt");
+    {
+        SyncedAppendFile file(path, /*truncate=*/true);
+        file.append("one\n");
+        file.append("two\n");
+        file.sync();
+    }
+    EXPECT_EQ(read_file(path), "one\ntwo\n");
+    {
+        SyncedAppendFile file(path, /*truncate=*/false);
+        file.append("three\n");
+        file.sync();
+    }
+    EXPECT_EQ(read_file(path), "one\ntwo\nthree\n");
+    truncate_file(path, 4);
+    EXPECT_EQ(read_file(path), "one\n");
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------ journal
+
+Json payload_for(std::size_t i) {
+    Json p = Json::object();
+    p.set("kind", "point");
+    p.set("value", static_cast<std::uint64_t>(i * 10));
+    return p;
+}
+
+TEST(CheckpointJournal, RoundTripsRecords) {
+    const std::string path = temp_path("roundtrip.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, 0xABCDEF0123456789ULL, "unit");
+        for (std::size_t i = 0; i < 5; ++i) journal->append(i, payload_for(i));
+        journal->flush();
+        EXPECT_EQ(journal->appended(), 5u);
+    }
+    const JournalRecovery rec =
+        CheckpointJournal::recover(path, 0xABCDEF0123456789ULL, "unit");
+    ASSERT_EQ(rec.records.size(), 5u);
+    EXPECT_FALSE(rec.dropped_partial_tail);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(rec.records[i].index, i);
+        EXPECT_EQ(rec.records[i].payload.at("value").as_uint(), i * 10);
+        EXPECT_EQ(rec.records[i].payload.at("kind").as_string(), "point");
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, EveryLineIsChecksummed) {
+    const std::string path = temp_path("format.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, 7, "unit");
+        journal->append(0, payload_for(0));
+        journal->flush();
+    }
+    std::istringstream lines(read_file(path));
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        ASSERT_GE(line.size(), 10u);
+        ASSERT_EQ(line[8], ' ');
+        EXPECT_EQ(line.substr(0, 8), crc32_hex(crc32(line.substr(9))));
+    }
+    EXPECT_EQ(count, 2u); // header + 1 record
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, TornTailIsDroppedAndTruncated) {
+    const std::string path = temp_path("torn.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, 42, "unit");
+        journal->append(0, payload_for(0));
+        journal->append(1, payload_for(1));
+        journal->flush();
+    }
+    const std::string intact = read_file(path);
+    // Simulate a crash mid-append: drop the final newline plus some bytes.
+    write_file(path, intact.substr(0, intact.size() - 7));
+
+    const JournalRecovery rec = CheckpointJournal::recover(path, 42, "unit");
+    EXPECT_TRUE(rec.dropped_partial_tail);
+    ASSERT_EQ(rec.records.size(), 1u);
+    EXPECT_EQ(rec.records[0].index, 0u);
+
+    // resume() truncates the torn bytes and keeps appending cleanly.
+    {
+        auto journal = CheckpointJournal::resume(path, 42, "unit");
+        EXPECT_TRUE(journal->dropped_partial_tail());
+        ASSERT_EQ(journal->recovered().size(), 1u);
+        journal->append(1, payload_for(1));
+        journal->flush();
+    }
+    const JournalRecovery healed = CheckpointJournal::recover(path, 42, "unit");
+    EXPECT_FALSE(healed.dropped_partial_tail);
+    ASSERT_EQ(healed.records.size(), 2u);
+    EXPECT_EQ(healed.records[1].index, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, CorruptChecksumBeforeTailFailsLoudly) {
+    const std::string path = temp_path("corrupt.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, 42, "unit");
+        journal->append(0, payload_for(0));
+        journal->append(1, payload_for(1));
+        journal->flush();
+    }
+    std::string bytes = read_file(path);
+    // Flip one payload byte in the *middle* record (the first append):
+    // a newline-terminated record failing its checksum is corruption,
+    // never a recoverable torn write.
+    const std::size_t second_line = bytes.find('\n') + 1;
+    bytes[second_line + 20] ^= 0x01;
+    write_file(path, bytes);
+
+    EXPECT_THROW(CheckpointJournal::recover(path, 42, "unit"), FormatError);
+    EXPECT_THROW(CheckpointJournal::resume(path, 42, "unit"), FormatError);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, FingerprintMismatchIsConfigError) {
+    const std::string path = temp_path("fingerprint.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, 1111, "unit");
+        journal->append(0, payload_for(0));
+        journal->flush();
+    }
+    EXPECT_THROW(CheckpointJournal::recover(path, 2222, "unit"), ConfigError);
+    EXPECT_THROW(CheckpointJournal::resume(path, 2222, "unit"), ConfigError);
+    // The matching fingerprint still resumes.
+    EXPECT_NO_THROW(CheckpointJournal::recover(path, 1111, "unit"));
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, SweepNameMismatchIsConfigError) {
+    const std::string path = temp_path("sweep.jsonl");
+    { auto journal = CheckpointJournal::create(path, 5, "campaign"); }
+    EXPECT_THROW(CheckpointJournal::recover(path, 5, "characterization"),
+                 ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, MissingOrBogusHeaderIsFormatError) {
+    const std::string path = temp_path("noheader.jsonl");
+    write_file(path, "");
+    EXPECT_THROW(CheckpointJournal::recover(path, 5, "unit"), FormatError);
+
+    const std::string body = "{\"kind\":\"point\",\"index\":0}";
+    write_file(path, crc32_hex(crc32(body)) + " " + body + "\n");
+    EXPECT_THROW(CheckpointJournal::recover(path, 5, "unit"), FormatError);
+
+    write_file(path, "not a journal at all\n");
+    EXPECT_THROW(CheckpointJournal::recover(path, 5, "unit"), FormatError);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, MissingFileIsIoError) {
+    EXPECT_THROW(CheckpointJournal::recover(temp_path("absent.jsonl"), 5, "unit"),
+                 IoError);
+}
+
+TEST(CheckpointJournal, FingerprintHexIsFixedWidth) {
+    EXPECT_EQ(CheckpointJournal::fingerprint_hex(0), "0000000000000000");
+    EXPECT_EQ(CheckpointJournal::fingerprint_hex(0xABCDEF0123456789ULL),
+              "abcdef0123456789");
+}
+
+TEST(CheckpointJournal, ConcurrentAppendsAllSurvive) {
+    const std::string path = temp_path("concurrent.jsonl");
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kPerThread = 50;
+    {
+        CheckpointJournal::Options options;
+        options.fsync_batch_records = 16;
+        auto journal = CheckpointJournal::create(path, 99, "unit", options);
+        std::vector<std::thread> workers;
+        for (std::size_t t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&, t] {
+                for (std::size_t i = 0; i < kPerThread; ++i) {
+                    journal->append(t * kPerThread + i,
+                                    payload_for(t * kPerThread + i));
+                }
+            });
+        }
+        for (std::thread& w : workers) w.join();
+        journal->flush();
+        EXPECT_EQ(journal->appended(), kThreads * kPerThread);
+    }
+    const JournalRecovery rec = CheckpointJournal::recover(path, 99, "unit");
+    ASSERT_EQ(rec.records.size(), kThreads * kPerThread);
+    std::vector<bool> seen(kThreads * kPerThread, false);
+    for (const JournalRecord& r : rec.records) {
+        ASSERT_LT(r.index, seen.size());
+        EXPECT_FALSE(seen[r.index]) << "duplicate record " << r.index;
+        seen[r.index] = true;
+        EXPECT_EQ(r.payload.at("value").as_uint(), r.index * 10);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, ResumeAfterEveryPrefixLengthIsConsistent) {
+    // Property sweep over crash positions: whatever byte the file is cut
+    // at, recovery either returns a clean prefix of records or (before
+    // the header completes) refuses — never garbage.
+    const std::string path = temp_path("prefix.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, 3, "unit");
+        for (std::size_t i = 0; i < 3; ++i) journal->append(i, payload_for(i));
+        journal->flush();
+    }
+    const std::string intact = read_file(path);
+    const std::size_t header_len = intact.find('\n') + 1;
+    for (std::size_t cut = 0; cut <= intact.size(); ++cut) {
+        write_file(path, intact.substr(0, cut));
+        if (cut < header_len) {
+            EXPECT_THROW(CheckpointJournal::recover(path, 3, "unit"), FormatError)
+                << "cut=" << cut;
+            continue;
+        }
+        const JournalRecovery rec = CheckpointJournal::recover(path, 3, "unit");
+        EXPECT_EQ(rec.dropped_partial_tail, cut != intact.size() &&
+                                                intact[cut > 0 ? cut - 1 : 0] != '\n')
+            << "cut=" << cut;
+        for (std::size_t i = 0; i < rec.records.size(); ++i) {
+            EXPECT_EQ(rec.records[i].index, i);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace deepstrike::sim

@@ -86,5 +86,81 @@ TEST(Json, EmptyContainers) {
     EXPECT_EQ(Json::object().dump(2), "{}");
 }
 
+// ------------------------------------------------------------------ parse
+
+TEST(JsonParse, Scalars) {
+    EXPECT_TRUE(Json::parse("null").is_null());
+    EXPECT_EQ(Json::parse("true").as_bool(), true);
+    EXPECT_EQ(Json::parse("false").as_bool(), false);
+    EXPECT_EQ(Json::parse("42").as_int(), 42);
+    EXPECT_EQ(Json::parse("-7").as_int(), -7);
+    EXPECT_DOUBLE_EQ(Json::parse("1.5").as_number(), 1.5);
+    EXPECT_DOUBLE_EQ(Json::parse("-2e3").as_number(), -2000.0);
+    EXPECT_EQ(Json::parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonParse, IntegersKeepTheirKind) {
+    EXPECT_TRUE(Json::parse("42").is_integer());
+    EXPECT_FALSE(Json::parse("42.0").is_integer());
+    EXPECT_TRUE(Json::parse("42.0").is_number());
+    EXPECT_EQ(Json::parse("42").as_uint(), 42u);
+    EXPECT_THROW(Json::parse("-1").as_uint(), FormatError);
+}
+
+TEST(JsonParse, ObjectsArraysAndAccessors) {
+    const Json doc = Json::parse(
+        R"({"name":"sweep","count":3,"ok":true,"items":[1,2,3],"inner":{"x":-1.25}})");
+    EXPECT_EQ(doc.at("name").as_string(), "sweep");
+    EXPECT_EQ(doc.at("count").as_uint(), 3u);
+    EXPECT_TRUE(doc.at("ok").as_bool());
+    ASSERT_EQ(doc.at("items").size(), 3u);
+    EXPECT_EQ(doc.at("items").at(2).as_int(), 3);
+    EXPECT_DOUBLE_EQ(doc.at("inner").at("x").as_number(), -1.25);
+    EXPECT_EQ(doc.find("absent"), nullptr);
+    EXPECT_THROW(doc.at("absent"), FormatError);
+    EXPECT_THROW(doc.at("items").at(3), FormatError);
+}
+
+TEST(JsonParse, StringEscapesRoundTrip) {
+    const std::string original = "line\nfeed\ttab \"quote\" back\\slash \x01";
+    Json obj = Json::object();
+    obj.set("s", original);
+    EXPECT_EQ(Json::parse(obj.dump()).at("s").as_string(), original);
+    EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(JsonParse, DumpParseRoundTripPreservesStructure) {
+    Json root = Json::object();
+    root.set("a", 1).set("b", 2.5).set("c", "x");
+    Json arr = Json::array();
+    arr.push(true).push(Json());
+    root.set("d", std::move(arr));
+    const Json reparsed = Json::parse(root.dump());
+    EXPECT_EQ(reparsed.dump(), root.dump());
+    EXPECT_EQ(Json::parse(root.dump(2)).dump(), root.dump());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+    for (const char* bad :
+         {"", "{", "[1,", "{\"k\":}", "tru", "01x", "\"unterminated",
+          "{\"k\":1} trailing", "[1 2]", "\"bad\\q\"", "nul"}) {
+        EXPECT_THROW(Json::parse(bad), FormatError) << bad;
+    }
+}
+
+TEST(JsonParse, RejectsAbsurdNesting) {
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_THROW(Json::parse(deep), FormatError);
+}
+
+TEST(JsonParse, TypedAccessorMismatchesThrow) {
+    const Json doc = Json::parse("{\"n\":1,\"s\":\"x\"}");
+    EXPECT_THROW(doc.at("s").as_int(), FormatError);
+    EXPECT_THROW(doc.at("n").as_string(), FormatError);
+    EXPECT_THROW(doc.at("n").as_bool(), FormatError);
+    EXPECT_THROW(doc.at(0), FormatError); // object, not array
+}
+
 } // namespace
 } // namespace deepstrike

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/campaign.hpp"
@@ -138,6 +140,100 @@ TEST(SweepRunner, LowestIndexedFailureWins) {
     } catch (const ConfigError& e) {
         const std::string what = e.what();
         EXPECT_NE(what.find("point 5"), std::string::npos) << what;
+    }
+}
+
+TEST(SweepRunner, RetriesFlakyPointsUntilTheySucceed) {
+    RunnerConfig cfg{4, true};
+    cfg.max_point_retries = 3;
+    cfg.retry_backoff_ms = 0; // no sleeping in unit tests
+    SweepRunner runner(cfg);
+
+    std::atomic<int> attempts{0};
+    std::vector<SweepTask> tasks;
+    tasks.push_back({"flaky", [&] {
+                         if (attempts.fetch_add(1) < 2) throw IoError("transient");
+                     }});
+    tasks.push_back({"steady", [] {}});
+    const RunManifest mf = runner.run("retry", std::move(tasks));
+
+    EXPECT_EQ(attempts.load(), 3); // initial + 2 retries
+    ASSERT_EQ(mf.points.size(), 2u);
+    EXPECT_TRUE(mf.points[0].ok);
+    EXPECT_EQ(mf.points[0].retries, 2u);
+    EXPECT_EQ(mf.points[1].retries, 0u);
+    EXPECT_FALSE(mf.partial);
+    EXPECT_NE(mf.to_json().dump().find("\"retries\":2"), std::string::npos);
+}
+
+TEST(SweepRunner, ExhaustedRetriesStillRethrowLowestIndexedFailure) {
+    RunnerConfig cfg{4, true};
+    cfg.max_point_retries = 2;
+    cfg.retry_backoff_ms = 0;
+    SweepRunner runner(cfg);
+
+    std::atomic<int> attempts_on_4{0};
+    std::vector<SweepTask> tasks;
+    for (std::size_t i = 0; i < 8; ++i) {
+        tasks.push_back({"p", [i, &attempts_on_4] {
+                             if (i == 4) attempts_on_4.fetch_add(1);
+                             if (i >= 4) {
+                                 throw ConfigError("point " + std::to_string(i));
+                             }
+                         }});
+    }
+    try {
+        runner.run("failing", std::move(tasks));
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("point 4"), std::string::npos);
+    }
+    EXPECT_EQ(attempts_on_4.load(), 3); // initial + 2 retries, then give up
+}
+
+TEST(SweepRunner, DeadlineSkipsUnstartedPointsAndMarksPartial) {
+    RunnerConfig cfg{1, true};
+    cfg.deadline_seconds = 0.02;
+    SweepRunner runner(cfg);
+
+    std::atomic<int> ran{0};
+    std::vector<SweepTask> tasks;
+    tasks.push_back({"slow", [&] {
+                         ran.fetch_add(1);
+                         std::this_thread::sleep_for(std::chrono::milliseconds(60));
+                     }});
+    for (int i = 0; i < 3; ++i) {
+        tasks.push_back({"later", [&] { ran.fetch_add(1); }});
+    }
+    const RunManifest mf = runner.run("deadline", std::move(tasks));
+
+    // Point 0 started inside the budget and finished; the rest found the
+    // deadline expired before starting.
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_TRUE(mf.partial);
+    EXPECT_EQ(mf.points_skipped, 3u);
+    ASSERT_EQ(mf.points.size(), 4u);
+    EXPECT_TRUE(mf.points[0].ok);
+    for (std::size_t i = 1; i < mf.points.size(); ++i) {
+        EXPECT_TRUE(mf.points[i].skipped);
+        EXPECT_FALSE(mf.points[i].ok);
+    }
+    const std::string json = mf.to_json().dump();
+    EXPECT_NE(json.find("\"partial\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"points_skipped\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"skipped\":true"), std::string::npos);
+}
+
+TEST(SweepRunner, ManifestOmitsResilienceKeysOnPlainRuns) {
+    SweepRunner runner(RunnerConfig{2, true});
+    std::vector<SweepTask> tasks;
+    tasks.push_back({"p", [] {}});
+    const RunManifest mf = runner.run("plain", std::move(tasks));
+    const std::string json = mf.to_json().dump();
+    for (const char* absent :
+         {"\"partial\"", "\"points_skipped\"", "\"points_resumed\"",
+          "\"journal\"", "\"retries\"", "\"skipped\""}) {
+        EXPECT_EQ(json.find(absent), std::string::npos) << absent;
     }
 }
 

@@ -12,6 +12,17 @@ Usage:
       --current out.json [--max-ratio 2.0] [BM_Name ...]
 
 With no benchmark names, every benchmark present in the baseline is gated.
+
+Pair gates compare two benchmarks *from the same run*, which cancels out
+host speed and so supports much tighter bounds than the absolute baseline
+gate (CI runners vary ~2x; two benchmarks in one process don't):
+
+  check_bench_regression.py --baseline ... --current out.json \
+      --pair BM_GuidedCampaignPointJournaled BM_GuidedCampaignPoint \
+      --pair-max-ratio 1.05
+
+fails when the first benchmark's ns_per_op exceeds --pair-max-ratio times
+the second's. --pair may be repeated.
 """
 
 import argparse
@@ -34,6 +45,12 @@ def main():
     parser.add_argument("--current", required=True, help="fresh DS_BENCH_JSON dump")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when current/baseline ns_per_op exceeds this")
+    parser.add_argument("--pair", nargs=2, action="append", default=[],
+                        metavar=("SUBJECT", "REFERENCE"),
+                        help="same-run gate: fail when SUBJECT ns_per_op exceeds "
+                             "--pair-max-ratio times REFERENCE ns_per_op")
+    parser.add_argument("--pair-max-ratio", type=float, default=1.05,
+                        help="limit for --pair comparisons")
     parser.add_argument("names", nargs="*", help="benchmarks to gate (default: all in baseline)")
     args = parser.parse_args()
 
@@ -61,12 +78,30 @@ def main():
                 f"{name}: {cur_ns:.1f} ns/op is {ratio:.2f}x baseline "
                 f"{base_ns:.1f} ns/op (limit {args.max_ratio:.2f}x)")
 
+    for subject, reference in args.pair:
+        missing = [n for n in (subject, reference) if n not in current]
+        if missing:
+            failures.extend(f"{n}: missing from current run {args.current}" for n in missing)
+            continue
+        subject_ns = float(current[subject]["ns_per_op"])
+        reference_ns = float(current[reference]["ns_per_op"])
+        ratio = subject_ns / reference_ns if reference_ns > 0 else float("inf")
+        flag = "" if ratio <= args.pair_max_ratio else "  << REGRESSION"
+        print(f"pair {subject} / {reference}: {ratio:.3f}x"
+              f" (limit {args.pair_max_ratio:.2f}x){flag}")
+        if ratio > args.pair_max_ratio:
+            failures.append(
+                f"{subject}: {subject_ns:.1f} ns/op is {ratio:.3f}x same-run "
+                f"{reference} at {reference_ns:.1f} ns/op "
+                f"(limit {args.pair_max_ratio:.2f}x)")
+
     if failures:
         print("\nperf-smoke FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nperf-smoke OK: {len(names)} benchmark(s) within {args.max_ratio:.2f}x of baseline")
+    print(f"\nperf-smoke OK: {len(names)} benchmark(s) within {args.max_ratio:.2f}x of baseline"
+          + (f", {len(args.pair)} pair(s) within {args.pair_max_ratio:.2f}x" if args.pair else ""))
     return 0
 
 

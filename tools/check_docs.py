@@ -15,6 +15,9 @@ Checks, over every tracked markdown file:
    (the add_option/add_flag registrations that produce --help), so the
    check needs no compiled binary; lines invoking other tools (cmake,
    ctest, git, the bench binaries) are skipped.
+4. Every bench EXPERIMENTS.md names (backticked `fig*`/`tab*`/
+   `ablation_*`/`ext_*`/`micro_*` tokens) has a source file under
+   bench/ — the experiment write-ups can't drift behind bench renames.
 
 Exit code 0 when clean, 1 with a per-file report otherwise.
 """
@@ -37,6 +40,10 @@ CHECKED_PATH_PREFIXES = (
     "src/", "docs/", "tools/", "tests/", "examples/", "bench/", ".github/",
 )
 CHECKED_TOPLEVEL = re.compile(r"^[A-Z][A-Z_]*\.md$")  # README.md, DESIGN.md, ...
+
+# Backticked tokens of this shape in EXPERIMENTS.md name bench binaries;
+# each must have a source file under bench/.
+BENCH_NAME_RE = re.compile(r"(?:fig|tab)[a-z0-9]*_[a-z0-9_]+|(?:ablation|ext|micro)_[a-z0-9_]+")
 
 # Command lines mentioning these tools use their own flag namespaces.
 FOREIGN_COMMAND_WORDS = (
@@ -118,6 +125,23 @@ def check_cli_flags(doc, text, flags, errors):
                     f"-> {flag} (line: {line.strip()[:80]})")
 
 
+def check_experiment_benches(doc, text, errors):
+    """Every bench EXPERIMENTS.md names must exist as bench/<name>.cpp.
+
+    `ablation_*` glob shorthands (as in README tables) are accepted when
+    at least one bench matches the prefix.
+    """
+    for match in BACKTICK_RE.finditer(text):
+        token = match.group(1).strip()
+        if not BENCH_NAME_RE.fullmatch(token):
+            continue
+        if (REPO / "bench" / (token + ".cpp")).exists():
+            continue
+        errors.append(
+            f"{doc.relative_to(REPO)}: bench named but missing under bench/ "
+            f"-> {token}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.parse_args()
@@ -130,6 +154,8 @@ def main():
         check_links(doc, text, errors)
         check_backticked_paths(doc, text, errors)
         check_cli_flags(doc, text, flags, errors)
+        if doc.name == "EXPERIMENTS.md":
+            check_experiment_benches(doc, text, errors)
 
     if errors:
         print(f"check_docs: {len(errors)} problem(s) in {len(docs)} markdown files:")

@@ -29,6 +29,7 @@
 #include "striker/striker.hpp"
 #include "tdc/netlist_builder.hpp"
 #include "sim/runner.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -356,8 +357,24 @@ int cmd_campaign(const std::vector<std::string>& args) {
     parser.add_option("json", "write the JSON report here", "campaign.json");
     parser.add_option("markdown", "write the markdown report here", "");
     parser.add_option("manifest", "write the sweep-execution manifest (JSON) here", "");
+    parser.add_option("journal",
+                      "checkpoint journal path; completed points are appended "
+                      "here so an interrupted campaign can be resumed",
+                      "");
+    parser.add_option("retries",
+                      "rerun a failed point up to this many extra times "
+                      "(capped exponential backoff)",
+                      "0");
+    parser.add_option("deadline",
+                      "wall-clock budget in seconds (0 = unlimited); points "
+                      "not started by then are skipped and the report is "
+                      "marked partial",
+                      "0");
     add_threads_option(parser);
     add_observability_options(parser);
+    parser.add_flag("resume",
+                    "resume from the --journal file: validate its fingerprint, "
+                    "skip completed points, rerun only the remainder");
     parser.add_flag("no-blind", "skip the blind baseline");
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
@@ -376,6 +393,14 @@ int cmd_campaign(const std::vector<std::string>& args) {
     cfg.strike_grid = parser.option_uint_list("strikes");
     cfg.eval_images = parser.option_uint("images");
     if (parser.flag("no-blind")) cfg.blind_offsets = 0;
+    cfg.journal_path = parser.option("journal");
+    cfg.resume = parser.flag("resume");
+    cfg.max_point_retries = parser.option_uint("retries");
+    cfg.deadline_seconds = parser.option_double("deadline");
+    if (cfg.resume && cfg.journal_path.empty()) {
+        std::fprintf(stderr, "--resume requires --journal <path>\n");
+        return 2;
+    }
 
     sim::RunManifest manifest;
     const sim::CampaignReport report =
@@ -387,23 +412,31 @@ int cmd_campaign(const std::vector<std::string>& args) {
                 "(trace cache: %zu misses, %zu hits)\n",
                 manifest.points.size(), manifest.total_seconds, manifest.threads,
                 manifest.trace_cache_misses, manifest.trace_cache_hits);
+    if (manifest.points_resumed > 0) {
+        std::printf("resumed: %zu points restored from %s\n",
+                    manifest.points_resumed, cfg.journal_path.c_str());
+    }
+    if (report.partial) {
+        std::printf("PARTIAL: deadline skipped %zu points; rerun with "
+                    "--journal %s --resume to finish\n",
+                    manifest.points_skipped, cfg.journal_path.c_str());
+    }
 
+    // Reports are written atomically (tmp + rename) so a kill mid-write
+    // never leaves a truncated report next to a valid journal.
     const std::string json_path = parser.option("json");
     if (!json_path.empty()) {
-        std::ofstream out(json_path, std::ios::trunc);
-        out << report.to_json().dump(2) << '\n';
+        atomic_write_file(json_path, report.to_json().dump(2) + "\n");
         std::printf("JSON report written to %s\n", json_path.c_str());
     }
     const std::string md_path = parser.option("markdown");
     if (!md_path.empty()) {
-        std::ofstream out(md_path, std::ios::trunc);
-        out << report.to_markdown();
+        atomic_write_file(md_path, report.to_markdown());
         std::printf("markdown report written to %s\n", md_path.c_str());
     }
     const std::string manifest_path = parser.option("manifest");
     if (!manifest_path.empty()) {
-        std::ofstream out(manifest_path, std::ios::trunc);
-        out << manifest.to_json().dump(2) << '\n';
+        atomic_write_file(manifest_path, manifest.to_json().dump(2) + "\n");
         std::printf("run manifest written to %s\n", manifest_path.c_str());
     }
     return sinks.finish() ? 0 : 1;
