@@ -21,6 +21,7 @@
 #include "pdn/pdn.hpp"
 #include "quant/qlenet.hpp"
 #include "sim/experiment.hpp"
+#include "sim/golden_cache.hpp"
 #include "sim/journal.hpp"
 #include "sim/platform.hpp"
 #include "striker/striker.hpp"
@@ -257,6 +258,83 @@ void BM_GuidedCampaignPointJournaled(benchmark::State& state) {
     std::remove(path.c_str());
 }
 BENCHMARK(BM_GuidedCampaignPointJournaled)->Unit(benchmark::kMillisecond);
+
+// The accuracy-evaluation inner loop alone (trace + plan hoisted outside,
+// as SweepRunner's bundle cache provides them): 200 images against one
+// guided CONV2 strike trace. Paired with the *Cached variant below to
+// measure the golden-path elision (docs/architecture.md "Hot paths").
+void BM_EvaluateAccuracyMulti(benchmark::State& state) {
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    const ds::data::DatasetPair data = ds::data::make_datasets(11, 1, 200);
+    const ds::attack::DetectorConfig detector{};
+    const ds::attack::AttackScheme scheme = conv2_scheme(platform, detector, 200);
+    const ds::accel::VoltageTrace trace =
+        ds::sim::guided_attack_trace(platform, detector, scheme);
+    const ds::accel::OverlayPlan plan = platform.engine().plan_overlay(&trace);
+    for (auto _ : state) {
+        const ds::sim::AccuracyResult res =
+            ds::sim::evaluate_accuracy(platform, data.test, 200, &trace, 99, &plan);
+        benchmark::DoNotOptimize(res.accuracy);
+    }
+}
+BENCHMARK(BM_EvaluateAccuracyMulti)->Unit(benchmark::kMillisecond);
+
+// Same evaluation through the golden cache. The store is built once
+// outside the timed loop — exactly as a campaign builds it once and
+// amortizes it over every sweep point.
+void BM_EvaluateAccuracyMultiCached(benchmark::State& state) {
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    const ds::data::DatasetPair data = ds::data::make_datasets(11, 1, 200);
+    const ds::attack::DetectorConfig detector{};
+    const ds::attack::AttackScheme scheme = conv2_scheme(platform, detector, 200);
+    const ds::accel::VoltageTrace trace =
+        ds::sim::guided_attack_trace(platform, detector, scheme);
+    const ds::accel::OverlayPlan plan = platform.engine().plan_overlay(&trace);
+    const auto golden =
+        ds::sim::build_golden_store(platform.engine().network(), data.test, 200);
+    for (auto _ : state) {
+        const ds::sim::AccuracyResult res = ds::sim::evaluate_accuracy(
+            platform, data.test, 200, &trace, 99, &plan, golden.get());
+        benchmark::DoNotOptimize(res.accuracy);
+    }
+}
+BENCHMARK(BM_EvaluateAccuracyMultiCached)->Unit(benchmark::kMillisecond);
+
+// Eval-heavy campaign point (200 images instead of 25): co-simulation plus
+// evaluation, the configuration where the golden cache pays off. Paired
+// with the *Cached variant; CI gates cached/uncached.
+void BM_GuidedCampaignPointEval200(benchmark::State& state) {
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    const ds::data::DatasetPair data = ds::data::make_datasets(11, 1, 200);
+    const ds::attack::DetectorConfig detector{};
+    const ds::attack::AttackScheme scheme = conv2_scheme(platform, detector, 200);
+    for (auto _ : state) {
+        const ds::accel::VoltageTrace trace =
+            ds::sim::guided_attack_trace(platform, detector, scheme);
+        const ds::sim::AccuracyResult res =
+            ds::sim::evaluate_accuracy(platform, data.test, 200, &trace, 99);
+        benchmark::DoNotOptimize(res.accuracy);
+    }
+}
+BENCHMARK(BM_GuidedCampaignPointEval200)->Unit(benchmark::kMillisecond);
+
+void BM_GuidedCampaignPointEval200Cached(benchmark::State& state) {
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    const ds::data::DatasetPair data = ds::data::make_datasets(11, 1, 200);
+    const ds::attack::DetectorConfig detector{};
+    const ds::attack::AttackScheme scheme = conv2_scheme(platform, detector, 200);
+    const auto golden =
+        ds::sim::build_golden_store(platform.engine().network(), data.test, 200);
+    for (auto _ : state) {
+        const ds::accel::VoltageTrace trace =
+            ds::sim::guided_attack_trace(platform, detector, scheme);
+        const ds::accel::OverlayPlan plan = platform.engine().plan_overlay(&trace);
+        const ds::sim::AccuracyResult res = ds::sim::evaluate_accuracy(
+            platform, data.test, 200, &trace, 99, &plan, golden.get());
+        benchmark::DoNotOptimize(res.accuracy);
+    }
+}
+BENCHMARK(BM_GuidedCampaignPointEval200Cached)->Unit(benchmark::kMillisecond);
 
 void BM_BitVecPopcount(benchmark::State& state) {
     ds::Rng rng(6);

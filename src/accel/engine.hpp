@@ -60,6 +60,11 @@ struct RunResult {
     /// One entry per network layer, in execution order.
     std::vector<LayerFaults> faults_by_layer;
 
+    /// Layers whose compute was answered entirely by a cached golden
+    /// activation (only ever non-zero for run_elided; diagnostics, never
+    /// serialized into reports).
+    std::size_t golden_layers_reused = 0;
+
     /// Label -> index into faults_by_layer, built once by the engine so
     /// per-label queries don't re-scan the layer list.
     std::unordered_map<std::string, std::size_t> layer_index;
@@ -113,6 +118,40 @@ public:
                   const std::vector<bool>* throttle = nullptr,
                   const OverlayPlan* plan = nullptr) const;
 
+    /// Golden-elided inference: byte-identical to run() — same logits,
+    /// fault counts, and fault-RNG stream — but answers as much of the
+    /// forward pass as possible from cached golden activations
+    /// (`golden_layers` = quant::QNetwork::forward_activations of the same
+    /// image, one post-activation tensor per layer):
+    ///   - a layer with no unsafe window is skipped outright while the
+    ///     activation entering it is still golden (the RNG is only drawn
+    ///     inside windows, so the stream is untouched);
+    ///   - a windowed conv/FC layer whose input is still golden starts from
+    ///     a copy of its golden output and recomputes only the element
+    ///     ranges its windows touch (safe gap elements become a copy
+    ///     instead of MACs);
+    ///   - once a layer actually faults, the remainder of the network runs
+    ///     the plain gated path on the perturbed activation.
+    /// `golden_accs` optionally supplies the per-layer pre-writeback
+    /// accumulators of the same golden pass (QNetwork::forward_trace):
+    ///   - a windowed conv/FC layer on a still-golden input copies the
+    ///     cached accumulators instead of re-summing every hot element's
+    ///     receptive field (the fault pass only patches integer deltas);
+    ///   - after divergence, fault-free downstream layers are patched
+    ///     sparsely from the golden output: only the elements reachable
+    ///     from the changed set are recomputed (dense layers via integer
+    ///     delta sums against the cached accumulators).
+    /// Both are exact — integer accumulation reassociates losslessly — so
+    /// results stay byte-identical to run(), with or without `golden_accs`.
+    /// RunResult::golden_layers_reused counts the skipped layers.
+    RunResult run_elided(const QTensor& image,
+                         const std::vector<QTensor>& golden_layers,
+                         const VoltageTrace* voltage, Rng& fault_rng,
+                         const OverlayPlan& plan,
+                         const std::vector<bool>* throttle = nullptr,
+                         const std::vector<std::vector<fx::Acc>>* golden_accs =
+                             nullptr) const;
+
     /// Retained whole-segment per-op implementation: gates golden-vs-per-op
     /// per segment instead of per cycle window. Byte-identical to run() by
     /// construction (the overlay property tests assert it); kept as the
@@ -148,18 +187,40 @@ private:
     /// matching the reference, which only draws below the safe voltage).
     /// Duplication faults recover the stale DSP register by op-stream index
     /// arithmetic instead of carrying a pipeline array (fast path).
+    /// `golden_accs`, when non-null, points at the layer's cached golden
+    /// accumulator array (absolute element indexing): the per-element
+    /// golden re-summation is replaced by a copy. Only valid while the
+    /// layer's input is byte-equal to the golden activation the
+    /// accumulators were traced from.
     void run_conv_window(const QTensor& input, const quant::QLayer& layer,
                          const LayerSegment& seg, const SegmentOverlay& overlay,
                          const VoltageTrace* voltage, Rng& rng,
                          const std::vector<bool>* throttle, FaultCounts& counts,
-                         std::size_t elem_begin, std::size_t elem_end,
-                         QTensor& out) const;
+                         const fx::Acc* golden_accs, std::size_t elem_begin,
+                         std::size_t elem_end, QTensor& out) const;
     void run_fc_window(const QTensor& input, const quant::QLayer& layer,
                        const LayerSegment& seg, const SegmentOverlay& overlay,
                        const VoltageTrace* voltage, Rng& rng,
                        const std::vector<bool>* throttle, FaultCounts& counts,
-                       std::size_t elem_begin, std::size_t elem_end,
-                       QTensor& out) const;
+                       const fx::Acc* golden_accs, std::size_t elem_begin,
+                       std::size_t elem_end, QTensor& out) const;
+
+    /// Golden-gap variants for run_elided: `out` starts as a copy of the
+    /// layer's cached golden output, and only the hot element ranges go
+    /// through run_*_window (seeded from `golden_accs` when available).
+    /// Valid only while the layer's input is golden.
+    QTensor run_conv_golden(const QTensor& input, const QTensor& golden_out,
+                            const quant::QLayer& layer, const LayerSegment& seg,
+                            const SegmentOverlay& overlay, const VoltageTrace* voltage,
+                            Rng& rng, const std::vector<bool>* throttle,
+                            FaultCounts& counts,
+                            const std::vector<fx::Acc>* golden_accs) const;
+    QTensor run_fc_golden(const QTensor& input, const QTensor& golden_out,
+                          const quant::QLayer& layer, const LayerSegment& seg,
+                          const SegmentOverlay& overlay, const VoltageTrace* voltage,
+                          Rng& rng, const std::vector<bool>* throttle,
+                          FaultCounts& counts,
+                          const std::vector<fx::Acc>* golden_accs) const;
 
     // --- retained reference path (engine_reference.cpp) ---
     QTensor run_conv_reference(const QTensor& input, const quant::QLayer& layer,

@@ -2,6 +2,20 @@
 
 namespace deepstrike::accel {
 
+bool OverlayPlan::any_unsafe() const {
+    for (const SegmentOverlay& layer : layers) {
+        if (layer.any()) return true;
+    }
+    return false;
+}
+
+std::size_t OverlayPlan::first_unsafe_layer() const {
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        if (layers[i].any()) return i;
+    }
+    return layers.size();
+}
+
 std::vector<CycleWindow> unsafe_windows(const LayerSegment& seg,
                                         const VoltageTrace* voltage, double safe_v,
                                         unsigned half_mask) {

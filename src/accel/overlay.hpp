@@ -53,6 +53,18 @@ struct OverlayPlan {
     std::vector<SegmentOverlay> layers;
     /// Sample count of the trace the plan was computed for (0 = nominal).
     std::size_t trace_samples = 0;
+
+    /// True when any layer has an unsafe window. A plan with none cannot
+    /// fault (the RNG is only drawn inside windows), so an inference on it
+    /// is fully answered by the golden activations — the fault-free
+    /// short-circuit in sim::evaluate_accuracy_multi.
+    bool any_unsafe() const;
+
+    /// Index of the first layer with an unsafe window; layers.size() when
+    /// every layer is safe. Layers before it are fault-free by
+    /// construction, so the engine can start from a cached golden
+    /// activation instead of recomputing the prefix.
+    std::size_t first_unsafe_layer() const;
 };
 
 /// Scans `voltage` across `seg` and returns the merged unsafe windows at

@@ -119,6 +119,49 @@ void qconv2d_outputs(const QTensor& input, const QTensor& weight, const QTensor&
     }
 }
 
+void qconv2d_trace(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                   Activation activation, QTensor& out, std::vector<fx::Acc>& accs) {
+    const std::size_t in_c = input.shape().dim(0);
+    const std::size_t in_h = input.shape().dim(1);
+    const std::size_t in_w = input.shape().dim(2);
+    const std::size_t out_c = weight.shape().dim(0);
+    const std::size_t k = weight.shape().dim(2);
+    const std::size_t kk = k * k;
+    const std::size_t out_h = in_h - k + 1;
+    const std::size_t out_w = in_w - k + 1;
+    const std::size_t plane = out_h * out_w;
+    out = QTensor(Shape{out_c, out_h, out_w});
+    accs.resize(out.size());
+    expects(in_c * kk <= 65536, "qconv2d_trace: receptive field fits int32");
+
+    const Q3_4* in_data = input.data();
+    const Q3_4* w_data = weight.data();
+    const Q3_4* b_data = bias.data();
+    Q3_4* out_data = out.data();
+
+    for (std::size_t p = 0; p < out.size(); ++p) {
+        const std::size_t oc = p / plane;
+        const std::size_t rc = p % plane;
+        const std::size_t r = rc / out_w;
+        const std::size_t c = rc % out_w;
+        std::int32_t acc32 = 0;
+        const Q3_4* w_oc = w_data + oc * in_c * kk;
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+            for (std::size_t kr = 0; kr < k; ++kr) {
+                const Q3_4* in_row = in_data + (ic * in_h + r + kr) * in_w + c;
+                const Q3_4* w_row = w_oc + ic * kk + kr * k;
+                for (std::size_t kc = 0; kc < k; ++kc) {
+                    acc32 += static_cast<std::int32_t>(in_row[kc].raw()) * w_row[kc].raw();
+                }
+            }
+        }
+        const fx::Acc acc =
+            (static_cast<fx::Acc>(b_data[oc].raw()) << Q3_4::frac_bits) + acc32;
+        accs[p] = acc;
+        out_data[p] = apply_activation(Q3_4::from_accumulator(acc), activation);
+    }
+}
+
 QTensor qmaxpool2(const QTensor& input) {
     expects(input.shape().rank() == 3, "qmaxpool2: input rank 3");
     expects(input.shape().dim(1) % 2 == 0 && input.shape().dim(2) % 2 == 0,
@@ -210,6 +253,33 @@ void qdense_outputs(const QTensor& input, const QTensor& weight, const QTensor& 
         }
         const fx::Acc acc =
             (static_cast<fx::Acc>(b_data[o].raw()) << Q3_4::frac_bits) + acc32;
+        out_data[o] = apply_activation(Q3_4::from_accumulator(acc), activation);
+    }
+}
+
+void qdense_trace(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                  Activation activation, QTensor& out, std::vector<fx::Acc>& accs) {
+    const std::size_t out_n = weight.shape().dim(0);
+    const std::size_t in_n = weight.shape().dim(1);
+    expects(input.size() == in_n, "qdense_trace: input feature mismatch");
+    expects(in_n <= 65536, "qdense_trace: fan-in fits int32");
+    out = QTensor(Shape{out_n});
+    accs.resize(out_n);
+
+    const Q3_4* in_data = input.data();
+    const Q3_4* w_data = weight.data();
+    const Q3_4* b_data = bias.data();
+    Q3_4* out_data = out.data();
+
+    for (std::size_t o = 0; o < out_n; ++o) {
+        std::int32_t acc32 = 0;
+        const Q3_4* w_row = w_data + o * in_n;
+        for (std::size_t i = 0; i < in_n; ++i) {
+            acc32 += static_cast<std::int32_t>(in_data[i].raw()) * w_row[i].raw();
+        }
+        const fx::Acc acc =
+            (static_cast<fx::Acc>(b_data[o].raw()) << Q3_4::frac_bits) + acc32;
+        accs[o] = acc;
         out_data[o] = apply_activation(Q3_4::from_accumulator(acc), activation);
     }
 }

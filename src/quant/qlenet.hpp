@@ -115,4 +115,18 @@ void qdense_outputs(const QTensor& input, const QTensor& weight, const QTensor& 
                     Activation activation, std::size_t elem_begin,
                     std::size_t elem_end, QTensor& out);
 
+/// Trace variant of qconv2d: same output bytes, but also exposes every
+/// element's pre-writeback accumulator (bias folded, in product units —
+/// 2^(2*frac_bits)). The accelerator's golden-elision path caches these so
+/// a faulted window can start from the cached accumulator instead of
+/// re-summing the receptive field, and a downstream dense layer can be
+/// patched with sparse integer deltas. Invariant (enforced by tests):
+/// out[p] == apply_activation(Q3_4::from_accumulator(accs[p])).
+void qconv2d_trace(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                   Activation activation, QTensor& out, std::vector<fx::Acc>& accs);
+
+/// Trace variant of qdense (see qconv2d_trace).
+void qdense_trace(const QTensor& input, const QTensor& weight, const QTensor& bias,
+                  Activation activation, QTensor& out, std::vector<fx::Acc>& accs);
+
 } // namespace deepstrike::quant

@@ -65,6 +65,28 @@ struct QNetwork {
     /// Bit-exact quantized forward pass (the golden model).
     QTensor forward(const QTensor& input) const;
 
+    /// Per-layer outputs of one golden forward pass, indexed like `layers`
+    /// (entry i is layer i's post-activation output; the last entry equals
+    /// forward()'s result). Runs the exact kernels forward() runs, so each
+    /// entry is byte-identical to the accelerator's fault-free output of
+    /// the same layer — the property sim::GoldenCache builds on.
+    std::vector<QTensor> forward_activations(const QTensor& input) const;
+
+    /// forward_activations() plus every Conv/Dense layer's pre-writeback
+    /// accumulators (bias folded, product units; empty vectors for pools).
+    /// `activations` is byte-identical to forward_activations(); the
+    /// accumulators satisfy
+    ///   activations[i][p] == apply_activation(Q3_4::from_accumulator(
+    ///                            accumulators[i][p]), layers[i].activation)
+    /// which is what lets accel::AccelEngine::run_elided resume a faulted
+    /// window from the cached accumulator and patch downstream layers with
+    /// sparse integer deltas instead of full recomputation.
+    struct ForwardTrace {
+        std::vector<QTensor> activations;
+        std::vector<std::vector<fx::Acc>> accumulators;
+    };
+    ForwardTrace forward_trace(const QTensor& input) const;
+
     /// Predicted class for a float image in [0,1].
     std::size_t predict(const FloatTensor& image) const;
 

@@ -265,6 +265,12 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
     runner_config.deadline_seconds = config.deadline_seconds;
     SweepRunner runner(platform, runner_config);
 
+    // Golden evaluation cache: built once here, shared read-only by every
+    // point below. Fault-free images resolve to cached labels; faulted
+    // ones start from cached activations (see sim/golden_cache.hpp).
+    std::shared_ptr<const GoldenStore> golden;
+    if (config.golden_cache) golden = runner.golden_view(test_set, eval_images);
+
     // The clean baseline is point 0 of the sweep so it overlaps with the
     // attack points; drops are filled in afterwards.
     std::vector<PlannedPoint> planned;
@@ -349,7 +355,7 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
         tasks.push_back({"clean baseline", [&] {
                              const AccuracyResult clean = evaluate_accuracy(
                                  platform, test_set, eval_images, nullptr,
-                                 config.fault_seed);
+                                 config.fault_seed, nullptr, golden.get());
                              report.clean_accuracy = clean.accuracy;
                              if (journal) {
                                  journal->append(0,
@@ -368,12 +374,12 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
                     p.scheme, p.blind_offsets, config.blind_offset_seed);
                 res = evaluate_accuracy_multi(platform, test_set, eval_images,
                                               bundle->traces, config.fault_seed,
-                                              &bundle->plans);
+                                              &bundle->plans, golden.get());
             } else {
                 const auto bundle = runner.guided_bundle(config.detector, p.scheme);
                 res = evaluate_accuracy(platform, test_set, eval_images,
                                         &bundle->trace, config.fault_seed,
-                                        &bundle->plan);
+                                        &bundle->plan, golden.get());
             }
 
             CampaignPoint& point = report.points[idx];

@@ -33,6 +33,11 @@ struct CampaignConfig {
     std::uint64_t blind_offset_seed = 777;
     /// Sweep worker width (0 = the global --threads knob).
     std::size_t threads = 0;
+    /// Build the golden evaluation cache (sim::GoldenCache) once and let
+    /// every point elide fault-free work against it. Reports are
+    /// byte-identical either way; disable only to measure the elision
+    /// (`deepstrike campaign --no-golden-cache`).
+    bool golden_cache = true;
     attack::DetectorConfig detector{};
     attack::ProfilerConfig profiler{};
 

@@ -77,10 +77,108 @@ std::vector<accel::VoltageTrace> blind_attack_traces(const Platform& platform,
     return traces;
 }
 
+namespace {
+
+/// The one parallel per-image evaluation loop behind every accuracy
+/// entry point (plain, blind multi-trace, defended). Image i uses trace
+/// i % traces.size() (none when empty = clean), a per-image RNG derived
+/// from the image index alone, and — when `golden` covers it — the
+/// golden-cache elision tiers:
+///   tier 1 (fault-free short-circuit): a plan with no unsafe window
+///     cannot fault, so the result is the cached golden label with zero
+///     faults and no inference at all;
+///   tier 2 (golden-elided inference): AccelEngine::run_elided skips
+///     still-golden safe layers and recomputes only window-touched
+///     element ranges.
+/// Neither tier touches the fault RNG stream (it is only drawn inside
+/// unsafe windows), so results are byte-identical with the cache on or
+/// off, at any thread count.
+AccuracyResult evaluate_images(const Platform& platform, const data::Dataset& dataset,
+                               std::size_t n_images,
+                               const std::vector<accel::VoltageTrace>& traces,
+                               const std::vector<accel::OverlayPlan>* plans,
+                               const std::vector<bool>* throttle,
+                               std::uint64_t fault_seed, const GoldenStore* golden) {
+    trace::Span span("evaluate", "experiment");
+    if (metrics::enabled()) {
+        metrics::counter("eval.images", "images",
+                         "images classified during accuracy evaluation")
+            .add(n_images);
+    }
+
+    // The short-circuit decision depends on the plan alone; take it once
+    // per trace, not once per image.
+    const std::size_t n_traces = traces.size();
+    std::vector<std::uint8_t> plan_unsafe(n_traces, 0);
+    for (std::size_t t = 0; t < n_traces; ++t) {
+        plan_unsafe[t] = (*plans)[t].any_unsafe() ? 1 : 0;
+    }
+
+    AccuracyResult result;
+    result.images = n_images;
+    // Per-image work is independent (the engine is immutable and the RNG is
+    // per-image), so evaluate across threads and reduce. Seeds derive from
+    // the image index alone — results are bit-identical at any thread count.
+    std::vector<std::uint8_t> correct(n_images, 0);
+    std::vector<std::uint8_t> shortcircuit(n_images, 0);
+    std::vector<std::size_t> prefix_skipped(n_images, 0);
+    std::vector<accel::FaultCounts> faults(n_images);
+    parallel_for(n_images, [&](std::size_t i) {
+        const accel::VoltageTrace* trace =
+            n_traces == 0 ? nullptr : &traces[i % n_traces];
+        const accel::OverlayPlan* plan =
+            n_traces == 0 ? nullptr : &(*plans)[i % n_traces];
+        const GoldenEntry* entry =
+            golden != nullptr && i < golden->size() ? &golden->entries[i] : nullptr;
+        if (entry != nullptr && (plan == nullptr || plan_unsafe[i % n_traces] == 0)) {
+            correct[i] = entry->predicted == dataset.labels[i] ? 1 : 0;
+            shortcircuit[i] = 1;
+            return;
+        }
+        Rng fault_rng(derive_seed(fault_seed, i));
+        if (entry != nullptr) {
+            const accel::RunResult run = platform.infer_elided(
+                entry->qimage, entry->activations, trace, fault_rng, *plan, throttle,
+                &entry->accumulators);
+            faults[i] = run.faults_total;
+            correct[i] = run.predicted == dataset.labels[i] ? 1 : 0;
+            prefix_skipped[i] = run.golden_layers_reused;
+            return;
+        }
+        const QTensor qimage = quant::quantize_image(dataset.images[i]);
+        const accel::RunResult run =
+            platform.infer(qimage, trace, fault_rng, throttle, plan);
+        faults[i] = run.faults_total;
+        correct[i] = run.predicted == dataset.labels[i] ? 1 : 0;
+    });
+    std::size_t n_correct = 0;
+    std::uint64_t n_shortcircuit = 0;
+    std::uint64_t n_prefix = 0;
+    for (std::size_t i = 0; i < n_images; ++i) {
+        n_correct += correct[i];
+        n_shortcircuit += shortcircuit[i];
+        n_prefix += prefix_skipped[i];
+        result.faults += faults[i];
+    }
+    result.accuracy = static_cast<double>(n_correct) / static_cast<double>(n_images);
+    if (metrics::enabled() && golden != nullptr) {
+        metrics::counter("eval.golden_cache.shortcircuits", "images",
+                         "images answered by the golden label without inference")
+            .add(n_shortcircuit);
+        metrics::counter("eval.prefix_layers_skipped", "layers",
+                         "still-golden layers elided during cached inference")
+            .add(n_prefix);
+    }
+    return result;
+}
+
+} // namespace
+
 AccuracyResult evaluate_accuracy(const Platform& platform, const data::Dataset& dataset,
                                  std::size_t n_images, const accel::VoltageTrace* trace,
                                  std::uint64_t fault_seed,
-                                 const accel::OverlayPlan* plan) {
+                                 const accel::OverlayPlan* plan,
+                                 const GoldenStore* golden) {
     std::vector<accel::VoltageTrace> traces;
     std::vector<accel::OverlayPlan> plans;
     if (trace != nullptr) {
@@ -88,7 +186,7 @@ AccuracyResult evaluate_accuracy(const Platform& platform, const data::Dataset& 
         if (plan != nullptr) plans.push_back(*plan);
     }
     return evaluate_accuracy_multi(platform, dataset, n_images, traces, fault_seed,
-                                   plans.empty() ? nullptr : &plans);
+                                   plans.empty() ? nullptr : &plans, golden);
 }
 
 AccuracyResult evaluate_accuracy_multi(const Platform& platform,
@@ -96,7 +194,8 @@ AccuracyResult evaluate_accuracy_multi(const Platform& platform,
                                        std::size_t n_images,
                                        const std::vector<accel::VoltageTrace>& traces,
                                        std::uint64_t fault_seed,
-                                       const std::vector<accel::OverlayPlan>* plans) {
+                                       const std::vector<accel::OverlayPlan>* plans,
+                                       const GoldenStore* golden) {
     expects(dataset.size() > 0, "evaluate_accuracy: non-empty dataset");
     n_images = std::min(n_images, dataset.size());
     expects(n_images > 0, "evaluate_accuracy: at least one image");
@@ -113,40 +212,8 @@ AccuracyResult evaluate_accuracy_multi(const Platform& platform,
         }
         plans = &local_plans;
     }
-
-    trace::Span span("evaluate", "experiment");
-    if (metrics::enabled()) {
-        metrics::counter("eval.images", "images",
-                         "images classified during accuracy evaluation")
-            .add(n_images);
-    }
-
-    AccuracyResult result;
-    result.images = n_images;
-    // Per-image work is independent (the engine is immutable and the RNG is
-    // per-image), so evaluate across threads and reduce. Seeds derive from
-    // the image index alone — results are bit-identical at any thread count.
-    std::vector<std::uint8_t> correct(n_images, 0);
-    std::vector<accel::FaultCounts> faults(n_images);
-    parallel_for(n_images, [&](std::size_t i) {
-        const accel::VoltageTrace* trace =
-            traces.empty() ? nullptr : &traces[i % traces.size()];
-        const accel::OverlayPlan* plan =
-            traces.empty() ? nullptr : &(*plans)[i % traces.size()];
-        Rng fault_rng(derive_seed(fault_seed, i));
-        const QTensor qimage = quant::quantize_image(dataset.images[i]);
-        const accel::RunResult run =
-            platform.infer(qimage, trace, fault_rng, nullptr, plan);
-        faults[i] = run.faults_total;
-        correct[i] = run.predicted == dataset.labels[i] ? 1 : 0;
-    });
-    std::size_t n_correct = 0;
-    for (std::size_t i = 0; i < n_images; ++i) {
-        n_correct += correct[i];
-        result.faults += faults[i];
-    }
-    result.accuracy = static_cast<double>(n_correct) / static_cast<double>(n_images);
-    return result;
+    return evaluate_images(platform, dataset, n_images, traces, plans, nullptr,
+                           fault_seed, golden);
 }
 
 std::vector<RepeatedInferenceStats> simulate_repeated_inferences(
@@ -177,36 +244,20 @@ AccuracyResult evaluate_accuracy_defended(const Platform& platform,
                                           const accel::VoltageTrace& trace,
                                           const std::vector<bool>& throttle,
                                           std::uint64_t fault_seed,
-                                          const accel::OverlayPlan* plan) {
+                                          const accel::OverlayPlan* plan,
+                                          const GoldenStore* golden) {
     expects(dataset.size() > 0, "evaluate_accuracy_defended: non-empty dataset");
     n_images = std::min(n_images, dataset.size());
     expects(n_images > 0, "evaluate_accuracy_defended: at least one image");
 
-    accel::OverlayPlan local_plan;
-    if (plan == nullptr) {
-        local_plan = platform.engine().plan_overlay(&trace);
-        plan = &local_plan;
-    }
-
-    AccuracyResult result;
-    result.images = n_images;
-    std::vector<std::uint8_t> correct(n_images, 0);
-    std::vector<accel::FaultCounts> faults(n_images);
-    parallel_for(n_images, [&](std::size_t i) {
-        Rng fault_rng(derive_seed(fault_seed, i));
-        const QTensor qimage = quant::quantize_image(dataset.images[i]);
-        const accel::RunResult run =
-            platform.infer(qimage, &trace, fault_rng, &throttle, plan);
-        faults[i] = run.faults_total;
-        correct[i] = run.predicted == dataset.labels[i] ? 1 : 0;
-    });
-    std::size_t n_correct = 0;
-    for (std::size_t i = 0; i < n_images; ++i) {
-        n_correct += correct[i];
-        result.faults += faults[i];
-    }
-    result.accuracy = static_cast<double>(n_correct) / static_cast<double>(n_images);
-    return result;
+    // The throttle suppresses fault evaluation inside windows but never
+    // adds windows, so the golden elision tiers stay valid: a throttled op
+    // draws no RNG exactly as the uncached path would draw none.
+    std::vector<accel::VoltageTrace> traces{trace};
+    std::vector<accel::OverlayPlan> plans;
+    plans.push_back(plan != nullptr ? *plan : platform.engine().plan_overlay(&trace));
+    return evaluate_images(platform, dataset, n_images, traces, &plans, &throttle,
+                           fault_seed, golden);
 }
 
 DspRigResult run_dsp_characterization(std::size_t n_striker_cells,

@@ -8,6 +8,7 @@
 
 #include "attack/profiler.hpp"
 #include "data/synth_mnist.hpp"
+#include "sim/golden_cache.hpp"
 #include "sim/platform.hpp"
 
 namespace deepstrike::sim {
@@ -54,10 +55,14 @@ struct AccuracyResult {
 /// dataset; fault randomness is seeded per-image from `fault_seed`.
 /// `plan` optionally supplies the precomputed fault overlay for `trace`;
 /// when omitted it is computed once here (not once per image).
+/// `golden` optionally supplies a golden evaluation store covering the
+/// images (sim::GoldenCache); results are byte-identical with or without
+/// it — it only elides work the golden activations already answer.
 AccuracyResult evaluate_accuracy(const Platform& platform, const data::Dataset& dataset,
                                  std::size_t n_images, const accel::VoltageTrace* trace,
                                  std::uint64_t fault_seed,
-                                 const accel::OverlayPlan* plan = nullptr);
+                                 const accel::OverlayPlan* plan = nullptr,
+                                 const GoldenStore* golden = nullptr);
 
 /// Blind variant: image i uses trace i % traces.size(). `plans`, when
 /// given, must hold one overlay per trace (same indexing); otherwise the
@@ -68,17 +73,21 @@ AccuracyResult evaluate_accuracy_multi(const Platform& platform,
                                        const std::vector<accel::VoltageTrace>& traces,
                                        std::uint64_t fault_seed,
                                        const std::vector<accel::OverlayPlan>* plans =
-                                           nullptr);
+                                           nullptr,
+                                       const GoldenStore* golden = nullptr);
 
 /// Defended variant: the per-cycle throttle mask (defense::run_monitor)
-/// suppresses DSP fault evaluation in throttled cycles.
+/// suppresses DSP fault evaluation in throttled cycles. Shares the same
+/// parallel per-image loop (derive_seed per image, one-time overlay-plan
+/// construction, golden-cache elision) as evaluate_accuracy_multi.
 AccuracyResult evaluate_accuracy_defended(const Platform& platform,
                                           const data::Dataset& dataset,
                                           std::size_t n_images,
                                           const accel::VoltageTrace& trace,
                                           const std::vector<bool>& throttle,
                                           std::uint64_t fault_seed,
-                                          const accel::OverlayPlan* plan = nullptr);
+                                          const accel::OverlayPlan* plan = nullptr,
+                                          const GoldenStore* golden = nullptr);
 
 // --------------------------------------------- repeated inferences
 

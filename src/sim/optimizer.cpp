@@ -51,8 +51,14 @@ OptimizedPlan optimize_strike_allocation(const Platform& platform,
     const double spc = platform.config().samples_per_cycle();
 
     OptimizedPlan plan;
-    const AccuracyResult clean = evaluate_accuracy(
-        platform, test_set, config.pilot_images, nullptr, config.fault_seed);
+    // Every pilot below evaluates the same image slice against the same
+    // weights; one golden store covers the clean baseline and all pilots.
+    GoldenCache golden_cache;
+    const std::shared_ptr<const GoldenStore> golden = golden_cache.ensure(
+        platform.engine().network(), test_set, config.pilot_images);
+    const AccuracyResult clean =
+        evaluate_accuracy(platform, test_set, config.pilot_images, nullptr,
+                          config.fault_seed, nullptr, golden.get());
     plan.pilot_clean = clean.accuracy;
 
     // Pilot: estimate per-strike damage for every segment.
@@ -73,8 +79,9 @@ OptimizedPlan optimize_strike_allocation(const Platform& platform,
             attack::plan_attack(seg, profiling.trigger_sample, spc, pilot_n);
         const accel::VoltageTrace trace =
             guided_attack_trace(platform, config.detector, scheme);
-        const AccuracyResult res = evaluate_accuracy(
-            platform, test_set, config.pilot_images, &trace, config.fault_seed);
+        const AccuracyResult res =
+            evaluate_accuracy(platform, test_set, config.pilot_images, &trace,
+                              config.fault_seed, nullptr, golden.get());
         alloc.pilot_drop_per_strike =
             std::max(0.0, clean.accuracy - res.accuracy) /
             static_cast<double>(pilot_n);

@@ -142,4 +142,13 @@ accel::RunResult Platform::infer(const QTensor& image, const accel::VoltageTrace
     return engine_.run(image, voltage, fault_rng, throttle, plan);
 }
 
+accel::RunResult Platform::infer_elided(
+    const QTensor& image, const std::vector<QTensor>& golden_layers,
+    const accel::VoltageTrace* voltage, Rng& fault_rng,
+    const accel::OverlayPlan& plan, const std::vector<bool>* throttle,
+    const std::vector<std::vector<fx::Acc>>* golden_accs) const {
+    return engine_.run_elided(image, golden_layers, voltage, fault_rng, plan, throttle,
+                              golden_accs);
+}
+
 } // namespace deepstrike::sim

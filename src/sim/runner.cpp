@@ -128,6 +128,13 @@ std::size_t SweepRunner::trace_cache_size() const {
     return cache_.size();
 }
 
+std::shared_ptr<const GoldenStore> SweepRunner::golden_view(
+    const data::Dataset& dataset, std::size_t n_images) {
+    expects(platform_ != nullptr,
+            "SweepRunner::golden_view: platform-bound runner required");
+    return golden_cache_.ensure(platform_->engine().network(), dataset, n_images);
+}
+
 std::shared_ptr<SweepRunner::CacheEntry> SweepRunner::lookup(std::uint64_t key,
                                                              bool& creator) {
     std::lock_guard<std::mutex> lock(cache_mutex_);

@@ -376,6 +376,10 @@ int cmd_campaign(const std::vector<std::string>& args) {
                     "resume from the --journal file: validate its fingerprint, "
                     "skip completed points, rerun only the remainder");
     parser.add_flag("no-blind", "skip the blind baseline");
+    parser.add_flag("no-golden-cache",
+                    "evaluate every image from scratch instead of eliding "
+                    "fault-free work against the golden cache (reports are "
+                    "byte-identical either way)");
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
         std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
@@ -393,6 +397,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
     cfg.strike_grid = parser.option_uint_list("strikes");
     cfg.eval_images = parser.option_uint("images");
     if (parser.flag("no-blind")) cfg.blind_offsets = 0;
+    cfg.golden_cache = !parser.flag("no-golden-cache");
     cfg.journal_path = parser.option("journal");
     cfg.resume = parser.flag("resume");
     cfg.max_point_retries = parser.option_uint("retries");
