@@ -65,7 +65,7 @@ int main() {
     for (double noise : {0.3, 0.5, 0.8, 1.2, 1.8}) {
         sim::PlatformConfig cfg;
         cfg.tdc.noise_sigma_stages = noise;
-        sim::Platform platform(cfg, tp.qweights);
+        sim::Platform platform(cfg, tp.qnet);
 
         Recorder rec;
         platform.simulate_inference(rec);

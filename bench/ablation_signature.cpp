@@ -55,7 +55,7 @@ int main() {
         sim::PlatformConfig cfg;
         cfg.tdc.noise_sigma_stages = noise;
         cfg.tdc_noise_seed = 31337; // fresh noise, same board
-        sim::Platform platform(cfg, tp.qweights);
+        sim::Platform platform(cfg, tp.qnet);
         const sim::ProfilingRun run = sim::run_profiling(platform);
 
         // Align found segments to ground-truth layers by midpoint so that

@@ -10,7 +10,8 @@
 #include <filesystem>
 #include <string>
 
-#include "nn/lenet.hpp"
+#include "accel/arch_profiles.hpp"
+#include "nn/zoo.hpp"
 #include "sim/experiment.hpp"
 #include "sim/platform.hpp"
 #include "util/csv.hpp"
@@ -18,9 +19,10 @@
 
 namespace deepstrike::bench {
 
-/// Training spec used by all benches (one shared weight cache).
-inline nn::LeNetTrainSpec paper_train_spec() {
-    nn::LeNetTrainSpec spec;
+/// Training spec used by all benches (one shared weight cache): the
+/// paper-scale LeNet-5 victim.
+inline nn::ZooTrainSpec paper_train_spec() {
+    nn::ZooTrainSpec spec = nn::zoo_spec(nn::Architecture::LeNet5);
     spec.data_seed = 42;
     spec.train_size = 4000;
     spec.test_size = 1000;
@@ -31,29 +33,31 @@ inline nn::LeNetTrainSpec paper_train_spec() {
 }
 
 struct TrainedPlatform {
-    nn::TrainedLeNet trained;
-    quant::QLeNetWeights qweights;
+    nn::TrainedModel trained;
+    quant::QNetwork qnet;
     sim::Platform platform;
     data::Dataset test_set;
 
-    TrainedPlatform(nn::TrainedLeNet t, quant::QLeNetWeights q, data::Dataset test)
+    TrainedPlatform(nn::TrainedModel t, quant::QNetwork q, data::Dataset test)
         : trained(std::move(t)),
-          qweights(q),
+          qnet(q),
           platform(sim::PlatformConfig{}, std::move(q)),
           test_set(std::move(test)) {}
 };
 
 inline TrainedPlatform trained_platform() {
-    const nn::LeNetTrainSpec spec = paper_train_spec();
+    const nn::ZooTrainSpec spec = paper_train_spec();
     std::printf("[setup] loading/training LeNet-5 (%zu train / %zu test, %zu epochs)...\n",
                 spec.train_size, spec.test_size, spec.train_config.epochs);
     std::fflush(stdout);
-    nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
+    nn::TrainedModel trained = nn::train_or_load(spec);
     std::printf("[setup] float test accuracy: %.4f (%s)\n", trained.test_accuracy,
                 trained.loaded_from_cache ? "cache" : "fresh training");
-    quant::QLeNetWeights qw = quant::quantize_lenet(trained.net);
+    const nn::ArchitectureInfo& info = nn::architecture_info(spec.architecture);
+    quant::QNetwork qnet = quant::quantize_sequential(
+        trained.model, info.input_shape, {}, quant::quant_format_for(spec.architecture));
     data::Dataset test = data::make_datasets(spec.data_seed, 1, spec.test_size).test;
-    return TrainedPlatform(std::move(trained), std::move(qw), std::move(test));
+    return TrainedPlatform(std::move(trained), std::move(qnet), std::move(test));
 }
 
 /// Opens results/<name>.csv (creating the directory).

@@ -38,7 +38,7 @@ int main() {
     // TMR comparison platform: same board, same weights, voting DSPs.
     sim::PlatformConfig tmr_cfg;
     tmr_cfg.accel.tmr_protection = true;
-    sim::Platform tmr_platform(tmr_cfg, tp.qweights);
+    sim::Platform tmr_platform(tmr_cfg, tp.qnet);
 
     CsvWriter csv = bench::open_csv("ext_defense_monitor.csv");
     csv.row("strikes", "acc_undefended", "acc_throttle", "acc_tmr", "alarms",

@@ -19,7 +19,7 @@
 #include "data/synth_mnist.hpp"
 #include "host/frames.hpp"
 #include "pdn/pdn.hpp"
-#include "quant/qlenet.hpp"
+#include "quant/qnetwork.hpp"
 #include "sim/experiment.hpp"
 #include "sim/golden_cache.hpp"
 #include "sim/journal.hpp"
@@ -38,9 +38,8 @@ namespace ds = deepstrike;
 
 namespace {
 
-ds::quant::QLeNetWeights bench_weights() {
+ds::quant::QNetwork bench_weights() {
     ds::Rng rng(4242);
-    ds::quant::QLeNetWeights w;
     auto fill = [&rng](ds::Shape shape, double range) {
         ds::QTensor t(shape);
         for (std::size_t i = 0; i < t.size(); ++i) {
@@ -48,15 +47,20 @@ ds::quant::QLeNetWeights bench_weights() {
         }
         return t;
     };
-    w.conv1_w = fill({6, 1, 5, 5}, 0.5);
-    w.conv1_b = fill({6}, 0.2);
-    w.conv2_w = fill({16, 6, 5, 5}, 0.4);
-    w.conv2_b = fill({16}, 0.2);
-    w.fc1_w = fill({120, 1024}, 0.2);
-    w.fc1_b = fill({120}, 0.2);
-    w.fc2_w = fill({10, 120}, 0.3);
-    w.fc2_b = fill({10}, 0.2);
-    return w;
+    using ds::quant::Activation;
+    using ds::quant::QLayerKind;
+    ds::quant::QNetwork net;
+    net.input_shape = ds::Shape{1, 28, 28};
+    net.layers.emplace_back(QLayerKind::Conv, "CONV1", fill({6, 1, 5, 5}, 0.5),
+                            fill({6}, 0.2), Activation::Tanh);
+    net.layers.emplace_back(QLayerKind::Pool2, "POOL1", ds::QTensor(), ds::QTensor());
+    net.layers.emplace_back(QLayerKind::Conv, "CONV2", fill({16, 6, 5, 5}, 0.4),
+                            fill({16}, 0.2), Activation::Tanh);
+    net.layers.emplace_back(QLayerKind::Dense, "FC1", fill({120, 1024}, 0.2),
+                            fill({120}, 0.2), Activation::Tanh);
+    net.layers.emplace_back(QLayerKind::Dense, "FC2", fill({10, 120}, 0.3),
+                            fill({10}, 0.2), Activation::None);
+    return net;
 }
 
 ds::QTensor bench_image() {
@@ -127,20 +131,21 @@ void BM_DetectorSample(benchmark::State& state) {
 BENCHMARK(BM_DetectorSample);
 
 void BM_QConv2dLayer(benchmark::State& state) {
-    const ds::quant::QLeNetWeights w = bench_weights();
+    const ds::quant::QNetwork net = bench_weights();
+    const ds::quant::QLayer& conv1 = net.layer("CONV1");
     const ds::QTensor img = bench_image();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            ds::quant::qconv2d(img, w.conv1_w, w.conv1_b, true));
+            ds::quant::qconv2d(img, conv1.weight, conv1.bias, true));
     }
 }
 BENCHMARK(BM_QConv2dLayer);
 
 void BM_GoldenInference(benchmark::State& state) {
-    const ds::quant::QLeNetReference ref(bench_weights());
+    const ds::quant::QNetwork net = bench_weights();
     const ds::QTensor img = bench_image();
     for (auto _ : state) {
-        benchmark::DoNotOptimize(ref.forward(img).logits);
+        benchmark::DoNotOptimize(net.forward(img));
     }
 }
 BENCHMARK(BM_GoldenInference);

@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "quant/qlenet.hpp"
+#include "quant/qnetwork.hpp"
 
 using namespace deepstrike;
 
@@ -14,8 +14,7 @@ int main() {
 
     // Accuracies: float reference, bit-exact quantized reference, and the
     // cycle-level accelerator (fault-free).
-    const quant::QLeNetReference qref(tp.qweights);
-    const double qacc = qref.evaluate_accuracy(tp.test_set);
+    const double qacc = tp.qnet.evaluate_accuracy(tp.test_set);
     const sim::AccuracyResult accel_clean =
         sim::evaluate_accuracy(tp.platform, tp.test_set, tp.test_set.size(), nullptr, 1);
 

@@ -7,16 +7,21 @@
 namespace deepstrike::bench {
 
 inline quant::QNetwork lenet_geometry_network() {
-    quant::QLeNetWeights w;
-    w.conv1_w = QTensor(Shape{6, 1, 5, 5});
-    w.conv1_b = QTensor(Shape{6});
-    w.conv2_w = QTensor(Shape{16, 6, 5, 5});
-    w.conv2_b = QTensor(Shape{16});
-    w.fc1_w = QTensor(Shape{120, 1024});
-    w.fc1_b = QTensor(Shape{120});
-    w.fc2_w = QTensor(Shape{10, 120});
-    w.fc2_b = QTensor(Shape{10});
-    return quant::lenet_qnetwork(w);
+    using quant::Activation;
+    using quant::QLayer;
+    using quant::QLayerKind;
+    quant::QNetwork net;
+    net.input_shape = Shape{1, 28, 28};
+    net.layers.emplace_back(QLayerKind::Conv, "CONV1", QTensor(Shape{6, 1, 5, 5}),
+                            QTensor(Shape{6}), Activation::Tanh);
+    net.layers.emplace_back(QLayerKind::Pool2, "POOL1", QTensor(), QTensor());
+    net.layers.emplace_back(QLayerKind::Conv, "CONV2", QTensor(Shape{16, 6, 5, 5}),
+                            QTensor(Shape{16}), Activation::Tanh);
+    net.layers.emplace_back(QLayerKind::Dense, "FC1", QTensor(Shape{120, 1024}),
+                            QTensor(Shape{120}), Activation::Tanh);
+    net.layers.emplace_back(QLayerKind::Dense, "FC2", QTensor(Shape{10, 120}),
+                            QTensor(Shape{10}), Activation::None);
+    return net;
 }
 
 } // namespace deepstrike::bench

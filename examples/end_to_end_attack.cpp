@@ -14,8 +14,8 @@
 
 #include "host/controller.hpp"
 #include "host/scheme_file.hpp"
-#include "nn/lenet.hpp"
-#include "quant/qlenet.hpp"
+#include "nn/zoo.hpp"
+#include "quant/qnetwork.hpp"
 #include "sim/device_agent.hpp"
 #include "sim/experiment.hpp"
 #include "util/log.hpp"
@@ -26,12 +26,12 @@ int main() {
     Log::set_level(LogLevel::Info);
 
     // --- Victim deployment (what the adversary does NOT control) --------
-    nn::LeNetTrainSpec spec;
+    nn::ZooTrainSpec spec = nn::zoo_spec(nn::Architecture::LeNet5);
     spec.train_size = 3000;
     spec.test_size = 600;
     spec.train_config.epochs = 4;
-    const nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
-    sim::Platform platform(sim::PlatformConfig{}, quant::quantize_lenet(trained.net));
+    nn::TrainedModel trained = nn::train_or_load(spec);
+    sim::Platform platform(sim::PlatformConfig{}, quant::quantize_sequential(trained.model, Shape{1, 28, 28}));
     const data::Dataset test = data::make_datasets(spec.data_seed, 1, 600).test;
 
     // --- Attacker infrastructure ----------------------------------------

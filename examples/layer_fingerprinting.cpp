@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "attack/signature.hpp"
-#include "nn/lenet.hpp"
+#include "nn/zoo.hpp"
 #include "quant/qnetwork.hpp"
 #include "sim/experiment.hpp"
 #include "util/log.hpp"
@@ -15,12 +15,13 @@ using namespace deepstrike;
 int main() {
     Log::set_level(LogLevel::Info);
 
-    nn::LeNetTrainSpec spec;
+    nn::ZooTrainSpec spec = nn::zoo_spec(nn::Architecture::LeNet5);
     spec.train_size = 3000;
     spec.test_size = 600;
     spec.train_config.epochs = 4;
-    const nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
-    const quant::QLeNetWeights qw = quant::quantize_lenet(trained.net);
+    nn::TrainedModel trained = nn::train_or_load(spec);
+    const quant::QNetwork qw =
+        quant::quantize_sequential(trained.model, Shape{1, 28, 28});
 
     // --- Session 1: build the signature library ------------------------
     sim::Platform platform(sim::PlatformConfig{}, qw);

@@ -13,9 +13,9 @@
 #include "attack/detector.hpp"
 #include "attack/profiler.hpp"
 #include "accel/schedule.hpp"
-#include "nn/lenet.hpp"
+#include "nn/zoo.hpp"
 #include "pdn/pdn.hpp"
-#include "quant/qlenet.hpp"
+#include "quant/qnetwork.hpp"
 #include "tdc/tdc.hpp"
 #include "util/log.hpp"
 
@@ -42,11 +42,11 @@ struct BackgroundTenant {
 int main() {
     Log::set_level(LogLevel::Info);
 
-    nn::LeNetTrainSpec spec;
+    nn::ZooTrainSpec spec = nn::zoo_spec(nn::Architecture::LeNet5);
     spec.train_size = 3000;
     spec.test_size = 600;
     spec.train_config.epochs = 4;
-    const nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
+    nn::TrainedModel trained = nn::train_or_load(spec);
 
     const accel::AccelConfig acfg = accel::AccelConfig::pynq_z1();
     const accel::Schedule sched = accel::build_lenet_schedule(acfg);

@@ -26,7 +26,7 @@ namespace {
 // Untrained-but-plausible weights: the electrical/timing story this demo
 // observes is identical for a trained network, and skipping training keeps
 // the demo instant.
-quant::QLeNetWeights demo_qweights(std::uint64_t seed) {
+quant::QNetwork demo_qweights(std::uint64_t seed) {
     Rng rng(seed);
     const auto t = [&rng](Shape shape, double max_real) {
         QTensor q(shape);
@@ -35,16 +35,20 @@ quant::QLeNetWeights demo_qweights(std::uint64_t seed) {
         }
         return q;
     };
-    quant::QLeNetWeights w;
-    w.conv1_w = t(Shape{6, 1, 5, 5}, 0.5);
-    w.conv1_b = t(Shape{6}, 0.25);
-    w.conv2_w = t(Shape{16, 6, 5, 5}, 0.35);
-    w.conv2_b = t(Shape{16}, 0.25);
-    w.fc1_w = t(Shape{120, 1024}, 0.2);
-    w.fc1_b = t(Shape{120}, 0.25);
-    w.fc2_w = t(Shape{10, 120}, 0.3);
-    w.fc2_b = t(Shape{10}, 0.25);
-    return w;
+    using quant::Activation;
+    using quant::QLayerKind;
+    quant::QNetwork net;
+    net.input_shape = Shape{1, 28, 28};
+    net.layers.emplace_back(QLayerKind::Conv, "CONV1", t(Shape{6, 1, 5, 5}, 0.5),
+                            t(Shape{6}, 0.25), Activation::Tanh);
+    net.layers.emplace_back(QLayerKind::Pool2, "POOL1", QTensor(), QTensor());
+    net.layers.emplace_back(QLayerKind::Conv, "CONV2", t(Shape{16, 6, 5, 5}, 0.35),
+                            t(Shape{16}, 0.25), Activation::Tanh);
+    net.layers.emplace_back(QLayerKind::Dense, "FC1", t(Shape{120, 1024}, 0.2),
+                            t(Shape{120}, 0.25), Activation::Tanh);
+    net.layers.emplace_back(QLayerKind::Dense, "FC2", t(Shape{10, 120}, 0.3),
+                            t(Shape{10}, 0.25), Activation::None);
+    return net;
 }
 
 } // namespace

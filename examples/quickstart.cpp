@@ -10,8 +10,8 @@
 #include <cstdio>
 
 #include "data/synth_mnist.hpp"
-#include "nn/lenet.hpp"
-#include "quant/qlenet.hpp"
+#include "nn/zoo.hpp"
+#include "quant/qnetwork.hpp"
 #include "sim/platform.hpp"
 #include "util/log.hpp"
 
@@ -21,25 +21,25 @@ int main() {
     Log::set_level(LogLevel::Info);
 
     // 1. Train once (cached under ./.deepstrike_cache afterwards).
-    nn::LeNetTrainSpec spec;
+    nn::ZooTrainSpec spec = nn::zoo_spec(nn::Architecture::LeNet5);
     spec.train_size = 3000;
     spec.test_size = 600;
     spec.train_config.epochs = 4;
-    const nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
+    nn::TrainedModel trained = nn::train_or_load(spec);
     std::printf("float LeNet-5 test accuracy: %.2f%%%s\n",
                 100.0 * trained.test_accuracy,
                 trained.loaded_from_cache ? " (from cache)" : "");
 
     // 2. Post-training quantization to the paper's datatype: 8-bit fixed
     //    point, 3 integer bits (Q3.4), tanh via lookup table.
-    const quant::QLeNetWeights qweights = quant::quantize_lenet(trained.net);
-    const quant::QLeNetReference golden(qweights);
+    const quant::QNetwork golden =
+        quant::quantize_sequential(trained.model, Shape{1, 28, 28});
     const data::Dataset test = data::make_datasets(spec.data_seed, 1, spec.test_size).test;
     std::printf("quantized (Q3.4) accuracy:   %.2f%%\n",
                 100.0 * golden.evaluate_accuracy(test));
 
     // 3. Deploy on the cycle-level accelerator model and classify a digit.
-    sim::Platform platform(sim::PlatformConfig{}, qweights);
+    sim::Platform platform(sim::PlatformConfig{}, golden);
     const data::Sample sample = data::render_sample(12345, 3);
     std::printf("\ninput digit (label %zu):\n%s", sample.label,
                 data::ascii_art(sample.image).c_str());

@@ -9,8 +9,8 @@
 #include <cstdio>
 
 #include "attack/profiler.hpp"
-#include "nn/lenet.hpp"
-#include "quant/qlenet.hpp"
+#include "nn/zoo.hpp"
+#include "quant/qnetwork.hpp"
 #include "sim/experiment.hpp"
 #include "util/log.hpp"
 
@@ -19,12 +19,12 @@ using namespace deepstrike;
 int main() {
     Log::set_level(LogLevel::Info);
 
-    nn::LeNetTrainSpec spec;
+    nn::ZooTrainSpec spec = nn::zoo_spec(nn::Architecture::LeNet5);
     spec.train_size = 3000;
     spec.test_size = 600;
     spec.train_config.epochs = 4;
-    const nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
-    sim::Platform platform(sim::PlatformConfig{}, quant::quantize_lenet(trained.net));
+    nn::TrainedModel trained = nn::train_or_load(spec);
+    sim::Platform platform(sim::PlatformConfig{}, quant::quantize_sequential(trained.model, Shape{1, 28, 28}));
 
     std::printf("co-simulating one inference with the TDC sensor attached...\n");
     const sim::ProfilingRun prof = sim::run_profiling(platform);

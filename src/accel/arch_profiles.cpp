@@ -1,0 +1,60 @@
+#include "accel/arch_profiles.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike::accel {
+
+AccelConfig accel_config_for(nn::Architecture arch) {
+    switch (arch) {
+        case nn::Architecture::LeNet5:
+            // The paper's deployment, bit-for-bit: pynq_z1() defaults.
+            return AccelConfig::pynq_z1();
+        case nn::Architecture::MiniCnn: {
+            // Smaller conv array, narrower pooling datapath, tighter DMA
+            // gaps: the second pooling stage halves the feature maps early,
+            // so the designers traded array width for area.
+            AccelConfig cfg = AccelConfig::pynq_z1();
+            cfg.conv_dsp_count = 6;
+            cfg.pool_ops_per_cycle = 4;
+            cfg.inter_layer_stall_cycles = 450;
+            return cfg;
+        }
+        case nn::Architecture::Mlp: {
+            // No conv array at all: a wider FC streaming datapath, but
+            // longer DMA stalls (every layer streams its full weight matrix
+            // from DDR) and a heavier streaming current draw.
+            AccelConfig cfg = AccelConfig::pynq_z1();
+            cfg.conv_dsp_count = 1;
+            cfg.fc_dsp_count = 4;
+            cfg.inter_layer_stall_cycles = 800;
+            cfg.i_fc_stream_a = 0.030;
+            return cfg;
+        }
+        case nn::Architecture::Bnn: {
+            // DSP-light XNOR-popcount build: ±1×±1 products need no
+            // multiplier, so only a narrow DSP accumulation spine remains;
+            // issue is wide (LUT XNOR trees feed it), stalls are short
+            // (binary weights are 8x smaller to DMA) and the per-op current
+            // is below a true MAC's.
+            AccelConfig cfg = AccelConfig::pynq_z1();
+            cfg.conv_dsp_count = 4;
+            cfg.fc_dsp_count = 1;
+            cfg.pool_ops_per_cycle = 16;
+            cfg.inter_layer_stall_cycles = 300;
+            cfg.i_mac_unit_a = 0.0026;
+            return cfg;
+        }
+    }
+    throw ConfigError("accel_config_for: unknown architecture");
+}
+
+} // namespace deepstrike::accel
+
+namespace deepstrike::quant {
+
+QuantFormat quant_format_for(nn::Architecture arch) {
+    return nn::architecture_info(arch).binary_weights ? QuantFormat::Binary
+                                                      : QuantFormat::Q3_4;
+}
+
+} // namespace deepstrike::quant

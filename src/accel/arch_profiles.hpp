@@ -1,0 +1,29 @@
+// Per-architecture accelerator deployment profiles.
+//
+// Each zoo victim deploys on its own accelerator build: PE geometry,
+// inter-layer DMA stalls and activity constants differ per architecture,
+// so the TDC-visible layer signature and the unsafe-window geometry the
+// attacker recovers genuinely differ per victim — profiling LeNet-5 tells
+// the attacker nothing about the MLP tenant next door.
+//
+// LeNet5 maps to AccelConfig::pynq_z1() unchanged (the paper's deployment;
+// report bytes for the LeNet-5 campaign are invariant under this refactor).
+#pragma once
+
+#include "accel/config.hpp"
+#include "nn/zoo.hpp"
+
+namespace deepstrike::accel {
+
+/// The accelerator configuration an architecture deploys with.
+AccelConfig accel_config_for(nn::Architecture arch);
+
+} // namespace deepstrike::accel
+
+namespace deepstrike::quant {
+
+/// The weight format an architecture deploys with (Binary for BNN victims,
+/// Q3_4 otherwise) — from the zoo table's binary_weights flag.
+QuantFormat quant_format_for(nn::Architecture arch);
+
+} // namespace deepstrike::quant

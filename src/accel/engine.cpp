@@ -209,10 +209,6 @@ AccelEngine::AccelEngine(quant::QNetwork network, const AccelConfig& config,
     pool_safe_v_ = pool_logic_.safe_voltage(delay_);
 }
 
-AccelEngine::AccelEngine(const quant::QLeNetWeights& weights, const AccelConfig& config,
-                         std::uint64_t variation_seed)
-    : AccelEngine(quant::lenet_qnetwork(weights), config, variation_seed) {}
-
 bool AccelEngine::segment_under_voltage(const LayerSegment& seg,
                                         const VoltageTrace* voltage,
                                         double safe_v) const {

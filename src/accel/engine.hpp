@@ -82,10 +82,6 @@ public:
     AccelEngine(quant::QNetwork network, const AccelConfig& config,
                 std::uint64_t variation_seed);
 
-    /// Convenience: the paper's LeNet-5 victim.
-    AccelEngine(const quant::QLeNetWeights& weights, const AccelConfig& config,
-                std::uint64_t variation_seed);
-
     const Schedule& schedule() const { return schedule_; }
     const AccelConfig& config() const { return config_; }
     const quant::QNetwork& network() const { return network_; }

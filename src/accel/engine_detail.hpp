@@ -11,7 +11,7 @@
 #include "accel/config.hpp"
 #include "accel/dsp.hpp"
 #include "fx/fixed.hpp"
-#include "quant/qlenet.hpp"
+#include "quant/kernels.hpp"
 #include "quant/qnetwork.hpp"
 
 namespace deepstrike::accel::detail {
@@ -34,6 +34,7 @@ inline fx::Q3_4 apply_activation(fx::Q3_4 v, quant::Activation activation) {
         case quant::Activation::None: return v;
         case quant::Activation::Tanh: return fx::TanhLut::instance()(v);
         case quant::Activation::Relu: return quant::qrelu(v);
+        case quant::Activation::Sign: return quant::qsign(v);
     }
     return v;
 }

@@ -116,16 +116,22 @@ Schedule build_schedule(const quant::QNetwork& network, const AccelConfig& confi
 Schedule build_lenet_schedule(const AccelConfig& config) {
     // Geometry-only LeNet-5 (zero weights): scheduling depends on shapes,
     // not values.
-    quant::QLeNetWeights w;
-    w.conv1_w = QTensor(Shape{6, 1, 5, 5});
-    w.conv1_b = QTensor(Shape{6});
-    w.conv2_w = QTensor(Shape{16, 6, 5, 5});
-    w.conv2_b = QTensor(Shape{16});
-    w.fc1_w = QTensor(Shape{120, 1024});
-    w.fc1_b = QTensor(Shape{120});
-    w.fc2_w = QTensor(Shape{10, 120});
-    w.fc2_b = QTensor(Shape{10});
-    return build_schedule(quant::lenet_qnetwork(w), config);
+    using quant::Activation;
+    using quant::QLayerKind;
+    quant::QNetwork net;
+    net.input_shape = Shape{1, 28, 28};
+    net.layers = {
+        {QLayerKind::Conv, "CONV1", QTensor(Shape{6, 1, 5, 5}), QTensor(Shape{6}),
+         Activation::Tanh},
+        {QLayerKind::Pool2, "POOL1", {}, {}, Activation::None},
+        {QLayerKind::Conv, "CONV2", QTensor(Shape{16, 6, 5, 5}), QTensor(Shape{16}),
+         Activation::Tanh},
+        {QLayerKind::Dense, "FC1", QTensor(Shape{120, 1024}), QTensor(Shape{120}),
+         Activation::Tanh},
+        {QLayerKind::Dense, "FC2", QTensor(Shape{10, 120}), QTensor(Shape{10}),
+         Activation::None},
+    };
+    return build_schedule(net, config);
 }
 
 std::vector<double> activity_current_trace(const Schedule& schedule,

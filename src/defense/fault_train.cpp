@@ -1,0 +1,183 @@
+#include "defense/fault_train.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace deepstrike::defense {
+
+namespace {
+
+/// SGD with classical momentum, mirroring nn::train's update rule so a
+/// fault-aware run differs from the baseline only in its objective.
+class SgdOptimizer {
+public:
+    SgdOptimizer(std::vector<nn::Parameter*> params, double momentum)
+        : params_(std::move(params)), momentum_(momentum) {
+        velocities_.reserve(params_.size());
+        for (nn::Parameter* p : params_) {
+            velocities_.emplace_back(p->value.shape(), 0.0f);
+        }
+    }
+
+    void step(double lr, double inv_batch) {
+        for (std::size_t i = 0; i < params_.size(); ++i) {
+            nn::Parameter& p = *params_[i];
+            FloatTensor& v = velocities_[i];
+            for (std::size_t j = 0; j < p.value.size(); ++j) {
+                const float g = p.grad.at_unchecked(j) * static_cast<float>(inv_batch);
+                const float vel = static_cast<float>(momentum_) * v.at_unchecked(j) -
+                                  static_cast<float>(lr) * g;
+                v.at_unchecked(j) = vel;
+                p.value.at_unchecked(j) += vel;
+            }
+        }
+    }
+
+private:
+    std::vector<nn::Parameter*> params_;
+    std::vector<FloatTensor> velocities_;
+    double momentum_;
+};
+
+/// Corrupts a fraction of `x` in place with a saturating positive bias on
+/// the tensor's own power-of-two grid (an MSB set on an 8-bit fixed-point
+/// representation whose range just covers max|x|). Returns the keep-mask:
+/// 1 where untouched, 0 where faulted. Empty mask means nothing faulted.
+FloatTensor inject_saturating_faults(FloatTensor& x, Rng& rng, double probability) {
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        max_abs = std::max(max_abs, std::abs(x.at_unchecked(i)));
+    }
+    if (max_abs <= 0.0f) return FloatTensor();
+    const float scale =
+        static_cast<float>(std::exp2(std::ceil(std::log2(static_cast<double>(max_abs)))));
+
+    FloatTensor mask(x.shape(), 1.0f);
+    bool any = false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (!rng.bernoulli(probability)) continue;
+        // The saturating bias equals the full-scale value (step * 2^7 on
+        // the 8-bit grid), then the result clamps to the representable
+        // range — matching the overlay's writeback saturation behaviour.
+        x.at_unchecked(i) =
+            std::clamp(x.at_unchecked(i) + scale, -scale, scale);
+        mask.at_unchecked(i) = 0.0f;
+        any = true;
+    }
+    return any ? mask : FloatTensor();
+}
+
+} // namespace
+
+std::vector<nn::EpochStats> fault_aware_train(nn::Sequential& model,
+                                              const data::Dataset& train_set,
+                                              const FaultTrainConfig& config) {
+    expects(train_set.size() > 0, "fault_aware_train: non-empty training set");
+    expects(config.base.batch_size > 0, "fault_aware_train: positive batch size");
+    expects(config.fault_loss_weight >= 0.0 && config.fault_loss_weight <= 1.0,
+            "fault_aware_train: fault_loss_weight in [0, 1]");
+    expects(config.inject_probability >= 0.0 && config.inject_probability <= 1.0,
+            "fault_aware_train: inject_probability in [0, 1]");
+
+    const double w_fault = config.fault_loss_weight;
+    const double w_clean = 1.0 - w_fault;
+    const std::size_t n_layers = model.layer_count();
+
+    SgdOptimizer optimizer(model.parameters(), config.base.momentum);
+    Rng shuffle_rng(config.base.shuffle_seed);
+    Rng fault_rng(config.fault_seed);
+    std::vector<std::size_t> order(train_set.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<nn::EpochStats> history;
+    double lr = config.base.learning_rate;
+
+    for (std::size_t epoch = 0; epoch < config.base.epochs; ++epoch) {
+        std::shuffle(order.begin(), order.end(), shuffle_rng);
+
+        double loss_sum = 0.0;
+        std::size_t correct = 0;
+
+        for (std::size_t start = 0; start < order.size();
+             start += config.base.batch_size) {
+            const std::size_t end =
+                std::min(start + config.base.batch_size, order.size());
+            model.zero_grad();
+            for (std::size_t i = start; i < end; ++i) {
+                const std::size_t idx = order[i];
+                const FloatTensor& image = train_set.images[idx];
+                const std::size_t label = train_set.labels[idx];
+
+                // Clean pass. Scaling dLoss/dLogits scales every parameter
+                // gradient downstream, so the clean share of the objective
+                // is applied at the loss boundary. The backward must run
+                // before the faulted forward overwrites the layer caches.
+                FloatTensor logits = model.forward(image);
+                if (argmax(logits) == label) ++correct;
+                nn::LossResult clean = nn::softmax_cross_entropy(logits, label);
+                loss_sum += clean.loss;
+                if (w_clean > 0.0) {
+                    FloatTensor g = clean.grad_logits;
+                    for (std::size_t j = 0; j < g.size(); ++j) {
+                        g.at_unchecked(j) *= static_cast<float>(w_clean);
+                    }
+                    model.backward(g);
+                }
+                if (w_fault <= 0.0) continue;
+
+                // Faulted pass: layer-by-layer forward with saturating
+                // bias faults on every intermediate activation (logits are
+                // left clean — corrupting the loss input directly teaches
+                // nothing about surviving upstream faults).
+                std::vector<FloatTensor> masks(n_layers);
+                FloatTensor x = image;
+                for (std::size_t l = 0; l < n_layers; ++l) {
+                    x = model.layer(l).forward(x);
+                    if (l + 1 < n_layers) {
+                        masks[l] = inject_saturating_faults(x, fault_rng,
+                                                            config.inject_probability);
+                    }
+                }
+                nn::LossResult faulted = nn::softmax_cross_entropy(x, label);
+                FloatTensor g = faulted.grad_logits;
+                for (std::size_t j = 0; j < g.size(); ++j) {
+                    g.at_unchecked(j) *= static_cast<float>(w_fault);
+                }
+                // Masked backward: a faulted element's value carries no
+                // signal about the weights that produced it, so its
+                // gradient is zeroed when crossing the injection point
+                // (straight-through everywhere else).
+                for (std::size_t l = n_layers; l-- > 0;) {
+                    g = model.layer(l).backward(g);
+                    if (l > 0 && masks[l - 1].size() > 0) {
+                        const FloatTensor& mask = masks[l - 1];
+                        for (std::size_t j = 0; j < g.size(); ++j) {
+                            g.at_unchecked(j) *= mask.at_unchecked(j);
+                        }
+                    }
+                }
+            }
+            optimizer.step(lr, 1.0 / static_cast<double>(end - start));
+        }
+
+        nn::EpochStats stats;
+        stats.mean_loss = loss_sum / static_cast<double>(order.size());
+        stats.train_accuracy =
+            static_cast<double>(correct) / static_cast<double>(order.size());
+        history.push_back(stats);
+        if (config.base.verbose) {
+            log_info("fault-aware epoch ", epoch + 1, "/", config.base.epochs,
+                     " clean-loss=", stats.mean_loss,
+                     " clean-acc=", stats.train_accuracy, " lr=", lr);
+        }
+        lr *= config.base.lr_decay;
+    }
+    return history;
+}
+
+} // namespace deepstrike::defense

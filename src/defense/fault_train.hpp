@@ -1,0 +1,44 @@
+// Fault-aware training: hardening a victim against injected faults by
+// exposing it to them during training.
+//
+// Patterned on the aw_nas FaultInjector objective: each training sample
+// contributes a weighted sum of the clean loss and a fault-injected loss.
+// The faulted pass re-runs the forward with random saturating bias faults
+// on intermediate activations (an MSB-flip on the deployment fixed-point
+// grid saturates the value toward the format's maximum — the same flavor
+// of corruption timing faults in the accelerator's DSP writeback produce),
+// and its backward pass masks gradients at the faulted positions
+// (straight-through around the corrupted elements), so the model learns
+// logits that survive a fraction of corrupted activations rather than
+// fitting them.
+#pragma once
+
+#include <vector>
+
+#include "data/synth_mnist.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace deepstrike::defense {
+
+struct FaultTrainConfig {
+    /// Baseline SGD schedule (epochs, batch, lr, momentum, decay, shuffle).
+    nn::TrainConfig base{};
+    /// Weight of the fault-injected loss in the combined objective
+    /// (clean loss takes 1 - fault_loss_weight).
+    double fault_loss_weight = 0.5;
+    /// Per-element probability of corrupting an intermediate activation in
+    /// the faulted pass.
+    double inject_probability = 0.01;
+    /// Fault-injection RNG stream (independent of the shuffle stream).
+    std::uint64_t fault_seed = 0xFA017;
+};
+
+/// Trains `model` in place with the weighted clean + fault-injected
+/// objective; returns per-epoch statistics of the clean half. Deterministic
+/// in (model init, dataset, config).
+std::vector<nn::EpochStats> fault_aware_train(nn::Sequential& model,
+                                              const data::Dataset& train_set,
+                                              const FaultTrainConfig& config);
+
+} // namespace deepstrike::defense

@@ -327,6 +327,31 @@ FloatTensor TanhActivation::backward(const FloatTensor& grad_output) {
 
 // --------------------------------------------------------------- softmax
 
+// -------------------------------------------------------- SignActivation
+
+FloatTensor SignActivation::forward(const FloatTensor& input) {
+    cached_input_ = input;
+    FloatTensor out(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        out.at_unchecked(i) = input.at_unchecked(i) >= 0.0f ? 1.0f : -1.0f;
+    }
+    return out;
+}
+
+FloatTensor SignActivation::backward(const FloatTensor& grad_output) {
+    expects(!cached_input_.empty(), "Sign::backward requires prior forward");
+    expects(grad_output.shape() == cached_input_.shape(),
+            "Sign::backward shape mismatch");
+    // Straight-through estimator with a hard-tanh gate.
+    FloatTensor grad_input(grad_output.shape());
+    for (std::size_t i = 0; i < grad_output.size(); ++i) {
+        const float x = cached_input_.at_unchecked(i);
+        grad_input.at_unchecked(i) =
+            (x >= -1.0f && x <= 1.0f) ? grad_output.at_unchecked(i) : 0.0f;
+    }
+    return grad_input;
+}
+
 FloatTensor softmax(const FloatTensor& logits) {
     expects(!logits.empty(), "softmax: non-empty input");
     FloatTensor out(logits.shape());

@@ -6,6 +6,7 @@
 // provides the bit-exact golden reference used to validate it.
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -170,6 +171,100 @@ public:
 
 private:
     FloatTensor cached_output_;
+};
+
+/// Elementwise sign: +1 for x >= 0, -1 otherwise (the binarized activation
+/// of BNNs). The true derivative is zero almost everywhere, so training
+/// uses the straight-through estimator with a hard-tanh gate: gradients
+/// pass unchanged where |x| <= 1 and are clipped to zero outside
+/// (Courbariaux et al.; also how the aw_nas fault-injection trainer
+/// backpropagates through binarized layers).
+class SignActivation final : public Layer {
+public:
+    FloatTensor forward(const FloatTensor& input) override;
+    FloatTensor backward(const FloatTensor& grad_output) override;
+    std::string name() const override { return "sign"; }
+    std::size_t mac_count(const Shape& input_shape) const override {
+        // A comparator per element on the accelerator; negligible DSP work.
+        return input_shape.elements();
+    }
+    Shape output_shape(const Shape& input_shape) const override { return input_shape; }
+
+private:
+    FloatTensor cached_input_;
+};
+
+/// BinaryConnect weight binarization (Courbariaux et al.): the wrapped
+/// layer's forward and backward run with sign(weight) while SGD updates
+/// the underlying real-valued weights. This makes float training match
+/// the ±1-weight deployment (quant::QuantFormat::Binary) instead of
+/// collapsing when real-valued weights are binarized post hoc.
+///
+/// The output is scaled by 1/sqrt(fan-in) during training, standing in
+/// for the batch-norm every BNN places before its sign activations:
+/// without it, ±1-product sums overwhelm the STE's |x| <= 1 gate and
+/// gradients stop flowing. A Binarized layer must therefore feed a
+/// SignActivation — sign() is invariant to the positive scale, so the
+/// deployed accelerator runs the raw ±1 sums and the quantized network
+/// is unaffected.
+template <typename L>
+class Binarized final : public Layer {
+public:
+    template <typename... Args>
+    explicit Binarized(Args&&... args) : inner_(std::forward<Args>(args)...) {
+        const FloatTensor& w = inner_.weight().value;
+        scale_ = 1.0f / std::sqrt(static_cast<float>(w.size() / w.shape().dim(0)));
+    }
+
+    FloatTensor forward(const FloatTensor& input) override {
+        const WeightSwap swap(inner_.weight());
+        FloatTensor out = inner_.forward(input);
+        for (std::size_t i = 0; i < out.size(); ++i) out.at_unchecked(i) *= scale_;
+        return out;
+    }
+    // grad-weight (g ⊗ input) does not read the weight values, and
+    // grad-input must see the same ±1 weights the forward used — so the
+    // whole backward runs under the swap too.
+    FloatTensor backward(const FloatTensor& grad_output) override {
+        FloatTensor g = grad_output;
+        for (std::size_t i = 0; i < g.size(); ++i) g.at_unchecked(i) *= scale_;
+        const WeightSwap swap(inner_.weight());
+        return inner_.backward(g);
+    }
+    std::vector<Parameter*> parameters() override { return inner_.parameters(); }
+    std::string name() const override { return "bin-" + inner_.name(); }
+    std::size_t mac_count(const Shape& input_shape) const override {
+        return inner_.mac_count(input_shape);
+    }
+    Shape output_shape(const Shape& input_shape) const override {
+        return inner_.output_shape(input_shape);
+    }
+
+    L& inner() { return inner_; }
+    const L& inner() const { return inner_; }
+
+private:
+    /// Replaces a parameter's values with their signs for the lifetime of
+    /// one forward/backward call, then restores the real weights.
+    class WeightSwap {
+    public:
+        explicit WeightSwap(Parameter& w) : w_(w), real_(w.value) {
+            for (std::size_t i = 0; i < w_.value.size(); ++i) {
+                w_.value.at_unchecked(i) =
+                    real_.at_unchecked(i) >= 0.0f ? 1.0f : -1.0f;
+            }
+        }
+        ~WeightSwap() { w_.value = std::move(real_); }
+        WeightSwap(const WeightSwap&) = delete;
+        WeightSwap& operator=(const WeightSwap&) = delete;
+
+    private:
+        Parameter& w_;
+        FloatTensor real_;
+    };
+
+    L inner_;
+    float scale_ = 1.0f;
 };
 
 /// Numerically stable softmax over a rank-1 tensor (used at evaluation; the

@@ -10,13 +10,57 @@
 
 namespace deepstrike::nn {
 
-const char* architecture_name(Architecture arch) {
-    switch (arch) {
-        case Architecture::LeNet5: return "lenet5";
-        case Architecture::MiniCnn: return "minicnn";
-        case Architecture::Mlp: return "mlp";
+const std::vector<ArchitectureInfo>& architectures() {
+    static const std::vector<ArchitectureInfo> table = {
+        {Architecture::LeNet5, "lenet5",
+         "the paper's LeNet-5 victim (conv-pool-conv-fc-fc, tanh)",
+         Shape{1, 28, 28}, 10, /*binary_weights=*/false, /*learning_rate=*/0.05},
+        {Architecture::MiniCnn, "minicnn",
+         "compact CNN with a second pooling stage (conv-pool-conv-pool-fc-fc)",
+         Shape{1, 28, 28}, 10, /*binary_weights=*/false, /*learning_rate=*/0.05},
+        {Architecture::Mlp, "mlp",
+         "3-layer perceptron (fc-fc-fc, no convolutions)",
+         Shape{1, 28, 28}, 10, /*binary_weights=*/false, /*learning_rate=*/0.05},
+        {Architecture::Bnn, "bnn",
+         "binarized network: ±1 weights, sign activations (XNOR-popcount)",
+         Shape{1, 28, 28}, 10, /*binary_weights=*/true, /*learning_rate=*/0.1},
+    };
+    return table;
+}
+
+const ArchitectureInfo& architecture_info(Architecture arch) {
+    for (const ArchitectureInfo& info : architectures()) {
+        if (info.arch == arch) return info;
     }
-    return "?";
+    throw ConfigError("architecture_info: unknown architecture");
+}
+
+const char* architecture_name(Architecture arch) {
+    return architecture_info(arch).name;
+}
+
+std::string architecture_list_string() {
+    std::string out;
+    for (const ArchitectureInfo& info : architectures()) {
+        if (!out.empty()) out += '|';
+        out += info.name;
+    }
+    return out;
+}
+
+ZooTrainSpec zoo_spec(Architecture arch) {
+    ZooTrainSpec spec;
+    spec.architecture = arch;
+    spec.train_config.learning_rate = architecture_info(arch).learning_rate;
+    return spec;
+}
+
+Architecture parse_architecture(const std::string& name) {
+    for (const ArchitectureInfo& info : architectures()) {
+        if (name == info.name) return info.arch;
+    }
+    throw ConfigError("unknown architecture '" + name + "' (" +
+                      architecture_list_string() + ")");
 }
 
 Sequential build_architecture(Architecture arch, Rng& rng) {
@@ -50,6 +94,21 @@ Sequential build_architecture(Architecture arch, Rng& rng) {
             model.emplace<Dense>(128, 64, rng);
             model.emplace<TanhActivation>();
             model.emplace<Dense>(64, 10, rng);
+            return model;
+        case Architecture::Bnn:
+            // Binarized victim (Moini et al.): sign activations with
+            // straight-through gradients, and BinaryConnect ±1 weights in
+            // the hidden layers so float training matches the binary
+            // deployment. The real-valued logits layer keeps a small
+            // fan-in so ±1-product sums stay inside the Q3.4 accumulator
+            // writeback range.
+            // 28 -> conv5 -> 24 -> sign -> pool -> 12 -> fc -> sign -> fc
+            model.emplace<Binarized<Conv2d>>(1, 12, 5, rng);
+            model.emplace<SignActivation>();
+            model.emplace<MaxPool2d>();
+            model.emplace<Binarized<Dense>>(12 * 12 * 12, 32, rng);
+            model.emplace<SignActivation>();
+            model.emplace<Dense>(32, 10, rng);
             return model;
     }
     throw ConfigError("build_architecture: unknown architecture");

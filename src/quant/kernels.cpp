@@ -1,4 +1,4 @@
-#include "quant/qlenet.hpp"
+#include "quant/kernels.hpp"
 
 #include "quant/qnetwork.hpp"
 
@@ -8,22 +8,6 @@ namespace deepstrike::quant {
 
 using fx::Q3_4;
 using fx::TanhLut;
-
-QLeNetWeights quantize_lenet(const nn::LeNet& net) {
-    expects(net.handles.conv1 != nullptr && net.handles.conv2 != nullptr &&
-                net.handles.fc1 != nullptr && net.handles.fc2 != nullptr,
-            "quantize_lenet: complete handle set");
-    QLeNetWeights w;
-    w.conv1_w = quantize(net.handles.conv1->weight().value);
-    w.conv1_b = quantize(net.handles.conv1->bias().value);
-    w.conv2_w = quantize(net.handles.conv2->weight().value);
-    w.conv2_b = quantize(net.handles.conv2->bias().value);
-    w.fc1_w = quantize(net.handles.fc1->weight().value);
-    w.fc1_b = quantize(net.handles.fc1->bias().value);
-    w.fc2_w = quantize(net.handles.fc2->weight().value);
-    w.fc2_b = quantize(net.handles.fc2->bias().value);
-    return w;
-}
 
 QTensor quantize_image(const FloatTensor& image) {
     expects(image.shape().rank() == 3, "quantize_image: [1,H,W] tensor");
@@ -36,6 +20,7 @@ Q3_4 apply_activation(Q3_4 v, Activation activation) {
         case Activation::None: return v;
         case Activation::Tanh: return TanhLut::instance()(v);
         case Activation::Relu: return qrelu(v);
+        case Activation::Sign: return qsign(v);
     }
     return v;
 }
@@ -43,6 +28,10 @@ Q3_4 apply_activation(Q3_4 v, Activation activation) {
 
 fx::Q3_4 qrelu(fx::Q3_4 x) {
     return std::max(x, Q3_4::zero());
+}
+
+fx::Q3_4 qsign(fx::Q3_4 x) {
+    return x.raw() >= 0 ? Q3_4::from_real(1.0) : Q3_4::from_real(-1.0);
 }
 
 QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias,
@@ -282,40 +271,6 @@ void qdense_trace(const QTensor& input, const QTensor& weight, const QTensor& bi
         accs[o] = acc;
         out_data[o] = apply_activation(Q3_4::from_accumulator(acc), activation);
     }
-}
-
-QLeNetReference::QLeNetReference(QLeNetWeights weights) : weights_(std::move(weights)) {}
-
-QLeNetActivations QLeNetReference::forward(const QTensor& input) const {
-    expects(input.shape() == Shape({1, 28, 28}), "QLeNetReference: input [1,28,28]");
-    QLeNetActivations acts;
-    acts.input = input;
-    acts.conv1_out = qconv2d(input, weights_.conv1_w, weights_.conv1_b, /*apply_tanh=*/true);
-    acts.pool1_out = qmaxpool2(acts.conv1_out);
-    acts.conv2_out = qconv2d(acts.pool1_out, weights_.conv2_w, weights_.conv2_b,
-                             /*apply_tanh=*/true);
-    // Flatten conv2 output [16,8,8] -> [1024].
-    QTensor flat(Shape{acts.conv2_out.size()});
-    for (std::size_t i = 0; i < flat.size(); ++i) {
-        flat.at_unchecked(i) = acts.conv2_out.at_unchecked(i);
-    }
-    acts.fc1_out = qdense(flat, weights_.fc1_w, weights_.fc1_b, /*apply_tanh=*/true);
-    acts.logits = qdense(acts.fc1_out, weights_.fc2_w, weights_.fc2_b, /*apply_tanh=*/false);
-    return acts;
-}
-
-std::size_t QLeNetReference::predict(const FloatTensor& image) const {
-    const QLeNetActivations acts = forward(quantize_image(image));
-    return argmax(acts.logits);
-}
-
-double QLeNetReference::evaluate_accuracy(const data::Dataset& dataset) const {
-    expects(dataset.size() > 0, "evaluate_accuracy: non-empty dataset");
-    std::size_t correct = 0;
-    for (std::size_t i = 0; i < dataset.size(); ++i) {
-        if (predict(dataset.images[i]) == dataset.labels[i]) ++correct;
-    }
-    return static_cast<double>(correct) / static_cast<double>(dataset.size());
 }
 
 } // namespace deepstrike::quant

@@ -1,72 +1,27 @@
-// Post-training quantization of LeNet-5 and the bit-exact fixed-point
-// reference ("golden model").
+// Bit-exact fixed-point layer kernels (the quantized golden arithmetic).
 //
 // The deployed accelerator (src/accel) executes the same arithmetic
 // cycle-by-cycle on modeled DSP slices; in the absence of injected faults
-// its outputs must match this reference exactly — a key integration test.
+// its outputs must match these kernels exactly — a key integration test.
+// quant::QNetwork (qnetwork.hpp) strings them together into the golden
+// model for an arbitrary victim network.
 //
 // Datapath (matches the paper: 8-bit fixed point, 3 integer bits):
 //   activations & weights: Q3.4 (1 sign + 3 int + 4 frac bits)
 //   products:              held at full precision (Q7.8 in int64 units)
 //   accumulation:          wide int64, one saturating writeback per output
-//   activation:            tanh via BRAM-style LUT on the Q3.4 grid
+//   activation:            tanh via BRAM-style LUT on the Q3.4 grid,
+//                          relu as a sign mux, sign as a comparator
 #pragma once
 
 #include <vector>
 
 #include "fx/fixed.hpp"
-#include "nn/lenet.hpp"
 #include "tensor/tensor.hpp"
 
 namespace deepstrike::quant {
 
-/// Quantized LeNet parameters.
-struct QLeNetWeights {
-    QTensor conv1_w; // [6,1,5,5]
-    QTensor conv1_b; // [6]
-    QTensor conv2_w; // [16,6,5,5]
-    QTensor conv2_b; // [16]
-    QTensor fc1_w;   // [120,1024]
-    QTensor fc1_b;   // [120]
-    QTensor fc2_w;   // [10,120]
-    QTensor fc2_b;   // [10]
-};
-
-/// Quantizes a trained float LeNet to Q3.4.
-QLeNetWeights quantize_lenet(const nn::LeNet& net);
-
-/// Per-layer intermediate results of one quantized forward pass, exposed so
-/// the accelerator model can be validated layer by layer.
-struct QLeNetActivations {
-    QTensor input;      // [1,28,28]
-    QTensor conv1_out;  // [6,24,24]  (after tanh)
-    QTensor pool1_out;  // [6,12,12]
-    QTensor conv2_out;  // [16,8,8]   (after tanh)
-    QTensor fc1_out;    // [120]      (after tanh)
-    QTensor logits;     // [10]       (no activation)
-};
-
-/// Bit-exact quantized inference.
-class QLeNetReference {
-public:
-    explicit QLeNetReference(QLeNetWeights weights);
-
-    const QLeNetWeights& weights() const { return weights_; }
-
-    /// Full forward pass with all intermediates.
-    QLeNetActivations forward(const QTensor& input) const;
-
-    /// Predicted class for a float image in [0,1].
-    std::size_t predict(const FloatTensor& image) const;
-
-    /// Accuracy over a dataset.
-    double evaluate_accuracy(const data::Dataset& dataset) const;
-
-private:
-    QLeNetWeights weights_;
-};
-
-/// Quantizes a [1,28,28] float image in [0,1] to Q3.4.
+/// Quantizes a [C,H,W] float image in [0,1] to Q3.4.
 QTensor quantize_image(const FloatTensor& image);
 
 // Individual quantized layer primitives (shared with the accelerator's
@@ -101,6 +56,10 @@ QTensor qavgpool2(const QTensor& input);
 
 /// ReLU on the Q3.4 grid: max(x, 0).
 fx::Q3_4 qrelu(fx::Q3_4 x);
+
+/// Sign on the Q3.4 grid: +1.0 for x >= 0, -1.0 otherwise (a comparator on
+/// the writeback path — the binarized-activation nonlinearity of BNNs).
+fx::Q3_4 qsign(fx::Q3_4 x);
 
 /// Dense layer + bias + fused activation. Input flattened.
 QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,

@@ -21,6 +21,15 @@ const char* activation_name(Activation activation) {
         case Activation::None: return "none";
         case Activation::Tanh: return "tanh";
         case Activation::Relu: return "relu";
+        case Activation::Sign: return "sign";
+    }
+    return "?";
+}
+
+const char* quant_format_name(QuantFormat format) {
+    switch (format) {
+        case QuantFormat::Q3_4: return "q3.4";
+        case QuantFormat::Binary: return "binary";
     }
     return "?";
 }
@@ -76,6 +85,10 @@ std::size_t QLayer::op_count(const Shape& input_shape) const {
             return weight.shape().dim(0) * weight.shape().dim(1);
     }
     return 0;
+}
+
+std::size_t QNetwork::num_classes() const {
+    return layer_output_shapes().back().elements();
 }
 
 std::vector<Shape> QNetwork::layer_output_shapes() const {
@@ -219,24 +232,28 @@ const QLayer& QNetwork::layer(const std::string& label) const {
     throw ContractError("QNetwork: no layer labelled '" + label + "'");
 }
 
-QNetwork lenet_qnetwork(const QLeNetWeights& w) {
-    QNetwork net;
-    net.input_shape = Shape{1, 28, 28};
-    net.layers = {
-        {QLayerKind::Conv, "CONV1", w.conv1_w, w.conv1_b, Activation::Tanh},
-        {QLayerKind::Pool2, "POOL1", {}, {}, Activation::None},
-        {QLayerKind::Conv, "CONV2", w.conv2_w, w.conv2_b, Activation::Tanh},
-        {QLayerKind::Dense, "FC1", w.fc1_w, w.fc1_b, Activation::Tanh},
-        {QLayerKind::Dense, "FC2", w.fc2_w, w.fc2_b, Activation::None},
-    };
-    net.layer_output_shapes(); // validate
-    return net;
+namespace {
+
+/// Binarizes a float weight tensor to ±1 on the Q3.4 grid (sign of the
+/// float value; zero maps to +1, matching qsign).
+QTensor binarize(const FloatTensor& t) {
+    QTensor out(t.shape());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        out.at_unchecked(i) =
+            fx::Q3_4::from_real(t.at_unchecked(i) >= 0.0f ? 1.0 : -1.0);
+    }
+    return out;
 }
 
+} // namespace
+
 QNetwork quantize_sequential(nn::Sequential& model, const Shape& input_shape,
-                             const std::vector<std::string>& labels) {
+                             const std::vector<std::string>& labels,
+                             QuantFormat format) {
     QNetwork net;
     net.input_shape = input_shape;
+    net.format = format;
+    const bool binary = format == QuantFormat::Binary;
 
     std::size_t conv_n = 0;
     std::size_t pool_n = 0;
@@ -244,7 +261,26 @@ QNetwork quantize_sequential(nn::Sequential& model, const Shape& input_shape,
     for (std::size_t i = 0; i < model.layer_count(); ++i) {
         nn::Layer& layer = model.layer(i);
         QLayer q;
-        if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+        // Binarized (BinaryConnect) layers deploy the sign of their real
+        // weights — exactly what their training forward used. A model
+        // containing them must be quantized as QuantFormat::Binary so the
+        // deployment fingerprint reflects the ±1 grid; layers outside the
+        // wrappers (e.g. the BNN's real-valued classifier head) keep Q3.4.
+        if (auto* bconv = dynamic_cast<nn::Binarized<nn::Conv2d>*>(&layer)) {
+            expects(binary, "quantize_sequential: Binarized layers require "
+                            "QuantFormat::Binary");
+            q.kind = QLayerKind::Conv;
+            q.label = "CONV" + std::to_string(++conv_n);
+            q.weight = binarize(bconv->inner().weight().value);
+            q.bias = quantize(bconv->inner().bias().value);
+        } else if (auto* bdense = dynamic_cast<nn::Binarized<nn::Dense>*>(&layer)) {
+            expects(binary, "quantize_sequential: Binarized layers require "
+                            "QuantFormat::Binary");
+            q.kind = QLayerKind::Dense;
+            q.label = "FC" + std::to_string(++fc_n);
+            q.weight = binarize(bdense->inner().weight().value);
+            q.bias = quantize(bdense->inner().bias().value);
+        } else if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
             q.kind = QLayerKind::Conv;
             q.label = "CONV" + std::to_string(++conv_n);
             q.weight = quantize(conv->weight().value);
@@ -272,6 +308,12 @@ QNetwork quantize_sequential(nn::Sequential& model, const Shape& input_shape,
                 throw ConfigError("quantize_sequential: activation before any layer");
             }
             net.layers.back().activation = Activation::Relu;
+            continue;
+        } else if (dynamic_cast<nn::SignActivation*>(&layer) != nullptr) {
+            if (net.layers.empty()) {
+                throw ConfigError("quantize_sequential: activation before any layer");
+            }
+            net.layers.back().activation = Activation::Sign;
             continue;
         } else {
             throw ConfigError(std::string("quantize_sequential: unsupported layer '") +

@@ -5,15 +5,18 @@
 // both the bit-exact golden model (forward() here) and the input to the
 // cycle-level accelerator (accel::AccelEngine executes the same layers op
 // by op on modeled DSP slices). The paper's LeNet-5 victim is one instance
-// (lenet_qnetwork); quantize_sequential() converts any float
-// nn::Sequential built from the supported layer types.
+// (nn::Architecture::LeNet5 through quantize_sequential());
+// quantize_sequential() converts any float nn::Sequential built from the
+// supported layer types. Input shape, class count and quantization format
+// all flow from the network — no victim geometry is hardcoded downstream.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "data/synth_mnist.hpp"
 #include "nn/model.hpp"
-#include "quant/qlenet.hpp"
+#include "quant/kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace deepstrike::quant {
@@ -23,10 +26,23 @@ enum class QLayerKind : std::uint8_t { Conv, Pool2, AvgPool2, Dense };
 const char* qlayer_kind_name(QLayerKind kind);
 
 /// Activation applied on the writeback path of a parameterized layer.
-/// Tanh is a BRAM LUT; ReLU is a sign mux; both are fused into the layer.
-enum class Activation : std::uint8_t { None, Tanh, Relu };
+/// Tanh is a BRAM LUT; ReLU is a sign mux; Sign is a comparator (BNN
+/// binarized activations); all are fused into the layer.
+enum class Activation : std::uint8_t { None, Tanh, Relu, Sign };
 
 const char* activation_name(Activation activation);
+
+/// Weight quantization format of the deployed network.
+///   Q3_4   — full 8-bit fixed-point weights (the paper's victim).
+///   Binary — sign-activated layers deploy ±1 weights on the Q3.4 grid
+///            (BNN deployment; biases and the real-valued classifier head
+///            stay Q3.4). The arithmetic pipeline is unchanged — ±1
+///            weights are exact Q3.4 values — but the format is part of
+///            the deployment identity, so caches and journals fingerprint
+///            it.
+enum class QuantFormat : std::uint8_t { Q3_4, Binary };
+
+const char* quant_format_name(QuantFormat format);
 
 struct QLayer {
     QLayerKind kind;
@@ -58,6 +74,10 @@ struct QLayer {
 struct QNetwork {
     Shape input_shape; // [C,H,W]
     std::vector<QLayer> layers;
+    QuantFormat format = QuantFormat::Q3_4;
+
+    /// Width of the final layer's output (the logits) — the class count.
+    std::size_t num_classes() const;
 
     /// Validates the layer chain and returns each layer's output shape.
     std::vector<Shape> layer_output_shapes() const;
@@ -99,15 +119,16 @@ struct QNetwork {
     const QLayer& layer(const std::string& label) const;
 };
 
-/// The paper's victim as a QNetwork (labels CONV1, POOL1, CONV2, FC1, FC2).
-QNetwork lenet_qnetwork(const QLeNetWeights& weights);
-
-/// Quantizes any float Sequential built from Conv2d / MaxPool2d / Dense /
-/// TanhActivation layers. Tanh layers are fused into the preceding
-/// parameterized layer (that is how the accelerator implements them —
-/// a BRAM LUT on the writeback path). Labels are auto-generated
-/// (CONV1, POOL1, FC1, ...) unless `labels` is provided.
+/// Quantizes any float Sequential built from Conv2d / MaxPool2d /
+/// AvgPool2d / Dense / TanhActivation / ReluActivation / SignActivation
+/// layers. Activation layers are fused into the preceding parameterized
+/// layer (that is how the accelerator implements them — a BRAM LUT,
+/// sign mux or comparator on the writeback path). Labels are
+/// auto-generated (CONV1, POOL1, FC1, ...) unless `labels` is provided.
+/// With QuantFormat::Binary, Conv/Dense weights are binarized to ±1
+/// (sign of the float weight; biases stay full Q3.4).
 QNetwork quantize_sequential(nn::Sequential& model, const Shape& input_shape,
-                             const std::vector<std::string>& labels = {});
+                             const std::vector<std::string>& labels = {},
+                             QuantFormat format = QuantFormat::Q3_4);
 
 } // namespace deepstrike::quant

@@ -190,16 +190,20 @@ double double_from_bits_hex(const std::string& hex) {
 }
 
 /// 64-bit hash of everything that determines the campaign's results:
-/// the evaluation setup, the detector, the trigger, and every planned
-/// scheme. A journal written under a different fingerprint is rejected
-/// on resume rather than silently mixed into this configuration.
+/// the victim network (weights, shapes, quantization format), the
+/// evaluation setup, the detector, the trigger, and every planned scheme.
+/// A journal written under a different fingerprint is rejected on resume
+/// rather than silently mixed into this configuration — including a
+/// journal recorded against a different victim architecture.
 std::uint64_t campaign_fingerprint(const CampaignConfig& config,
                                    const ProfilingRun& prof,
                                    const std::vector<PlannedPoint>& planned,
-                                   std::size_t eval_images) {
+                                   std::size_t eval_images,
+                                   std::uint64_t network_fp) {
     std::uint64_t h =
         derive_seed(0xCA3F16ULL, eval_images, config.fault_seed,
                     config.blind_offsets, config.blind_offset_seed);
+    h = derive_seed(h, network_fp);
     for (std::size_t strikes : config.strike_grid) h = derive_seed(h, strikes);
     h = derive_seed(h, config.detector.trigger_hw, config.detector.hold_samples,
                     config.detector.auto_rearm ? 1u : 0u,
@@ -294,8 +298,9 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
     std::unique_ptr<CheckpointJournal> journal;
     std::vector<bool> restored(planned.size() + 1, false);
     if (!config.journal_path.empty()) {
-        const std::uint64_t fingerprint =
-            campaign_fingerprint(config, prof, planned, eval_images);
+        const std::uint64_t fingerprint = campaign_fingerprint(
+            config, prof, planned, eval_images,
+            network_fingerprint(platform.engine().network()));
         if (config.resume) {
             journal = CheckpointJournal::resume(config.journal_path, fingerprint,
                                                 kJournalSweepName);

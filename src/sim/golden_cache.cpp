@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
-#include "quant/qlenet.hpp"
+#include "quant/kernels.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
@@ -59,7 +59,8 @@ void count_miss() {
 
 std::uint64_t network_fingerprint(const quant::QNetwork& network) {
     std::uint64_t h = shape_fingerprint(0x601DE2ULL, network.input_shape);
-    h = derive_seed(h, network.layers.size());
+    h = derive_seed(h, static_cast<std::uint64_t>(network.format),
+                    network.layers.size());
     for (const quant::QLayer& layer : network.layers) {
         h = derive_seed(h, static_cast<std::uint64_t>(layer.kind),
                         static_cast<std::uint64_t>(layer.activation),

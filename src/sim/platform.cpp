@@ -44,9 +44,6 @@ Platform::Platform(const PlatformConfig& config, quant::QNetwork network)
     }
 }
 
-Platform::Platform(const PlatformConfig& config, quant::QLeNetWeights weights)
-    : Platform(config, quant::lenet_qnetwork(weights)) {}
-
 double Platform::idle_current_a() const {
     return config_.accel.i_platform_idle_a + config_.accel.i_accel_static_a;
 }

@@ -123,9 +123,6 @@ public:
     /// Generic victim: any quantized network.
     Platform(const PlatformConfig& config, quant::QNetwork network);
 
-    /// The paper's victim: LeNet-5 from quantized weights.
-    Platform(const PlatformConfig& config, quant::QLeNetWeights weights);
-
     const PlatformConfig& config() const { return config_; }
     const accel::AccelEngine& engine() const { return engine_; }
     const tdc::TdcSensor& sensor() const { return sensor_; }

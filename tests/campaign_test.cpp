@@ -23,7 +23,7 @@ CampaignConfig small_config() {
 }
 
 TEST(Campaign, ProducesPointsForEverySegmentAndBlind) {
-    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(61));
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qnetwork(61));
     auto ds = data::make_datasets(9, 1, 30);
 
     const CampaignReport report = run_campaign(platform, ds.test, small_config());
@@ -48,7 +48,7 @@ TEST(Campaign, ProducesPointsForEverySegmentAndBlind) {
 }
 
 TEST(Campaign, JsonReportWellFormed) {
-    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(62));
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qnetwork(62));
     auto ds = data::make_datasets(9, 1, 30);
     CampaignConfig cfg = small_config();
     cfg.blind_offsets = 0;
@@ -65,7 +65,7 @@ TEST(Campaign, JsonReportWellFormed) {
 }
 
 TEST(Campaign, MarkdownReportHasTable) {
-    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(63));
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qnetwork(63));
     auto ds = data::make_datasets(9, 1, 30);
     const CampaignReport report = run_campaign(platform, ds.test, small_config());
     const std::string md = report.to_markdown();
@@ -74,7 +74,7 @@ TEST(Campaign, MarkdownReportHasTable) {
 }
 
 TEST(Campaign, Validation) {
-    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(64));
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qnetwork(64));
     auto ds = data::make_datasets(9, 1, 10);
     CampaignConfig cfg;
     cfg.strike_grid.clear();
@@ -122,7 +122,7 @@ void truncate_journal_to(const std::string& path, std::size_t keep_records) {
 struct ResumeFixture : public ::testing::Test {
     static void SetUpTestSuite() {
         platform = new Platform(PlatformConfig{},
-                                deepstrike::testing::random_qweights(61));
+                                deepstrike::testing::random_qnetwork(61));
         dataset = new data::Dataset(data::make_datasets(9, 1, 30).test);
     }
     static void TearDownTestSuite() {

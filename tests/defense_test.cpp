@@ -108,7 +108,7 @@ TEST(RunMonitor, RepeatedGlitchesExtendThrottle) {
 
 TEST(Defense, NoFalseAlarmsOnCleanInference) {
     sim::Platform platform(sim::PlatformConfig{},
-                           deepstrike::testing::random_qweights(31));
+                           deepstrike::testing::random_qnetwork(31));
     sim::NoAttackSource source;
     const sim::CosimResult cosim = platform.simulate_inference(source);
     const DefenseOutcome out =
@@ -118,7 +118,7 @@ TEST(Defense, NoFalseAlarmsOnCleanInference) {
 
 TEST(Defense, DetectsGuidedAttackAndRestoresCorrectness) {
     sim::Platform platform(sim::PlatformConfig{},
-                           deepstrike::testing::random_qweights(32));
+                           deepstrike::testing::random_qnetwork(32));
     const sim::ProfilingRun prof = sim::run_profiling(platform);
     ASSERT_GE(prof.profile.segments.size(), 3u);
 

@@ -8,10 +8,10 @@ namespace deepstrike::accel {
 namespace {
 
 using deepstrike::testing::random_qimage;
-using deepstrike::testing::random_qweights;
+using deepstrike::testing::random_qnetwork;
 
 AccelEngine make_engine(std::uint64_t weight_seed = 1, std::uint64_t board_seed = 2021) {
-    return AccelEngine(random_qweights(weight_seed), AccelConfig::pynq_z1(), board_seed);
+    return AccelEngine(random_qnetwork(weight_seed), AccelConfig::pynq_z1(), board_seed);
 }
 
 /// A trace at nominal voltage everywhere (2 capture samples per cycle).
@@ -31,16 +31,15 @@ VoltageTrace segment_glitch_trace(const AccelEngine& engine, const std::string& 
 }
 
 TEST(Engine, CleanRunMatchesGoldenModel) {
-    const quant::QLeNetWeights weights = random_qweights(5);
-    const AccelEngine engine(weights, AccelConfig::pynq_z1(), 2021);
-    const quant::QLeNetReference golden(weights);
+    const quant::QNetwork golden = random_qnetwork(5);
+    const AccelEngine engine(golden, AccelConfig::pynq_z1(), 2021);
 
     for (std::uint64_t s = 0; s < 5; ++s) {
         const QTensor img = random_qimage(100 + s);
         const RunResult run = engine.run_clean(img);
-        const quant::QLeNetActivations acts = golden.forward(img);
-        EXPECT_EQ(run.logits, acts.logits) << "image seed " << s;
-        EXPECT_EQ(run.predicted, argmax(acts.logits));
+        const QTensor logits = golden.forward(img);
+        EXPECT_EQ(run.logits, logits) << "image seed " << s;
+        EXPECT_EQ(run.predicted, argmax(logits));
         EXPECT_EQ(run.faults_total.total(), 0u);
     }
 }

@@ -1,0 +1,144 @@
+// defense::fault_aware_train unit tests: the weighted clean+faulted
+// objective must degrade to the plain trainer at fault weight 0, stay
+// deterministic in its seeds, and still learn on easy data.
+#include <gtest/gtest.h>
+
+#include "defense/fault_train.hpp"
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::defense {
+namespace {
+
+data::Dataset easy_dataset(std::size_t n) {
+    data::AugmentParams mild;
+    mild.noise_sigma = 0.02;
+    mild.max_shift_px = 0.5;
+    mild.min_scale = 0.97;
+    mild.max_scale = 1.03;
+    mild.max_rotate_rad = 0.03;
+    mild.max_shear = 0.02;
+    mild.min_stroke = 0.9;
+    data::Dataset ds;
+    for (std::size_t i = 0; i < n; ++i) {
+        data::Sample s = data::render_sample(1234, i, mild);
+        ds.images.push_back(std::move(s.image));
+        ds.labels.push_back(s.label);
+    }
+    return ds;
+}
+
+nn::Sequential small_model(std::uint64_t seed) {
+    Rng rng(seed);
+    nn::Sequential model;
+    model.emplace<nn::Dense>(28 * 28, 32, rng);
+    model.emplace<nn::TanhActivation>();
+    model.emplace<nn::Dense>(32, 10, rng);
+    return model;
+}
+
+TEST(FaultAwareTrain, LearnsOnEasyData) {
+    nn::Sequential model = small_model(11);
+    const data::Dataset train_set = easy_dataset(60);
+
+    FaultTrainConfig config;
+    config.base.epochs = 3;
+    config.base.batch_size = 10;
+    config.base.learning_rate = 0.08;
+    config.fault_loss_weight = 0.5;
+    config.inject_probability = 0.02;
+
+    const auto history = fault_aware_train(model, train_set, config);
+    ASSERT_EQ(history.size(), 3u);
+    EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+    EXPECT_GT(nn::evaluate_accuracy(model, train_set), 0.7);
+}
+
+TEST(FaultAwareTrain, ZeroFaultWeightMatchesPlainTrainer) {
+    const data::Dataset train_set = easy_dataset(30);
+
+    nn::TrainConfig base;
+    base.epochs = 2;
+    base.batch_size = 10;
+
+    nn::Sequential plain = small_model(21);
+    const auto plain_history = nn::train(plain, train_set, base);
+
+    nn::Sequential defended = small_model(21);
+    FaultTrainConfig config;
+    config.base = base;
+    config.fault_loss_weight = 0.0;
+    const auto fa_history = fault_aware_train(defended, train_set, config);
+
+    ASSERT_EQ(fa_history.size(), plain_history.size());
+    for (std::size_t e = 0; e < fa_history.size(); ++e) {
+        EXPECT_DOUBLE_EQ(fa_history[e].mean_loss, plain_history[e].mean_loss);
+    }
+    auto pa = plain.parameters();
+    auto pb = defended.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i]->value, pb[i]->value);
+    }
+}
+
+TEST(FaultAwareTrain, DeterministicGivenSeeds) {
+    const data::Dataset train_set = easy_dataset(30);
+    FaultTrainConfig config;
+    config.base.epochs = 2;
+    config.base.batch_size = 10;
+
+    nn::Sequential a = small_model(31);
+    nn::Sequential b = small_model(31);
+    const auto ha = fault_aware_train(a, train_set, config);
+    const auto hb = fault_aware_train(b, train_set, config);
+
+    ASSERT_EQ(ha.size(), hb.size());
+    EXPECT_DOUBLE_EQ(ha.back().mean_loss, hb.back().mean_loss);
+    auto pa = a.parameters();
+    auto pb = b.parameters();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i]->value, pb[i]->value);
+    }
+}
+
+TEST(FaultAwareTrain, FaultSeedChangesTheTrajectory) {
+    const data::Dataset train_set = easy_dataset(30);
+    FaultTrainConfig config;
+    config.base.epochs = 1;
+    config.base.batch_size = 10;
+    config.inject_probability = 0.05;
+
+    nn::Sequential a = small_model(41);
+    fault_aware_train(a, train_set, config);
+
+    nn::Sequential b = small_model(41);
+    config.fault_seed ^= 0x1;
+    fault_aware_train(b, train_set, config);
+
+    bool any_diff = false;
+    auto pa = a.parameters();
+    auto pb = b.parameters();
+    for (std::size_t i = 0; i < pa.size() && !any_diff; ++i) {
+        any_diff = !(pa[i]->value == pb[i]->value);
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultAwareTrain, Validation) {
+    nn::Sequential model = small_model(51);
+    data::Dataset empty;
+    EXPECT_THROW(fault_aware_train(model, empty, {}), ContractError);
+
+    const data::Dataset train_set = easy_dataset(10);
+    FaultTrainConfig bad;
+    bad.fault_loss_weight = 1.5;
+    EXPECT_THROW(fault_aware_train(model, train_set, bad), ContractError);
+    bad = FaultTrainConfig{};
+    bad.inject_probability = -0.1;
+    EXPECT_THROW(fault_aware_train(model, train_set, bad), ContractError);
+}
+
+} // namespace
+} // namespace deepstrike::defense

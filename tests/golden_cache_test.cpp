@@ -21,11 +21,11 @@ namespace deepstrike::sim {
 namespace {
 
 using deepstrike::testing::random_qimage;
-using deepstrike::testing::random_qweights;
+using deepstrike::testing::random_qnetwork;
 
 accel::AccelEngine make_engine(std::uint64_t weight_seed = 1,
                                std::uint64_t board_seed = 2021) {
-    return accel::AccelEngine(quant::lenet_qnetwork(random_qweights(weight_seed)),
+    return accel::AccelEngine(random_qnetwork(weight_seed),
                               accel::AccelConfig::pynq_z1(), board_seed);
 }
 
@@ -90,7 +90,7 @@ std::uint64_t bits_of(double value) {
 }
 
 TEST(ForwardActivations, LastEntryEqualsForward) {
-    const quant::QNetwork network = quant::lenet_qnetwork(random_qweights(5));
+    const quant::QNetwork network = random_qnetwork(5);
     const QTensor img = random_qimage(77);
     const std::vector<QTensor> acts = network.forward_activations(img);
     ASSERT_EQ(acts.size(), network.layers.size());
@@ -101,7 +101,7 @@ TEST(ForwardActivations, LastEntryEqualsForward) {
 // forward_trace must reproduce forward_activations byte-for-byte and fill
 // accumulator arrays for exactly the parameterized (Conv/Dense) layers.
 TEST(ForwardTrace, MatchesActivationsWithAccumulatorsForParamLayers) {
-    const quant::QNetwork network = quant::lenet_qnetwork(random_qweights(5));
+    const quant::QNetwork network = random_qnetwork(5);
     const QTensor img = random_qimage(77);
     const quant::QNetwork::ForwardTrace trace = network.forward_trace(img);
     const std::vector<QTensor> acts = network.forward_activations(img);
@@ -117,9 +117,9 @@ TEST(ForwardTrace, MatchesActivationsWithAccumulatorsForParamLayers) {
 }
 
 TEST(GoldenFingerprint, SensitiveToWeightsAndDataset) {
-    const quant::QNetwork a = quant::lenet_qnetwork(random_qweights(1));
-    const quant::QNetwork a2 = quant::lenet_qnetwork(random_qweights(1));
-    const quant::QNetwork b = quant::lenet_qnetwork(random_qweights(2));
+    const quant::QNetwork a = random_qnetwork(1);
+    const quant::QNetwork a2 = random_qnetwork(1);
+    const quant::QNetwork b = random_qnetwork(2);
     EXPECT_EQ(network_fingerprint(a), network_fingerprint(a2));
     EXPECT_NE(network_fingerprint(a), network_fingerprint(b));
 
@@ -131,7 +131,7 @@ TEST(GoldenFingerprint, SensitiveToWeightsAndDataset) {
 }
 
 TEST(GoldenCacheStore, BuildsOnceThenServesHits) {
-    const quant::QNetwork network = quant::lenet_qnetwork(random_qweights(3));
+    const quant::QNetwork network = random_qnetwork(3);
     const auto ds = data::make_datasets(9, 1, 20);
 
     GoldenCache cache;
@@ -147,7 +147,7 @@ TEST(GoldenCacheStore, BuildsOnceThenServesHits) {
 }
 
 TEST(GoldenCacheStore, ExtendsPilotStoreWithoutRecomputingPrefix) {
-    const quant::QNetwork network = quant::lenet_qnetwork(random_qweights(3));
+    const quant::QNetwork network = random_qnetwork(3);
     const auto ds = data::make_datasets(9, 1, 20);
 
     GoldenCache cache;
@@ -167,8 +167,8 @@ TEST(GoldenCacheStore, ExtendsPilotStoreWithoutRecomputingPrefix) {
 
 TEST(GoldenCacheStore, WeightMismatchRebuildsInsteadOfStaleReuse) {
     const auto ds = data::make_datasets(9, 1, 20);
-    const quant::QNetwork net_a = quant::lenet_qnetwork(random_qweights(1));
-    const quant::QNetwork net_b = quant::lenet_qnetwork(random_qweights(2));
+    const quant::QNetwork net_a = random_qnetwork(1);
+    const quant::QNetwork net_b = random_qnetwork(2);
 
     GoldenCache cache;
     cache.ensure(net_a, ds.test, 6);
@@ -271,7 +271,7 @@ void expect_results_equal(const AccuracyResult& a, const AccuracyResult& b) {
 // The cached eval path must yield byte-identical reports to the uncached
 // one, for random traces, at thread counts 1 and 8.
 TEST(GoldenCacheEval, CachedMatchesUncachedAcrossThreadCounts) {
-    Platform platform(PlatformConfig{}, random_qweights(61));
+    Platform platform(PlatformConfig{}, random_qnetwork(61));
     const auto ds = data::make_datasets(9, 1, 40);
     const std::size_t n_images = 30;
 
@@ -318,7 +318,7 @@ TEST(GoldenCacheEval, CampaignReportByteIdenticalWithAndWithoutCache) {
     for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
         for (bool cache : {true, false}) {
             set_global_thread_count(threads);
-            Platform platform(PlatformConfig{}, random_qweights(61));
+            Platform platform(PlatformConfig{}, random_qnetwork(61));
             const auto ds = data::make_datasets(9, 1, 30);
             cfg.golden_cache = cache;
             reports.push_back(run_campaign(platform, ds.test, cfg).to_json().dump(2));

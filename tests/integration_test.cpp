@@ -3,6 +3,7 @@
 // benches do (but at reduced scale for test time).
 #include <gtest/gtest.h>
 
+#include "accel/arch_profiles.hpp"
 #include "fabric/drc.hpp"
 #include "fabric/resources.hpp"
 #include "host/controller.hpp"
@@ -16,12 +17,12 @@
 namespace deepstrike {
 namespace {
 
-using testing::random_qweights;
+using testing::random_qnetwork;
 
 class IntegrationTest : public ::testing::Test {
 protected:
     static void SetUpTestSuite() {
-        platform_ = new sim::Platform(sim::PlatformConfig{}, random_qweights(99));
+        platform_ = new sim::Platform(sim::PlatformConfig{}, random_qnetwork(99));
         dataset_ = new data::Dataset(data::make_datasets(7, 1, 60).test);
         profiling_ = new sim::ProfilingRun(sim::run_profiling(*platform_));
     }
@@ -209,17 +210,19 @@ TEST_F(IntegrationTest, TrainedModelReachesPaperAccuracyBand) {
     // Small training run; the quantized accelerator model must land in a
     // high-accuracy band (the paper reports 96.17% on the FPGA at larger
     // training scale).
-    nn::LeNetTrainSpec spec;
+    nn::ZooTrainSpec spec = nn::zoo_spec(nn::Architecture::LeNet5);
     spec.train_size = 1200;
     spec.test_size = 250;
     spec.train_config.epochs = 3;
     spec.cache_dir = std::string(::testing::TempDir()) + "ds_integration_cache";
-    const nn::TrainedLeNet trained = nn::train_or_load_lenet(spec);
+    nn::TrainedModel trained = nn::train_or_load(spec);
     EXPECT_GT(trained.test_accuracy, 0.90);
 
-    const quant::QLeNetReference qref(quant::quantize_lenet(trained.net));
+    const nn::ArchitectureInfo& info = nn::architecture_info(spec.architecture);
+    const quant::QNetwork qnet = quant::quantize_sequential(
+        trained.model, info.input_shape, {}, quant::quant_format_for(spec.architecture));
     const auto ds = data::make_datasets(spec.data_seed, 1, 250);
-    const double qacc = qref.evaluate_accuracy(ds.test);
+    const double qacc = qnet.evaluate_accuracy(ds.test);
     EXPECT_GT(qacc, 0.88);
     EXPECT_NEAR(qacc, trained.test_accuracy, 0.08);
 }

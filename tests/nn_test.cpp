@@ -3,8 +3,8 @@
 #include <cmath>
 
 #include "nn/layers.hpp"
-#include "nn/lenet.hpp"
 #include "nn/model.hpp"
+#include "nn/zoo.hpp"
 #include "nn/trainer.hpp"
 #include "util/error.hpp"
 
@@ -284,25 +284,25 @@ TEST(Gradients, SoftmaxCrossEntropy) {
 
 TEST(Sequential, LeNetShapesAndParamCount) {
     Rng rng(7);
-    LeNet net = build_lenet(rng);
-    EXPECT_EQ(net.model.output_shape(lenet_input_shape()), Shape({10}));
+    Sequential model = build_architecture(Architecture::LeNet5, rng);
+    EXPECT_EQ(model.output_shape(Shape{1, 28, 28}), Shape({10}));
     // conv1: 6*1*25+6, conv2: 16*6*25+16, fc1: 120*1024+120, fc2: 10*120+10
     const std::size_t expected = (6 * 25 + 6) + (16 * 6 * 25 + 16) +
                                  (120 * 1024 + 120) + (10 * 120 + 10);
-    EXPECT_EQ(net.model.parameter_count(), expected);
+    EXPECT_EQ(model.parameter_count(), expected);
 }
 
 TEST(Sequential, ForwardBackwardRuns) {
     Rng rng(8);
-    LeNet net = build_lenet(rng);
-    FloatTensor input = random_tensor(lenet_input_shape(), rng);
-    const FloatTensor logits = net.model.forward(input);
+    Sequential model = build_architecture(Architecture::LeNet5, rng);
+    FloatTensor input = random_tensor(Shape{1, 28, 28}, rng);
+    const FloatTensor logits = model.forward(input);
     EXPECT_EQ(logits.size(), 10u);
     const LossResult loss = softmax_cross_entropy(logits, 3);
-    net.model.zero_grad();
-    net.model.backward(loss.grad_logits);
+    model.zero_grad();
+    model.backward(loss.grad_logits);
     // Gradients must be non-zero somewhere in every parameterized layer.
-    for (Parameter* p : net.model.parameters()) {
+    for (Parameter* p : model.parameters()) {
         double norm = 0.0;
         for (std::size_t i = 0; i < p->grad.size(); ++i) {
             norm += std::abs(p->grad.at_unchecked(i));

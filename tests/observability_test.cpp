@@ -37,7 +37,7 @@ std::string run_small_campaign(std::size_t threads, bool collect,
     trace::set_enabled(collect);
     set_global_thread_count(threads);
 
-    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(61));
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qnetwork(61));
     auto ds = data::make_datasets(9, 1, 30);
     const CampaignReport report =
         run_campaign(platform, ds.test, small_config(threads));
@@ -127,7 +127,7 @@ TEST(Observability, TraceRecordsSweepAndCosimSpans) {
     trace::set_enabled(true);
     {
         Platform platform(PlatformConfig{},
-                          deepstrike::testing::random_qweights(61));
+                          deepstrike::testing::random_qnetwork(61));
         auto ds = data::make_datasets(9, 1, 10);
         CampaignConfig cfg = small_config(2);
         cfg.strike_grid = {300};

@@ -10,7 +10,7 @@ namespace {
 struct OptimizerFixture : public ::testing::Test {
     static void SetUpTestSuite() {
         platform = new Platform(PlatformConfig{},
-                                deepstrike::testing::random_qweights(81));
+                                deepstrike::testing::random_qnetwork(81));
         test_set = new data::Dataset(data::make_datasets(11, 1, 60).test);
         profiling = new ProfilingRun(run_profiling(*platform));
     }

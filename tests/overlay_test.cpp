@@ -15,13 +15,13 @@ namespace deepstrike::accel {
 namespace {
 
 using deepstrike::testing::random_qimage;
-using deepstrike::testing::random_qweights;
+using deepstrike::testing::random_qnetwork;
 
 AccelEngine make_engine(bool tmr = false, std::uint64_t weight_seed = 1,
                         std::uint64_t board_seed = 2021) {
     AccelConfig config = AccelConfig::pynq_z1();
     config.tmr_protection = tmr;
-    return AccelEngine(random_qweights(weight_seed), config, board_seed);
+    return AccelEngine(random_qnetwork(weight_seed), config, board_seed);
 }
 
 VoltageTrace nominal_trace(const AccelEngine& engine) {

@@ -12,7 +12,7 @@ namespace deepstrike::accel {
 namespace {
 
 using deepstrike::testing::random_qimage;
-using deepstrike::testing::random_qweights;
+using deepstrike::testing::random_qnetwork;
 
 VoltageTrace glitch_trace(const AccelEngine& engine, const std::string& label,
                           double v) {
@@ -25,7 +25,7 @@ VoltageTrace glitch_trace(const AccelEngine& engine, const std::string& label,
 }
 
 TEST(Tmr, SuppressesFaultsAtModerateDroop) {
-    const quant::QLeNetWeights w = random_qweights(1);
+    const quant::QNetwork w = random_qnetwork(1);
     AccelConfig plain = AccelConfig::pynq_z1();
     AccelConfig tmr = plain;
     tmr.tmr_protection = true;
@@ -49,7 +49,7 @@ TEST(Tmr, SuppressesFaultsAtModerateDroop) {
 TEST(Tmr, CannotSaveDeepGlitches) {
     // When every replica faults (p ~ 1), voting does not help — TMR is a
     // soft-error mitigation, not glitch immunity.
-    const quant::QLeNetWeights w = random_qweights(4);
+    const quant::QNetwork w = random_qnetwork(4);
     AccelConfig tmr = AccelConfig::pynq_z1();
     tmr.tmr_protection = true;
     const AccelEngine engine(w, tmr, 2021);
@@ -60,7 +60,7 @@ TEST(Tmr, CannotSaveDeepGlitches) {
 }
 
 TEST(Tmr, CleanRunUnaffected) {
-    const quant::QLeNetWeights w = random_qweights(7);
+    const quant::QNetwork w = random_qnetwork(7);
     AccelConfig tmr = AccelConfig::pynq_z1();
     tmr.tmr_protection = true;
     const AccelEngine engine(w, tmr, 2021);
@@ -70,7 +70,7 @@ TEST(Tmr, CleanRunUnaffected) {
 }
 
 TEST(Throttle, MaskSuppressesFaultsInMaskedCyclesOnly) {
-    const quant::QLeNetWeights w = random_qweights(9);
+    const quant::QNetwork w = random_qnetwork(9);
     const AccelEngine engine(w, AccelConfig::pynq_z1(), 2021);
     const QTensor img = random_qimage(10);
     const VoltageTrace trace = glitch_trace(engine, "CONV2", 0.95);
@@ -98,7 +98,7 @@ TEST(Throttle, MaskSuppressesFaultsInMaskedCyclesOnly) {
 }
 
 TEST(AccelNetlist, DrcCleanAndPlausibleResources) {
-    const quant::QNetwork net = quant::lenet_qnetwork(random_qweights(12));
+    const quant::QNetwork net = random_qnetwork(12);
     const AccelConfig cfg = AccelConfig::pynq_z1();
     const fabric::Netlist nl = build_accelerator_netlist(net, cfg);
 
@@ -121,7 +121,7 @@ TEST(AccelNetlist, DrcCleanAndPlausibleResources) {
 
 TEST(AccelNetlist, ScalesWithNetworkSize) {
     const AccelConfig cfg = AccelConfig::pynq_z1();
-    const quant::QNetwork lenet = quant::lenet_qnetwork(random_qweights(13));
+    const quant::QNetwork lenet = random_qnetwork(13);
 
     // A tiny MLP-like network needs fewer BRAMs.
     quant::QNetwork tiny;

@@ -13,7 +13,7 @@ namespace {
 
 using deepstrike::testing::random_qimage;
 using deepstrike::testing::random_qtensor;
-using deepstrike::testing::random_qweights;
+using deepstrike::testing::random_qnetwork;
 
 TEST(QLayer, ShapesAndOpCounts) {
     Rng rng(1);
@@ -42,18 +42,17 @@ TEST(QLayer, RejectsMismatchedShapes) {
     EXPECT_THROW(pool.output_shape(Shape{8, 7, 8}), ContractError);
 }
 
-TEST(QNetwork, LeNetMatchesQLeNetReferenceBitExactly) {
-    const QLeNetWeights w = random_qweights(3);
-    const QNetwork net = lenet_qnetwork(w);
-    const QLeNetReference ref(w);
+TEST(QNetwork, ForwardActivationsMatchForward) {
+    const QNetwork net = random_qnetwork(3);
     for (std::uint64_t s = 0; s < 5; ++s) {
         const QTensor img = random_qimage(50 + s);
-        EXPECT_EQ(net.forward(img), ref.forward(img).logits) << "seed " << s;
+        EXPECT_EQ(net.forward_activations(img).back(), net.forward(img))
+            << "seed " << s;
     }
 }
 
 TEST(QNetwork, LayerOutputShapesChainLeNet) {
-    const QNetwork net = lenet_qnetwork(random_qweights(4));
+    const QNetwork net = random_qnetwork(4);
     const auto shapes = net.layer_output_shapes();
     ASSERT_EQ(shapes.size(), 5u);
     EXPECT_EQ(shapes[0], Shape({6, 24, 24}));
@@ -64,31 +63,30 @@ TEST(QNetwork, LayerOutputShapesChainLeNet) {
 }
 
 TEST(QNetwork, LayerLookupByLabel) {
-    const QNetwork net = lenet_qnetwork(random_qweights(5));
+    const QNetwork net = random_qnetwork(5);
     EXPECT_EQ(net.layer("CONV2").weight.shape(), Shape({16, 6, 5, 5}));
     EXPECT_THROW(net.layer("NOPE"), ContractError);
 }
 
 TEST(QNetwork, ParameterCount) {
-    const QNetwork net = lenet_qnetwork(random_qweights(6));
+    const QNetwork net = random_qnetwork(6);
     const std::size_t expected = (6 * 25 + 6) + (16 * 6 * 25 + 16) +
                                  (120 * 1024 + 120) + (10 * 120 + 10);
     EXPECT_EQ(net.parameter_count(), expected);
 }
 
-TEST(QuantizeSequential, LeNetAgreesWithDedicatedPath) {
+TEST(QuantizeSequential, LeNetStructure) {
     Rng rng(7);
-    nn::LeNet lenet = nn::build_lenet(rng);
-    const QNetwork via_generic =
-        quantize_sequential(lenet.model, Shape{1, 28, 28});
-    const QNetwork via_lenet = lenet_qnetwork(quantize_lenet(lenet));
+    nn::Sequential model = nn::build_architecture(nn::Architecture::LeNet5, rng);
+    const QNetwork net = quantize_sequential(model, Shape{1, 28, 28});
 
-    ASSERT_EQ(via_generic.layers.size(), via_lenet.layers.size());
-    for (std::size_t i = 0; i < via_generic.layers.size(); ++i) {
-        EXPECT_EQ(via_generic.layers[i].label, via_lenet.layers[i].label);
-        EXPECT_EQ(via_generic.layers[i].weight, via_lenet.layers[i].weight);
-        EXPECT_EQ(via_generic.layers[i].bias, via_lenet.layers[i].bias);
-        EXPECT_EQ(via_generic.layers[i].activation, via_lenet.layers[i].activation);
+    ASSERT_EQ(net.layers.size(), 5u);
+    const char* labels[] = {"CONV1", "POOL1", "CONV2", "FC1", "FC2"};
+    const Activation acts[] = {Activation::Tanh, Activation::None, Activation::Tanh,
+                               Activation::Tanh, Activation::None};
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(net.layers[i].label, labels[i]);
+        EXPECT_EQ(net.layers[i].activation, acts[i]);
     }
 }
 
@@ -282,14 +280,39 @@ TEST(Zoo, ArchitectureNamesDistinct) {
                  nn::architecture_name(nn::Architecture::Mlp));
 }
 
-TEST(Zoo, AllArchitecturesProduceTenLogits) {
-    for (auto arch : {nn::Architecture::LeNet5, nn::Architecture::MiniCnn,
-                      nn::Architecture::Mlp}) {
+TEST(Zoo, AllArchitecturesProduceTableLogits) {
+    for (const nn::ArchitectureInfo& info : nn::architectures()) {
         Rng rng(20);
-        nn::Sequential model = nn::build_architecture(arch, rng);
-        EXPECT_EQ(model.output_shape(Shape{1, 28, 28}), Shape({10}))
-            << nn::architecture_name(arch);
+        nn::Sequential model = nn::build_architecture(info.arch, rng);
+        EXPECT_EQ(model.output_shape(info.input_shape),
+                  Shape({info.num_classes}))
+            << info.name;
     }
+}
+
+TEST(Zoo, ParseArchitectureRoundTripsAndListsNames) {
+    for (const nn::ArchitectureInfo& info : nn::architectures()) {
+        EXPECT_EQ(nn::parse_architecture(info.name), info.arch);
+    }
+    try {
+        nn::parse_architecture("nope");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        // The error message enumerates every table entry.
+        for (const nn::ArchitectureInfo& info : nn::architectures()) {
+            EXPECT_NE(std::string(e.what()).find(info.name), std::string::npos)
+                << info.name;
+        }
+    }
+    EXPECT_NE(nn::architecture_list_string().find("bnn"), std::string::npos);
+}
+
+TEST(Zoo, SpecAppliesTableLearningRate) {
+    EXPECT_DOUBLE_EQ(nn::zoo_spec(nn::Architecture::LeNet5).train_config.learning_rate,
+                     0.05);
+    EXPECT_DOUBLE_EQ(
+        nn::zoo_spec(nn::Architecture::Bnn).train_config.learning_rate,
+        nn::architecture_info(nn::Architecture::Bnn).learning_rate);
 }
 
 TEST(Zoo, TrainOrLoadCaches) {

@@ -2,7 +2,8 @@
 
 #include <cmath>
 
-#include "quant/qlenet.hpp"
+#include "nn/zoo.hpp"
+#include "quant/qnetwork.hpp"
 #include "test_helpers.hpp"
 #include "util/error.hpp"
 
@@ -15,22 +16,26 @@ using fx::Q3_4;
 
 TEST(Quantize, LeNetWeightShapes) {
     Rng rng(1);
-    nn::LeNet net = nn::build_lenet(rng);
-    const QLeNetWeights w = quantize_lenet(net);
-    EXPECT_EQ(w.conv1_w.shape(), Shape({6, 1, 5, 5}));
-    EXPECT_EQ(w.conv1_b.shape(), Shape({6}));
-    EXPECT_EQ(w.conv2_w.shape(), Shape({16, 6, 5, 5}));
-    EXPECT_EQ(w.fc1_w.shape(), Shape({120, 1024}));
-    EXPECT_EQ(w.fc2_w.shape(), Shape({10, 120}));
+    nn::Sequential model = nn::build_architecture(nn::Architecture::LeNet5, rng);
+    const QNetwork net = quantize_sequential(model, Shape{1, 28, 28});
+    ASSERT_EQ(net.layers.size(), 5u);
+    EXPECT_EQ(net.layers[0].weight.shape(), Shape({6, 1, 5, 5}));
+    EXPECT_EQ(net.layers[0].bias.shape(), Shape({6}));
+    EXPECT_EQ(net.layers[2].weight.shape(), Shape({16, 6, 5, 5}));
+    EXPECT_EQ(net.layers[3].weight.shape(), Shape({120, 1024}));
+    EXPECT_EQ(net.layers[4].weight.shape(), Shape({10, 120}));
+    EXPECT_EQ(net.num_classes(), 10u);
+    EXPECT_EQ(net.format, QuantFormat::Q3_4);
 }
 
 TEST(Quantize, WeightsMatchFloatWithinLsb) {
     Rng rng(2);
-    nn::LeNet net = nn::build_lenet(rng);
-    const QLeNetWeights w = quantize_lenet(net);
-    const auto& fw = net.handles.conv1->weight().value;
+    nn::Sequential model = nn::build_architecture(nn::Architecture::LeNet5, rng);
+    const QNetwork net = quantize_sequential(model, Shape{1, 28, 28});
+    const auto& fw = dynamic_cast<nn::Conv2d&>(model.layer(0)).weight().value;
+    const QTensor& qw = net.layer("CONV1").weight;
     for (std::size_t i = 0; i < fw.size(); ++i) {
-        EXPECT_NEAR(w.conv1_w.at_unchecked(i).to_real(), fw.at_unchecked(i),
+        EXPECT_NEAR(qw.at_unchecked(i).to_real(), fw.at_unchecked(i),
                     Q3_4::resolution() / 2 + 1e-6);
     }
 }
@@ -127,29 +132,30 @@ TEST(QDense, FeatureMismatchThrows) {
     EXPECT_THROW(qdense(input, weight, bias, false), ContractError);
 }
 
-TEST(QLeNetReference, ForwardShapes) {
-    const QLeNetReference ref(deepstrike::testing::random_qweights(8));
-    const QLeNetActivations acts = ref.forward(random_qimage(9));
-    EXPECT_EQ(acts.conv1_out.shape(), Shape({6, 24, 24}));
-    EXPECT_EQ(acts.pool1_out.shape(), Shape({6, 12, 12}));
-    EXPECT_EQ(acts.conv2_out.shape(), Shape({16, 8, 8}));
-    EXPECT_EQ(acts.fc1_out.shape(), Shape({120}));
-    EXPECT_EQ(acts.logits.shape(), Shape({10}));
+TEST(QNetworkReference, ForwardShapes) {
+    const QNetwork net = deepstrike::testing::random_qnetwork(8);
+    const std::vector<QTensor> acts = net.forward_activations(random_qimage(9));
+    ASSERT_EQ(acts.size(), 5u);
+    EXPECT_EQ(acts[0].shape(), Shape({6, 24, 24}));
+    EXPECT_EQ(acts[1].shape(), Shape({6, 12, 12}));
+    EXPECT_EQ(acts[2].shape(), Shape({16, 8, 8}));
+    EXPECT_EQ(acts[3].shape(), Shape({120}));
+    EXPECT_EQ(acts[4].shape(), Shape({10}));
 }
 
-TEST(QLeNetReference, Deterministic) {
-    const QLeNetReference ref(deepstrike::testing::random_qweights(10));
+TEST(QNetworkReference, Deterministic) {
+    const QNetwork net = deepstrike::testing::random_qnetwork(10);
     const QTensor img = random_qimage(11);
-    EXPECT_EQ(ref.forward(img).logits, ref.forward(img).logits);
+    EXPECT_EQ(net.forward(img), net.forward(img));
 }
 
-TEST(QLeNetReference, RejectsWrongInputShape) {
-    const QLeNetReference ref(deepstrike::testing::random_qweights(12));
+TEST(QNetworkReference, RejectsWrongInputShape) {
+    const QNetwork net = deepstrike::testing::random_qnetwork(12);
     QTensor bad(Shape{1, 27, 28});
-    EXPECT_THROW(ref.forward(bad), ContractError);
+    EXPECT_THROW(net.forward(bad), ContractError);
 }
 
-TEST(QLeNetReference, QuantizedTracksFloatModel) {
+TEST(QNetworkReference, QuantizedTracksFloatModel) {
     // Train a tiny model on easy data; the quantized network must agree
     // with the float network on a clear majority of samples.
     data::AugmentParams mild;
@@ -158,19 +164,54 @@ TEST(QLeNetReference, QuantizedTracksFloatModel) {
     auto ds = data::make_datasets(321, 120, 40, mild);
 
     Rng rng(13);
-    nn::LeNet net = nn::build_lenet(rng);
+    nn::Sequential model = nn::build_architecture(nn::Architecture::LeNet5, rng);
     nn::TrainConfig cfg;
     cfg.epochs = 2;
     cfg.batch_size = 12;
-    nn::train(net.model, ds.train, cfg);
+    nn::train(model, ds.train, cfg);
 
-    const QLeNetReference ref(quantize_lenet(net));
+    const QNetwork net = quantize_sequential(model, Shape{1, 28, 28});
     std::size_t agree = 0;
     for (std::size_t i = 0; i < ds.test.size(); ++i) {
-        const std::size_t fpred = argmax(net.model.forward(ds.test.images[i]));
-        if (fpred == ref.predict(ds.test.images[i])) ++agree;
+        const std::size_t fpred = argmax(model.forward(ds.test.images[i]));
+        if (fpred == net.predict(ds.test.images[i])) ++agree;
     }
     EXPECT_GE(agree, ds.test.size() * 8 / 10);
+}
+
+TEST(QuantizeBinary, BinarizedLayersDeployPlusMinusOne) {
+    Rng rng(14);
+    nn::Sequential model = nn::build_architecture(nn::Architecture::Bnn, rng);
+    const QNetwork net =
+        quantize_sequential(model, Shape{1, 28, 28}, {}, QuantFormat::Binary);
+    EXPECT_EQ(net.format, QuantFormat::Binary);
+    // Hidden (Binarized) layers carry exactly +/-1 weights...
+    for (const char* label : {"CONV1", "FC1"}) {
+        const QTensor& w = net.layer(label).weight;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            EXPECT_EQ(std::abs(w.at_unchecked(i).to_real()), 1.0) << label;
+        }
+        EXPECT_EQ(net.layer(label).activation, Activation::Sign) << label;
+    }
+    // ...while the classifier head keeps real-valued Q3.4 weights.
+    const QTensor& head = net.layer("FC2").weight;
+    bool any_fractional = false;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+        if (std::abs(head.at_unchecked(i).to_real()) != 1.0) any_fractional = true;
+    }
+    EXPECT_TRUE(any_fractional);
+}
+
+TEST(QuantizeBinary, BinarizedModelRequiresBinaryFormat) {
+    Rng rng(15);
+    nn::Sequential model = nn::build_architecture(nn::Architecture::Bnn, rng);
+    EXPECT_THROW(quantize_sequential(model, Shape{1, 28, 28}), ContractError);
+}
+
+TEST(QSign, MapsSignToUnitValues) {
+    EXPECT_DOUBLE_EQ(qsign(Q3_4::from_real(2.5)).to_real(), 1.0);
+    EXPECT_DOUBLE_EQ(qsign(Q3_4::from_real(0.0)).to_real(), 1.0);
+    EXPECT_DOUBLE_EQ(qsign(Q3_4::from_real(-0.0625)).to_real(), -1.0);
 }
 
 } // namespace

@@ -240,7 +240,7 @@ TEST(SweepRunner, ManifestOmitsResilienceKeysOnPlainRuns) {
 struct RunnerPlatformFixture : public ::testing::Test {
     static void SetUpTestSuite() {
         platform = new Platform(PlatformConfig{},
-                                deepstrike::testing::random_qweights(61));
+                                deepstrike::testing::random_qnetwork(61));
         dataset = new data::Dataset(data::make_datasets(9, 1, 30).test);
         profiling = new ProfilingRun(run_profiling(*platform));
     }

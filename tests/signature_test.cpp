@@ -111,7 +111,7 @@ TEST(Signature, CrossRunRecognitionOnThePlatform) {
     // Build a library from one profiling run; re-profile with a different
     // TDC noise seed; every segment must match its own label.
     sim::Platform platform(sim::PlatformConfig{},
-                           deepstrike::testing::random_qweights(41));
+                           deepstrike::testing::random_qnetwork(41));
     const sim::ProfilingRun first = sim::run_profiling(platform);
     ASSERT_EQ(first.profile.segments.size(), 5u);
     const std::vector<std::string> labels = {"CONV1", "POOL1", "CONV2", "FC1", "FC2"};
@@ -121,7 +121,7 @@ TEST(Signature, CrossRunRecognitionOnThePlatform) {
 
     sim::PlatformConfig cfg2;
     cfg2.tdc_noise_seed = 12345;
-    sim::Platform platform2(cfg2, deepstrike::testing::random_qweights(41));
+    sim::Platform platform2(cfg2, deepstrike::testing::random_qnetwork(41));
     const sim::ProfilingRun second = sim::run_profiling(platform2);
     ASSERT_EQ(second.profile.segments.size(), 5u);
 

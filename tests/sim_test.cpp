@@ -8,20 +8,20 @@
 namespace deepstrike::sim {
 namespace {
 
-using deepstrike::testing::random_qweights;
+using deepstrike::testing::random_qnetwork;
 
 Platform make_platform(std::uint64_t weight_seed = 1) {
-    return Platform(PlatformConfig{}, random_qweights(weight_seed));
+    return Platform(PlatformConfig{}, random_qnetwork(weight_seed));
 }
 
 TEST(Platform, ConfigConsistencyEnforced) {
     PlatformConfig cfg;
     cfg.pdn.dt_s = 2e-9; // does not match 10 ticks per 10 ns cycle
-    EXPECT_THROW(Platform(cfg, random_qweights(1)), ContractError);
+    EXPECT_THROW(Platform(cfg, random_qnetwork(1)), ContractError);
 
     cfg = PlatformConfig{};
     cfg.tdc_sample_ticks = {2, 12}; // beyond ticks_per_cycle
-    EXPECT_THROW(Platform(cfg, random_qweights(1)), ContractError);
+    EXPECT_THROW(Platform(cfg, random_qnetwork(1)), ContractError);
 }
 
 TEST(Platform, CosimTraceDimensions) {

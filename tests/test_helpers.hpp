@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "quant/qlenet.hpp"
+#include "quant/qnetwork.hpp"
 #include "util/rng.hpp"
 
 namespace deepstrike::testing {
@@ -17,21 +17,46 @@ inline QTensor random_qtensor(Shape shape, Rng& rng, double max_real = 1.0) {
     return t;
 }
 
-/// Random (untrained) LeNet weights: correct shapes, plausible magnitudes.
-/// Most accelerator/attack tests only need bit-level consistency, not a
-/// trained network, and this avoids training in unit tests.
-inline quant::QLeNetWeights random_qweights(std::uint64_t seed) {
+/// Random (untrained) LeNet-5-shaped QNetwork: correct shapes, plausible
+/// magnitudes. Most accelerator/attack tests only need bit-level
+/// consistency, not a trained network, and this avoids training in unit
+/// tests.
+inline quant::QNetwork random_qnetwork(std::uint64_t seed) {
     Rng rng(seed);
-    quant::QLeNetWeights w;
-    w.conv1_w = random_qtensor(Shape{6, 1, 5, 5}, rng, 0.5);
-    w.conv1_b = random_qtensor(Shape{6}, rng, 0.25);
-    w.conv2_w = random_qtensor(Shape{16, 6, 5, 5}, rng, 0.35);
-    w.conv2_b = random_qtensor(Shape{16}, rng, 0.25);
-    w.fc1_w = random_qtensor(Shape{120, 1024}, rng, 0.2);
-    w.fc1_b = random_qtensor(Shape{120}, rng, 0.25);
-    w.fc2_w = random_qtensor(Shape{10, 120}, rng, 0.3);
-    w.fc2_b = random_qtensor(Shape{10}, rng, 0.25);
-    return w;
+    quant::QNetwork net;
+    net.input_shape = Shape{1, 28, 28};
+
+    auto conv = [&](const char* label, Shape w_shape, Shape b_shape, double w_max) {
+        quant::QLayer layer;
+        layer.kind = quant::QLayerKind::Conv;
+        layer.label = label;
+        layer.weight = random_qtensor(std::move(w_shape), rng, w_max);
+        layer.bias = random_qtensor(std::move(b_shape), rng, 0.25);
+        layer.activation = quant::Activation::Tanh;
+        net.layers.push_back(std::move(layer));
+    };
+    auto dense = [&](const char* label, Shape w_shape, Shape b_shape, double w_max,
+                     quant::Activation activation) {
+        quant::QLayer layer;
+        layer.kind = quant::QLayerKind::Dense;
+        layer.label = label;
+        layer.weight = random_qtensor(std::move(w_shape), rng, w_max);
+        layer.bias = random_qtensor(std::move(b_shape), rng, 0.25);
+        layer.activation = activation;
+        net.layers.push_back(std::move(layer));
+    };
+
+    conv("CONV1", Shape{6, 1, 5, 5}, Shape{6}, 0.5);
+    {
+        quant::QLayer pool;
+        pool.kind = quant::QLayerKind::Pool2;
+        pool.label = "POOL1";
+        net.layers.push_back(std::move(pool));
+    }
+    conv("CONV2", Shape{16, 6, 5, 5}, Shape{16}, 0.35);
+    dense("FC1", Shape{120, 1024}, Shape{120}, 0.2, quant::Activation::Tanh);
+    dense("FC2", Shape{10, 120}, Shape{10}, 0.3, quant::Activation::None);
+    return net;
 }
 
 /// Random [1,28,28] image with pixels in [0,1].

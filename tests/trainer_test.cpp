@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "nn/lenet.hpp"
+#include "nn/zoo.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
 #include "util/error.hpp"
@@ -33,7 +33,7 @@ data::Dataset easy_dataset(std::size_t n) {
 
 TEST(Trainer, LossDecreasesAndAccuracyImproves) {
     Rng rng(55);
-    LeNet net = build_lenet(rng);
+    Sequential net = build_architecture(Architecture::LeNet5, rng);
     data::Dataset train_set = easy_dataset(60);
 
     TrainConfig config;
@@ -41,9 +41,9 @@ TEST(Trainer, LossDecreasesAndAccuracyImproves) {
     config.batch_size = 10;
     config.learning_rate = 0.08;
 
-    const double acc_before = evaluate_accuracy(net.model, train_set);
-    const auto history = train(net.model, train_set, config);
-    const double acc_after = evaluate_accuracy(net.model, train_set);
+    const double acc_before = evaluate_accuracy(net, train_set);
+    const auto history = train(net, train_set, config);
+    const double acc_after = evaluate_accuracy(net, train_set);
 
     ASSERT_EQ(history.size(), 3u);
     EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
@@ -58,16 +58,16 @@ TEST(Trainer, DeterministicGivenSeeds) {
     config.batch_size = 10;
 
     Rng rng_a(77);
-    LeNet a = build_lenet(rng_a);
+    Sequential a = build_architecture(Architecture::LeNet5, rng_a);
     Rng rng_b(77);
-    LeNet b = build_lenet(rng_b);
+    Sequential b = build_architecture(Architecture::LeNet5, rng_b);
 
-    const auto ha = train(a.model, train_set, config);
-    const auto hb = train(b.model, train_set, config);
+    const auto ha = train(a, train_set, config);
+    const auto hb = train(b, train_set, config);
     EXPECT_DOUBLE_EQ(ha[0].mean_loss, hb[0].mean_loss);
     // Weights identical after training.
-    auto pa = a.model.parameters();
-    auto pb = b.model.parameters();
+    auto pa = a.parameters();
+    auto pb = b.parameters();
     ASSERT_EQ(pa.size(), pb.size());
     for (std::size_t i = 0; i < pa.size(); ++i) {
         EXPECT_EQ(pa[i]->value, pb[i]->value);
@@ -76,10 +76,10 @@ TEST(Trainer, DeterministicGivenSeeds) {
 
 TEST(Trainer, RejectsEmptyDataset) {
     Rng rng(1);
-    LeNet net = build_lenet(rng);
+    Sequential net = build_architecture(Architecture::LeNet5, rng);
     data::Dataset empty;
-    EXPECT_THROW(train(net.model, empty, {}), ContractError);
-    EXPECT_THROW(evaluate_accuracy(net.model, empty), ContractError);
+    EXPECT_THROW(train(net, empty, {}), ContractError);
+    EXPECT_THROW(evaluate_accuracy(net, empty), ContractError);
 }
 
 TEST(Serialize, RoundTrip) {
@@ -87,15 +87,15 @@ TEST(Serialize, RoundTrip) {
     const fs::path path = fs::temp_directory_path() / "ds_weights_roundtrip.dsw";
 
     Rng rng_a(91);
-    LeNet a = build_lenet(rng_a);
-    save_weights(a.model, path.string());
+    Sequential a = build_architecture(Architecture::LeNet5, rng_a);
+    save_weights(a, path.string());
 
     Rng rng_b(92); // different init
-    LeNet b = build_lenet(rng_b);
-    load_weights(b.model, path.string());
+    Sequential b = build_architecture(Architecture::LeNet5, rng_b);
+    load_weights(b, path.string());
 
-    auto pa = a.model.parameters();
-    auto pb = b.model.parameters();
+    auto pa = a.parameters();
+    auto pb = b.parameters();
     for (std::size_t i = 0; i < pa.size(); ++i) {
         EXPECT_EQ(pa[i]->value, pb[i]->value);
     }
@@ -112,8 +112,8 @@ TEST(Serialize, RejectsBadMagic) {
         std::fclose(f);
     }
     Rng rng(93);
-    LeNet net = build_lenet(rng);
-    EXPECT_THROW(load_weights(net.model, path.string()), FormatError);
+    Sequential net = build_architecture(Architecture::LeNet5, rng);
+    EXPECT_THROW(load_weights(net, path.string()), FormatError);
     fs::remove(path);
 }
 
@@ -121,13 +121,13 @@ TEST(Serialize, RejectsTruncatedFile) {
     namespace fs = std::filesystem;
     const fs::path path = fs::temp_directory_path() / "ds_weights_trunc.dsw";
     Rng rng(94);
-    LeNet net = build_lenet(rng);
-    save_weights(net.model, path.string());
+    Sequential net = build_architecture(Architecture::LeNet5, rng);
+    save_weights(net, path.string());
 
     // Truncate to half size.
     const auto full = fs::file_size(path);
     fs::resize_file(path, full / 2);
-    EXPECT_THROW(load_weights(net.model, path.string()), FormatError);
+    EXPECT_THROW(load_weights(net, path.string()), FormatError);
     fs::remove(path);
 }
 
@@ -135,8 +135,8 @@ TEST(Serialize, RejectsWrongArchitecture) {
     namespace fs = std::filesystem;
     const fs::path path = fs::temp_directory_path() / "ds_weights_arch.dsw";
     Rng rng(95);
-    LeNet net = build_lenet(rng);
-    save_weights(net.model, path.string());
+    Sequential net = build_architecture(Architecture::LeNet5, rng);
+    save_weights(net, path.string());
 
     // A different (smaller) model must refuse these weights.
     Sequential other;
@@ -147,8 +147,8 @@ TEST(Serialize, RejectsWrongArchitecture) {
 
 TEST(Serialize, MissingFileThrowsIoError) {
     Rng rng(96);
-    LeNet net = build_lenet(rng);
-    EXPECT_THROW(load_weights(net.model, "/nonexistent/path.dsw"), IoError);
+    Sequential net = build_architecture(Architecture::LeNet5, rng);
+    EXPECT_THROW(load_weights(net, "/nonexistent/path.dsw"), IoError);
 }
 
 TEST(TrainOrLoad, UsesCacheOnSecondCall) {
@@ -156,15 +156,15 @@ TEST(TrainOrLoad, UsesCacheOnSecondCall) {
     const fs::path dir = fs::temp_directory_path() / "ds_cache_test";
     fs::remove_all(dir);
 
-    LeNetTrainSpec spec;
+    ZooTrainSpec spec;
     spec.train_size = 40;
     spec.test_size = 20;
     spec.train_config.epochs = 1;
     spec.cache_dir = dir.string();
 
-    const TrainedLeNet first = train_or_load_lenet(spec);
+    const TrainedModel first = train_or_load(spec);
     EXPECT_FALSE(first.loaded_from_cache);
-    const TrainedLeNet second = train_or_load_lenet(spec);
+    const TrainedModel second = train_or_load(spec);
     EXPECT_TRUE(second.loaded_from_cache);
     EXPECT_DOUBLE_EQ(first.test_accuracy, second.test_accuracy);
     fs::remove_all(dir);

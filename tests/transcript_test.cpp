@@ -69,7 +69,7 @@ namespace deepstrike::sim {
 namespace {
 
 TEST(RepeatedInferences, DetectorRearmsAndStrikesEveryRun) {
-    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(71));
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qnetwork(71));
 
     attack::DetectorConfig dcfg;
     attack::AttackScheme scheme;
@@ -92,7 +92,7 @@ TEST(RepeatedInferences, DetectorRearmsAndStrikesEveryRun) {
 }
 
 TEST(RepeatedInferences, Validation) {
-    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(72));
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qnetwork(72));
     attack::AttackController controller(attack::DetectorConfig{},
                                         attack::AttackScheme{});
     EXPECT_THROW(simulate_repeated_inferences(platform, controller, 0), ContractError);

@@ -66,7 +66,7 @@ TEST(Vcd, CosimExportContainsStrikes) {
     namespace fs = std::filesystem;
     const fs::path path = fs::temp_directory_path() / "ds_vcd_cosim.vcd";
 
-    Platform platform(PlatformConfig{}, deepstrike::testing::random_qweights(3));
+    Platform platform(PlatformConfig{}, deepstrike::testing::random_qnetwork(3));
     // Fixed strike pattern so the VCD provably contains Start toggles.
     BitVec bits(2000);
     for (std::size_t c = 1000; c < 1010; ++c) bits.set(c, true);

@@ -16,7 +16,9 @@
 #include <fstream>
 #include <string>
 
+#include "accel/arch_profiles.hpp"
 #include "accel/netlist_builder.hpp"
+#include "defense/fault_train.hpp"
 #include "defense/monitor.hpp"
 #include "fabric/drc.hpp"
 #include "fabric/resources.hpp"
@@ -105,15 +107,9 @@ struct ObservabilitySinks {
     }
 };
 
-nn::Architecture parse_arch(const std::string& name) {
-    if (name == "lenet5") return nn::Architecture::LeNet5;
-    if (name == "minicnn") return nn::Architecture::MiniCnn;
-    if (name == "mlp") return nn::Architecture::Mlp;
-    throw ConfigError("unknown architecture '" + name + "' (lenet5|minicnn|mlp)");
-}
-
 void add_common_victim_options(ArgParser& parser) {
-    parser.add_option("arch", "victim architecture: lenet5|minicnn|mlp", "lenet5");
+    parser.add_option("arch", "victim architecture: " + nn::architecture_list_string(),
+                      "lenet5");
     parser.add_option("train-size", "training samples", "3000");
     parser.add_option("test-size", "test samples", "600");
     parser.add_option("epochs", "training epochs", "4");
@@ -121,27 +117,34 @@ void add_common_victim_options(ArgParser& parser) {
 }
 
 struct Victim {
+    nn::Architecture arch;
     nn::TrainedModel trained;
-    quant::QNetwork network;
     sim::Platform platform;
     data::Dataset test_set;
+
+    /// The quantized network as deployed on the accelerator (the platform
+    /// owns the only copy).
+    const quant::QNetwork& network() const { return platform.engine().network(); }
 };
 
 Victim load_victim(const ArgParser& parser) {
-    nn::ZooTrainSpec spec;
-    spec.architecture = parse_arch(parser.option("arch"));
+    nn::ZooTrainSpec spec =
+        nn::zoo_spec(nn::parse_architecture(parser.option("arch")));
     spec.train_size = parser.option_uint("train-size");
     spec.test_size = parser.option_uint("test-size");
     spec.train_config.epochs = parser.option_uint("epochs");
     spec.data_seed = parser.option_uint("data-seed");
 
+    const nn::ArchitectureInfo& info = nn::architecture_info(spec.architecture);
     nn::TrainedModel trained = nn::train_or_load(spec);
-    quant::QNetwork network =
-        quant::quantize_sequential(trained.model, Shape{1, 28, 28});
-    quant::QNetwork network_copy = network; // platform consumes one copy
-    sim::Platform platform(sim::PlatformConfig{}, std::move(network_copy));
+    quant::QNetwork network = quant::quantize_sequential(
+        trained.model, info.input_shape, {},
+        quant::quant_format_for(spec.architecture));
+    sim::PlatformConfig platform_config;
+    platform_config.accel = accel::accel_config_for(spec.architecture);
+    sim::Platform platform(platform_config, std::move(network));
     data::Dataset test = data::make_datasets(spec.data_seed, 1, spec.test_size).test;
-    return Victim{std::move(trained), std::move(network), std::move(platform),
+    return Victim{spec.architecture, std::move(trained), std::move(platform),
                   std::move(test)};
 }
 
@@ -161,13 +164,15 @@ int cmd_train(const std::vector<std::string>& args) {
     }
 
     Victim victim = load_victim(parser);
-    std::printf("architecture        : %s\n", parser.option("arch").c_str());
+    const nn::ArchitectureInfo& info = nn::architecture_info(victim.arch);
+    std::printf("architecture        : %s (%s)\n", info.name, info.summary);
     std::printf("float test accuracy : %.4f%s\n", victim.trained.test_accuracy,
                 victim.trained.loaded_from_cache ? " (cache)" : "");
     std::printf("quantized accuracy  : %.4f\n",
-                victim.network.evaluate_accuracy(victim.test_set));
-    std::printf("parameters          : %zu (8-bit Q3.4)\n",
-                victim.network.parameter_count());
+                victim.network().evaluate_accuracy(victim.test_set));
+    std::printf("parameters          : %zu (8-bit %s)\n",
+                victim.network().parameter_count(),
+                quant::quant_format_name(victim.network().format));
     std::printf("\n%s", victim.platform.engine().schedule().to_string(
                             victim.platform.config().accel.fabric_clock_hz).c_str());
     return 0;
@@ -497,8 +502,16 @@ int cmd_defend(const std::vector<std::string>& args) {
     add_common_victim_options(parser);
     parser.add_option("strikes", "attack strikes on the conv target", "4500");
     parser.add_option("images", "test images to evaluate", "200");
+    parser.add_option("fault-weight",
+                      "fault-injected loss weight for --fault-aware", "0.5");
+    parser.add_option("inject-prob",
+                      "per-activation fault probability for --fault-aware", "0.01");
     add_threads_option(parser);
     add_observability_options(parser);
+    parser.add_flag("fault-aware",
+                    "additionally retrain the victim with fault-aware training "
+                    "(defense::fault_aware_train) and report its accuracy under "
+                    "the same attack");
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
         std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
@@ -541,6 +554,47 @@ int cmd_defend(const std::vector<std::string>& args) {
     std::printf("alarms              : %zu\n", def.alarms);
     std::printf("throttled fraction  : %.1f%% (slowdown %.2fx)\n",
                 100.0 * def.throttled_fraction, def.slowdown());
+
+    if (parser.flag("fault-aware")) {
+        // Train-time defense: same init seed, schedule and data as the
+        // baseline victim, but with the weighted clean + fault-injected
+        // objective. The attack's voltage trace transfers unchanged — the
+        // accelerator schedule (and hence its power draw) depends only on
+        // the architecture, not the weights.
+        nn::ZooTrainSpec spec = nn::zoo_spec(victim.arch);
+        defense::FaultTrainConfig ft;
+        ft.base = spec.train_config;
+        ft.base.epochs = parser.option_uint("epochs");
+        ft.fault_loss_weight = parser.option_double("fault-weight");
+        ft.inject_probability = parser.option_double("inject-prob");
+
+        Rng init_rng(spec.init_seed);
+        nn::Sequential hardened_model = nn::build_architecture(victim.arch, init_rng);
+        const data::DatasetPair datasets =
+            data::make_datasets(parser.option_uint("data-seed"),
+                                parser.option_uint("train-size"),
+                                parser.option_uint("test-size"));
+        defense::fault_aware_train(hardened_model, datasets.train, ft);
+
+        quant::QNetwork hardened_net = quant::quantize_sequential(
+            hardened_model, nn::architecture_info(victim.arch).input_shape, {},
+            quant::quant_format_for(victim.arch));
+        sim::PlatformConfig hardened_config;
+        hardened_config.accel = accel::accel_config_for(victim.arch);
+        sim::Platform hardened(hardened_config, std::move(hardened_net));
+
+        const sim::AccuracyResult hardened_clean =
+            sim::evaluate_accuracy(hardened, victim.test_set, images, nullptr, 1);
+        const sim::AccuracyResult hardened_attacked = sim::evaluate_accuracy(
+            hardened, victim.test_set, images, &cosim.capture_v, 1);
+        std::printf("fault-aware clean   : %.4f\n", hardened_clean.accuracy);
+        std::printf("fault-aware attacked: %.4f (recovers %.2f%% of the drop)\n",
+                    hardened_attacked.accuracy,
+                    undefended.accuracy < clean.accuracy
+                        ? 100.0 * (hardened_attacked.accuracy - undefended.accuracy) /
+                              (clean.accuracy - undefended.accuracy)
+                        : 0.0);
+    }
     return sinks.finish() ? 0 : 1;
 }
 
