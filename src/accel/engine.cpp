@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "accel/engine_detail.hpp"
+#include "quant/gemm.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 
@@ -137,8 +138,10 @@ QTensor patch_conv(const QTensor& x, const std::vector<std::size_t>& changed,
                     const std::size_t p = oc * plane + rr * out_w + cc;
                     if (visited[p]) continue;
                     visited[p] = true;
-                    quant::qconv2d_outputs(x, layer.weight, layer.bias,
-                                           layer.activation, p, p + 1, out);
+                    // Hot per-element patch: shapes were validated when the
+                    // golden trace was built, so skip the expects re-checks.
+                    quant::detail::qconv2d_outputs_unchecked(
+                        x, layer.weight, layer.bias, layer.activation, p, p + 1, out);
                 }
             }
         }
@@ -284,19 +287,47 @@ QTensor AccelEngine::run_conv(const QTensor& input, const quant::QLayer& layer,
     const std::size_t n_elems = out_c * out_h * out_w;
 
     QTensor out(Shape{out_c, out_h, out_w});
+
+    // With the GEMM engine enabled, compute the whole layer's golden
+    // accumulators in one im2col/GEMM pass: gap elements write back
+    // directly from them, and hot windows take them through the existing
+    // golden_accs path (copy instead of re-summing per element). Integer
+    // accumulation is exact, so the accumulators — and therefore the
+    // faulted outputs and the RNG stream — are byte-identical to the
+    // scalar walk (GemmMode::Off below).
+    if (quant::gemm::enabled()) {
+        thread_local std::vector<fx::Acc> accs;
+        quant::gemm::conv2d_accs(input, w, layer.bias, accs);
+        std::size_t cursor = 0;
+        for (const auto& [e0, e1] : hot_element_ranges(overlay, seg, opp, n_elems)) {
+            for (std::size_t p = cursor; p < e0; ++p) {
+                out.data()[p] = detail::apply_activation(
+                    Q3_4::from_accumulator(accs[p]), layer.activation);
+            }
+            run_conv_window(input, layer, seg, overlay, voltage, rng, throttle,
+                            counts, accs.data(), e0, e1, out);
+            cursor = e1;
+        }
+        for (std::size_t p = cursor; p < n_elems; ++p) {
+            out.data()[p] = detail::apply_activation(
+                Q3_4::from_accumulator(accs[p]), layer.activation);
+        }
+        return out;
+    }
+
     std::size_t cursor = 0;
     for (const auto& [e0, e1] : hot_element_ranges(overlay, seg, opp, n_elems)) {
         if (cursor < e0) {
-            quant::qconv2d_outputs(input, w, layer.bias, layer.activation, cursor, e0,
-                                   out);
+            quant::detail::qconv2d_outputs_unchecked(input, w, layer.bias,
+                                                     layer.activation, cursor, e0, out);
         }
         run_conv_window(input, layer, seg, overlay, voltage, rng, throttle, counts,
                         nullptr, e0, e1, out);
         cursor = e1;
     }
     if (cursor < n_elems) {
-        quant::qconv2d_outputs(input, w, layer.bias, layer.activation, cursor, n_elems,
-                               out);
+        quant::detail::qconv2d_outputs_unchecked(input, w, layer.bias,
+                                                 layer.activation, cursor, n_elems, out);
     }
     return out;
 }
@@ -475,19 +506,43 @@ QTensor AccelEngine::run_fc(const QTensor& input, const quant::QLayer& layer,
     const std::size_t in_n = layer.weight.shape().dim(1);
 
     QTensor out(Shape{out_n});
+
+    // See run_conv: one GEMM pass supplies the golden accumulators for
+    // both gap writebacks and hot-window seeding, byte-identical to the
+    // scalar walk.
+    if (quant::gemm::enabled()) {
+        thread_local std::vector<fx::Acc> accs;
+        quant::gemm::dense_accs(input, layer.weight, layer.bias, accs);
+        std::size_t cursor = 0;
+        for (const auto& [e0, e1] : hot_element_ranges(overlay, seg, in_n, out_n)) {
+            for (std::size_t p = cursor; p < e0; ++p) {
+                out.data()[p] = detail::apply_activation(
+                    Q3_4::from_accumulator(accs[p]), layer.activation);
+            }
+            run_fc_window(input, layer, seg, overlay, voltage, rng, throttle, counts,
+                          accs.data(), e0, e1, out);
+            cursor = e1;
+        }
+        for (std::size_t p = cursor; p < out_n; ++p) {
+            out.data()[p] = detail::apply_activation(
+                Q3_4::from_accumulator(accs[p]), layer.activation);
+        }
+        return out;
+    }
+
     std::size_t cursor = 0;
     for (const auto& [e0, e1] : hot_element_ranges(overlay, seg, in_n, out_n)) {
         if (cursor < e0) {
-            quant::qdense_outputs(input, layer.weight, layer.bias, layer.activation,
-                                  cursor, e0, out);
+            quant::detail::qdense_outputs_unchecked(input, layer.weight, layer.bias,
+                                                    layer.activation, cursor, e0, out);
         }
         run_fc_window(input, layer, seg, overlay, voltage, rng, throttle, counts,
                       nullptr, e0, e1, out);
         cursor = e1;
     }
     if (cursor < out_n) {
-        quant::qdense_outputs(input, layer.weight, layer.bias, layer.activation, cursor,
-                              out_n, out);
+        quant::detail::qdense_outputs_unchecked(input, layer.weight, layer.bias,
+                                                layer.activation, cursor, out_n, out);
     }
     return out;
 }

@@ -1,5 +1,8 @@
 #include "quant/kernels.hpp"
 
+#include <cassert>
+
+#include "quant/gemm.hpp"
 #include "quant/qnetwork.hpp"
 
 #include "util/error.hpp"
@@ -15,6 +18,7 @@ QTensor quantize_image(const FloatTensor& image) {
 }
 
 namespace {
+
 Q3_4 apply_activation(Q3_4 v, Activation activation) {
     switch (activation) {
         case Activation::None: return v;
@@ -24,6 +28,36 @@ Q3_4 apply_activation(Q3_4 v, Activation activation) {
     }
     return v;
 }
+
+/// Shape validation shared by the public conv entry points; hoisted out
+/// of the range kernels so the per-element/per-gap hot paths (the
+/// detail:: variants) stay branch-light.
+void validate_conv(const QTensor& input, const QTensor& weight,
+                   const QTensor& bias) {
+    expects(input.shape().rank() == 3, "qconv2d: input rank 3");
+    expects(weight.shape().rank() == 4, "qconv2d: weight rank 4");
+    const std::size_t in_c = input.shape().dim(0);
+    const std::size_t k = weight.shape().dim(2);
+    expects(weight.shape().dim(1) == in_c, "qconv2d: channel mismatch");
+    expects(weight.shape().dim(3) == k, "qconv2d: square kernel");
+    expects(bias.size() == weight.shape().dim(0), "qconv2d: bias size");
+    expects(input.shape().dim(1) >= k && input.shape().dim(2) >= k,
+            "qconv2d: input at least kernel-sized");
+    // Integer sums are exact under any accumulation width that cannot
+    // overflow, so the kernels accumulate products in 32 bits (|product|
+    // <= 2^14, so up to 2^17 products are safe) and widen once at the end.
+    expects(in_c * k * k <= 65536, "qconv2d: receptive field fits int32");
+}
+
+void validate_dense(const QTensor& input, const QTensor& weight,
+                    const QTensor& bias) {
+    expects(weight.shape().rank() == 2, "qdense: weight rank 2");
+    expects(input.size() == weight.shape().dim(1), "qdense: input feature mismatch");
+    expects(bias.size() == weight.shape().dim(0), "qdense: bias size");
+    // Same 32-bit exact-accumulation argument as validate_conv.
+    expects(weight.shape().dim(1) <= 65536, "qdense: fan-in fits int32");
+}
+
 } // namespace
 
 fx::Q3_4 qrelu(fx::Q3_4 x) {
@@ -42,28 +76,37 @@ QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias
 
 QTensor qconv2d(const QTensor& input, const QTensor& weight, const QTensor& bias,
                 Activation activation) {
-    expects(input.shape().rank() == 3, "qconv2d: input rank 3");
-    expects(weight.shape().rank() == 4, "qconv2d: weight rank 4");
-    const std::size_t in_c = input.shape().dim(0);
-    const std::size_t in_h = input.shape().dim(1);
-    const std::size_t in_w = input.shape().dim(2);
-    const std::size_t out_c = weight.shape().dim(0);
+    validate_conv(input, weight, bias);
     const std::size_t k = weight.shape().dim(2);
-    expects(weight.shape().dim(1) == in_c, "qconv2d: channel mismatch");
-    expects(weight.shape().dim(3) == k, "qconv2d: square kernel");
-    expects(bias.size() == out_c, "qconv2d: bias size");
-    expects(in_h >= k && in_w >= k, "qconv2d: input at least kernel-sized");
-
-    const std::size_t out_h = in_h - k + 1;
-    const std::size_t out_w = in_w - k + 1;
-    QTensor out(Shape{out_c, out_h, out_w});
-    qconv2d_outputs(input, weight, bias, activation, 0, out.size(), out);
+    const std::size_t out_h = input.shape().dim(1) - k + 1;
+    const std::size_t out_w = input.shape().dim(2) - k + 1;
+    QTensor out(Shape{weight.shape().dim(0), out_h, out_w});
+    if (gemm::enabled()) {
+        thread_local std::vector<fx::Acc> accs;
+        gemm::conv2d_accs(input, weight, bias, accs);
+        gemm::write_back(accs.data(), accs.size(), activation, out);
+        return out;
+    }
+    detail::qconv2d_outputs_unchecked(input, weight, bias, activation, 0,
+                                      out.size(), out);
     return out;
 }
 
 void qconv2d_outputs(const QTensor& input, const QTensor& weight, const QTensor& bias,
                      Activation activation, std::size_t elem_begin,
                      std::size_t elem_end, QTensor& out) {
+    validate_conv(input, weight, bias);
+    expects(elem_begin <= elem_end && elem_end <= out.size(),
+            "qconv2d_outputs: element range");
+    detail::qconv2d_outputs_unchecked(input, weight, bias, activation, elem_begin,
+                                      elem_end, out);
+}
+
+void detail::qconv2d_outputs_unchecked(const QTensor& input, const QTensor& weight,
+                                       const QTensor& bias, Activation activation,
+                                       std::size_t elem_begin, std::size_t elem_end,
+                                       QTensor& out) {
+    assert(elem_begin <= elem_end && elem_end <= out.size());
     const std::size_t in_c = input.shape().dim(0);
     const std::size_t in_h = input.shape().dim(1);
     const std::size_t in_w = input.shape().dim(2);
@@ -71,19 +114,11 @@ void qconv2d_outputs(const QTensor& input, const QTensor& weight, const QTensor&
     const std::size_t kk = k * k;
     const std::size_t out_w = in_w - k + 1;
     const std::size_t plane = (in_h - k + 1) * out_w;
-    expects(elem_begin <= elem_end && elem_end <= out.size(),
-            "qconv2d_outputs: element range");
 
     const Q3_4* in_data = input.data();
     const Q3_4* w_data = weight.data();
     const Q3_4* b_data = bias.data();
     Q3_4* out_data = out.data();
-
-    // Integer sums are exact under any accumulation width that cannot
-    // overflow, so the golden kernel accumulates products in 32 bits
-    // (|product| <= 2^14, so up to 2^17 products are safe) and widens once
-    // at the end. int16*int16 -> int32 row sums vectorize on baseline SSE2.
-    expects(in_c * kk <= 65536, "qconv2d_outputs: receptive field fits int32");
 
     for (std::size_t p = elem_begin; p < elem_end; ++p) {
         const std::size_t oc = p / plane;
@@ -110,6 +145,7 @@ void qconv2d_outputs(const QTensor& input, const QTensor& weight, const QTensor&
 
 void qconv2d_trace(const QTensor& input, const QTensor& weight, const QTensor& bias,
                    Activation activation, QTensor& out, std::vector<fx::Acc>& accs) {
+    validate_conv(input, weight, bias);
     const std::size_t in_c = input.shape().dim(0);
     const std::size_t in_h = input.shape().dim(1);
     const std::size_t in_w = input.shape().dim(2);
@@ -120,9 +156,14 @@ void qconv2d_trace(const QTensor& input, const QTensor& weight, const QTensor& b
     const std::size_t out_w = in_w - k + 1;
     const std::size_t plane = out_h * out_w;
     out = QTensor(Shape{out_c, out_h, out_w});
-    accs.resize(out.size());
-    expects(in_c * kk <= 65536, "qconv2d_trace: receptive field fits int32");
 
+    if (gemm::enabled()) {
+        gemm::conv2d_accs(input, weight, bias, accs);
+        gemm::write_back(accs.data(), accs.size(), activation, out);
+        return;
+    }
+
+    accs.resize(out.size());
     const Q3_4* in_data = input.data();
     const Q3_4* w_data = weight.data();
     const Q3_4* b_data = bias.data();
@@ -159,16 +200,17 @@ QTensor qmaxpool2(const QTensor& input) {
     const std::size_t oh = input.shape().dim(1) / 2;
     const std::size_t ow = input.shape().dim(2) / 2;
     QTensor out(Shape{ch, oh, ow});
+    const std::size_t iw = 2 * ow;
+    const Q3_4* in = input.data();
+    Q3_4* dst = out.data();
     for (std::size_t c = 0; c < ch; ++c) {
         for (std::size_t r = 0; r < oh; ++r) {
+            const Q3_4* row0 = in + (c * 2 * oh + 2 * r) * iw;
+            const Q3_4* row1 = row0 + iw;
             for (std::size_t w = 0; w < ow; ++w) {
-                Q3_4 best = input.at(c, 2 * r, 2 * w);
-                for (std::size_t dr = 0; dr < 2; ++dr) {
-                    for (std::size_t dw = 0; dw < 2; ++dw) {
-                        best = std::max(best, input.at(c, 2 * r + dr, 2 * w + dw));
-                    }
-                }
-                out.at(c, r, w) = best;
+                const Q3_4 top = std::max(row0[2 * w], row0[2 * w + 1]);
+                const Q3_4 bot = std::max(row1[2 * w], row1[2 * w + 1]);
+                *dst++ = std::max(top, bot);
             }
         }
     }
@@ -183,17 +225,20 @@ QTensor qavgpool2(const QTensor& input) {
     const std::size_t oh = input.shape().dim(1) / 2;
     const std::size_t ow = input.shape().dim(2) / 2;
     QTensor out(Shape{ch, oh, ow});
+    const std::size_t iw = 2 * ow;
+    const Q3_4* in = input.data();
+    Q3_4* dst = out.data();
     for (std::size_t c = 0; c < ch; ++c) {
         for (std::size_t r = 0; r < oh; ++r) {
+            const Q3_4* row0 = in + (c * 2 * oh + 2 * r) * iw;
+            const Q3_4* row1 = row0 + iw;
             for (std::size_t w = 0; w < ow; ++w) {
                 // Sum in raw units, then divide by 4 rounding to nearest
                 // (ties away from zero) — an adder tree plus a shift.
-                const std::int32_t sum =
-                    input.at(c, 2 * r, 2 * w).raw() + input.at(c, 2 * r, 2 * w + 1).raw() +
-                    input.at(c, 2 * r + 1, 2 * w).raw() +
-                    input.at(c, 2 * r + 1, 2 * w + 1).raw();
+                const std::int32_t sum = row0[2 * w].raw() + row0[2 * w + 1].raw() +
+                                         row1[2 * w].raw() + row1[2 * w + 1].raw();
                 const std::int32_t avg = sum >= 0 ? (sum + 2) / 4 : -((-sum + 2) / 4);
-                out.at(c, r, w) = Q3_4::from_raw(static_cast<std::int16_t>(avg));
+                *dst++ = Q3_4::from_raw(static_cast<std::int16_t>(avg));
             }
         }
     }
@@ -208,31 +253,40 @@ QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,
 
 QTensor qdense(const QTensor& input, const QTensor& weight, const QTensor& bias,
                Activation activation) {
-    expects(weight.shape().rank() == 2, "qdense: weight rank 2");
+    validate_dense(input, weight, bias);
     const std::size_t out_n = weight.shape().dim(0);
-    const std::size_t in_n = weight.shape().dim(1);
-    expects(input.size() == in_n, "qdense: input feature mismatch");
-    expects(bias.size() == out_n, "qdense: bias size");
-
     QTensor out(Shape{out_n});
-    qdense_outputs(input, weight, bias, activation, 0, out_n, out);
+    if (gemm::enabled()) {
+        thread_local std::vector<fx::Acc> accs;
+        gemm::dense_accs(input, weight, bias, accs);
+        gemm::write_back(accs.data(), accs.size(), activation, out);
+        return out;
+    }
+    detail::qdense_outputs_unchecked(input, weight, bias, activation, 0, out_n, out);
     return out;
 }
 
 void qdense_outputs(const QTensor& input, const QTensor& weight, const QTensor& bias,
                     Activation activation, std::size_t elem_begin,
                     std::size_t elem_end, QTensor& out) {
-    const std::size_t in_n = weight.shape().dim(1);
+    validate_dense(input, weight, bias);
     expects(elem_begin <= elem_end && elem_end <= out.size(),
             "qdense_outputs: element range");
+    detail::qdense_outputs_unchecked(input, weight, bias, activation, elem_begin,
+                                     elem_end, out);
+}
+
+void detail::qdense_outputs_unchecked(const QTensor& input, const QTensor& weight,
+                                      const QTensor& bias, Activation activation,
+                                      std::size_t elem_begin, std::size_t elem_end,
+                                      QTensor& out) {
+    assert(elem_begin <= elem_end && elem_end <= out.size());
+    const std::size_t in_n = weight.shape().dim(1);
 
     const Q3_4* in_data = input.data();
     const Q3_4* w_data = weight.data();
     const Q3_4* b_data = bias.data();
     Q3_4* out_data = out.data();
-
-    // Same 32-bit exact-accumulation argument as qconv2d_outputs.
-    expects(in_n <= 65536, "qdense_outputs: fan-in fits int32");
 
     for (std::size_t o = elem_begin; o < elem_end; ++o) {
         std::int32_t acc32 = 0;
@@ -248,13 +302,18 @@ void qdense_outputs(const QTensor& input, const QTensor& weight, const QTensor& 
 
 void qdense_trace(const QTensor& input, const QTensor& weight, const QTensor& bias,
                   Activation activation, QTensor& out, std::vector<fx::Acc>& accs) {
+    validate_dense(input, weight, bias);
     const std::size_t out_n = weight.shape().dim(0);
     const std::size_t in_n = weight.shape().dim(1);
-    expects(input.size() == in_n, "qdense_trace: input feature mismatch");
-    expects(in_n <= 65536, "qdense_trace: fan-in fits int32");
     out = QTensor(Shape{out_n});
-    accs.resize(out_n);
 
+    if (gemm::enabled()) {
+        gemm::dense_accs(input, weight, bias, accs);
+        gemm::write_back(accs.data(), accs.size(), activation, out);
+        return;
+    }
+
+    accs.resize(out_n);
     const Q3_4* in_data = input.data();
     const Q3_4* w_data = weight.data();
     const Q3_4* b_data = bias.data();

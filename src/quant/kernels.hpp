@@ -12,6 +12,13 @@
 //   accumulation:          wide int64, one saturating writeback per output
 //   activation:            tanh via BRAM-style LUT on the Q3.4 grid,
 //                          relu as a sign mux, sign as a comparator
+//
+// These scalar kernels are the byte-exactness oracle. When quant::gemm is
+// enabled (the default), the full-layer entry points (qconv2d / qdense and
+// their trace variants) route through the im2col/GEMM fast path
+// (quant/gemm.hpp) — byte-identical by the exact-integer-accumulation
+// argument documented there; GemmMode::Off restores the loops below
+// end to end.
 #pragma once
 
 #include <vector>
@@ -87,5 +94,25 @@ void qconv2d_trace(const QTensor& input, const QTensor& weight, const QTensor& b
 /// Trace variant of qdense (see qconv2d_trace).
 void qdense_trace(const QTensor& input, const QTensor& weight, const QTensor& bias,
                   Activation activation, QTensor& out, std::vector<fx::Acc>& accs);
+
+namespace detail {
+
+/// Unchecked range kernels behind qconv2d_outputs / qdense_outputs: same
+/// bytes, but shape/range validation is the caller's responsibility
+/// (assert() in debug builds only). The public wrappers validate and
+/// forward; hot loops that already validated once per network/batch —
+/// the accelerator's gap fills and the sparse conv patcher, which calls
+/// per single output element — use these directly so `expects` stays out
+/// of the per-element path.
+void qconv2d_outputs_unchecked(const QTensor& input, const QTensor& weight,
+                               const QTensor& bias, Activation activation,
+                               std::size_t elem_begin, std::size_t elem_end,
+                               QTensor& out);
+void qdense_outputs_unchecked(const QTensor& input, const QTensor& weight,
+                              const QTensor& bias, Activation activation,
+                              std::size_t elem_begin, std::size_t elem_end,
+                              QTensor& out);
+
+} // namespace detail
 
 } // namespace deepstrike::quant

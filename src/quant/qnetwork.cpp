@@ -2,7 +2,9 @@
 
 #include <typeinfo>
 
+#include "quant/gemm.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace deepstrike::quant {
 
@@ -204,6 +206,146 @@ QNetwork::ForwardTrace QNetwork::forward_trace(const QTensor& input) const {
         trace.activations.push_back(std::move(out));
     }
     return trace;
+}
+
+namespace {
+
+void count_batch_images(std::size_t n) {
+    if (metrics::enabled()) {
+        metrics::counter("quant.gemm.batch_images", "images",
+                         "images evaluated through the batched forward entries")
+            .add(n);
+    }
+}
+
+} // namespace
+
+std::vector<QTensor> QNetwork::forward_batch(
+    const std::vector<const QTensor*>& inputs) const {
+    const std::size_t nb = inputs.size();
+    expects(nb > 0, "QNetwork::forward_batch: at least one image");
+    for (const QTensor* in : inputs) {
+        expects(in->shape() == input_shape,
+                "QNetwork::forward_batch: input shape mismatch");
+    }
+    if (!gemm::enabled()) {
+        std::vector<QTensor> out;
+        out.reserve(nb);
+        for (const QTensor* in : inputs) out.push_back(forward(*in));
+        return out;
+    }
+    count_batch_images(nb);
+
+    // The batched GEMM entries consume flat contiguous data, so the
+    // implicit dense flatten of the per-image path is a no-op here: a
+    // rank-3 activation feeds a dense layer directly.
+    std::vector<QTensor> xs(nb);
+    std::vector<const QTensor*> cur = inputs;
+    std::vector<std::vector<fx::Acc>> accs;
+    for (const QLayer& layer : layers) {
+        switch (layer.kind) {
+            case QLayerKind::Conv: {
+                gemm::conv2d_accs_batch(cur, layer.weight, layer.bias, accs);
+                const Shape out_shape = layer.output_shape(cur[0]->shape());
+                for (std::size_t b = 0; b < nb; ++b) {
+                    QTensor out(out_shape);
+                    gemm::write_back(accs[b].data(), accs[b].size(),
+                                     layer.activation, out);
+                    xs[b] = std::move(out);
+                }
+                break;
+            }
+            case QLayerKind::Pool2:
+                for (std::size_t b = 0; b < nb; ++b) xs[b] = qmaxpool2(*cur[b]);
+                break;
+            case QLayerKind::AvgPool2:
+                for (std::size_t b = 0; b < nb; ++b) xs[b] = qavgpool2(*cur[b]);
+                break;
+            case QLayerKind::Dense: {
+                gemm::dense_accs_batch(cur, layer.weight, layer.bias, accs);
+                const Shape out_shape{layer.weight.shape().dim(0)};
+                for (std::size_t b = 0; b < nb; ++b) {
+                    QTensor out(out_shape);
+                    gemm::write_back(accs[b].data(), accs[b].size(),
+                                     layer.activation, out);
+                    xs[b] = std::move(out);
+                }
+                break;
+            }
+        }
+        for (std::size_t b = 0; b < nb; ++b) cur[b] = &xs[b];
+    }
+    return xs;
+}
+
+std::vector<QNetwork::ForwardTrace> QNetwork::forward_trace_batch(
+    const std::vector<const QTensor*>& inputs) const {
+    const std::size_t nb = inputs.size();
+    expects(nb > 0, "QNetwork::forward_trace_batch: at least one image");
+    for (const QTensor* in : inputs) {
+        expects(in->shape() == input_shape,
+                "QNetwork::forward_trace_batch: input shape mismatch");
+    }
+    if (!gemm::enabled()) {
+        std::vector<ForwardTrace> out;
+        out.reserve(nb);
+        for (const QTensor* in : inputs) out.push_back(forward_trace(*in));
+        return out;
+    }
+    count_batch_images(nb);
+
+    std::vector<ForwardTrace> traces(nb);
+    for (ForwardTrace& t : traces) {
+        // Reserve up front: `cur` points into activations between layers,
+        // so the vector must never reallocate mid-pass.
+        t.activations.reserve(layers.size());
+        t.accumulators.resize(layers.size());
+    }
+    std::vector<const QTensor*> cur = inputs;
+    std::vector<std::vector<fx::Acc>> accs;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const QLayer& layer = layers[i];
+        switch (layer.kind) {
+            case QLayerKind::Conv: {
+                gemm::conv2d_accs_batch(cur, layer.weight, layer.bias, accs);
+                const Shape out_shape = layer.output_shape(cur[0]->shape());
+                for (std::size_t b = 0; b < nb; ++b) {
+                    QTensor out(out_shape);
+                    gemm::write_back(accs[b].data(), accs[b].size(),
+                                     layer.activation, out);
+                    traces[b].accumulators[i] = std::move(accs[b]);
+                    traces[b].activations.push_back(std::move(out));
+                }
+                break;
+            }
+            case QLayerKind::Pool2:
+                for (std::size_t b = 0; b < nb; ++b) {
+                    traces[b].activations.push_back(qmaxpool2(*cur[b]));
+                }
+                break;
+            case QLayerKind::AvgPool2:
+                for (std::size_t b = 0; b < nb; ++b) {
+                    traces[b].activations.push_back(qavgpool2(*cur[b]));
+                }
+                break;
+            case QLayerKind::Dense: {
+                gemm::dense_accs_batch(cur, layer.weight, layer.bias, accs);
+                const Shape out_shape{layer.weight.shape().dim(0)};
+                for (std::size_t b = 0; b < nb; ++b) {
+                    QTensor out(out_shape);
+                    gemm::write_back(accs[b].data(), accs[b].size(),
+                                     layer.activation, out);
+                    traces[b].accumulators[i] = std::move(accs[b]);
+                    traces[b].activations.push_back(std::move(out));
+                }
+                break;
+            }
+        }
+        for (std::size_t b = 0; b < nb; ++b) {
+            cur[b] = &traces[b].activations.back();
+        }
+    }
+    return traces;
 }
 
 std::size_t QNetwork::predict(const FloatTensor& image) const {

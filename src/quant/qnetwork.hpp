@@ -107,6 +107,21 @@ struct QNetwork {
     };
     ForwardTrace forward_trace(const QTensor& input) const;
 
+    /// Batched golden forward over an image block (every input shaped
+    /// input_shape). With quant::gemm enabled, each Conv/Dense layer runs
+    /// as a single GEMM over the whole block, so the weights stream once
+    /// per block instead of once per image; with GemmMode::Off it
+    /// degenerates to a per-image forward() loop. Either way entry b is
+    /// byte-identical to forward(*inputs[b]).
+    std::vector<QTensor> forward_batch(
+        const std::vector<const QTensor*>& inputs) const;
+
+    /// Batched forward_trace (see forward_batch): entry b is
+    /// byte-identical to forward_trace(*inputs[b]). The batched
+    /// golden-cache build (sim::build_golden_store) runs on this.
+    std::vector<ForwardTrace> forward_trace_batch(
+        const std::vector<const QTensor*>& inputs) const;
+
     /// Predicted class for a float image in [0,1].
     std::size_t predict(const FloatTensor& image) const;
 

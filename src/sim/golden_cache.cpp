@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "quant/gemm.hpp"
 #include "quant/kernels.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -111,15 +112,47 @@ std::shared_ptr<const GoldenStore> build_golden_store(
 
     // Per-image golden work is independent and deterministic; build in
     // parallel over the shared pool (helping wait makes this safe from
-    // inside sweep-point tasks).
-    parallel_for(n_images - reused, [&](std::size_t j) {
-        const std::size_t i = reused + j;
-        GoldenEntry& entry = store->entries[i];
-        entry.qimage = quant::quantize_image(dataset.images[i]);
-        quant::QNetwork::ForwardTrace trace = network.forward_trace(entry.qimage);
-        entry.activations = std::move(trace.activations);
-        entry.accumulators = std::move(trace.accumulators);
-        entry.predicted = argmax(entry.activations.back());
+    // inside sweep-point tasks). With quant::gemm batching enabled the
+    // unit of parallel work is a fixed-size image block answered by one
+    // batched forward_trace per block (weights stream once per block);
+    // the partition depends only on (n_images, eval_batch), never on
+    // scheduling, so the store is identical at any thread count.
+    const std::size_t todo = n_images - reused;
+    const std::size_t batch =
+        quant::gemm::enabled() ? quant::gemm::eval_batch() : 0;
+    if (batch == 0 || todo <= 1) {
+        parallel_for(todo, [&](std::size_t j) {
+            const std::size_t i = reused + j;
+            GoldenEntry& entry = store->entries[i];
+            entry.qimage = quant::quantize_image(dataset.images[i]);
+            quant::QNetwork::ForwardTrace trace = network.forward_trace(entry.qimage);
+            entry.activations = std::move(trace.activations);
+            entry.accumulators = std::move(trace.accumulators);
+            entry.predicted = argmax(entry.activations.back());
+        });
+        return store;
+    }
+    const std::size_t n_blocks = (todo + batch - 1) / batch;
+    parallel_for(n_blocks, [&](std::size_t blk) {
+        trace::Span bspan("eval:batch", "experiment");
+        const std::size_t lo = reused + blk * batch;
+        const std::size_t hi = std::min(lo + batch, n_images);
+        std::vector<const QTensor*> block;
+        block.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+            GoldenEntry& entry = store->entries[i];
+            entry.qimage = quant::quantize_image(dataset.images[i]);
+            block.push_back(&entry.qimage);
+        }
+        std::vector<quant::QNetwork::ForwardTrace> traces =
+            network.forward_trace_batch(block);
+        for (std::size_t i = lo; i < hi; ++i) {
+            GoldenEntry& entry = store->entries[i];
+            quant::QNetwork::ForwardTrace& trace = traces[i - lo];
+            entry.activations = std::move(trace.activations);
+            entry.accumulators = std::move(trace.accumulators);
+            entry.predicted = argmax(entry.activations.back());
+        }
     });
     return store;
 }

@@ -1,0 +1,342 @@
+// im2col/GEMM engine equivalence suite. The whole perf story rests on one
+// property: integer accumulation is exact, so the GEMM formulation (with
+// or without SIMD, batched or not) must reproduce the scalar oracle
+// kernels byte for byte — accumulators, activations, logits, campaign
+// reports — at any thread count. These tests pin that property across all
+// zoo architectures, both quantization formats, odd shapes, and the three
+// dispatch modes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/arch_profiles.hpp"
+#include "nn/zoo.hpp"
+#include "quant/gemm.hpp"
+#include "quant/kernels.hpp"
+#include "quant/qnetwork.hpp"
+#include "sim/campaign.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace deepstrike::quant {
+namespace {
+
+using deepstrike::testing::random_qnetwork;
+using deepstrike::testing::random_qtensor;
+
+/// Restores the process-wide gemm knobs on scope exit so tests cannot
+/// leak a forced mode into the rest of the suite.
+struct GemmGuard {
+    gemm::GemmMode saved_mode = gemm::mode();
+    std::size_t saved_batch = gemm::eval_batch();
+    ~GemmGuard() {
+        gemm::set_mode(saved_mode);
+        gemm::set_eval_batch(saved_batch);
+    }
+};
+
+/// Modes that exercise the GEMM path. Auto additionally exercises AVX2
+/// when the host has it; on a non-AVX2 host Auto and Scalar coincide,
+/// which is exactly the dispatch contract.
+const gemm::GemmMode kGemmModes[] = {gemm::GemmMode::Auto, gemm::GemmMode::Scalar};
+
+QTensor random_image(const Shape& shape, std::uint64_t seed) {
+    Rng rng(seed);
+    QTensor img(shape);
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        img.at_unchecked(i) = fx::Q3_4::from_real(rng.uniform(0.0, 1.0));
+    }
+    return img;
+}
+
+void expect_same_tensor(const QTensor& got, const QTensor& want,
+                        const std::string& what) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got.at_unchecked(i).raw(), want.at_unchecked(i).raw())
+            << what << " element " << i;
+    }
+}
+
+TEST(Gemm, ModeParseRoundTrip) {
+    EXPECT_EQ(gemm::parse_mode("auto"), gemm::GemmMode::Auto);
+    EXPECT_EQ(gemm::parse_mode("scalar"), gemm::GemmMode::Scalar);
+    EXPECT_EQ(gemm::parse_mode("off"), gemm::GemmMode::Off);
+    for (gemm::GemmMode m : {gemm::GemmMode::Auto, gemm::GemmMode::Scalar,
+                             gemm::GemmMode::Off}) {
+        EXPECT_EQ(gemm::parse_mode(gemm::mode_name(m)), m);
+    }
+    EXPECT_THROW(gemm::parse_mode("avx512"), ConfigError);
+    EXPECT_THROW(gemm::parse_mode(""), ConfigError);
+}
+
+TEST(Gemm, DispatchContract) {
+    GemmGuard guard;
+    gemm::set_mode(gemm::GemmMode::Scalar);
+    EXPECT_TRUE(gemm::enabled());
+    EXPECT_FALSE(gemm::simd_active()) << "Scalar mode must never use SIMD";
+    gemm::set_mode(gemm::GemmMode::Off);
+    EXPECT_FALSE(gemm::enabled());
+    EXPECT_FALSE(gemm::simd_active());
+    gemm::set_mode(gemm::GemmMode::Auto);
+    EXPECT_TRUE(gemm::enabled());
+    // simd_active() in Auto depends on the host CPU; both answers are
+    // legal, but it must be stable across calls.
+    EXPECT_EQ(gemm::simd_active(), gemm::simd_active());
+
+    gemm::set_eval_batch(0);
+    EXPECT_EQ(gemm::eval_batch(), 0u);
+    gemm::set_eval_batch(7);
+    EXPECT_EQ(gemm::eval_batch(), 7u);
+}
+
+// The microkernel against a naive triple loop, over odd shapes chosen to
+// hit every tail path (k % 16, m % 4, single rows/cols).
+TEST(Gemm, MicrokernelMatchesNaiveAtOddShapes) {
+    GemmGuard guard;
+    Rng rng(20210721);
+    const std::size_t shapes[][3] = {
+        {1, 1, 1},   {1, 3, 5},  {4, 4, 16},  {3, 7, 17},  {5, 2, 31},
+        {8, 9, 150}, {2, 64, 1}, {13, 5, 48}, {6, 11, 25},
+    };
+    for (const auto& s : shapes) {
+        const std::size_t m = s[0];
+        const std::size_t n = s[1];
+        const std::size_t k = s[2];
+        // Padded leading dimensions exercise lda/ldb/ldc != k/n.
+        const std::size_t lda = k + 3;
+        const std::size_t ldb = k + 1;
+        const std::size_t ldc = n + 2;
+        std::vector<std::int16_t> a(m * lda);
+        std::vector<std::int16_t> b(n * ldb);
+        for (auto& v : a) v = static_cast<std::int16_t>(rng.uniform_int(-128, 127));
+        for (auto& v : b) v = static_cast<std::int16_t>(rng.uniform_int(-128, 127));
+
+        std::vector<std::int32_t> want(m * ldc, -1);
+        for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                std::int32_t acc = 0;
+                for (std::size_t kk = 0; kk < k; ++kk) {
+                    acc += static_cast<std::int32_t>(a[i * lda + kk]) *
+                           b[j * ldb + kk];
+                }
+                want[i * ldc + j] = acc;
+            }
+        }
+        for (gemm::GemmMode mode : kGemmModes) {
+            gemm::set_mode(mode);
+            std::vector<std::int32_t> got(m * ldc, 0);
+            gemm::gemm_nt_s32(a.data(), lda, b.data(), ldb, got.data(), ldc, m, n,
+                              k);
+            for (std::size_t i = 0; i < m; ++i) {
+                for (std::size_t j = 0; j < n; ++j) {
+                    ASSERT_EQ(got[i * ldc + j], want[i * ldc + j])
+                        << gemm::mode_name(mode) << " m=" << m << " n=" << n
+                        << " k=" << k << " at (" << i << "," << j << ")";
+                }
+            }
+        }
+    }
+}
+
+// Layer-level equivalence: conv2d_accs / dense_accs against the oracle
+// kernels' accumulators (forward_trace in Off mode) on odd geometries the
+// zoo does not cover (k=3, non-square inputs, channel counts off the
+// register width).
+TEST(Gemm, LayerAccsMatchOracleAtOddGeometries) {
+    GemmGuard guard;
+    Rng rng(77);
+    struct ConvCase {
+        Shape in, w;
+    };
+    const ConvCase convs[] = {
+        {Shape{1, 7, 9}, Shape{3, 1, 3, 3}},
+        {Shape{5, 11, 6}, Shape{2, 5, 5, 5}},
+        {Shape{3, 6, 6}, Shape{7, 3, 2, 2}},
+    };
+    for (const auto& c : convs) {
+        QTensor input = random_qtensor(c.in, rng, 1.0);
+        QTensor weight = random_qtensor(c.w, rng, 0.5);
+        QTensor bias = random_qtensor(Shape{c.w.dim(0)}, rng, 0.25);
+
+        gemm::set_mode(gemm::GemmMode::Off);
+        const QTensor want = qconv2d(input, weight, bias, Activation::Tanh);
+        for (gemm::GemmMode mode : kGemmModes) {
+            gemm::set_mode(mode);
+            std::vector<fx::Acc> accs;
+            gemm::conv2d_accs(input, weight, bias, accs);
+            QTensor got(want.shape());
+            gemm::write_back(accs.data(), accs.size(), Activation::Tanh, got);
+            expect_same_tensor(got, want, std::string("conv ") +
+                                              gemm::mode_name(mode));
+            const QTensor fast = qconv2d(input, weight, bias, Activation::Tanh);
+            expect_same_tensor(fast, want, std::string("qconv2d ") +
+                                               gemm::mode_name(mode));
+        }
+    }
+
+    const std::size_t dense_shapes[][2] = {{1, 1}, {3, 17}, {10, 33}, {9, 256}};
+    for (const auto& d : dense_shapes) {
+        QTensor input = random_qtensor(Shape{d[1]}, rng, 1.0);
+        QTensor weight = random_qtensor(Shape{d[0], d[1]}, rng, 0.5);
+        QTensor bias = random_qtensor(Shape{d[0]}, rng, 0.25);
+
+        gemm::set_mode(gemm::GemmMode::Off);
+        const QTensor want = qdense(input, weight, bias, Activation::None);
+        for (gemm::GemmMode mode : kGemmModes) {
+            gemm::set_mode(mode);
+            std::vector<fx::Acc> accs;
+            gemm::dense_accs(input, weight, bias, accs);
+            QTensor got(want.shape());
+            gemm::write_back(accs.data(), accs.size(), Activation::None, got);
+            expect_same_tensor(got, want, std::string("dense ") +
+                                              gemm::mode_name(mode));
+        }
+    }
+}
+
+// Whole-network equivalence across the full zoo, both quantization
+// formats: forward, forward_trace (activations AND accumulators), and the
+// batched entries at block sizes 1/7/64, all byte-identical to Off mode.
+TEST(Gemm, ZooNetworksByteIdenticalAcrossModesAndBatching) {
+    GemmGuard guard;
+    for (const nn::ArchitectureInfo& info : nn::architectures()) {
+        // Each architecture deploys in its own format (bnn is Binary, the
+        // rest Q3.4), so the zoo sweep covers both quantization formats.
+        const QuantFormat format = quant_format_for(info.arch);
+        {
+            Rng rng(derive_seed(9001, static_cast<std::uint64_t>(info.arch),
+                                static_cast<std::uint64_t>(format)));
+            nn::Sequential model = nn::build_architecture(info.arch, rng);
+            const QNetwork net =
+                quantize_sequential(model, info.input_shape, {}, format);
+
+            const std::size_t n_images = 64;
+            std::vector<QTensor> images;
+            std::vector<const QTensor*> ptrs;
+            images.reserve(n_images);
+            for (std::size_t i = 0; i < n_images; ++i) {
+                images.push_back(random_image(info.input_shape, 100 + i));
+            }
+            for (const QTensor& img : images) ptrs.push_back(&img);
+
+            gemm::set_mode(gemm::GemmMode::Off);
+            std::vector<QTensor> want_logits;
+            std::vector<QNetwork::ForwardTrace> want_traces;
+            for (const QTensor& img : images) {
+                want_logits.push_back(net.forward(img));
+                want_traces.push_back(net.forward_trace(img));
+            }
+
+            for (gemm::GemmMode mode : kGemmModes) {
+                gemm::set_mode(mode);
+                const std::string tag = std::string(info.name) + "/" +
+                                        quant_format_name(format) + "/" +
+                                        gemm::mode_name(mode);
+                // Per-image GEMM forward.
+                for (std::size_t i = 0; i < 8; ++i) {
+                    expect_same_tensor(net.forward(images[i]), want_logits[i],
+                                       tag + " forward image " + std::to_string(i));
+                }
+                // Batched forward at 1/7/64 images.
+                for (std::size_t bs : {std::size_t{1}, std::size_t{7}, n_images}) {
+                    std::vector<const QTensor*> block(ptrs.begin(),
+                                                      ptrs.begin() + bs);
+                    const std::vector<QTensor> got = net.forward_batch(block);
+                    ASSERT_EQ(got.size(), bs);
+                    for (std::size_t i = 0; i < bs; ++i) {
+                        expect_same_tensor(got[i], want_logits[i],
+                                           tag + " batch " + std::to_string(bs) +
+                                               " image " + std::to_string(i));
+                    }
+                }
+                // Batched trace: activations and accumulators.
+                std::vector<const QTensor*> block(ptrs.begin(), ptrs.begin() + 7);
+                const std::vector<QNetwork::ForwardTrace> got =
+                    net.forward_trace_batch(block);
+                ASSERT_EQ(got.size(), 7u);
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    const QNetwork::ForwardTrace& want = want_traces[i];
+                    ASSERT_EQ(got[i].activations.size(), want.activations.size());
+                    for (std::size_t l = 0; l < want.activations.size(); ++l) {
+                        expect_same_tensor(got[i].activations[l],
+                                           want.activations[l],
+                                           tag + " trace act layer " +
+                                               std::to_string(l));
+                        ASSERT_EQ(got[i].accumulators[l], want.accumulators[l])
+                            << tag << " trace accs layer " << l;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// The end-to-end invariant: a campaign report must not change a byte with
+// SIMD on or off, batching on or off, at 1 or 8 threads. Serializes the
+// whole report to JSON and compares strings.
+TEST(Gemm, CampaignReportByteIdenticalAcrossModesBatchingAndThreads) {
+    GemmGuard guard;
+    sim::Platform platform(sim::PlatformConfig{}, random_qnetwork(4242));
+    auto ds = data::make_datasets(11, 1, 30);
+    sim::CampaignConfig cfg;
+    cfg.strike_grid = {300, 900};
+    cfg.eval_images = 25;
+    cfg.blind_offsets = 2;
+
+    gemm::set_mode(gemm::GemmMode::Off);
+    cfg.threads = 1;
+    const std::string want =
+        sim::run_campaign(platform, ds.test, cfg).to_json().dump();
+
+    struct Case {
+        gemm::GemmMode mode;
+        std::size_t batch;
+        std::size_t threads;
+    };
+    const Case cases[] = {
+        {gemm::GemmMode::Auto, 16, 1}, {gemm::GemmMode::Auto, 16, 8},
+        {gemm::GemmMode::Auto, 0, 1},  {gemm::GemmMode::Auto, 3, 8},
+        {gemm::GemmMode::Scalar, 16, 8}, {gemm::GemmMode::Off, 0, 8},
+    };
+    for (const Case& c : cases) {
+        gemm::set_mode(c.mode);
+        gemm::set_eval_batch(c.batch);
+        cfg.threads = c.threads;
+        const std::string got =
+            sim::run_campaign(platform, ds.test, cfg).to_json().dump();
+        EXPECT_EQ(got, want) << gemm::mode_name(c.mode) << " batch=" << c.batch
+                             << " threads=" << c.threads;
+    }
+}
+
+// Accuracy evaluation without a golden cache takes the batched fault-free
+// fast path; it must agree with Off mode and with batching disabled.
+TEST(Gemm, UncachedEvaluationMatchesAcrossBatching) {
+    GemmGuard guard;
+    sim::Platform platform(sim::PlatformConfig{}, random_qnetwork(77));
+    auto ds = data::make_datasets(13, 1, 40);
+
+    gemm::set_mode(gemm::GemmMode::Off);
+    const sim::AccuracyResult want =
+        sim::evaluate_accuracy(platform, ds.test, 40, nullptr, 5);
+
+    for (gemm::GemmMode mode : kGemmModes) {
+        for (std::size_t batch : {std::size_t{0}, std::size_t{5},
+                                  std::size_t{16}}) {
+            gemm::set_mode(mode);
+            gemm::set_eval_batch(batch);
+            const sim::AccuracyResult got =
+                sim::evaluate_accuracy(platform, ds.test, 40, nullptr, 5);
+            EXPECT_EQ(got.accuracy, want.accuracy)
+                << gemm::mode_name(mode) << " batch=" << batch;
+            EXPECT_EQ(got.images, want.images);
+        }
+    }
+}
+
+} // namespace
+} // namespace deepstrike::quant

@@ -24,6 +24,7 @@
 #include "fabric/resources.hpp"
 #include "host/scheme_file.hpp"
 #include "nn/zoo.hpp"
+#include "quant/gemm.hpp"
 #include "quant/qnetwork.hpp"
 #include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
@@ -53,6 +54,25 @@ void add_threads_option(ArgParser& parser) {
 std::size_t apply_threads_option(const ArgParser& parser) {
     set_global_thread_count(parser.option_uint("threads"));
     return global_thread_count();
+}
+
+void add_engine_options(ArgParser& parser) {
+    parser.add_option("simd",
+                      "quantized kernel engine: auto (im2col/GEMM, AVX2 when "
+                      "available), scalar (GEMM without SIMD), off (reference "
+                      "kernels)",
+                      "auto");
+    parser.add_option("batch",
+                      "images per batched golden forward block (0 disables "
+                      "batching)",
+                      std::to_string(quant::gemm::eval_batch()));
+}
+
+/// Applies --simd / --batch to the process-wide quant::gemm knobs.
+/// Reports are bit-identical at any setting; only wall-clock changes.
+void apply_engine_options(const ArgParser& parser) {
+    quant::gemm::set_mode(quant::gemm::parse_mode(parser.option("simd")));
+    quant::gemm::set_eval_batch(parser.option_uint("batch"));
 }
 
 void add_observability_options(ArgParser& parser) {
@@ -281,6 +301,7 @@ int cmd_attack(const std::vector<std::string>& args) {
     parser.add_option("strikes", "number of strikes", "4500");
     parser.add_option("images", "test images to evaluate", "300");
     add_threads_option(parser);
+    add_engine_options(parser);
     add_observability_options(parser);
     parser.add_flag("blind", "non-TDC-guided baseline instead");
     parser.add_flag("help", "show this help");
@@ -294,6 +315,7 @@ int cmd_attack(const std::vector<std::string>& args) {
     }
 
     apply_threads_option(parser);
+    apply_engine_options(parser);
     const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
     Victim victim = load_victim(parser);
     const std::size_t images = parser.option_uint("images");
@@ -376,6 +398,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
                       "marked partial",
                       "0");
     add_threads_option(parser);
+    add_engine_options(parser);
     add_observability_options(parser);
     parser.add_flag("resume",
                     "resume from the --journal file: validate its fingerprint, "
@@ -396,6 +419,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
     }
 
     apply_threads_option(parser);
+    apply_engine_options(parser);
     const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
     Victim victim = load_victim(parser);
     sim::CampaignConfig cfg;
@@ -461,6 +485,7 @@ int cmd_characterize(const std::vector<std::string>& args) {
                       "2000,4000,8000,12000,16000,20000,24000");
     parser.add_option("trials", "random-input trials per point", "10000");
     add_threads_option(parser);
+    add_engine_options(parser);
     add_observability_options(parser);
     parser.add_flag("help", "show this help");
     if (!parser.parse(args)) {
@@ -473,6 +498,7 @@ int cmd_characterize(const std::vector<std::string>& args) {
     }
 
     apply_threads_option(parser);
+    apply_engine_options(parser);
     const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
     sim::DspRigConfig cfg;
     cfg.trials = parser.option_uint("trials");
@@ -507,6 +533,7 @@ int cmd_defend(const std::vector<std::string>& args) {
     parser.add_option("inject-prob",
                       "per-activation fault probability for --fault-aware", "0.01");
     add_threads_option(parser);
+    add_engine_options(parser);
     add_observability_options(parser);
     parser.add_flag("fault-aware",
                     "additionally retrain the victim with fault-aware training "
@@ -523,6 +550,7 @@ int cmd_defend(const std::vector<std::string>& args) {
     }
 
     apply_threads_option(parser);
+    apply_engine_options(parser);
     const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
     Victim victim = load_victim(parser);
     const std::size_t images = parser.option_uint("images");
