@@ -1,0 +1,101 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace deepstrike::net {
+
+namespace {
+
+void count_frame(const char* which, std::size_t bytes) {
+    if (!metrics::enabled()) return;
+    if (std::strcmp(which, "sent") == 0) {
+        metrics::counter("net.frames_sent", "frames", "protocol frames sent").add();
+        metrics::counter("net.bytes_sent", "bytes", "protocol bytes sent")
+            .add(bytes);
+    } else {
+        metrics::counter("net.frames_received", "frames",
+                         "protocol frames received")
+            .add();
+        metrics::counter("net.bytes_received", "bytes", "protocol bytes received")
+            .add(bytes);
+    }
+}
+
+} // namespace
+
+std::string encode_frame(const Json& message) {
+    expects(message.is_object(), "encode_frame: message must be a JSON object");
+    std::string payload = message.dump();
+    if (payload.size() > kMaxFramePayload) {
+        throw ContractError("encode_frame: payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds the frame limit");
+    }
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size());
+    out.append(kFrameMagic, sizeof(kFrameMagic));
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    out.push_back(static_cast<char>((n >> 24) & 0xFF));
+    out.push_back(static_cast<char>((n >> 16) & 0xFF));
+    out.push_back(static_cast<char>((n >> 8) & 0xFF));
+    out.push_back(static_cast<char>(n & 0xFF));
+    out += payload;
+    return out;
+}
+
+void FrameDecoder::feed(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+}
+
+std::optional<Json> FrameDecoder::next() {
+    if (buffer_.size() < kHeaderBytes) return std::nullopt;
+    if (std::memcmp(buffer_.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+        throw FormatError("frame: bad magic (not a deepstrike peer?)");
+    }
+    const auto b = [&](std::size_t i) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(buffer_[4 + i]));
+    };
+    const std::uint32_t length = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+    if (length > kMaxFramePayload) {
+        throw FormatError("frame: payload length " + std::to_string(length) +
+                          " exceeds the " + std::to_string(kMaxFramePayload) +
+                          "-byte limit");
+    }
+    if (buffer_.size() < kHeaderBytes + length) return std::nullopt;
+
+    const std::string payload = buffer_.substr(kHeaderBytes, length);
+    buffer_.erase(0, kHeaderBytes + length);
+    Json message = Json::parse(payload);
+    if (!message.is_object()) {
+        throw FormatError("frame: payload is not a JSON object");
+    }
+    count_frame("received", kHeaderBytes + length);
+    return message;
+}
+
+void send_message(Socket& socket, const Json& message) {
+    const std::string bytes = encode_frame(message);
+    socket.send_all(bytes.data(), bytes.size());
+    count_frame("sent", bytes.size());
+}
+
+std::optional<Json> recv_message(Socket& socket, FrameDecoder& decoder) {
+    for (;;) {
+        if (std::optional<Json> message = decoder.next()) return message;
+        char chunk[4096];
+        const std::size_t n = socket.recv_some(chunk, sizeof(chunk));
+        if (n == 0) {
+            if (decoder.mid_frame()) {
+                throw IoError("truncated frame: peer closed mid-message");
+            }
+            return std::nullopt;
+        }
+        decoder.feed(chunk, n);
+    }
+}
+
+} // namespace deepstrike::net

@@ -1,0 +1,77 @@
+// Length-prefixed JSON framing for the distributed campaign protocol.
+//
+// Every message on a coordinator/worker/client connection is one frame:
+//
+//   +------------+----------------------+------------------------+
+//   | "DSWP" (4) | payload length (4BE) | payload: JSON object   |
+//   +------------+----------------------+------------------------+
+//
+// The magic makes a stray non-deepstrike client (or a desynchronized
+// stream) fail immediately instead of misparsing a length; the length is
+// a 32-bit big-endian byte count of the payload only. Payloads above
+// kMaxFramePayload are refused on both send and receive — a malformed or
+// hostile length prefix can never trigger a multi-gigabyte allocation.
+// Integrity rides on TCP; records that also live on disk carry their own
+// CRC in the checkpoint journal layer (sim/journal.hpp).
+//
+// Two consumption styles:
+//   - blocking send_message()/recv_message() over a net::Socket, for the
+//     worker and client sides;
+//   - an incremental FrameDecoder fed from poll-driven reads, for the
+//     coordinator's single-threaded connection loop.
+//
+// Decode errors are FormatError (bad magic, oversized length, payload
+// that is not a JSON object); transport errors are IoError. A connection
+// that ends cleanly *between* frames is EOF (recv_message returns
+// nullopt); one that ends mid-frame is a truncated-frame IoError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/socket.hpp"
+#include "util/json.hpp"
+
+namespace deepstrike::net {
+
+/// Frame magic, on the wire in this byte order.
+inline constexpr char kFrameMagic[4] = {'D', 'S', 'W', 'P'};
+
+/// Hard ceiling on one frame's payload bytes (send and receive).
+inline constexpr std::uint32_t kMaxFramePayload = 16u * 1024u * 1024u;
+
+/// Frame header size: magic (4) + big-endian payload length (4).
+inline constexpr std::size_t kHeaderBytes = 8;
+
+/// Serializes one message into its wire bytes (magic + length + JSON).
+/// Throws ContractError when the payload would exceed kMaxFramePayload.
+std::string encode_frame(const Json& message);
+
+/// Incremental frame parser: feed() raw bytes, next() yields complete
+/// messages. Throws FormatError as soon as a bad magic / oversized
+/// length / non-object payload is seen — the connection is then
+/// unusable and should be dropped.
+class FrameDecoder {
+public:
+    void feed(const void* data, std::size_t size);
+
+    /// Next complete message, if one is buffered.
+    std::optional<Json> next();
+
+    /// True while a frame is partially buffered (EOF now = truncation).
+    bool mid_frame() const { return !buffer_.empty(); }
+
+private:
+    std::string buffer_;
+};
+
+/// Sends one message (blocking).
+void send_message(Socket& socket, const Json& message);
+
+/// Receives one message (blocking). Returns nullopt on clean EOF between
+/// frames; throws IoError("truncated frame...") on EOF mid-frame.
+std::optional<Json> recv_message(Socket& socket, FrameDecoder& decoder);
+
+} // namespace deepstrike::net

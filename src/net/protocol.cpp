@@ -1,0 +1,70 @@
+#include "net/protocol.hpp"
+
+#include "util/error.hpp"
+
+namespace deepstrike::net {
+
+namespace {
+
+// wire-message-types-begin
+// Parsed by tools/check_docs.py: every name listed here must be
+// documented (as a backticked token) in docs/distributed.md, and every
+// type that document lists must appear here. Keep the two in lockstep.
+const char* const kMessageTypes[] = {
+    "hello",     // peer -> coordinator: role + protocol version
+    "welcome",   // coordinator -> peer: version accepted
+    "submit",    // client -> coordinator: campaign manifest
+    "accepted",  // coordinator -> client: campaign id assigned
+    "tail",      // client -> coordinator: attach to a campaign's stream
+    "campaign",  // coordinator -> worker: manifest to build + plan
+    "plan",      // worker -> coordinator: plan summary + fingerprint
+    "work",      // coordinator -> worker: record index assignment
+    "result",    // worker -> coordinator: journal-record payload
+    "heartbeat", // worker -> coordinator: liveness while computing
+    "point",     // coordinator -> client: one completed point (streamed)
+    "report",    // coordinator -> client: final report JSON + markdown
+    "error",     // either direction: refusal with code + detail
+};
+// wire-message-types-end
+
+} // namespace
+
+std::size_t message_type_count() {
+    return sizeof(kMessageTypes) / sizeof(kMessageTypes[0]);
+}
+
+const char* const* message_types() { return kMessageTypes; }
+
+bool known_message_type(const std::string& type) {
+    for (const char* const name : kMessageTypes) {
+        if (type == name) return true;
+    }
+    return false;
+}
+
+Json make_message(const std::string& type) {
+    expects(known_message_type(type), "make_message: unknown message type");
+    Json message = Json::object();
+    message.set("type", type);
+    return message;
+}
+
+std::string message_type(const Json& message) {
+    const Json* type = message.find("type");
+    if (type == nullptr || !type->is_string()) {
+        throw FormatError("message: missing 'type' field");
+    }
+    if (!known_message_type(type->as_string())) {
+        throw FormatError("message: unknown type '" + type->as_string() + "'");
+    }
+    return type->as_string();
+}
+
+Json make_error(const std::string& code, const std::string& detail) {
+    Json message = make_message("error");
+    message.set("code", code);
+    message.set("detail", detail);
+    return message;
+}
+
+} // namespace deepstrike::net

@@ -1,0 +1,42 @@
+// Message vocabulary of the distributed campaign protocol.
+//
+// Every frame payload (net/frame.hpp) is a JSON object with a `type`
+// field naming one of the message types below. The full field-by-field
+// reference lives in docs/distributed.md; this header only defines the
+// vocabulary and the tiny helpers both endpoints share. The protocol
+// version is negotiated in the `hello`/`welcome` exchange: a peer
+// speaking a different version is refused with a `protocol-mismatch`
+// error before any campaign state is exchanged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace deepstrike::net {
+
+/// Bumped on any incompatible wire change.
+inline constexpr std::int64_t kProtocolVersion = 1;
+
+/// Number of entries in message_types().
+std::size_t message_type_count();
+
+/// The canonical message-type table (docs/distributed.md documents each).
+const char* const* message_types();
+
+bool known_message_type(const std::string& type);
+
+/// A new message object carrying only its `type`.
+Json make_message(const std::string& type);
+
+/// Reads and validates `message.type`; throws FormatError when absent or
+/// unknown.
+std::string message_type(const Json& message);
+
+/// Builds an `error` message. Codes used by the service:
+/// `protocol-mismatch`, `fingerprint-mismatch`, `bad-manifest`,
+/// `unknown-campaign`, `internal`.
+Json make_error(const std::string& code, const std::string& detail);
+
+} // namespace deepstrike::net

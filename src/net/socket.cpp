@@ -1,0 +1,207 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace deepstrike::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw IoError(what + ": " + std::strerror(errno));
+}
+
+bool poll_readable(int fd, int timeout_ms) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("poll");
+        }
+        return rc > 0;
+    }
+}
+
+} // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void Socket::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
+    struct addrinfo hints {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* result = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+    if (rc != 0) {
+        throw IoError("resolve " + host + ": " + ::gai_strerror(rc));
+    }
+
+    int fd = -1;
+    int saved_errno = 0;
+    for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            saved_errno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        saved_errno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(result);
+    if (fd < 0) {
+        errno = saved_errno;
+        throw_errno("connect " + host + ":" + service);
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+    expects(valid(), "Socket::send_all on a closed socket");
+    const char* p = static_cast<const char*>(data);
+    while (size > 0) {
+        const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("send");
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+}
+
+std::size_t Socket::recv_some(void* buffer, std::size_t size) {
+    expects(valid(), "Socket::recv_some on a closed socket");
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buffer, size, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("recv");
+        }
+        return static_cast<std::size_t>(n);
+    }
+}
+
+bool Socket::wait_readable(int timeout_ms) const {
+    expects(valid(), "Socket::wait_readable on a closed socket");
+    return poll_readable(fd_, timeout_ms);
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        port_ = std::exchange(other.port_, 0);
+    }
+    return *this;
+}
+
+void Listener::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    port_ = 0;
+}
+
+Listener Listener::bind_tcp(const std::string& host, std::uint16_t port) {
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw IoError("bind: bad IPv4 address '" + host + "'");
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("bind " + host + ":" + std::to_string(port));
+    }
+    if (::listen(fd, 64) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("listen");
+    }
+
+    // Read the actual port back (meaningful when asked for port 0).
+    struct sockaddr_in bound {};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("getsockname");
+    }
+
+    Listener listener;
+    listener.fd_ = fd;
+    listener.port_ = ntohs(bound.sin_port);
+    return listener;
+}
+
+Socket Listener::accept() {
+    expects(valid(), "Listener::accept on a closed listener");
+    for (;;) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("accept");
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return Socket(fd);
+    }
+}
+
+bool Listener::wait_readable(int timeout_ms) const {
+    expects(valid(), "Listener::wait_readable on a closed listener");
+    return poll_readable(fd_, timeout_ms);
+}
+
+} // namespace deepstrike::net

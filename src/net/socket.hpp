@@ -1,0 +1,91 @@
+// Thin owning wrappers over POSIX TCP sockets.
+//
+// The distributed campaign service (sim::Coordinator / sim::run_worker)
+// needs exactly four things from the OS: listen on a port, accept,
+// connect, and move bytes with sane error handling. This header provides
+// those and nothing else — no frameworks, no event library. Readiness
+// waiting uses poll(2) so the coordinator can drive many connections from
+// one thread; everything blocking lives behind wait_readable() timeouts.
+//
+// All errors surface as deepstrike::IoError with errno context. Writes
+// use MSG_NOSIGNAL: a peer that vanished mid-write (the SIGKILLed worker
+// case) produces an exception, never a SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace deepstrike::net {
+
+/// Owning, movable TCP socket (connected or accepted).
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    /// Connects to host:port (numeric IPv4 host or a resolvable name).
+    /// Throws IoError on failure.
+    static Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /// Sends the whole buffer (looping over partial writes). Throws
+    /// IoError when the peer is gone.
+    void send_all(const void* data, std::size_t size);
+
+    /// Receives up to `size` bytes. Returns 0 on orderly EOF; throws
+    /// IoError on a hard error (ECONNRESET from a killed peer included —
+    /// callers treat both as "peer gone").
+    std::size_t recv_some(void* buffer, std::size_t size);
+
+    /// Waits until readable; `timeout_ms` < 0 blocks forever. Returns
+    /// false on timeout.
+    bool wait_readable(int timeout_ms) const;
+
+    void close();
+
+private:
+    int fd_ = -1;
+};
+
+/// Owning, movable listening TCP socket.
+class Listener {
+public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(Listener&& other) noexcept;
+    Listener& operator=(Listener&& other) noexcept;
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    /// Binds and listens on host:port. Port 0 binds an ephemeral port;
+    /// read the chosen one back via port(). Throws IoError on failure.
+    static Listener bind_tcp(const std::string& host, std::uint16_t port);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    std::uint16_t port() const { return port_; }
+
+    /// Accepts one connection (blocking; pair with wait_readable()).
+    Socket accept();
+
+    /// Waits until a connection is pending; false on timeout.
+    bool wait_readable(int timeout_ms) const;
+
+    void close();
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace deepstrike::net

@@ -104,22 +104,42 @@ std::string CampaignReport::to_markdown() const {
     return os.str();
 }
 
+std::string double_bits_hex(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+std::uint64_t uint64_from_hex(const std::string& hex) {
+    if (hex.size() != 16) {
+        throw FormatError("journal: bad 64-bit hex field '" + hex + "'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(std::strtoull(hex.c_str(), &end, 16));
+    if (errno != 0 || end == nullptr || *end != '\0') {
+        throw FormatError("journal: bad 64-bit hex field '" + hex + "'");
+    }
+    return bits;
+}
+
+double double_from_bits_hex(const std::string& hex) {
+    const std::uint64_t bits = uint64_from_hex(hex);
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
 namespace {
 
-/// Static description of one campaign point, planned up front so the
-/// parallel phase only executes (trace + evaluation) work.
-struct PlannedPoint {
-    std::string label;
-    std::optional<std::size_t> segment_index;
-    std::size_t strikes = 0;
-    attack::AttackScheme scheme;
-    std::size_t blind_offsets = 0; // > 0 marks a blind-baseline point
-};
-
-std::vector<PlannedPoint> plan_points(const Platform& platform,
-                                      const ProfilingRun& prof,
-                                      const CampaignConfig& config) {
-    std::vector<PlannedPoint> planned;
+std::vector<PlannedCampaignPoint> plan_points(const Platform& platform,
+                                              const ProfilingRun& prof,
+                                              const CampaignConfig& config) {
+    std::vector<PlannedCampaignPoint> planned;
     for (std::size_t si = 0; si < prof.profile.segments.size(); ++si) {
         const attack::ProfiledSegment& seg = prof.profile.segments[si];
         const std::size_t cap = seg.duration_samples() / 4; // gap >= 1
@@ -133,7 +153,7 @@ std::vector<PlannedPoint> plan_points(const Platform& platform,
             }
             if (n == 0) continue;
 
-            PlannedPoint point;
+            PlannedCampaignPoint point;
             point.label = "segment#" + std::to_string(si) + " " +
                           attack::layer_class_name(seg.guess);
             point.segment_index = si;
@@ -148,7 +168,7 @@ std::vector<PlannedPoint> plan_points(const Platform& platform,
     if (config.blind_offsets > 0) {
         const std::size_t total_cycles = platform.engine().schedule().total_cycles;
         for (std::size_t strikes : config.strike_grid) {
-            PlannedPoint point;
+            PlannedCampaignPoint point;
             point.label = "BLIND";
             point.strikes = strikes;
             point.blind_offsets = config.blind_offsets;
@@ -162,42 +182,15 @@ std::vector<PlannedPoint> plan_points(const Platform& platform,
     return planned;
 }
 
-// Floating-point results cross the journal as IEEE-754 bit patterns so a
-// resumed report is bit-exact; the human-readable value rides alongside.
-std::string double_bits_hex(double value) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &value, sizeof(bits));
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(bits));
-    return buf;
-}
-
-double double_from_bits_hex(const std::string& hex) {
-    if (hex.size() != 16) {
-        throw FormatError("journal: bad float bit pattern '" + hex + "'");
-    }
-    errno = 0;
-    char* end = nullptr;
-    const std::uint64_t bits =
-        static_cast<std::uint64_t>(std::strtoull(hex.c_str(), &end, 16));
-    if (errno != 0 || end == nullptr || *end != '\0') {
-        throw FormatError("journal: bad float bit pattern '" + hex + "'");
-    }
-    double value = 0.0;
-    std::memcpy(&value, &bits, sizeof(value));
-    return value;
-}
-
 /// 64-bit hash of everything that determines the campaign's results:
 /// the victim network (weights, shapes, quantization format), the
 /// evaluation setup, the detector, the trigger, and every planned scheme.
-/// A journal written under a different fingerprint is rejected on resume
-/// rather than silently mixed into this configuration — including a
-/// journal recorded against a different victim architecture.
+/// A journal (or a distributed worker pool) operating under a different
+/// fingerprint is rejected rather than silently mixed into this
+/// configuration — including one derived from a different victim.
 std::uint64_t campaign_fingerprint(const CampaignConfig& config,
                                    const ProfilingRun& prof,
-                                   const std::vector<PlannedPoint>& planned,
+                                   const std::vector<PlannedCampaignPoint>& planned,
                                    std::size_t eval_images,
                                    std::uint64_t network_fp) {
     std::uint64_t h =
@@ -210,7 +203,7 @@ std::uint64_t campaign_fingerprint(const CampaignConfig& config,
                     config.detector.rearm_samples);
     for (std::size_t bits : config.detector.zone_bits) h = derive_seed(h, bits);
     h = derive_seed(h, prof.trigger_sample, prof.detector_fired ? 1u : 0u);
-    for (const PlannedPoint& p : planned) {
+    for (const PlannedCampaignPoint& p : planned) {
         h = derive_seed(h, SweepRunner::scheme_hash(p.scheme), p.strikes,
                         p.blind_offsets,
                         p.segment_index ? *p.segment_index + 1 : 0);
@@ -242,26 +235,270 @@ Json point_record(const std::string& label, const CampaignPoint& point) {
     return payload;
 }
 
+std::optional<std::size_t> segment_index_from_json(const Json& value) {
+    if (value.is_integer() && value.as_int() < 0) return std::nullopt;
+    return value.as_uint();
+}
+
 } // namespace
 
-CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_set,
-                            const CampaignConfig& config, RunManifest* manifest) {
+std::string campaign_point_label(const PlannedCampaignPoint& point) {
+    return point.label + " x" + std::to_string(point.strikes);
+}
+
+CampaignPlan plan_campaign(const Platform& platform, const data::Dataset& test_set,
+                           const CampaignConfig& config) {
     expects(!config.strike_grid.empty(), "run_campaign: non-empty strike grid");
     expects(config.eval_images > 0, "run_campaign: eval images > 0");
     expects(test_set.size() > 0, "run_campaign: non-empty test set");
 
-    trace::Span campaign_span("campaign", "campaign");
+    CampaignPlan plan;
+    plan.config = config;
+    // Clamp once; every evaluation uses exactly this many images.
+    plan.eval_images = std::min(config.eval_images, test_set.size());
+    plan.prof = run_profiling(platform, config.detector, config.profiler);
+    if (plan.prof.detector_fired) {
+        plan.points = plan_points(platform, plan.prof, config);
+    }
+    plan.fingerprint = campaign_fingerprint(
+        config, plan.prof, plan.points, plan.eval_images,
+        network_fingerprint(platform.engine().network()));
+    return plan;
+}
+
+Json evaluate_campaign_record(const Platform& platform, const data::Dataset& test_set,
+                              const CampaignPlan& plan, SweepRunner& runner,
+                              const GoldenStore* golden, std::size_t record_index) {
+    expects(record_index < plan.record_count(),
+            "evaluate_campaign_record: record index within plan");
+    const CampaignConfig& config = plan.config;
+    if (record_index == 0) {
+        const AccuracyResult clean =
+            evaluate_accuracy(platform, test_set, plan.eval_images, nullptr,
+                              config.fault_seed, nullptr, golden);
+        return clean_record(clean.accuracy);
+    }
+
+    const PlannedCampaignPoint& p = plan.points[record_index - 1];
+    AccuracyResult res;
+    if (p.blind_offsets > 0) {
+        const auto bundle = runner.blind_bundle(p.scheme, p.blind_offsets,
+                                                config.blind_offset_seed);
+        res = evaluate_accuracy_multi(platform, test_set, plan.eval_images,
+                                      bundle->traces, config.fault_seed,
+                                      &bundle->plans, golden);
+    } else {
+        const auto bundle = runner.guided_bundle(config.detector, p.scheme);
+        res = evaluate_accuracy(platform, test_set, plan.eval_images,
+                                &bundle->trace, config.fault_seed, &bundle->plan,
+                                golden);
+    }
+
+    CampaignPoint point;
+    point.accuracy = res.accuracy;
+    point.faults = res.faults;
+    point.images = res.images;
+    return point_record(campaign_point_label(p), point);
+}
+
+std::string CampaignPlanInfo::label(std::size_t i) const {
+    return points[i].target + " x" + std::to_string(points[i].strikes);
+}
+
+Json CampaignPlanInfo::to_json() const {
+    Json root = Json::object();
+    root.set("detector_fired", detector_fired);
+    root.set("trigger_sample", static_cast<std::uint64_t>(trigger_sample));
+    root.set("eval_images", static_cast<std::uint64_t>(eval_images));
+    root.set("fingerprint", CheckpointJournal::fingerprint_hex(fingerprint));
+
+    Json segs = Json::array();
+    for (const attack::ProfiledSegment& seg : segments) {
+        Json s = Json::object();
+        s.set("start_sample", static_cast<std::uint64_t>(seg.start_sample));
+        s.set("end_sample", static_cast<std::uint64_t>(seg.end_sample));
+        // depth feeds the report as a raw double; ship bits, stay exact.
+        s.set("depth_bits", double_bits_hex(seg.depth));
+        s.set("class", static_cast<std::uint64_t>(seg.guess));
+        segs.push(std::move(s));
+    }
+    root.set("segments", std::move(segs));
+
+    Json pts = Json::array();
+    for (const PointMeta& p : points) {
+        Json j = Json::object();
+        j.set("target", p.target);
+        if (p.segment_index) {
+            j.set("segment_index", static_cast<std::uint64_t>(*p.segment_index));
+        } else {
+            j.set("segment_index", -1);
+        }
+        j.set("strikes", static_cast<std::uint64_t>(p.strikes));
+        j.set("gap_cycles", static_cast<std::uint64_t>(p.gap_cycles));
+        pts.push(std::move(j));
+    }
+    root.set("points", std::move(pts));
+    return root;
+}
+
+CampaignPlanInfo CampaignPlanInfo::from_json(const Json& json) {
+    CampaignPlanInfo info;
+    info.detector_fired = json.at("detector_fired").as_bool();
+    info.trigger_sample = json.at("trigger_sample").as_uint();
+    info.eval_images = json.at("eval_images").as_uint();
+    info.fingerprint = uint64_from_hex(json.at("fingerprint").as_string());
+    const Json& segs = json.at("segments");
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+        const Json& s = segs.at(i);
+        attack::ProfiledSegment seg;
+        seg.start_sample = s.at("start_sample").as_uint();
+        seg.end_sample = s.at("end_sample").as_uint();
+        seg.depth = double_from_bits_hex(s.at("depth_bits").as_string());
+        const std::uint64_t cls = s.at("class").as_uint();
+        if (cls > static_cast<std::uint64_t>(attack::LayerClass::FullyConnected)) {
+            throw FormatError("plan info: bad layer class " + std::to_string(cls));
+        }
+        seg.guess = static_cast<attack::LayerClass>(cls);
+        info.segments.push_back(seg);
+    }
+    const Json& pts = json.at("points");
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const Json& j = pts.at(i);
+        PointMeta p;
+        p.target = j.at("target").as_string();
+        p.segment_index = segment_index_from_json(j.at("segment_index"));
+        p.strikes = j.at("strikes").as_uint();
+        p.gap_cycles = j.at("gap_cycles").as_uint();
+        info.points.push_back(std::move(p));
+    }
+    return info;
+}
+
+CampaignPlanInfo plan_info(const CampaignPlan& plan) {
+    CampaignPlanInfo info;
+    info.detector_fired = plan.prof.detector_fired;
+    info.trigger_sample = plan.prof.trigger_sample;
+    info.eval_images = plan.eval_images;
+    info.fingerprint = plan.fingerprint;
+    info.segments = plan.prof.profile.segments;
+    for (const PlannedCampaignPoint& p : plan.points) {
+        CampaignPlanInfo::PointMeta meta;
+        meta.target = p.label;
+        meta.segment_index = p.segment_index;
+        meta.strikes = p.scheme.num_strikes;
+        meta.gap_cycles = p.scheme.gap_cycles;
+        info.points.push_back(std::move(meta));
+    }
+    return info;
+}
+
+CampaignReport assemble_campaign_report(const CampaignPlanInfo& info,
+                                        const std::vector<Json>& records) {
+    expects(records.size() == info.record_count(),
+            "assemble_campaign_report: one record slot per index");
 
     CampaignReport report;
-    // Clamp once; every evaluation below uses exactly this many images.
-    const std::size_t eval_images = std::min(config.eval_images, test_set.size());
-    report.eval_images = eval_images;
+    report.eval_images = info.eval_images;
+    report.detector_fired = info.detector_fired;
+    report.trigger_sample = info.trigger_sample;
+    report.profile.segments = info.segments;
 
-    const ProfilingRun prof =
-        run_profiling(platform, config.detector, config.profiler);
-    report.detector_fired = prof.detector_fired;
-    report.trigger_sample = prof.trigger_sample;
-    report.profile = prof.profile;
+    bool any_missing = false;
+    if (records[0].is_null()) {
+        any_missing = true;
+    } else {
+        report.clean_accuracy =
+            double_from_bits_hex(records[0].at("accuracy_bits").as_string());
+    }
+    for (std::size_t i = 0; i < info.points.size(); ++i) {
+        const Json& rec = records[i + 1];
+        if (rec.is_null()) {
+            any_missing = true;
+            continue;
+        }
+        const CampaignPlanInfo::PointMeta& meta = info.points[i];
+        CampaignPoint point;
+        point.target = meta.target;
+        point.segment_index = meta.segment_index;
+        point.strikes = meta.strikes;
+        point.gap_cycles = meta.gap_cycles;
+        point.accuracy = double_from_bits_hex(rec.at("accuracy_bits").as_string());
+        point.faults.duplication = rec.at("duplication_faults").as_uint();
+        point.faults.random = rec.at("random_faults").as_uint();
+        point.images = rec.at("images").as_uint();
+        report.points.push_back(std::move(point));
+    }
+    report.partial = any_missing;
+
+    for (CampaignPoint& point : report.points) {
+        point.drop = report.clean_accuracy - point.accuracy;
+    }
+    return report;
+}
+
+CampaignConfig campaign_config_from_manifest(const Json& manifest) {
+    if (!manifest.is_object()) {
+        throw FormatError("campaign manifest: expected a JSON object");
+    }
+    // Victim keys are consumed by the submitter's/worker's victim factory;
+    // they are listed here so a manifest mixing both parses as a whole and
+    // a typoed key fails loudly instead of silently keeping a default.
+    static const char* const kKnown[] = {
+        "arch",        "train_size",  "test_size",        "epochs",
+        "data_seed",   "strike_grid", "eval_images",      "fault_seed",
+        "blind_offsets", "blind_offset_seed", "golden_cache", "journal",
+        "resume",      "retries",     "deadline_seconds",
+    };
+    for (const std::string& key : manifest.keys()) {
+        bool known = false;
+        for (const char* k : kKnown) known = known || key == k;
+        if (!known) {
+            throw FormatError("campaign manifest: unknown key '" + key + "'");
+        }
+    }
+
+    CampaignConfig config;
+    if (const Json* grid = manifest.find("strike_grid")) {
+        config.strike_grid.clear();
+        for (std::size_t i = 0; i < grid->size(); ++i) {
+            config.strike_grid.push_back(grid->at(i).as_uint());
+        }
+        if (config.strike_grid.empty()) {
+            throw FormatError("campaign manifest: empty strike_grid");
+        }
+    }
+    if (const Json* v = manifest.find("eval_images")) config.eval_images = v->as_uint();
+    if (const Json* v = manifest.find("fault_seed")) config.fault_seed = v->as_uint();
+    if (const Json* v = manifest.find("blind_offsets")) {
+        config.blind_offsets = v->as_uint();
+    }
+    if (const Json* v = manifest.find("blind_offset_seed")) {
+        config.blind_offset_seed = v->as_uint();
+    }
+    if (const Json* v = manifest.find("golden_cache")) {
+        config.golden_cache = v->as_bool();
+    }
+    if (const Json* v = manifest.find("journal")) config.journal_path = v->as_string();
+    if (const Json* v = manifest.find("resume")) config.resume = v->as_bool();
+    if (const Json* v = manifest.find("retries")) {
+        config.max_point_retries = v->as_uint();
+    }
+    if (const Json* v = manifest.find("deadline_seconds")) {
+        config.deadline_seconds = v->as_number();
+    }
+    return config;
+}
+
+CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_set,
+                            const CampaignConfig& config, RunManifest* manifest) {
+    trace::Span campaign_span("campaign", "campaign");
+
+    const CampaignPlan plan = plan_campaign(platform, test_set, config);
+    if (metrics::enabled()) {
+        metrics::counter("campaign.points_planned", "points",
+                         "attack points planned across campaigns")
+            .add(plan.points.size());
+    }
 
     RunnerConfig runner_config{config.threads, true};
     runner_config.max_point_retries = config.max_point_retries;
@@ -273,80 +510,48 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
     // point below. Fault-free images resolve to cached labels; faulted
     // ones start from cached activations (see sim/golden_cache.hpp).
     std::shared_ptr<const GoldenStore> golden;
-    if (config.golden_cache) golden = runner.golden_view(test_set, eval_images);
+    if (config.golden_cache) golden = runner.golden_view(test_set, plan.eval_images);
 
-    // The clean baseline is point 0 of the sweep so it overlaps with the
-    // attack points; drops are filled in afterwards.
-    std::vector<PlannedPoint> planned;
-    if (prof.detector_fired) planned = plan_points(platform, prof, config);
-    report.points.resize(planned.size());
-    if (metrics::enabled()) {
-        metrics::counter("campaign.points_planned", "points",
-                         "attack points planned across campaigns")
-            .add(planned.size());
-    }
+    // One record slot per index (0 = clean baseline, 1 + i = planned[i]);
+    // null = not completed. Restored and freshly-computed records are
+    // indistinguishable by construction.
+    std::vector<Json> records(plan.record_count());
 
-    std::vector<std::string> labels;
-    labels.reserve(planned.size());
-    for (const PlannedPoint& pp : planned) {
-        labels.push_back(pp.label + " x" + std::to_string(pp.strikes));
-    }
-
-    // Checkpoint journal: completed[j] marks journal index j (0 = clean
-    // baseline, 1 + i = planned[i]) as restored from a prior run; only
-    // the remainder becomes sweep tasks.
+    // Checkpoint journal: restored records keep their slots; only the
+    // remainder becomes sweep tasks.
     std::unique_ptr<CheckpointJournal> journal;
-    std::vector<bool> restored(planned.size() + 1, false);
     if (!config.journal_path.empty()) {
-        const std::uint64_t fingerprint = campaign_fingerprint(
-            config, prof, planned, eval_images,
-            network_fingerprint(platform.engine().network()));
         if (config.resume) {
-            journal = CheckpointJournal::resume(config.journal_path, fingerprint,
+            journal = CheckpointJournal::resume(config.journal_path, plan.fingerprint,
                                                 kJournalSweepName);
             for (const JournalRecord& rec : journal->recovered()) {
-                if (rec.index == 0) {
-                    report.clean_accuracy = double_from_bits_hex(
-                        rec.payload.at("accuracy_bits").as_string());
-                    restored[0] = true;
-                    continue;
-                }
-                const std::size_t idx = rec.index - 1;
-                if (idx >= planned.size()) {
+                if (rec.index >= plan.record_count()) {
                     throw FormatError("journal " + config.journal_path +
                                       ": record index " +
                                       std::to_string(rec.index) +
                                       " exceeds the planned sweep");
                 }
-                if (rec.payload.at("label").as_string() != labels[idx]) {
-                    throw ConfigError("journal " + config.journal_path +
-                                      ": record " + std::to_string(rec.index) +
-                                      " label '" +
-                                      rec.payload.at("label").as_string() +
-                                      "' does not match planned point '" +
-                                      labels[idx] + "'");
+                if (rec.index > 0) {
+                    const std::string expected =
+                        campaign_point_label(plan.points[rec.index - 1]);
+                    if (rec.payload.at("label").as_string() != expected) {
+                        throw ConfigError("journal " + config.journal_path +
+                                          ": record " + std::to_string(rec.index) +
+                                          " label '" +
+                                          rec.payload.at("label").as_string() +
+                                          "' does not match planned point '" +
+                                          expected + "'");
+                    }
                 }
-                const PlannedPoint& p = planned[idx];
-                CampaignPoint& point = report.points[idx];
-                point.target = p.label;
-                point.segment_index = p.segment_index;
-                point.strikes = p.scheme.num_strikes;
-                point.gap_cycles = p.scheme.gap_cycles;
-                point.accuracy = double_from_bits_hex(
-                    rec.payload.at("accuracy_bits").as_string());
-                point.faults.duplication =
-                    rec.payload.at("duplication_faults").as_uint();
-                point.faults.random = rec.payload.at("random_faults").as_uint();
-                point.images = rec.payload.at("images").as_uint();
-                restored[rec.index] = true;
+                records[rec.index] = rec.payload;
             }
         } else {
-            journal = CheckpointJournal::create(config.journal_path, fingerprint,
+            journal = CheckpointJournal::create(config.journal_path, plan.fingerprint,
                                                 kJournalSweepName);
         }
     }
     std::size_t points_resumed = 0;
-    for (bool r : restored) points_resumed += r ? 1 : 0;
+    for (const Json& rec : records) points_resumed += rec.is_null() ? 0 : 1;
     if (metrics::enabled() && points_resumed > 0) {
         metrics::counter("campaign.points_resumed", "points",
                          "campaign points restored from a journal")
@@ -354,50 +559,16 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
     }
 
     std::vector<SweepTask> tasks;
-    std::vector<std::size_t> task_journal_index; // parallel to tasks
-    tasks.reserve(planned.size() + 1);
-    if (!restored[0]) {
-        tasks.push_back({"clean baseline", [&] {
-                             const AccuracyResult clean = evaluate_accuracy(
-                                 platform, test_set, eval_images, nullptr,
-                                 config.fault_seed, nullptr, golden.get());
-                             report.clean_accuracy = clean.accuracy;
-                             if (journal) {
-                                 journal->append(0,
-                                                 clean_record(clean.accuracy));
-                             }
+    tasks.reserve(plan.record_count());
+    for (std::size_t idx = 0; idx < plan.record_count(); ++idx) {
+        if (!records[idx].is_null()) continue;
+        const std::string label =
+            idx == 0 ? "clean baseline" : campaign_point_label(plan.points[idx - 1]);
+        tasks.push_back({label, [&, idx] {
+                             records[idx] = evaluate_campaign_record(
+                                 platform, test_set, plan, runner, golden.get(), idx);
+                             if (journal) journal->append(idx, records[idx]);
                          }});
-        task_journal_index.push_back(0);
-    }
-    for (std::size_t idx = 0; idx < planned.size(); ++idx) {
-        if (restored[idx + 1]) continue;
-        tasks.push_back({labels[idx], [&, idx] {
-            const PlannedPoint& p = planned[idx];
-            AccuracyResult res;
-            if (p.blind_offsets > 0) {
-                const auto bundle = runner.blind_bundle(
-                    p.scheme, p.blind_offsets, config.blind_offset_seed);
-                res = evaluate_accuracy_multi(platform, test_set, eval_images,
-                                              bundle->traces, config.fault_seed,
-                                              &bundle->plans, golden.get());
-            } else {
-                const auto bundle = runner.guided_bundle(config.detector, p.scheme);
-                res = evaluate_accuracy(platform, test_set, eval_images,
-                                        &bundle->trace, config.fault_seed,
-                                        &bundle->plan, golden.get());
-            }
-
-            CampaignPoint& point = report.points[idx];
-            point.target = p.label;
-            point.segment_index = p.segment_index;
-            point.strikes = p.scheme.num_strikes;
-            point.gap_cycles = p.scheme.gap_cycles;
-            point.accuracy = res.accuracy;
-            point.faults = res.faults;
-            point.images = res.images;
-            if (journal) journal->append(idx + 1, point_record(labels[idx], point));
-        }});
-        task_journal_index.push_back(idx + 1);
     }
 
     RunManifest mf = runner.run("campaign", std::move(tasks));
@@ -407,26 +578,10 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
     }
     mf.points_resumed = points_resumed;
 
-    // A deadline may have skipped points; a valid report contains only
-    // completed points, marked partial.
-    if (mf.points_skipped > 0) {
-        report.partial = true;
-        std::vector<bool> completed = restored;
-        for (std::size_t t = 0; t < mf.points.size(); ++t) {
-            if (!mf.points[t].skipped) completed[task_journal_index[t]] = true;
-        }
-        std::vector<CampaignPoint> kept;
-        kept.reserve(report.points.size());
-        for (std::size_t idx = 0; idx < planned.size(); ++idx) {
-            if (completed[idx + 1]) kept.push_back(std::move(report.points[idx]));
-        }
-        report.points = std::move(kept);
-    }
+    // A deadline may have skipped points; their record slots are still
+    // null, so assembly below yields a valid partial report.
+    CampaignReport report = assemble_campaign_report(plan_info(plan), records);
     if (manifest != nullptr) *manifest = std::move(mf);
-
-    for (CampaignPoint& point : report.points) {
-        point.drop = report.clean_accuracy - point.accuracy;
-    }
     return report;
 }
 

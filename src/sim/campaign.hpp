@@ -7,6 +7,21 @@
 // optionally a blind baseline at the same intensities. This is what the
 // fig5b bench and the `deepstrike campaign` CLI command run.
 //
+// The campaign is factored into three phases so that single-process and
+// distributed execution share one definition of the work:
+//
+//   plan_campaign()              profiling + point planning + fingerprint
+//   evaluate_campaign_record()   one journal-record payload per index
+//                                (0 = clean baseline, 1 + i = point i)
+//   assemble_campaign_report()   records -> CampaignReport
+//
+// The per-record payloads are exactly the sim::CheckpointJournal records
+// (IEEE-754 bit patterns for floats), so they serve three roles with one
+// byte format: crash-safe journal lines, resume restores, and the
+// work/result messages of the distributed protocol (docs/distributed.md).
+// A report assembled from records is byte-identical to one produced by
+// the in-process path — regardless of which process computed each record.
+//
 // Execution goes through sim::SweepRunner: points run in parallel over the
 // persistent thread pool and share co-simulated traces through its cache.
 // Reports are bit-identical at any thread count; the run manifest (timing,
@@ -14,6 +29,7 @@
 // bytes.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -91,10 +107,108 @@ struct CampaignReport {
     std::string to_markdown() const;
 };
 
-/// Runs the campaign. Strike counts exceeding a segment's capacity
-/// (duration/2 cycles) are clamped to it, mirroring the paper's
-/// layer-length-bounded maxima. When `manifest` is non-null it receives
-/// the sweep-execution record (threads, per-point timing, cache stats).
+// --------------------------------------------------------------- phases
+
+/// Static description of one campaign point, planned up front so the
+/// execution phase only runs (trace + evaluation) work.
+struct PlannedCampaignPoint {
+    std::string label;
+    std::optional<std::size_t> segment_index;
+    std::size_t strikes = 0;
+    attack::AttackScheme scheme;
+    std::size_t blind_offsets = 0; // > 0 marks a blind-baseline point
+};
+
+/// The complete static plan of a campaign: profiling result, every
+/// planned point, and the 64-bit result fingerprint. Any process holding
+/// the same victim + config derives an identical plan (and fingerprint) —
+/// the property the distributed handshake verifies before sharing work.
+struct CampaignPlan {
+    CampaignConfig config;
+    ProfilingRun prof;
+    std::vector<PlannedCampaignPoint> points;
+    /// config.eval_images clamped once to the test-set size; every
+    /// evaluation uses exactly this many images.
+    std::size_t eval_images = 0;
+    std::uint64_t fingerprint = 0;
+
+    /// Journal-record count: 1 (clean baseline) + points.size().
+    std::size_t record_count() const { return points.size() + 1; }
+};
+
+/// Journal/display label of planned point i ("segment#2 conv x2000").
+std::string campaign_point_label(const PlannedCampaignPoint& point);
+
+/// Phase 1: profiles the victim and plans every point. Strike counts
+/// exceeding a segment's capacity (duration/2 cycles) are clamped to it,
+/// mirroring the paper's layer-length-bounded maxima.
+CampaignPlan plan_campaign(const Platform& platform, const data::Dataset& test_set,
+                           const CampaignConfig& config = {});
+
+/// Phase 2: evaluates one record of the plan and returns its journal
+/// payload. Index 0 is the clean baseline; 1 + i is plan.points[i].
+/// Bit-identical for a given (platform, plan, index) in any process at
+/// any thread count; `golden` may be null (results are byte-identical
+/// either way).
+Json evaluate_campaign_record(const Platform& platform, const data::Dataset& test_set,
+                              const CampaignPlan& plan, SweepRunner& runner,
+                              const GoldenStore* golden, std::size_t record_index);
+
+/// Wire-safe summary of a CampaignPlan: everything report assembly needs,
+/// with floats carried as IEEE-754 bit patterns so a summary that crossed
+/// a socket reproduces report bytes exactly. This is the payload of the
+/// distributed protocol's `plan` message (docs/distributed.md).
+struct CampaignPlanInfo {
+    bool detector_fired = false;
+    std::size_t trigger_sample = 0;
+    std::size_t eval_images = 0;
+    std::uint64_t fingerprint = 0;
+    std::vector<attack::ProfiledSegment> segments;
+
+    struct PointMeta {
+        std::string target;
+        std::optional<std::size_t> segment_index;
+        std::size_t strikes = 0;
+        std::size_t gap_cycles = 0;
+    };
+    std::vector<PointMeta> points;
+
+    std::size_t record_count() const { return points.size() + 1; }
+    /// Journal/display label of point i (matches campaign_point_label()).
+    std::string label(std::size_t i) const;
+
+    Json to_json() const;
+    static CampaignPlanInfo from_json(const Json& json); // throws FormatError
+};
+
+CampaignPlanInfo plan_info(const CampaignPlan& plan);
+
+/// Phase 3: assembles the final report from one record per index
+/// (journal payloads / wire `result` payloads). A null (missing) record
+/// marks that index as never completed: the point is omitted and the
+/// report is marked partial — the same semantics as a deadline skip.
+CampaignReport assemble_campaign_report(const CampaignPlanInfo& info,
+                                        const std::vector<Json>& records);
+
+/// Parses a campaign manifest object (the `submit` payload of the
+/// distributed protocol, see docs/distributed.md) into a CampaignConfig.
+/// Unknown keys are rejected so a typoed manifest fails loudly. Victim
+/// keys (`arch`, `train_size`, ...) are validated but consumed by the
+/// caller's victim factory, not by this config.
+CampaignConfig campaign_config_from_manifest(const Json& manifest);
+
+// Floating-point results cross the journal and the wire as IEEE-754 bit
+// patterns so restores and remote assembly are bit-exact; the
+// human-readable value rides alongside.
+std::string double_bits_hex(double value);
+double double_from_bits_hex(const std::string& hex);
+/// Strict 16-char lowercase hex -> u64 (fingerprints on the wire).
+std::uint64_t uint64_from_hex(const std::string& hex);
+
+/// Runs the campaign in-process: plan, parallel sweep (with optional
+/// journal/resume per config), assemble. When `manifest` is non-null it
+/// receives the sweep-execution record (threads, per-point timing, cache
+/// stats).
 CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_set,
                             const CampaignConfig& config = {},
                             RunManifest* manifest = nullptr);

@@ -1,0 +1,93 @@
+// Campaign coordinator: the server side of `deepstrike serve`.
+//
+// Promotes campaigns from a CLI one-shot to a long-lived service. Clients
+// submit campaign manifests over the length-prefixed JSON protocol
+// (net/frame.hpp, docs/distributed.md); the coordinator shards the
+// campaign's record indices across a pool of connected `deepstrike work`
+// processes and streams per-point results back to tailing clients.
+//
+// The coordinator is deliberately victim-free: it never builds a network,
+// trains a model, or co-simulates anything. Workers derive the campaign
+// plan independently from the manifest (sim::plan_campaign) and send a
+// wire-safe summary (sim::CampaignPlanInfo); the first summary becomes
+// canonical and every later worker must present the identical 64-bit
+// fingerprint — the same fingerprint the checkpoint journal uses — or be
+// refused. Because every record is computed from logical coordinates
+// (util::derive_seed), any worker may own any record, and the assembled
+// report is byte-identical to a single-process `deepstrike campaign` run
+// no matter how work was sharded or how often workers died.
+//
+// Concurrency model: one thread, one poll(2) loop. Workers prove
+// liveness with heartbeat frames; a worker that misses the heartbeat
+// deadline (or whose socket drops — the SIGKILL case) has its in-flight
+// record pushed back to the front of the queue and reassigned.
+//
+// Journaling: a manifest may name a checkpoint journal path. The
+// coordinator then appends each result record exactly as run_campaign
+// would, so `deepstrike campaign --journal X --resume` can finish a
+// half-done distributed campaign and vice versa — one on-disk format,
+// three consumers (crash recovery, resume, wire).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace deepstrike::sim {
+
+struct CoordinatorConfig {
+    /// Listen address. Default loopback: exposing the coordinator beyond
+    /// the host is a deployment decision, not a default.
+    std::string host = "127.0.0.1";
+    /// TCP port; 0 binds an ephemeral port (read back via port()).
+    std::uint16_t port = 0;
+    /// A worker silent for longer than this is presumed dead and its
+    /// in-flight record is reassigned.
+    double heartbeat_timeout_seconds = 15.0;
+    /// Exit after this many completed campaigns (0 = serve forever).
+    /// The smoke tests and CI use 1.
+    std::size_t max_campaigns = 0;
+    /// Print per-event progress lines to stdout.
+    bool verbose = true;
+};
+
+class Coordinator {
+public:
+    /// Binds the listener immediately (so port() is valid before run()).
+    explicit Coordinator(const CoordinatorConfig& config);
+    ~Coordinator();
+
+    Coordinator(const Coordinator&) = delete;
+    Coordinator& operator=(const Coordinator&) = delete;
+
+    /// The bound port (the ephemeral one when config.port was 0).
+    std::uint16_t port() const;
+
+    /// Serves until stop() or the max_campaigns-th campaign completes.
+    /// Returns 0 on clean shutdown.
+    int run();
+
+    /// Requests run() to return at its next loop tick. Callable from any
+    /// thread.
+    void stop();
+
+    /// Orchestration counters (readable after run() returns, or from the
+    /// run() thread itself in tests via callbacks — all updates happen on
+    /// the loop thread).
+    struct Stats {
+        std::size_t campaigns_submitted = 0;
+        std::size_t campaigns_completed = 0;
+        std::size_t points_dispatched = 0;
+        std::size_t points_reassigned = 0;
+        std::size_t workers_seen = 0;
+        std::size_t workers_rejected = 0;
+    };
+    const Stats& stats() const;
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+} // namespace deepstrike::sim

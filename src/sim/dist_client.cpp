@@ -1,0 +1,93 @@
+#include "sim/dist_client.hpp"
+
+#include <optional>
+
+#include "net/protocol.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::sim {
+
+namespace {
+
+Json expect_message(net::Socket& socket, net::FrameDecoder& decoder) {
+    std::optional<Json> message = net::recv_message(socket, decoder);
+    if (!message.has_value()) {
+        throw IoError("coordinator closed the connection");
+    }
+    return std::move(*message);
+}
+
+} // namespace
+
+ServiceClient::ServiceClient(const std::string& host, std::uint16_t port)
+    : socket_(net::Socket::connect_tcp(host, port)) {
+    Json hello = net::make_message("hello");
+    hello.set("protocol", net::kProtocolVersion);
+    hello.set("role", "client");
+    net::send_message(socket_, hello);
+
+    const Json reply = expect_message(socket_, decoder_);
+    const std::string type = net::message_type(reply);
+    if (type == "error") {
+        throw ConfigError("coordinator refused the connection: " +
+                          reply.at("detail").as_string());
+    }
+    if (type != "welcome") {
+        throw FormatError("handshake: expected welcome, got '" + type + "'");
+    }
+}
+
+std::uint64_t ServiceClient::submit(const Json& manifest) {
+    Json message = net::make_message("submit");
+    message.set("manifest", manifest);
+    net::send_message(socket_, message);
+
+    const Json reply = expect_message(socket_, decoder_);
+    const std::string type = net::message_type(reply);
+    if (type == "error") {
+        throw ConfigError("campaign rejected (" + reply.at("code").as_string() +
+                          "): " + reply.at("detail").as_string());
+    }
+    if (type != "accepted") {
+        throw FormatError("submit: expected accepted, got '" + type + "'");
+    }
+    return reply.at("campaign").as_uint();
+}
+
+CampaignOutcome ServiceClient::tail(std::uint64_t campaign,
+                                    const std::function<void(const Json&)>& on_point) {
+    Json message = net::make_message("tail");
+    message.set("campaign", campaign);
+    net::send_message(socket_, message);
+
+    CampaignOutcome outcome;
+    while (true) {
+        const Json reply = expect_message(socket_, decoder_);
+        const std::string type = net::message_type(reply);
+        if (type == "point") {
+            ++outcome.points_streamed;
+            if (on_point) on_point(reply);
+        } else if (type == "report") {
+            outcome.report = reply.at("report");
+            outcome.markdown = reply.at("markdown").as_string();
+            // Hang up: the campaign is over, and a draining coordinator
+            // waits for its clients to disconnect before exiting.
+            socket_.close();
+            return outcome;
+        } else if (type == "error") {
+            const std::string& code = reply.at("code").as_string();
+            if (code == "unknown-campaign") {
+                throw ConfigError(reply.at("detail").as_string());
+            }
+            outcome.failed = true;
+            outcome.error_code = code;
+            outcome.error_detail = reply.at("detail").as_string();
+            socket_.close();
+            return outcome;
+        } else {
+            throw FormatError("tail: unexpected message '" + type + "'");
+        }
+    }
+}
+
+} // namespace deepstrike::sim

@@ -1,0 +1,62 @@
+// Campaign service client: the library behind `deepstrike submit` and
+// `deepstrike tail`.
+//
+// A client connects to a coordinator, submits campaign manifests, and
+// tails a campaign's result stream: one `point` message per completed
+// record (replayed from the start when attaching late), then a single
+// `report` message carrying the assembled report JSON and markdown —
+// byte-identical to what a single-process `deepstrike campaign` run
+// would have written.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "util/json.hpp"
+
+namespace deepstrike::sim {
+
+/// Terminal outcome of tailing one campaign.
+struct CampaignOutcome {
+    bool failed = false;
+    /// On success: the report (CampaignReport::to_json() bytes) and its
+    /// markdown rendering, exactly as the coordinator assembled them.
+    Json report;
+    std::string markdown;
+    /// On failure: the coordinator's error code + detail.
+    std::string error_code;
+    std::string error_detail;
+    /// `point` messages seen before the terminal message.
+    std::size_t points_streamed = 0;
+};
+
+class ServiceClient {
+public:
+    /// Connects and completes the hello/welcome handshake. Throws
+    /// IoError on connection failure, ConfigError when the coordinator
+    /// refuses the protocol version.
+    ServiceClient(const std::string& host, std::uint16_t port);
+
+    ServiceClient(ServiceClient&&) = default;
+    ServiceClient& operator=(ServiceClient&&) = default;
+
+    /// Submits a campaign manifest; returns the assigned campaign id.
+    /// Throws ConfigError when the coordinator rejects the manifest.
+    std::uint64_t submit(const Json& manifest);
+
+    /// Attaches to a campaign's stream and blocks until its terminal
+    /// message. `on_point`, when set, sees every streamed `point`
+    /// message (including the replayed backlog). Throws ConfigError for
+    /// an unknown campaign id, IoError if the coordinator vanishes.
+    CampaignOutcome tail(std::uint64_t campaign,
+                         const std::function<void(const Json&)>& on_point = {});
+
+private:
+    net::Socket socket_;
+    net::FrameDecoder decoder_;
+};
+
+} // namespace deepstrike::sim

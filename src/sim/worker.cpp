@@ -1,0 +1,246 @@
+#include "sim/worker.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "sim/golden_cache.hpp"
+#include "sim/journal.hpp"
+#include "sim/runner.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace deepstrike::sim {
+
+namespace {
+
+/// Serializes writes from the main (result) and heartbeat threads.
+class SharedWriter {
+public:
+    explicit SharedWriter(net::Socket& socket) : socket_(socket) {}
+
+    void send(const Json& message) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        net::send_message(socket_, message);
+    }
+
+    /// Best-effort variant for the heartbeat thread: a failed send means
+    /// the connection is gone and the main thread is about to find out.
+    bool try_send(const Json& message) {
+        try {
+            send(message);
+            return true;
+        } catch (const Error&) {
+            return false;
+        }
+    }
+
+private:
+    net::Socket& socket_;
+    std::mutex mutex_;
+};
+
+/// Sends `heartbeat` frames on a cadence until stopped or the socket
+/// dies. Runs for the whole connection: heartbeats outside evaluation
+/// are harmless and keep idle workers visibly alive.
+class HeartbeatThread {
+public:
+    HeartbeatThread(SharedWriter& writer, double interval_seconds)
+        : writer_(writer),
+          interval_(std::chrono::duration<double>(interval_seconds)),
+          thread_([this] { loop(); }) {}
+
+    ~HeartbeatThread() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+    }
+
+private:
+    void loop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            if (wake_.wait_for(lock, interval_, [this] { return stop_; })) {
+                return;
+            }
+            lock.unlock();
+            const bool alive = writer_.try_send(net::make_message("heartbeat"));
+            if (metrics::enabled() && alive) {
+                metrics::counter("worker.heartbeats_sent", "frames",
+                                 "liveness frames sent to the coordinator")
+                    .add();
+            }
+            lock.lock();
+            if (!alive) return;
+        }
+    }
+
+    SharedWriter& writer_;
+    std::chrono::duration<double> interval_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+/// Worker-side state for the campaign currently being served.
+struct ActiveCampaign {
+    ActiveCampaign(std::uint64_t campaign_id, WorkerVictim campaign_victim)
+        : id(campaign_id), victim(std::move(campaign_victim)) {}
+
+    std::uint64_t id = 0;
+    WorkerVictim victim;
+    CampaignPlan plan;
+    std::unique_ptr<SweepRunner> runner;
+    std::shared_ptr<const GoldenStore> golden;
+};
+
+void wlog(const WorkerConfig& config, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void wlog(const WorkerConfig& config, const char* fmt, ...) {
+    if (!config.verbose) return;
+    va_list args;
+    va_start(args, fmt);
+    std::printf("[work] ");
+    std::vprintf(fmt, args);
+    std::printf("\n");
+    std::fflush(stdout);
+    va_end(args);
+}
+
+std::unique_ptr<ActiveCampaign> build_campaign(const WorkerConfig& worker_config,
+                                               const VictimFactory& factory,
+                                               std::uint64_t id,
+                                               const Json& manifest) {
+    auto active = std::make_unique<ActiveCampaign>(id, factory(manifest));
+
+    CampaignConfig config = campaign_config_from_manifest(manifest);
+    // Journaling is the coordinator's job; a worker writing the same
+    // journal path (shared filesystem) would corrupt it.
+    config.journal_path.clear();
+    config.resume = false;
+
+    active->plan =
+        plan_campaign(active->victim.platform, active->victim.test_set, config);
+    active->runner = std::make_unique<SweepRunner>(active->victim.platform,
+                                                   RunnerConfig{config.threads, true});
+    if (config.golden_cache) {
+        active->golden = active->runner->golden_view(active->victim.test_set,
+                                                     active->plan.eval_images);
+    }
+    wlog(worker_config, "campaign#%llu planned: %zu records, fingerprint %s",
+         static_cast<unsigned long long>(id), active->plan.record_count(),
+         CheckpointJournal::fingerprint_hex(active->plan.fingerprint).c_str());
+    return active;
+}
+
+} // namespace
+
+int run_worker(const WorkerConfig& config, const VictimFactory& factory,
+               WorkerStats* stats) {
+    expects(static_cast<bool>(factory), "run_worker: victim factory required");
+    WorkerStats local;
+
+    net::Socket socket = net::Socket::connect_tcp(config.host, config.port);
+    net::FrameDecoder decoder;
+    SharedWriter writer(socket);
+
+    Json hello = net::make_message("hello");
+    hello.set("protocol", net::kProtocolVersion);
+    hello.set("role", "worker");
+    writer.send(hello);
+
+    std::optional<Json> welcome = net::recv_message(socket, decoder);
+    if (!welcome.has_value()) {
+        std::fprintf(stderr, "[work] coordinator closed during handshake\n");
+        return 1;
+    }
+    if (net::message_type(*welcome) == "error") {
+        std::fprintf(stderr, "[work] refused: %s\n",
+                     welcome->at("detail").as_string().c_str());
+        return 1;
+    }
+    wlog(config, "connected to %s:%u", config.host.c_str(),
+         static_cast<unsigned>(config.port));
+
+    HeartbeatThread heartbeat(writer, config.heartbeat_interval_seconds);
+    std::unique_ptr<ActiveCampaign> active;
+
+    while (true) {
+        std::optional<Json> message = net::recv_message(socket, decoder);
+        if (!message.has_value()) {
+            wlog(config, "coordinator closed the connection; exiting");
+            break;
+        }
+        const std::string type = net::message_type(*message);
+
+        if (type == "campaign") {
+            const std::uint64_t id = message->at("campaign").as_uint();
+            active = build_campaign(config, factory, id, message->at("manifest"));
+            ++local.campaigns_planned;
+            if (metrics::enabled()) {
+                metrics::counter("worker.campaigns_planned", "campaigns",
+                                 "campaign plans derived from manifests")
+                    .add();
+            }
+            Json plan = net::make_message("plan");
+            plan.set("campaign", id);
+            plan.set("info", plan_info(active->plan).to_json());
+            writer.send(plan);
+        } else if (type == "work") {
+            const std::uint64_t id = message->at("campaign").as_uint();
+            const std::size_t index = message->at("index").as_uint();
+            if (!active || active->id != id) {
+                throw FormatError("work for campaign #" + std::to_string(id) +
+                                  " without a matching plan");
+            }
+            if (config.max_points > 0 && local.records_evaluated >= config.max_points) {
+                // Test hook: vanish mid-campaign without replying, exactly
+                // like a SIGKILLed worker. The coordinator must reassign.
+                wlog(config, "max-points hook tripped; dropping connection");
+                socket.close();
+                break;
+            }
+            Json payload = evaluate_campaign_record(
+                active->victim.platform, active->victim.test_set, active->plan,
+                *active->runner, active->golden.get(), index);
+            ++local.records_evaluated;
+            if (metrics::enabled()) {
+                metrics::counter("worker.records_evaluated", "records",
+                                 "campaign records computed on this worker")
+                    .add();
+            }
+            Json result = net::make_message("result");
+            result.set("campaign", id);
+            result.set("index", index);
+            result.set("payload", std::move(payload));
+            writer.send(result);
+        } else if (type == "error") {
+            std::fprintf(stderr, "[work] coordinator error (%s): %s\n",
+                         message->at("code").as_string().c_str(),
+                         message->at("detail").as_string().c_str());
+            if (stats != nullptr) *stats = local;
+            return 1;
+        } else {
+            throw FormatError("unexpected message '" + type + "' at a worker");
+        }
+    }
+
+    if (stats != nullptr) *stats = local;
+    return 0;
+}
+
+} // namespace deepstrike::sim

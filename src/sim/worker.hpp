@@ -1,0 +1,70 @@
+// Campaign worker: the client side of `deepstrike work`.
+//
+// A worker connects to a coordinator (sim/coordinator.hpp), announces
+// itself, and then serves record assignments: for each `campaign`
+// message it builds the victim locally (via the injected VictimFactory),
+// derives the plan with sim::plan_campaign, and sends the plan summary
+// back; for each `work` message it evaluates one journal record with
+// sim::evaluate_campaign_record and returns the payload.
+//
+// Determinism contract: every record is a pure function of (victim,
+// manifest, record index) — seeds come from util::derive_seed on logical
+// coordinates — so any worker may compute any record and the bytes are
+// identical to a single-process run. The coordinator verifies the
+// premise by comparing plan fingerprints before sharing work.
+//
+// Liveness: record evaluation can take minutes, so a dedicated thread
+// sends `heartbeat` frames every heartbeat_interval_seconds while the
+// main thread computes (both serialize writes through one mutex). A
+// worker that stops heartbeating — SIGKILL, hang, network partition —
+// is reaped by the coordinator and its in-flight record reassigned.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/campaign.hpp"
+#include "util/json.hpp"
+
+namespace deepstrike::sim {
+
+struct WorkerConfig {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Cadence of liveness frames while evaluating.
+    double heartbeat_interval_seconds = 1.0;
+    /// Test hook: after evaluating this many records, drop the
+    /// connection without replying to the next assignment — the
+    /// deterministic stand-in for a SIGKILLed worker (0 = unlimited).
+    std::size_t max_points = 0;
+    /// Print per-event progress lines to stdout.
+    bool verbose = true;
+};
+
+/// Everything a worker needs to compute records: the co-simulated
+/// platform (accelerator + victim network) and the evaluation set.
+struct WorkerVictim {
+    Platform platform;
+    data::Dataset test_set;
+};
+
+/// Builds the victim for a campaign manifest. The CLI's factory trains /
+/// loads the zoo architecture named by the manifest; tests inject a
+/// factory around tests' random_qnetwork so no training happens. Throw
+/// ConfigError for a manifest this worker cannot satisfy.
+using VictimFactory = std::function<WorkerVictim(const Json& manifest)>;
+
+struct WorkerStats {
+    std::size_t campaigns_planned = 0;
+    std::size_t records_evaluated = 0;
+};
+
+/// Connects and serves until the coordinator closes the connection
+/// (exit 0), the coordinator refuses this worker (exit 1), or the
+/// max_points hook trips (exit 0). `stats`, when non-null, receives the
+/// final counters.
+int run_worker(const WorkerConfig& config, const VictimFactory& factory,
+               WorkerStats* stats = nullptr);
+
+} // namespace deepstrike::sim

@@ -297,6 +297,15 @@ std::size_t Json::size() const {
     return 0;
 }
 
+std::vector<std::string> Json::keys() const {
+    std::vector<std::string> out;
+    if (kind_ == Kind::Object) {
+        out.reserve(members_.size());
+        for (const auto& member : members_) out.push_back(member.first);
+    }
+    return out;
+}
+
 Json& Json::set(const std::string& key, Json value) {
     if (kind_ == Kind::Null) kind_ = Kind::Object;
     expects(kind_ == Kind::Object, "Json::set on a non-object");

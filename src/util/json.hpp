@@ -66,6 +66,8 @@ public:
     const Json& at(std::size_t index) const;
     /// Element count (array) / member count (object); 0 otherwise.
     std::size_t size() const;
+    /// Object member keys in insertion order; empty for non-objects.
+    std::vector<std::string> keys() const;
 
     /// Serializes; `indent` > 0 pretty-prints with that many spaces.
     std::string dump(int indent = 0) const;

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "util/error.hpp"
+
+namespace deepstrike::net {
+namespace {
+
+Json sample_message(const std::string& type, int payload) {
+    Json message = make_message(type);
+    message.set("value", payload);
+    return message;
+}
+
+// ------------------------------------------------------------- framing
+
+TEST(Frame, EncodeStartsWithMagicAndLength) {
+    const std::string bytes = encode_frame(sample_message("heartbeat", 1));
+    ASSERT_GE(bytes.size(), kHeaderBytes);
+    EXPECT_EQ(0, std::memcmp(bytes.data(), kFrameMagic, sizeof(kFrameMagic)));
+    const std::size_t payload = bytes.size() - kHeaderBytes;
+    const unsigned char* len = reinterpret_cast<const unsigned char*>(bytes.data()) + 4;
+    const std::uint32_t declared = (std::uint32_t(len[0]) << 24) |
+                                   (std::uint32_t(len[1]) << 16) |
+                                   (std::uint32_t(len[2]) << 8) | std::uint32_t(len[3]);
+    EXPECT_EQ(declared, payload);
+}
+
+TEST(Frame, DecoderRoundTripsMultipleMessages) {
+    std::string bytes;
+    for (int i = 0; i < 5; ++i) bytes += encode_frame(sample_message("work", i));
+
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    for (int i = 0; i < 5; ++i) {
+        std::optional<Json> message = decoder.next();
+        ASSERT_TRUE(message.has_value()) << i;
+        EXPECT_EQ(message_type(*message), "work");
+        EXPECT_EQ(message->at("value").as_int(), i);
+    }
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(Frame, DecoderHandlesByteAtATimeDelivery) {
+    const std::string bytes = encode_frame(sample_message("result", 42));
+    FrameDecoder decoder;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        EXPECT_FALSE(decoder.next().has_value());
+        decoder.feed(bytes.data() + i, 1);
+    }
+    std::optional<Json> message = decoder.next();
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(message->at("value").as_int(), 42);
+}
+
+TEST(Frame, DecoderRejectsBadMagic) {
+    std::string bytes = encode_frame(sample_message("hello", 0));
+    bytes[0] = 'X';
+    FrameDecoder decoder;
+    EXPECT_THROW(
+        {
+            decoder.feed(bytes.data(), bytes.size());
+            decoder.next();
+        },
+        FormatError);
+}
+
+TEST(Frame, DecoderRejectsOversizedLength) {
+    std::string bytes = encode_frame(sample_message("hello", 0));
+    // Declare a payload just past the ceiling.
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    bytes[4] = static_cast<char>(huge >> 24);
+    bytes[5] = static_cast<char>(huge >> 16);
+    bytes[6] = static_cast<char>(huge >> 8);
+    bytes[7] = static_cast<char>(huge);
+    FrameDecoder decoder;
+    EXPECT_THROW(
+        {
+            decoder.feed(bytes.data(), bytes.size());
+            decoder.next();
+        },
+        FormatError);
+}
+
+TEST(Frame, DecoderRejectsNonObjectPayload) {
+    const std::string payload = "[1,2,3]";
+    std::string bytes(kFrameMagic, sizeof(kFrameMagic));
+    bytes.push_back(static_cast<char>(payload.size() >> 24));
+    bytes.push_back(static_cast<char>(payload.size() >> 16));
+    bytes.push_back(static_cast<char>(payload.size() >> 8));
+    bytes.push_back(static_cast<char>(payload.size()));
+    bytes += payload;
+    FrameDecoder decoder;
+    EXPECT_THROW(
+        {
+            decoder.feed(bytes.data(), bytes.size());
+            decoder.next();
+        },
+        FormatError);
+}
+
+TEST(Frame, EncodeRejectsOversizedPayload) {
+    Json message = make_message("submit");
+    message.set("blob", std::string(kMaxFramePayload, 'x'));
+    EXPECT_THROW(encode_frame(message), ContractError);
+}
+
+// ------------------------------------------------- sockets + blocking IO
+
+struct SocketPair {
+    Socket a; // client end
+    Socket b; // accepted end
+
+    static SocketPair make() {
+        Listener listener = Listener::bind_tcp("127.0.0.1", 0);
+        SocketPair pair;
+        std::thread connector(
+            [&] { pair.a = Socket::connect_tcp("127.0.0.1", listener.port()); });
+        pair.b = listener.accept();
+        connector.join();
+        return pair;
+    }
+};
+
+TEST(Socket, SendRecvMessageRoundTrip) {
+    SocketPair pair = SocketPair::make();
+    send_message(pair.a, sample_message("plan", 7));
+
+    FrameDecoder decoder;
+    std::optional<Json> message = recv_message(pair.b, decoder);
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(message_type(*message), "plan");
+    EXPECT_EQ(message->at("value").as_int(), 7);
+}
+
+TEST(Socket, CleanEofBetweenFramesIsNullopt) {
+    SocketPair pair = SocketPair::make();
+    send_message(pair.a, sample_message("point", 1));
+    pair.a.close();
+
+    FrameDecoder decoder;
+    EXPECT_TRUE(recv_message(pair.b, decoder).has_value());
+    EXPECT_FALSE(recv_message(pair.b, decoder).has_value());
+}
+
+TEST(Socket, EofMidFrameIsTruncationError) {
+    SocketPair pair = SocketPair::make();
+    const std::string bytes = encode_frame(sample_message("report", 1));
+    pair.a.send_all(bytes.data(), bytes.size() / 2); // half a frame, then vanish
+    pair.a.close();
+
+    FrameDecoder decoder;
+    EXPECT_THROW(recv_message(pair.b, decoder), IoError);
+}
+
+// -------------------------------------------------------------- protocol
+
+TEST(Protocol, MessageTypeTableIsConsistent) {
+    ASSERT_GT(message_type_count(), 0u);
+    for (std::size_t i = 0; i < message_type_count(); ++i) {
+        EXPECT_TRUE(known_message_type(message_types()[i]));
+    }
+    EXPECT_FALSE(known_message_type("no-such-type"));
+}
+
+TEST(Protocol, MakeMessageRejectsUnknownType) {
+    EXPECT_THROW(make_message("bogus"), ContractError);
+}
+
+TEST(Protocol, MessageTypeValidates) {
+    EXPECT_THROW(message_type(Json::object()), FormatError);
+    Json unknown = Json::object();
+    unknown.set("type", "bogus");
+    EXPECT_THROW(message_type(unknown), FormatError);
+}
+
+TEST(Protocol, MakeErrorCarriesCodeAndDetail) {
+    const Json error = make_error("fingerprint-mismatch", "different victim");
+    EXPECT_EQ(message_type(error), "error");
+    EXPECT_EQ(error.at("code").as_string(), "fingerprint-mismatch");
+    EXPECT_EQ(error.at("detail").as_string(), "different victim");
+}
+
+} // namespace
+} // namespace deepstrike::net

@@ -18,6 +18,17 @@ Checks, over every tracked markdown file:
 4. Every bench EXPERIMENTS.md names (backticked `fig*`/`tab*`/
    `ablation_*`/`ext_*`/`micro_*` tokens) has a source file under
    bench/ — the experiment write-ups can't drift behind bench renames.
+5. Every backticked dotted metric name (`serve.queue_depth`,
+   `net.frames_sent`, ...) is actually registered somewhere under src/
+   via metrics::counter/gauge/histogram. A trailing `.*` wildcard
+   (`serve.*`) is accepted when at least one registered metric carries
+   that prefix. Only tokens whose first segment is a namespace the code
+   registers are policed, so prose like `config.port` stays free.
+6. The wire message types docs/distributed.md documents (first-column
+   backticked tokens of its "Message types" table) match the protocol's
+   kMessageTypes table in src/net/protocol.cpp exactly, both ways: a
+   type added to the code without a docs row fails, and so does a
+   documented type the coordinator would refuse.
 
 Exit code 0 when clean, 1 with a per-file report otherwise.
 """
@@ -45,6 +56,30 @@ CHECKED_TOPLEVEL = re.compile(r"^[A-Z][A-Z_]*\.md$")  # README.md, DESIGN.md, ..
 # each must have a source file under bench/.
 BENCH_NAME_RE = re.compile(r"(?:fig|tab)[a-z0-9]*_[a-z0-9_]+|(?:ablation|ext|micro)_[a-z0-9_]+")
 
+# Metric registrations under src/: metrics::counter("name", ...) etc.
+METRIC_REGISTRATION_RE = re.compile(
+    r'metrics::(?:counter|gauge|histogram)\(\s*"([^"]+)"')
+# Trace events share the dotted namespace in docs (`cosim.inference`):
+# trace::Span span("name", ...) and trace::instant("name", ...).
+TRACE_REGISTRATION_RE = re.compile(
+    r'trace::(?:Span\s+\w+|instant)\(\s*"([^"]+)"')
+# Docs-side candidate metric tokens: dotted lowercase identifiers, with
+# an optional `.*` wildcard tail.
+METRIC_TOKEN_RE = re.compile(r"[a-z0-9_]+(?:\.(?:[a-z0-9_]+|\*))+")
+# Dotted tokens with these tails are file names, not metrics.
+NON_METRIC_SUFFIXES = (
+    ".cpp", ".hpp", ".py", ".sh", ".md", ".json", ".jsonl", ".txt",
+    ".csv", ".vcd", ".yml", ".yaml",
+)
+
+WIRE_TYPES_SOURCE = "src/net/protocol.cpp"
+WIRE_TYPES_BEGIN = "// wire-message-types-begin"
+WIRE_TYPES_END = "// wire-message-types-end"
+WIRE_DOC = "docs/distributed.md"
+WIRE_DOC_SECTION = "## Message types"
+# First-column backticked token of a markdown table row.
+TABLE_TYPE_RE = re.compile(r"^\|\s*`([a-z-]+)`", re.MULTILINE)
+
 # Command lines mentioning these tools use their own flag namespaces.
 FOREIGN_COMMAND_WORDS = (
     "cmake", "ctest", "git ", "pip", "python", "perfetto", "gtkwave",
@@ -65,6 +100,25 @@ def cli_flags():
     flags = {"--" + name for name in REGISTRATION_RE.findall(source)}
     flags.add("--help")
     return flags
+
+
+def registered_metrics():
+    """Metric and trace-event names registered anywhere under src/."""
+    names = set()
+    for ext in ("*.cpp", "*.hpp"):
+        for path in (REPO / "src").rglob(ext):
+            text = path.read_text()
+            names.update(METRIC_REGISTRATION_RE.findall(text))
+            names.update(TRACE_REGISTRATION_RE.findall(text))
+    return names
+
+
+def wire_message_types():
+    """The protocol's kMessageTypes table, parsed from the marked block."""
+    source = (REPO / WIRE_TYPES_SOURCE).read_text()
+    begin = source.index(WIRE_TYPES_BEGIN)
+    end = source.index(WIRE_TYPES_END)
+    return set(re.findall(r'"([a-z-]+)"', source[begin:end]))
 
 
 def strip_code_spans(line):
@@ -142,11 +196,57 @@ def check_experiment_benches(doc, text, errors):
             f"-> {token}")
 
 
+def check_metric_names(doc, text, metrics, errors):
+    """Backticked dotted tokens in a registered namespace must name a
+    registered metric (or be a `ns.*` wildcard with at least one hit)."""
+    namespaces = {name.split(".", 1)[0] for name in metrics}
+    for match in BACKTICK_RE.finditer(text):
+        token = match.group(1).strip()
+        if not METRIC_TOKEN_RE.fullmatch(token):
+            continue
+        if token.endswith(NON_METRIC_SUFFIXES):
+            continue
+        if token.split(".", 1)[0] not in namespaces:
+            continue
+        if token in metrics:
+            continue
+        if token.endswith(".*") and any(
+                name.startswith(token[:-1]) for name in metrics):
+            continue
+        errors.append(
+            f"{doc.relative_to(REPO)}: metric not registered under src/ "
+            f"-> {token}")
+
+
+def check_wire_message_docs(doc, text, types, errors):
+    """docs/distributed.md's message-type table vs kMessageTypes, both ways."""
+    if WIRE_DOC_SECTION not in text:
+        errors.append(
+            f"{doc.relative_to(REPO)}: no '{WIRE_DOC_SECTION}' section "
+            f"(the table checked against {WIRE_TYPES_SOURCE})")
+        return
+    # Only the table under the "Message types" heading names wire types;
+    # the doc's other tables (flags, error codes) use their own columns.
+    section = text.split(WIRE_DOC_SECTION, 1)[1]
+    section = re.split(r"^#{1,3} ", section, 1, flags=re.MULTILINE)[0]
+    documented = set(TABLE_TYPE_RE.findall(section))
+    for name in sorted(types - documented):
+        errors.append(
+            f"{doc.relative_to(REPO)}: wire message type undocumented "
+            f"-> {name} (in {WIRE_TYPES_SOURCE} but no table row)")
+    for name in sorted(documented - types):
+        errors.append(
+            f"{doc.relative_to(REPO)}: documented message type unknown to "
+            f"the protocol -> {name} (not in {WIRE_TYPES_SOURCE})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.parse_args()
 
     flags = cli_flags()
+    metrics = registered_metrics()
+    wire_types = wire_message_types()
     errors = []
     docs = tracked_markdown()
     for doc in docs:
@@ -154,15 +254,22 @@ def main():
         check_links(doc, text, errors)
         check_backticked_paths(doc, text, errors)
         check_cli_flags(doc, text, flags, errors)
+        check_metric_names(doc, text, metrics, errors)
         if doc.name == "EXPERIMENTS.md":
             check_experiment_benches(doc, text, errors)
+        if str(doc.relative_to(REPO)) == WIRE_DOC:
+            check_wire_message_docs(doc, text, wire_types, errors)
+    if not any(str(d.relative_to(REPO)) == WIRE_DOC for d in docs):
+        errors.append(f"{WIRE_DOC}: missing (the wire protocol reference "
+                      f"for {WIRE_TYPES_SOURCE} must exist)")
 
     if errors:
         print(f"check_docs: {len(errors)} problem(s) in {len(docs)} markdown files:")
         for e in errors:
             print("  " + e)
         return 1
-    print(f"check_docs: OK ({len(docs)} markdown files, {len(flags)} CLI flags)")
+    print(f"check_docs: OK ({len(docs)} markdown files, {len(flags)} CLI "
+          f"flags, {len(metrics)} metrics, {len(wire_types)} wire types)")
     return 0
 
 
