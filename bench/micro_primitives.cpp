@@ -16,6 +16,7 @@
 #include "accel/engine.hpp"
 #include "attack/detector.hpp"
 #include "attack/profiler.hpp"
+#include "attack/search.hpp"
 #include "data/synth_mnist.hpp"
 #include "host/frames.hpp"
 #include "pdn/pdn.hpp"
@@ -25,6 +26,7 @@
 #include "sim/golden_cache.hpp"
 #include "sim/journal.hpp"
 #include "sim/platform.hpp"
+#include "sim/search.hpp"
 #include "striker/striker.hpp"
 #include "tdc/tdc.hpp"
 #include "util/bitvec.hpp"
@@ -446,6 +448,59 @@ void BM_GuidedCampaignPointEval200Cached(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_GuidedCampaignPointEval200Cached)->Unit(benchmark::kMillisecond);
+
+// One generation of the weight-fault search (nightly `search-convergence`
+// lane): a DES population of 16 candidates scored through the sim-backed
+// fitness — apply faults to a deployment copy, evaluate 64 images with
+// golden-prefix elision, memoize by candidate. The driver's budget admits
+// exactly the init population plus one evolved generation, so ns/op bounds
+// the per-generation cost a fixed-budget search pays ~(budget/population)
+// times. Setup cost (golden store build) is inside the loop on purpose:
+// it is paid once per search run, and the pair with the pure-driver bench
+// below isolates it.
+void BM_SearchGeneration(benchmark::State& state) {
+    const ds::quant::QNetwork net = bench_weights();
+    const ds::data::DatasetPair data = ds::data::make_datasets(11, 1, 64);
+    ds::sim::WeightFaultSearchConfig config;
+    config.spec.max_faults = 4;
+    config.spec.population = 16;
+    config.spec.budget = 32; // init + one generation
+    config.spec.seed = 5;
+    config.eval_images = 64;
+    config.threads = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ds::sim::run_weight_fault_search(net, data.test, config).best_drop);
+    }
+}
+BENCHMARK(BM_SearchGeneration)->Unit(benchmark::kMillisecond);
+
+// The search driver alone — same generation shape against a free synthetic
+// fitness, bounding the bookkeeping overhead (population evolution, RNG
+// derivation, convergence records) that rides on every generation above.
+void BM_SearchDriverOverhead(benchmark::State& state) {
+    ds::attack::SearchSpec spec;
+    spec.space = 126630; // LeNet-5 stream geometry
+    spec.max_faults = 4;
+    spec.population = 16;
+    spec.budget = 32;
+    spec.seed = 5;
+    const ds::attack::BatchFitness fitness =
+        [](const std::vector<ds::attack::FaultSet>& batch) {
+            std::vector<double> values(batch.size());
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                values[i] = batch[i].empty()
+                                ? 0.0
+                                : static_cast<double>(batch[i].front() % 97);
+            }
+            return values;
+        };
+    for (auto _ : state) {
+        ds::attack::SearchDriver driver(spec, fitness);
+        benchmark::DoNotOptimize(driver.run().best_fitness);
+    }
+}
+BENCHMARK(BM_SearchDriverOverhead);
 
 void BM_BitVecPopcount(benchmark::State& state) {
     ds::Rng rng(6);

@@ -1,0 +1,104 @@
+#include "accel/weight_transfer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace deepstrike::accel {
+
+namespace {
+
+using quant::WeightStreamView;
+
+fx::Q3_4& stream_word(quant::QNetwork& network, const WeightStreamView& view,
+                      std::size_t index) {
+    const WeightStreamView::WordRef ref = view.locate(index);
+    return network.layers[ref.layer].weight[ref.element];
+}
+
+fx::Q3_4 stream_word(const quant::QNetwork& network, const WeightStreamView& view,
+                     std::size_t index) {
+    const WeightStreamView::WordRef ref = view.locate(index);
+    return network.layers[ref.layer].weight[ref.element];
+}
+
+} // namespace
+
+const char* weight_fault_kind_name(WeightFaultKind kind) {
+    switch (kind) {
+    case WeightFaultKind::Duplicate: return "duplicate";
+    case WeightFaultKind::BitFlip: return "bit-flip";
+    }
+    throw ConfigError("weight_fault_kind_name: unknown kind");
+}
+
+WeightFaultKind parse_weight_fault_kind(const std::string& name) {
+    if (name == "duplicate") return WeightFaultKind::Duplicate;
+    if (name == "bit-flip" || name == "bitflip") return WeightFaultKind::BitFlip;
+    throw ConfigError("unknown weight fault kind '" + name +
+                      "' (expected duplicate|bit-flip)");
+}
+
+std::vector<WeightFault> uniform_weight_faults(
+    const std::vector<std::uint32_t>& indices, WeightFaultKind kind,
+    std::uint8_t bit) {
+    std::vector<WeightFault> faults;
+    faults.reserve(indices.size());
+    for (std::uint32_t index : indices) {
+        faults.push_back(WeightFault{index, kind, bit});
+    }
+    return faults;
+}
+
+quant::QNetwork apply_weight_faults(const quant::QNetwork& network,
+                                    const std::vector<WeightFault>& faults,
+                                    const WeightTransferParams& params) {
+    expects(params.beat_words > 0, "WeightTransferParams: beat_words > 0");
+    quant::QNetwork deployed = network;
+    if (faults.empty()) return deployed;
+
+    const WeightStreamView view(network);
+    for (const WeightFault& fault : faults) {
+        expects(fault.index < view.size(),
+                "WeightFault: stream index within the weight stream");
+        if (fault.kind == WeightFaultKind::BitFlip) {
+            expects(fault.bit < fx::Q3_4::total_bits,
+                    "WeightFault: bit within the 8-bit word");
+        }
+    }
+
+    // Pass 1 — Duplicate faults. Each one re-latches the *original* stream's
+    // previous beat over the target beat: sources are read from the unfaulted
+    // network so the result is independent of fault-vector order (two
+    // adjacent duplications do not chain). Beat 0 has no predecessor; faults
+    // there model a glitch that fired before any data was on the bus (no-op).
+    for (const WeightFault& fault : faults) {
+        if (fault.kind != WeightFaultKind::Duplicate) continue;
+        const std::size_t beat = fault.index / params.beat_words;
+        if (beat == 0) continue;
+        const std::size_t beat_start = beat * params.beat_words;
+        const std::size_t beat_end =
+            std::min(beat_start + params.beat_words, view.size());
+        for (std::size_t i = beat_start; i < beat_end; ++i) {
+            stream_word(deployed, view, i) =
+                stream_word(network, view, i - params.beat_words);
+        }
+    }
+
+    // Pass 2 — BitFlip faults, applied to the post-duplication word (the
+    // flip happens as the word crosses the bus, i.e. on whatever data the
+    // handshake actually carried). XOR on the 8-bit two's-complement code,
+    // sign-extended back to the int16 raw store.
+    for (const WeightFault& fault : faults) {
+        if (fault.kind != WeightFaultKind::BitFlip) continue;
+        fx::Q3_4& word = stream_word(deployed, view, fault.index);
+        const auto byte = static_cast<std::uint8_t>(
+            static_cast<std::uint8_t>(word.raw()) ^ (1u << fault.bit));
+        word = fx::Q3_4::from_raw(
+            static_cast<std::int16_t>(static_cast<std::int8_t>(byte)));
+    }
+
+    return deployed;
+}
+
+} // namespace deepstrike::accel

@@ -1,0 +1,85 @@
+// AXI-ish weight-transfer fault hook: the second fault injection surface.
+//
+// The first attack family (DeepStrike) faults *compute*: a power glitch
+// makes DSP slices miss timing while the schedule executes, modeled by
+// accel::OverlayPlan gating the per-op fault path. This hook models the
+// other published way to fault the same multi-tenant FPGA victim:
+// corrupting the weight words *in flight* during the off-chip -> on-chip
+// transfer, before any MAC runs. Two fault models from the literature
+// share the one seam, parameterized by WeightFaultKind:
+//
+//   Duplicate (Deep-Dup, Rakin et al.) — a glitch on the DMA handshake
+//     makes the interconnect latch the previous data beat again while
+//     the write address advances, so the beat holding the targeted word
+//     is overwritten by the beat before it. A beat carries
+//     WeightTransferParams::beat_words consecutive words; cloud-FPGA
+//     shells (AWS F1 and friends) expose the DDR4 controller over a
+//     512-bit AXI4 data path, so with 8-bit weights the default beat is
+//     64 words, and one fault corrupts one whole beat. The first beat of
+//     the stream has no predecessor to duplicate; a fault there is a
+//     no-op.
+//
+//   BitFlip (DeepLaser, Breier et al.) — a precisely-timed fault flips
+//     one bit of the targeted 8-bit word as it crosses the bus. `bit`
+//     selects which (0 = LSB); the default 7 is the sign bit, the
+//     paper's forced-misclassification primitive (on the Q3.4 grid a
+//     sign flip moves a weight by a full 8.0 — the largest single-bit
+//     perturbation the format admits).
+//
+// Faults address targets by stream index (quant::WeightStreamView); the
+// hook applies them to a deployment copy of the network, so one faulted
+// QNetwork serves every image of an evaluation — mirroring the physical
+// picture (the transfer happens once, the corruption persists for the
+// whole inference batch) and letting fitness evaluation reuse the
+// unfaulted prefix of cached golden activations (sim/search.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/qnetwork.hpp"
+#include "quant/weight_stream.hpp"
+
+namespace deepstrike::accel {
+
+enum class WeightFaultKind : std::uint8_t {
+    Duplicate, // Deep-Dup: previous beat re-latched over the target beat
+    BitFlip,   // DeepLaser: one bit of the target word flipped
+};
+
+const char* weight_fault_kind_name(WeightFaultKind kind);
+WeightFaultKind parse_weight_fault_kind(const std::string& name); // throws ConfigError
+
+/// Transfer-geometry knobs of the hook.
+struct WeightTransferParams {
+    /// Weight words per AXI data beat (512-bit shell DDR4 bus / 8-bit
+    /// words).
+    std::size_t beat_words = 64;
+};
+
+/// One injected transfer fault. `index` addresses a word in the network's
+/// weight stream (quant::WeightStreamView order); Duplicate faults
+/// normalize to the beat containing that word.
+struct WeightFault {
+    std::uint32_t index = 0;
+    WeightFaultKind kind = WeightFaultKind::Duplicate;
+    std::uint8_t bit = 7; // BitFlip only; 7 = sign bit of the 8-bit word
+};
+
+/// Builds the uniform fault set the search layer optimizes: every index
+/// carried with the same kind/bit (one attack family per search run).
+std::vector<WeightFault> uniform_weight_faults(
+    const std::vector<std::uint32_t>& indices, WeightFaultKind kind,
+    std::uint8_t bit = 7);
+
+/// Applies the faults to a deployment copy of `network` and returns it.
+/// Deterministic; an empty fault set returns a byte-identical copy.
+/// Duplicate semantics operate on the flat stream (beats may straddle a
+/// layer boundary — the DMA bursts the stream, not the layers). Throws
+/// ConfigError on an out-of-range index or bit.
+quant::QNetwork apply_weight_faults(const quant::QNetwork& network,
+                                    const std::vector<WeightFault>& faults,
+                                    const WeightTransferParams& params = {});
+
+} // namespace deepstrike::accel

@@ -111,8 +111,14 @@ std::vector<Shape> QNetwork::layer_output_shapes() const {
 
 QTensor QNetwork::forward(const QTensor& input) const {
     expects(input.shape() == input_shape, "QNetwork: input shape mismatch");
-    QTensor x = input;
-    for (const QLayer& layer : layers) {
+    return forward_from(0, input);
+}
+
+QTensor QNetwork::forward_from(std::size_t first_layer, const QTensor& activation) const {
+    expects(first_layer <= layers.size(), "QNetwork: first_layer in range");
+    QTensor x = activation;
+    for (std::size_t li = first_layer; li < layers.size(); ++li) {
+        const QLayer& layer = layers[li];
         if (layer.kind == QLayerKind::Dense && x.shape().rank() != 1) {
             QTensor flat(Shape{x.size()});
             for (std::size_t i = 0; i < x.size(); ++i) {

@@ -85,6 +85,15 @@ struct QNetwork {
     /// Bit-exact quantized forward pass (the golden model).
     QTensor forward(const QTensor& input) const;
 
+    /// Resumes the forward pass at `first_layer`, with `activation` the
+    /// output of layer first_layer - 1 (or the quantized input when
+    /// first_layer == 0). forward_from(0, x) == forward(x) byte-exactly.
+    /// This is the golden-prefix elision primitive of the weight-transfer
+    /// attack family (sim/search.hpp): when faults can only begin at
+    /// layer k, the unfaulted prefix is answered from cached golden
+    /// activations and only layers k.. run on the faulted weights.
+    QTensor forward_from(std::size_t first_layer, const QTensor& activation) const;
+
     /// Per-layer outputs of one golden forward pass, indexed like `layers`
     /// (entry i is layer i's post-activation output; the last entry equals
     /// forward()'s result). Runs the exact kernels forward() runs, so each

@@ -436,26 +436,30 @@ CampaignReport assemble_campaign_report(const CampaignPlanInfo& info,
     return report;
 }
 
-CampaignConfig campaign_config_from_manifest(const Json& manifest) {
+void require_known_manifest_keys(const Json& manifest,
+                                 const std::vector<std::string>& known,
+                                 const std::string& what) {
     if (!manifest.is_object()) {
-        throw FormatError("campaign manifest: expected a JSON object");
+        throw FormatError(what + ": expected a JSON object");
     }
+    for (const std::string& key : manifest.keys()) {
+        if (std::find(known.begin(), known.end(), key) == known.end()) {
+            throw FormatError(what + ": unknown key '" + key + "'");
+        }
+    }
+}
+
+CampaignConfig campaign_config_from_manifest(const Json& manifest) {
     // Victim keys are consumed by the submitter's/worker's victim factory;
     // they are listed here so a manifest mixing both parses as a whole and
     // a typoed key fails loudly instead of silently keeping a default.
-    static const char* const kKnown[] = {
-        "arch",        "train_size",  "test_size",        "epochs",
-        "data_seed",   "strike_grid", "eval_images",      "fault_seed",
-        "blind_offsets", "blind_offset_seed", "golden_cache", "journal",
-        "resume",      "retries",     "deadline_seconds",
-    };
-    for (const std::string& key : manifest.keys()) {
-        bool known = false;
-        for (const char* k : kKnown) known = known || key == k;
-        if (!known) {
-            throw FormatError("campaign manifest: unknown key '" + key + "'");
-        }
-    }
+    require_known_manifest_keys(
+        manifest,
+        {"arch", "train_size", "test_size", "epochs", "data_seed",
+         "strike_grid", "eval_images", "fault_seed", "blind_offsets",
+         "blind_offset_seed", "golden_cache", "journal", "resume", "retries",
+         "deadline_seconds"},
+        "campaign manifest");
 
     CampaignConfig config;
     if (const Json* grid = manifest.find("strike_grid")) {

@@ -190,6 +190,15 @@ CampaignPlanInfo plan_info(const CampaignPlan& plan);
 CampaignReport assemble_campaign_report(const CampaignPlanInfo& info,
                                         const std::vector<Json>& records);
 
+/// Rejects any key of `manifest` (which must be a JSON object) that is
+/// not in `known`, with a FormatError naming the offender and `what` (for
+/// the message, e.g. "campaign manifest"). Every manifest-shaped config
+/// parser (campaign, search) runs its keys through this, so a typoed knob
+/// fails loudly instead of silently keeping a default.
+void require_known_manifest_keys(const Json& manifest,
+                                 const std::vector<std::string>& known,
+                                 const std::string& what);
+
 /// Parses a campaign manifest object (the `submit` payload of the
 /// distributed protocol, see docs/distributed.md) into a CampaignConfig.
 /// Unknown keys are rejected so a typoed manifest fails loudly. Victim

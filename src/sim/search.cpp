@@ -1,0 +1,386 @@
+#include "sim/search.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+
+#include "quant/weight_stream.hpp"
+#include "sim/campaign.hpp"
+#include "sim/golden_cache.hpp"
+#include "sim/journal.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace deepstrike::sim {
+
+namespace {
+
+constexpr const char* kSearchSweepName = "weight-fault-search";
+
+std::string candidate_key(const attack::FaultSet& set) {
+    std::string key;
+    for (std::uint32_t index : set) {
+        key += std::to_string(index);
+        key += ',';
+    }
+    return key;
+}
+
+/// Counts correct predictions of `network` over the first `n` images,
+/// resuming each image from the cached golden activation when the fault
+/// set leaves a clean layer prefix. `first_faulted` == layer count means
+/// no layer is faulted (the golden predictions themselves).
+std::size_t correct_predictions(const quant::QNetwork& network,
+                                const data::Dataset& test_set, std::size_t n,
+                                const GoldenStore* golden,
+                                std::size_t first_faulted) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t predicted = 0;
+        if (golden != nullptr && first_faulted >= network.layers.size()) {
+            predicted = golden->entries[i].predicted;
+        } else if (golden != nullptr && first_faulted > 0) {
+            const QTensor out = network.forward_from(
+                first_faulted,
+                golden->entries[i].activations[first_faulted - 1]);
+            predicted = argmax(out);
+        } else {
+            const QTensor input = golden != nullptr
+                                      ? golden->entries[i].qimage
+                                      : quantize(test_set.images[i]);
+            predicted = argmax(network.forward_from(0, input));
+        }
+        correct += predicted == test_set.labels[i] ? 1 : 0;
+    }
+    return correct;
+}
+
+} // namespace
+
+const char* weight_attack_name(accel::WeightFaultKind kind) {
+    switch (kind) {
+    case accel::WeightFaultKind::Duplicate: return "deep-dup";
+    case accel::WeightFaultKind::BitFlip: return "deeplaser";
+    }
+    throw ConfigError("weight_attack_name: unknown fault kind");
+}
+
+accel::WeightFaultKind parse_weight_attack(const std::string& name) {
+    if (name == "deep-dup" || name == "deepdup") {
+        return accel::WeightFaultKind::Duplicate;
+    }
+    if (name == "deeplaser") return accel::WeightFaultKind::BitFlip;
+    throw ConfigError("unknown attack family '" + name +
+                      "' (expected deep-dup|deeplaser)");
+}
+
+Json SearchReport::to_json() const {
+    Json json = Json::object();
+    json.set("schema", "deepstrike.search.v1");
+    json.set("algorithm", algorithm);
+    json.set("attack", attack);
+    json.set("space", static_cast<std::uint64_t>(space));
+    json.set("eval_images", static_cast<std::uint64_t>(eval_images));
+    json.set("clean_accuracy", clean_accuracy);
+    json.set("clean_accuracy_bits", double_bits_hex(clean_accuracy));
+    json.set("best_drop", best_drop);
+    json.set("best_drop_bits", double_bits_hex(best_drop));
+    Json best_json = Json::array();
+    for (std::uint32_t index : best) {
+        best_json.push(static_cast<std::uint64_t>(index));
+    }
+    json.set("best", std::move(best_json));
+    json.set("faults", static_cast<std::uint64_t>(best.size()));
+    json.set("evaluations", static_cast<std::uint64_t>(evaluations));
+    json.set("generations", static_cast<std::uint64_t>(generations));
+    json.set("stages", static_cast<std::uint64_t>(stages));
+    json.set("reached_target", reached_target);
+    Json curve = Json::array();
+    for (double drop : convergence) curve.push(double_bits_hex(drop));
+    json.set("convergence_bits", std::move(curve));
+    return json;
+}
+
+std::string SearchReport::to_markdown() const {
+    std::ostringstream out;
+    out << "# Weight-fault search (" << attack << ", " << algorithm << ")\n\n";
+    out << "- weight-stream indices searched: " << space << "\n";
+    out << "- eval images: " << eval_images << "\n";
+    out << "- clean accuracy: " << clean_accuracy << " %\n";
+    out << "- best accuracy drop: " << best_drop << " points with "
+        << best.size() << " fault(s)\n";
+    out << "- fitness evaluations: " << evaluations << " over " << generations
+        << " generation(s), " << stages << " stage(s)\n";
+    out << "- target reached: " << (reached_target ? "yes" : "no") << "\n\n";
+    out << "| fault # | stream index |\n|---|---|\n";
+    for (std::size_t i = 0; i < best.size(); ++i) {
+        out << "| " << (i + 1) << " | " << best[i] << " |\n";
+    }
+    return out.str();
+}
+
+std::uint64_t weight_fault_search_fingerprint(
+    const quant::QNetwork& network, const data::Dataset& test_set,
+    const WeightFaultSearchConfig& config) {
+    const attack::SearchSpec& spec = config.spec;
+    std::uint64_t fp = derive_seed(
+        network_fingerprint(network),
+        {dataset_fingerprint(test_set), static_cast<std::uint64_t>(spec.algorithm),
+         spec.space, spec.max_faults, spec.population, spec.budget, spec.seed,
+         spec.stall_generations, spec.greedy_samples});
+    std::uint64_t target_bits = 0;
+    std::memcpy(&target_bits, &spec.target_drop, sizeof target_bits);
+    std::uint64_t f_bits = 0;
+    std::memcpy(&f_bits, &spec.f_scale, sizeof f_bits);
+    std::uint64_t cr_bits = 0;
+    std::memcpy(&cr_bits, &spec.crossover, sizeof cr_bits);
+    fp = derive_seed(fp, {target_bits, f_bits, cr_bits,
+                          static_cast<std::uint64_t>(config.fault_kind),
+                          config.fault_bit, config.transfer.beat_words,
+                          config.eval_images});
+    return fp;
+}
+
+SearchReport run_weight_fault_search(const quant::QNetwork& network,
+                                     const data::Dataset& test_set,
+                                     const WeightFaultSearchConfig& config,
+                                     RunManifest* manifest) {
+    trace::Span search_span("search", "search");
+
+    const quant::WeightStreamView view(network);
+    WeightFaultSearchConfig cfg = config;
+    if (cfg.spec.space == 0) cfg.spec.space = view.size();
+    if (cfg.spec.space != view.size()) {
+        throw ConfigError("search: spec.space does not match the victim's "
+                          "weight stream (" + std::to_string(view.size()) +
+                          " words)");
+    }
+    cfg.spec.validate();
+    expects(test_set.size() > 0, "search: non-empty test set");
+    const std::size_t n_images = std::min(cfg.eval_images, test_set.size());
+
+    SweepRunner runner(RunnerConfig{cfg.threads, false});
+
+    // Golden slice: activations for prefix elision plus the clean
+    // predictions the drop is measured against.
+    std::shared_ptr<const GoldenStore> golden;
+    if (cfg.golden_cache) {
+        golden = runner.golden_cache().ensure(network, test_set, n_images);
+    }
+    const std::size_t layer_count = network.layers.size();
+    const std::size_t clean_correct = correct_predictions(
+        network, test_set, n_images, golden.get(), layer_count);
+
+    metrics::counter("search.runs", "runs", "weight-fault searches started").add();
+    metrics::gauge("search.space", "words",
+                   "weight-stream index domain of the current search")
+        .set(static_cast<std::int64_t>(cfg.spec.space));
+
+    // Candidate-level memoization: identical sets revisited by the search
+    // answer from here; the logical budget still counts them.
+    std::unordered_map<std::string, double> fitness_cache;
+    std::size_t cache_hits = 0;
+
+    RunManifest aggregate;
+    aggregate.sweep = kSearchSweepName;
+    aggregate.threads = runner.threads();
+
+    const auto evaluate_batch =
+        [&](const std::vector<attack::FaultSet>& batch) -> std::vector<double> {
+        // Unique uncached candidates become one SweepRunner batch.
+        std::vector<const attack::FaultSet*> fresh;
+        std::vector<std::string> fresh_keys;
+        for (const attack::FaultSet& candidate : batch) {
+            std::string key = candidate_key(candidate);
+            if (fitness_cache.count(key) != 0 ||
+                std::find(fresh_keys.begin(), fresh_keys.end(), key) !=
+                    fresh_keys.end()) {
+                continue;
+            }
+            fresh.push_back(&candidate);
+            fresh_keys.push_back(std::move(key));
+        }
+
+        std::vector<double> fresh_drops(fresh.size(), 0.0);
+        std::vector<SweepTask> tasks;
+        tasks.reserve(fresh.size());
+        for (std::size_t i = 0; i < fresh.size(); ++i) {
+            const attack::FaultSet& candidate = *fresh[i];
+            tasks.push_back(
+                {"candidate " + fresh_keys[i], [&, i, &candidate = candidate] {
+                     const quant::QNetwork faulted = accel::apply_weight_faults(
+                         network,
+                         accel::uniform_weight_faults(candidate, cfg.fault_kind,
+                                                      cfg.fault_bit),
+                         cfg.transfer);
+                     const std::size_t first = view.first_faulted_layer(
+                         candidate, layer_count);
+                     const std::size_t correct = correct_predictions(
+                         faulted, test_set, n_images, golden.get(), first);
+                     fresh_drops[i] =
+                         100.0 *
+                         (static_cast<double>(clean_correct) -
+                          static_cast<double>(correct)) /
+                         static_cast<double>(n_images);
+                 }});
+        }
+        if (!tasks.empty()) {
+            RunManifest mf = runner.run(kSearchSweepName, std::move(tasks));
+            aggregate.total_seconds += mf.total_seconds;
+            for (SweepPointStats& point : mf.points) {
+                aggregate.points.push_back(std::move(point));
+            }
+        }
+        for (std::size_t i = 0; i < fresh.size(); ++i) {
+            fitness_cache.emplace(fresh_keys[i], fresh_drops[i]);
+        }
+        metrics::counter("search.candidates_evaluated", "candidates",
+                         "fault-set fitness evaluations actually run")
+            .add(fresh.size());
+
+        std::vector<double> values;
+        values.reserve(batch.size());
+        for (const attack::FaultSet& candidate : batch) {
+            const auto it = fitness_cache.find(candidate_key(candidate));
+            expects(it != fitness_cache.end(), "search: candidate evaluated");
+            values.push_back(it->second);
+        }
+        cache_hits += batch.size() - fresh.size();
+        metrics::counter("search.fitness_cache.hits", "candidates",
+                         "fitness evaluations answered by the candidate cache")
+            .add(batch.size() - fresh.size());
+        metrics::counter("search.fitness_cache.misses", "candidates",
+                         "fitness evaluations that missed the candidate cache")
+            .add(fresh.size());
+        return values;
+    };
+
+    attack::SearchDriver driver(cfg.spec, evaluate_batch);
+
+    // Journal: every generation's complete driver state is one record;
+    // resume() feeds the recovered records back and the driver continues
+    // from the newest one bit-exactly.
+    const std::uint64_t fingerprint =
+        weight_fault_search_fingerprint(network, test_set, cfg);
+    std::unique_ptr<CheckpointJournal> journal;
+    if (!cfg.journal_path.empty()) {
+        if (cfg.resume) {
+            journal = CheckpointJournal::resume(cfg.journal_path, fingerprint,
+                                                kSearchSweepName);
+            std::vector<Json> payloads;
+            payloads.reserve(journal->recovered().size());
+            for (const JournalRecord& rec : journal->recovered()) {
+                payloads.push_back(rec.payload);
+            }
+            driver.restore(payloads);
+            metrics::counter("search.generations_resumed", "generations",
+                             "search generations restored from a journal")
+                .add(payloads.size());
+        } else {
+            journal = CheckpointJournal::create(cfg.journal_path, fingerprint,
+                                                kSearchSweepName);
+        }
+    }
+
+    driver.set_observer([&](const attack::GenerationRecord& record) {
+        trace::instant("search.generation", "search");
+        metrics::counter("search.generations", "generations",
+                         "search generations completed")
+            .add();
+        metrics::gauge("search.stage", "faults",
+                       "fault-set size of the current search stage")
+            .set(static_cast<std::int64_t>(record.stage));
+        metrics::gauge(
+            "search.best_drop_centipoints", "centipoints",
+            "best accuracy drop found so far, in 1/100 percentage points")
+            .set(static_cast<std::int64_t>(record.best_fitness * 100.0));
+        if (journal) journal->append(record.index, record.to_json());
+    });
+
+    const attack::SearchResult result = driver.run();
+    if (journal) {
+        journal->flush();
+        aggregate.journal = journal->path();
+    }
+
+    SearchReport report;
+    report.algorithm = attack::search_algorithm_name(cfg.spec.algorithm);
+    report.attack = weight_attack_name(cfg.fault_kind);
+    report.space = cfg.spec.space;
+    report.eval_images = n_images;
+    report.clean_accuracy =
+        100.0 * static_cast<double>(clean_correct) / static_cast<double>(n_images);
+    report.best_drop = result.best_fitness;
+    report.best = result.best;
+    report.evaluations = result.evaluations;
+    report.generations = result.generations;
+    report.stages = result.stages;
+    report.reached_target = result.reached_target;
+    report.fitness_cache_hits = cache_hits;
+    report.convergence = result.convergence;
+    if (manifest != nullptr) *manifest = std::move(aggregate);
+    return report;
+}
+
+WeightFaultSearchConfig search_config_from_manifest(const Json& manifest) {
+    require_known_manifest_keys(
+        manifest,
+        {"arch", "train_size", "test_size", "epochs", "data_seed", "attack",
+         "search", "bit", "beat_words", "max_faults", "population", "budget",
+         "target_drop", "seed", "f_scale", "crossover", "stall_generations",
+         "greedy_samples", "eval_images", "golden_cache", "journal", "resume"},
+        "search manifest");
+
+    WeightFaultSearchConfig config;
+    if (const Json* v = manifest.find("attack")) {
+        config.fault_kind = parse_weight_attack(v->as_string());
+    }
+    if (const Json* v = manifest.find("search")) {
+        config.spec.algorithm = attack::parse_search_algorithm(v->as_string());
+    }
+    if (const Json* v = manifest.find("bit")) {
+        config.fault_bit = static_cast<std::uint8_t>(v->as_uint());
+    }
+    if (const Json* v = manifest.find("beat_words")) {
+        config.transfer.beat_words = v->as_uint();
+    }
+    if (const Json* v = manifest.find("max_faults")) {
+        config.spec.max_faults = v->as_uint();
+    }
+    if (const Json* v = manifest.find("population")) {
+        config.spec.population = v->as_uint();
+    }
+    if (const Json* v = manifest.find("budget")) config.spec.budget = v->as_uint();
+    if (const Json* v = manifest.find("target_drop")) {
+        config.spec.target_drop = v->as_number();
+    }
+    if (const Json* v = manifest.find("seed")) config.spec.seed = v->as_uint();
+    if (const Json* v = manifest.find("f_scale")) {
+        config.spec.f_scale = v->as_number();
+    }
+    if (const Json* v = manifest.find("crossover")) {
+        config.spec.crossover = v->as_number();
+    }
+    if (const Json* v = manifest.find("stall_generations")) {
+        config.spec.stall_generations = v->as_uint();
+    }
+    if (const Json* v = manifest.find("greedy_samples")) {
+        config.spec.greedy_samples = v->as_uint();
+    }
+    if (const Json* v = manifest.find("eval_images")) {
+        config.eval_images = v->as_uint();
+    }
+    if (const Json* v = manifest.find("golden_cache")) {
+        config.golden_cache = v->as_bool();
+    }
+    if (const Json* v = manifest.find("journal")) {
+        config.journal_path = v->as_string();
+    }
+    if (const Json* v = manifest.find("resume")) config.resume = v->as_bool();
+    return config;
+}
+
+} // namespace deepstrike::sim

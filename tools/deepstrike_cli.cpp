@@ -7,6 +7,8 @@
 //                           layer schedule seen through the TDC
 //   deepstrike plan         compile an attacking scheme file for a target
 //   deepstrike attack       run the guided attack, report accuracy damage
+//   deepstrike search       evolve a minimal weight-transfer fault set
+//                           (Deep-Dup duplication / DeepLaser bit flips)
 //   deepstrike characterize sweep striker cells against the DSP rig
 //   deepstrike defend       evaluate the glitch monitor + throttle defense
 //   deepstrike resources    utilization + DRC table of all circuits
@@ -36,6 +38,7 @@
 #include "quant/qnetwork.hpp"
 #include "sim/campaign.hpp"
 #include "sim/coordinator.hpp"
+#include "sim/search.hpp"
 #include "sim/dist_client.hpp"
 #include "sim/experiment.hpp"
 #include "sim/vcd.hpp"
@@ -469,6 +472,139 @@ int cmd_campaign(const std::vector<std::string>& args) {
 
     // Reports are written atomically (tmp + rename) so a kill mid-write
     // never leaves a truncated report next to a valid journal.
+    const std::string json_path = parser.option("json");
+    if (!json_path.empty()) {
+        atomic_write_file(json_path, report.to_json().dump(2) + "\n");
+        std::printf("JSON report written to %s\n", json_path.c_str());
+    }
+    const std::string md_path = parser.option("markdown");
+    if (!md_path.empty()) {
+        atomic_write_file(md_path, report.to_markdown());
+        std::printf("markdown report written to %s\n", md_path.c_str());
+    }
+    const std::string manifest_path = parser.option("manifest");
+    if (!manifest_path.empty()) {
+        atomic_write_file(manifest_path, manifest.to_json().dump(2) + "\n");
+        std::printf("run manifest written to %s\n", manifest_path.c_str());
+    }
+    return sinks.finish() ? 0 : 1;
+}
+
+// ----------------------------------------------------------------- search
+
+int cmd_search(const std::vector<std::string>& args) {
+    ArgParser parser(
+        "deepstrike search",
+        "Black-box search for a minimal weight-transfer fault set "
+        "(Deep-Dup duplication / DeepLaser bit flips).");
+    add_common_victim_options(parser);
+    parser.add_option("attack", "fault model: deep-dup|deeplaser", "deep-dup");
+    parser.add_option("search", "algorithm: des|greedy|random", "des");
+    parser.add_option("bit", "bit to flip for deeplaser (7 = sign)", "7");
+    parser.add_option("beat-words", "weight words per AXI data beat", "64");
+    parser.add_option("max-faults", "largest fault set to pay for", "10");
+    parser.add_option("population", "DES population / batch width", "16");
+    parser.add_option("budget", "total fitness-evaluation budget", "2000");
+    parser.add_option("target-drop",
+                      "stop once the accuracy drop (percentage points) "
+                      "reaches this (0 = spend the whole budget)",
+                      "0");
+    parser.add_option("images", "test images per fitness evaluation", "256");
+    parser.add_option("seed", "search RNG seed", "1");
+    parser.add_option("f-scale", "DES mutation scale F", "0.5");
+    parser.add_option("crossover", "DES crossover rate CR", "0.7");
+    parser.add_option("stall",
+                      "non-improving generations before the stage advances",
+                      "6");
+    parser.add_option("greedy-samples",
+                      "candidate additions per greedy round", "32");
+    parser.add_option("config",
+                      "JSON search manifest; CLI options above override "
+                      "nothing — the manifest wins for search knobs "
+                      "(victim options stay CLI-controlled)",
+                      "");
+    parser.add_option("json", "write the JSON report here", "search.json");
+    parser.add_option("markdown", "write the markdown report here", "");
+    parser.add_option("manifest", "write the sweep-execution manifest (JSON) here",
+                      "");
+    parser.add_option("journal",
+                      "checkpoint journal path; each generation is appended "
+                      "here so an interrupted search can be resumed",
+                      "");
+    add_threads_option(parser);
+    add_engine_options(parser);
+    add_observability_options(parser);
+    parser.add_flag("resume",
+                    "resume from the --journal file: validate its fingerprint "
+                    "and continue from the newest recorded generation");
+    parser.add_flag("no-golden-cache",
+                    "run full forward passes instead of resuming faulted "
+                    "evaluation from cached golden activations (reports are "
+                    "byte-identical either way)");
+    parser.add_flag("help", "show this help");
+    if (!parser.parse(args)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(), parser.usage().c_str());
+        return 2;
+    }
+    if (parser.flag("help")) {
+        std::printf("%s", parser.usage().c_str());
+        return 0;
+    }
+
+    apply_threads_option(parser);
+    apply_engine_options(parser);
+    const ObservabilitySinks sinks = ObservabilitySinks::begin(parser);
+    Victim victim = load_victim(parser);
+
+    sim::WeightFaultSearchConfig cfg;
+    const std::string config_path = parser.option("config");
+    if (!config_path.empty()) {
+        std::ifstream in(config_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot read search manifest %s\n",
+                         config_path.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        cfg = sim::search_config_from_manifest(Json::parse(text.str()));
+    } else {
+        cfg.fault_kind = sim::parse_weight_attack(parser.option("attack"));
+        cfg.fault_bit = static_cast<std::uint8_t>(parser.option_uint("bit"));
+        cfg.transfer.beat_words = parser.option_uint("beat-words");
+        cfg.spec.algorithm = attack::parse_search_algorithm(parser.option("search"));
+        cfg.spec.max_faults = parser.option_uint("max-faults");
+        cfg.spec.population = parser.option_uint("population");
+        cfg.spec.budget = parser.option_uint("budget");
+        cfg.spec.target_drop = parser.option_double("target-drop");
+        cfg.spec.seed = parser.option_uint("seed");
+        cfg.spec.f_scale = parser.option_double("f-scale");
+        cfg.spec.crossover = parser.option_double("crossover");
+        cfg.spec.stall_generations = parser.option_uint("stall");
+        cfg.spec.greedy_samples = parser.option_uint("greedy-samples");
+        cfg.eval_images = parser.option_uint("images");
+    }
+    cfg.golden_cache = !parser.flag("no-golden-cache");
+    if (!parser.option("journal").empty()) {
+        cfg.journal_path = parser.option("journal");
+    }
+    if (parser.flag("resume")) cfg.resume = true;
+    if (cfg.resume && cfg.journal_path.empty()) {
+        std::fprintf(stderr, "--resume requires --journal <path>\n");
+        return 2;
+    }
+
+    sim::RunManifest manifest;
+    const sim::SearchReport report = sim::run_weight_fault_search(
+        victim.network(), victim.test_set, cfg, &manifest);
+    manifest.metrics_out = sinks.metrics_path;
+    manifest.trace_out = sinks.trace_path;
+    std::printf("%s", report.to_markdown().c_str());
+    std::printf("\nsweep: %zu candidates evaluated in %.2fs on %zu threads "
+                "(%zu fitness-cache hits)\n",
+                manifest.points.size(), manifest.total_seconds, manifest.threads,
+                report.fitness_cache_hits);
+
     const std::string json_path = parser.option("json");
     if (!json_path.empty()) {
         atomic_write_file(json_path, report.to_json().dump(2) + "\n");
@@ -971,6 +1107,8 @@ void print_global_usage() {
         "  plan          compile an attacking scheme file\n"
         "  attack        run the guided (or --blind) attack, report damage\n"
         "  campaign      per-layer strike sweep with JSON/markdown report\n"
+        "  search        evolve a minimal weight-transfer fault set\n"
+        "                (Deep-Dup duplication / DeepLaser bit flips)\n"
         "  characterize  DSP fault rates vs. striker cells (Fig. 6)\n"
         "  defend        glitch monitor + throttle evaluation\n"
         "  resources     utilization and DRC of all circuits\n\n"
@@ -1000,6 +1138,7 @@ int main(int argc, char** argv) {
         if (command == "plan") return cmd_plan(args);
         if (command == "attack") return cmd_attack(args);
         if (command == "campaign") return cmd_campaign(args);
+        if (command == "search") return cmd_search(args);
         if (command == "characterize") return cmd_characterize(args);
         if (command == "defend") return cmd_defend(args);
         if (command == "resources") return cmd_resources(args);

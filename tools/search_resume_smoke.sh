@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Search crash/resume smoke (CI `search-smoke` job).
+#
+# Starts a journaled weight-fault search, SIGKILLs it mid-search, resumes
+# it with `--journal <path> --resume`, and requires the resumed report to
+# be byte-identical to an uninterrupted journal-free run. Sibling of
+# crash_resume_smoke.sh for the second attack family: it exercises the
+# SearchDriver's generation journal — header fingerprinting, torn-tail
+# recovery, GenerationRecord restore — plus the determinism contract that
+# the report bytes never depend on where the kill landed.
+#
+# Usage: search_resume_smoke.sh [path/to/deepstrike]
+set -euo pipefail
+
+BIN=${1:-build/tools/deepstrike}
+if [ ! -x "$BIN" ]; then
+    echo "search_resume_smoke: CLI binary not found at $BIN" >&2
+    exit 2
+fi
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# Small victim (mlp trains fastest), modest budget: enough generations that
+# the kill lands mid-search, small enough for CI. Deterministic knobs
+# pinned so reference and resumed runs share a journal fingerprint.
+ARGS=(search --arch mlp --attack deeplaser --epochs 1 --train-size 600
+      --test-size 200 --images 64 --budget 400 --population 8
+      --max-faults 3 --seed 11 --threads 2)
+
+echo "== reference: uninterrupted, journal-free run =="
+"$BIN" "${ARGS[@]}" --json "$WORKDIR/reference.json"
+
+journal="$WORKDIR/journal.jsonl"
+killed_report="$WORKDIR/killed.json"
+resumed_report="$WORKDIR/resumed.json"
+
+echo "== start journaled run, SIGKILL mid-search =="
+"$BIN" "${ARGS[@]}" --journal "$journal" --json "$killed_report" &
+pid=$!
+
+# Wait until at least one generation record follows the header, then kill
+# hard. If the host is so fast the search finishes first, the resume path
+# still must behave (it restores from the complete journal).
+for _ in $(seq 1 1200); do
+    lines=$(wc -l < "$journal" 2>/dev/null || echo 0)
+    [ "$lines" -ge 2 ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.05
+done
+kill -KILL "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+if [ -s "$killed_report" ]; then
+    echo "note: search finished before SIGKILL landed (fast host);"
+    echo "      resume degenerates to a full journal restore."
+else
+    persisted=$(($(wc -l < "$journal") - 1))
+    echo "killed with $persisted generation record(s) persisted"
+fi
+
+echo "== resume =="
+"$BIN" "${ARGS[@]}" --journal "$journal" --resume --json "$resumed_report"
+
+cmp "$WORKDIR/reference.json" "$resumed_report"
+echo "resumed search report byte-identical to reference"
+echo "search-resume smoke OK"
