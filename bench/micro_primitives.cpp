@@ -22,6 +22,7 @@
 #include "pdn/pdn.hpp"
 #include "quant/gemm.hpp"
 #include "quant/qnetwork.hpp"
+#include "sim/cosim_lanes.hpp"
 #include "sim/experiment.hpp"
 #include "sim/golden_cache.hpp"
 #include "sim/journal.hpp"
@@ -227,6 +228,68 @@ void BM_CosimFullInference(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_CosimFullInference);
+
+// The co-sim tick loop, lane-batched vs scalar: both benches co-simulate
+// the same 8 independent inferences, through 8 scalar simulate_inference
+// calls vs one 8-lane SoA/SIMD group (sim::CosimLanes). Identical bytes
+// out (tests/cosim_lanes_test.cpp); CI gates the same-run pair ratio at
+// 0.6 so the lane engine never silently decays to scalar speed.
+constexpr std::size_t kCosimBenchLanes = 8;
+
+void BM_CosimCycleScalar(benchmark::State& state) {
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    const std::size_t saved_width = ds::sim::cosim_lane_width();
+    ds::sim::set_cosim_lane_width(0); // scalar per-point path
+    for (auto _ : state) {
+        for (std::size_t l = 0; l < kCosimBenchLanes; ++l) {
+            ds::sim::NoAttackSource source;
+            benchmark::DoNotOptimize(platform.simulate_inference(source).strike_cycles);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kCosimBenchLanes *
+                                  platform.engine().schedule().total_cycles));
+    ds::sim::set_cosim_lane_width(saved_width);
+}
+BENCHMARK(BM_CosimCycleScalar)->Unit(benchmark::kMillisecond);
+
+void BM_CosimCycleLanes(benchmark::State& state) {
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    const std::size_t saved_width = ds::sim::cosim_lane_width();
+    ds::sim::set_cosim_lane_width(kCosimBenchLanes);
+    for (auto _ : state) {
+        std::vector<ds::sim::NoAttackSource> sources(kCosimBenchLanes);
+        std::vector<ds::sim::StrikeSource*> lanes;
+        lanes.reserve(kCosimBenchLanes);
+        for (ds::sim::NoAttackSource& s : sources) lanes.push_back(&s);
+        benchmark::DoNotOptimize(platform.simulate_inference_lanes(lanes).size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kCosimBenchLanes *
+                                  platform.engine().schedule().total_cycles));
+    ds::sim::set_cosim_lane_width(saved_width);
+}
+BENCHMARK(BM_CosimCycleLanes)->Unit(benchmark::kMillisecond);
+
+// Lane-count scaling: one group of W co-sims per iteration (W=1 is the
+// single-lane scalar fallback). Per-co-sim cost should fall as W grows;
+// items processed = co-sims, so ops/s is directly comparable across W.
+void BM_CosimLanesWidth(benchmark::State& state) {
+    const auto width = static_cast<std::size_t>(state.range(0));
+    const ds::sim::Platform platform(ds::sim::PlatformConfig{}, bench_weights());
+    const std::size_t saved_width = ds::sim::cosim_lane_width();
+    ds::sim::set_cosim_lane_width(width);
+    for (auto _ : state) {
+        std::vector<ds::sim::NoAttackSource> sources(width);
+        std::vector<ds::sim::StrikeSource*> lanes;
+        lanes.reserve(width);
+        for (ds::sim::NoAttackSource& s : sources) lanes.push_back(&s);
+        benchmark::DoNotOptimize(platform.simulate_inference_lanes(lanes).size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * width));
+    ds::sim::set_cosim_lane_width(saved_width);
+}
+BENCHMARK(BM_CosimLanesWidth)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // One guided campaign point end to end, the unit of work SweepRunner
 // schedules: co-simulate the attack trace for a CONV2-targeting scheme,

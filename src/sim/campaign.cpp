@@ -562,6 +562,22 @@ CampaignReport run_campaign(const Platform& platform, const data::Dataset& test_
             .add(points_resumed);
     }
 
+    // Lane-batched trace warm-up: the guided schemes still to run are
+    // exactly the independent co-sims sim::CosimLanes batches. Prefetching
+    // them here fills the trace cache in SIMD lane groups; the tasks below
+    // then hit it. Report bytes are identical with or without this (the
+    // cache hands out the same bundles either way); prefetch_guided is a
+    // no-op when lanes are disabled.
+    {
+        std::vector<attack::AttackScheme> guided_schemes;
+        for (std::size_t idx = 1; idx < plan.record_count(); ++idx) {
+            if (!records[idx].is_null()) continue;
+            const PlannedCampaignPoint& p = plan.points[idx - 1];
+            if (p.blind_offsets == 0) guided_schemes.push_back(p.scheme);
+        }
+        runner.prefetch_guided(config.detector, guided_schemes);
+    }
+
     std::vector<SweepTask> tasks;
     tasks.reserve(plan.record_count());
     for (std::size_t idx = 0; idx < plan.record_count(); ++idx) {

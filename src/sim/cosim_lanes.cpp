@@ -1,0 +1,410 @@
+#include "sim/cosim_lanes.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/simd.hpp"
+#include "util/trace.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DS_LANES_X86 1
+#else
+#define DS_LANES_X86 0
+#endif
+
+namespace deepstrike::sim {
+
+namespace {
+
+constexpr std::size_t kDefaultLaneWidth = 8;
+constexpr std::size_t kMaxLaneWidth = 64;
+
+std::atomic<std::size_t>& lane_width_cell() {
+    static std::atomic<std::size_t> cell{kDefaultLaneWidth};
+    return cell;
+}
+
+// ---- PDN slot kernels ---------------------------------------------------
+//
+// One semi-implicit Euler step of PdnModel::step for a 4-lane SoA slot.
+// Returns the per-lane fixed-point mask (bit k set when lane k's step left
+// both state variables bit-unchanged — the same predicate PdnModel uses to
+// arm its skip). Both twins replay the scalar expression chain verbatim:
+//   i_l += dt * ((vdd - v) - r*i_l) / L
+//   v   += dt * (i_l - load) / C
+//   v    = clamp(v, 0, vdd*1.25)
+// with divisions kept as divisions and no FMA contraction, so the twins
+// and the scalar PdnModel agree bit for bit.
+
+inline bool pdn_step_lane_scalar(double& v, double& il, double load,
+                                 const pdn::PdnParams& p) {
+    const double prev_v = v;
+    const double prev_il = il;
+    const double dt = p.dt_s;
+    il += dt * (p.vdd - v - p.r_ohm * il) / p.l_henry;
+    v += dt * (il - load) / p.c_farad;
+    v = std::clamp(v, 0.0, p.vdd * 1.25);
+    return v == prev_v && il == prev_il;
+}
+
+std::uint32_t pdn_step_slot_scalar(double* v, double* il, const double* load,
+                                   const pdn::PdnParams& p) {
+    std::uint32_t mask = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+        if (pdn_step_lane_scalar(v[k], il[k], load[k], p)) mask |= 1u << k;
+    }
+    return mask;
+}
+
+#if DS_LANES_X86 && defined(__GNUC__)
+__attribute__((target("avx2"))) std::uint32_t
+pdn_step_slot_avx2(double* v, double* il, const double* load,
+                   const pdn::PdnParams& p) {
+    const __m256d vdd = _mm256_set1_pd(p.vdd);
+    const __m256d r = _mm256_set1_pd(p.r_ohm);
+    const __m256d dt = _mm256_set1_pd(p.dt_s);
+    const __m256d inv_zero = _mm256_setzero_pd();
+    const __m256d v_hi = _mm256_set1_pd(p.vdd * 1.25);
+
+    const __m256d pv = _mm256_load_pd(v);
+    const __m256d pil = _mm256_load_pd(il);
+    const __m256d t =
+        _mm256_sub_pd(_mm256_sub_pd(vdd, pv), _mm256_mul_pd(r, pil));
+    const __m256d nil = _mm256_add_pd(
+        pil, _mm256_div_pd(_mm256_mul_pd(dt, t), _mm256_set1_pd(p.l_henry)));
+    __m256d nv = _mm256_add_pd(
+        pv, _mm256_div_pd(_mm256_mul_pd(dt, _mm256_sub_pd(nil, _mm256_load_pd(load))),
+                          _mm256_set1_pd(p.c_farad)));
+    // max(min(x, hi), 0) equals std::clamp(x, 0, hi) for the non-NaN
+    // voltages this integrator produces.
+    nv = _mm256_max_pd(_mm256_min_pd(nv, v_hi), inv_zero);
+    _mm256_store_pd(v, nv);
+    _mm256_store_pd(il, nil);
+    const __m256d same = _mm256_and_pd(_mm256_cmp_pd(nv, pv, _CMP_EQ_OQ),
+                                       _mm256_cmp_pd(nil, pil, _CMP_EQ_OQ));
+    return static_cast<std::uint32_t>(_mm256_movemask_pd(same));
+}
+#endif
+
+using StepSlotFn = std::uint32_t (*)(double*, double*, const double*,
+                                     const pdn::PdnParams&);
+
+StepSlotFn select_step_slot() {
+#if DS_LANES_X86 && defined(__GNUC__)
+    if (simd::active()) return pdn_step_slot_avx2;
+#endif
+    return pdn_step_slot_scalar;
+}
+
+void count_scalar_fallback() {
+    if (metrics::enabled()) {
+        metrics::counter("cosim.lanes.scalar_fallbacks", "cosims",
+                         "co-sims run on the scalar tick loop because their "
+                         "lane group had a single member")
+            .add();
+    }
+}
+
+} // namespace
+
+std::size_t cosim_lane_width() {
+    return lane_width_cell().load(std::memory_order_relaxed);
+}
+
+void set_cosim_lane_width(std::size_t width) {
+    lane_width_cell().store(std::min(width, kMaxLaneWidth),
+                            std::memory_order_relaxed);
+}
+
+bool cosim_lanes_enabled() { return cosim_lane_width() >= 2; }
+
+CosimLanes::CosimLanes(const Platform& platform,
+                       std::vector<StrikeSource*> sources,
+                       bool record_tick_voltage)
+    : platform_(platform),
+      sources_(std::move(sources)),
+      record_tick_voltage_(record_tick_voltage) {
+    expects(!sources_.empty(), "CosimLanes: at least one lane");
+    for (const StrikeSource* s : sources_) {
+        expects(s != nullptr, "CosimLanes: non-null sources");
+    }
+}
+
+std::vector<CosimResult> CosimLanes::run() {
+    trace::Span span("cosim.lanes", "cosim");
+    const Platform& pf = platform_;
+    const PlatformConfig& cfg = pf.config_;
+    const std::size_t n = sources_.size();
+    const std::size_t total_cycles = pf.engine_.schedule().total_cycles;
+    const std::size_t tpc = cfg.ticks_per_cycle;
+    const std::size_t n_caps = cfg.dsp_capture_ticks.size();
+    // Pad to whole 4-lane slots; pads mirror an idle (never-striking) lane
+    // and are never observed.
+    const std::size_t padded = (n + 3) / 4 * 4;
+    const std::size_t slots = padded / 4;
+
+    // SoA lane state. Initial condition is PdnModel::reset(idle): every
+    // lane starts at the same DC operating point.
+    const double i_idle = pf.idle_current_a();
+    const double v_dc = cfg.pdn.vdd - cfg.pdn.r_ohm * i_idle;
+    util::AlignedBuffer<double> v(padded);
+    util::AlignedBuffer<double> il(padded);
+    util::AlignedBuffer<double> load(padded);
+    v.fill(v_dc);
+    il.fill(i_idle);
+    // Per-lane fixed-point tracking mirrors PdnModel's steady_/steady_load_
+    // (reset() leaves steady_ false, so steady_load's initial value is
+    // never consulted).
+    std::vector<std::uint8_t> steady(padded, 0);
+    std::vector<double> steady_load(padded, 0.0);
+    std::vector<std::uint8_t> strike(n, 0);
+    std::vector<std::uint64_t> steps_skipped(n, 0);
+    std::vector<double> min_v(n, 0.0);
+
+    std::vector<CosimResult> results(n);
+    for (std::size_t l = 0; l < n; ++l) {
+        CosimResult& res = results[l];
+        res.strike_bits = BitVec(total_cycles);
+        res.capture_v.assign(total_cycles * n_caps, cfg.pdn.vdd);
+        res.min_v_per_cycle.assign(total_cycles, cfg.pdn.vdd);
+        res.tdc_readouts.reserve(total_cycles * cfg.tdc_sample_ticks.size());
+        if (record_tick_voltage_) res.tick_voltage.reserve(total_cycles * tpc);
+    }
+
+    // Per-lane TDC noise streams: same seed as the scalar path, advanced
+    // draw-for-draw per lane.
+    std::vector<Rng> rng;
+    rng.reserve(n);
+    for (std::size_t l = 0; l < n; ++l) rng.emplace_back(cfg.tdc_noise_seed);
+    std::vector<tdc::TdcSample> scratch(n);
+    tdc::TdcLaneSampler sampler(pf.sensor_, n);
+
+    // Gather buffers for the striker batch (only striking lanes).
+    util::AlignedBuffer<double> strike_v(padded);
+    util::AlignedBuffer<double> strike_cur(padded);
+
+    const StepSlotFn step_slot = select_step_slot();
+    const Platform::TickAction* actions = pf.tick_actions_.data();
+    std::uint64_t compactions = 0;
+
+    for (std::size_t cycle = 0; cycle < total_cycles; ++cycle) {
+        bool any_strike = false;
+        for (std::size_t l = 0; l < n; ++l) {
+            const bool s = sources_[l]->strike_bit(cycle);
+            strike[l] = s ? 1 : 0;
+            if (s) {
+                any_strike = true;
+                ++results[l].strike_cycles;
+                results[l].strike_bits.set(cycle, true);
+            }
+        }
+        const double i_victim = cfg.accel.i_platform_idle_a + pf.activity_[cycle];
+
+        // Cycle fast path: no lane strikes and every live lane already sits
+        // at its floating-point fixed point under this cycle's load — the
+        // whole cycle of PDN arithmetic is the identity, so only the
+        // per-tick events (TDC draws, capture edges) run. This is the
+        // dominant shape of idle stretches.
+        bool all_steady = !any_strike;
+        if (all_steady) {
+            for (std::size_t l = 0; l < n; ++l) {
+                if (steady[l] == 0 || i_victim != steady_load[l]) {
+                    all_steady = false;
+                    break;
+                }
+            }
+        }
+        if (all_steady) {
+            compactions += slots * tpc;
+            for (std::size_t l = 0; l < n; ++l) steps_skipped[l] += tpc;
+            for (std::size_t tick = 0; tick < tpc; ++tick) {
+                if (record_tick_voltage_) {
+                    for (std::size_t l = 0; l < n; ++l) {
+                        results[l].tick_voltage.push_back(v[l]);
+                    }
+                }
+                const Platform::TickAction act = actions[tick];
+                if (act.tdc_slot >= 0) {
+                    sampler.sample_lanes(v.data(), rng.data(), scratch.data(), n);
+                    for (std::size_t l = 0; l < n; ++l) {
+                        results[l].tdc_readouts.push_back(scratch[l].readout);
+                        sources_[l]->on_tdc_sample(scratch[l]);
+                    }
+                }
+                if (act.capture_slot >= 0) {
+                    for (std::size_t l = 0; l < n; ++l) {
+                        results[l].capture_v[cycle * n_caps +
+                                             static_cast<std::size_t>(
+                                                 act.capture_slot)] = v[l];
+                    }
+                }
+            }
+            for (std::size_t l = 0; l < n; ++l) {
+                results[l].min_v_per_cycle[cycle] = v[l];
+            }
+            continue;
+        }
+
+        for (std::size_t l = 0; l < n; ++l) min_v[l] = v[l];
+        if (!any_strike) {
+            for (std::size_t l = 0; l < padded; ++l) load[l] = i_victim;
+        }
+        for (std::size_t tick = 0; tick < tpc; ++tick) {
+            if (any_strike) {
+                // The striking lanes' oscillator current depends on each
+                // lane's instantaneous voltage: gather, batch, scatter.
+                std::size_t k = 0;
+                for (std::size_t l = 0; l < n; ++l) {
+                    if (strike[l] != 0) strike_v[k++] = v[l];
+                }
+                pf.striker_.current_a_lanes(strike_v.data(), strike_cur.data(), k);
+                k = 0;
+                for (std::size_t l = 0; l < n; ++l) {
+                    load[l] = strike[l] != 0 ? i_victim + strike_cur[k++] : i_victim;
+                }
+                for (std::size_t l = n; l < padded; ++l) load[l] = i_victim;
+            }
+            // Fixed-point skip accounting replays the scalar PdnModel
+            // predicate per lane (pre-step, this tick's load) so the
+            // pdn.steps_skipped total is engine-invariant.
+            for (std::size_t l = 0; l < n; ++l) {
+                if (steady[l] != 0 && load[l] == steady_load[l]) {
+                    ++steps_skipped[l];
+                }
+            }
+            // Slot stepping with compaction: a slot whose four lanes all
+            // sit at their fixed points under an unchanged load is skipped
+            // outright (recomputing it would be the identity).
+            for (std::size_t s = 0; s < slots; ++s) {
+                const std::size_t b = s * 4;
+                bool slot_steady = true;
+                for (std::size_t k = 0; k < 4; ++k) {
+                    if (steady[b + k] == 0 || load[b + k] != steady_load[b + k]) {
+                        slot_steady = false;
+                        break;
+                    }
+                }
+                if (slot_steady) {
+                    ++compactions;
+                    continue;
+                }
+                const std::uint32_t mask =
+                    step_slot(v.data() + b, il.data() + b, load.data() + b, cfg.pdn);
+                for (std::size_t k = 0; k < 4; ++k) {
+                    steady[b + k] = static_cast<std::uint8_t>((mask >> k) & 1u);
+                    steady_load[b + k] = load[b + k];
+                }
+            }
+            for (std::size_t l = 0; l < n; ++l) min_v[l] = std::min(min_v[l], v[l]);
+            if (record_tick_voltage_) {
+                for (std::size_t l = 0; l < n; ++l) {
+                    results[l].tick_voltage.push_back(v[l]);
+                }
+            }
+            const Platform::TickAction act = actions[tick];
+            if (act.tdc_slot >= 0) {
+                sampler.sample_lanes(v.data(), rng.data(), scratch.data(), n);
+                for (std::size_t l = 0; l < n; ++l) {
+                    results[l].tdc_readouts.push_back(scratch[l].readout);
+                    sources_[l]->on_tdc_sample(scratch[l]);
+                }
+            }
+            if (act.capture_slot >= 0) {
+                for (std::size_t l = 0; l < n; ++l) {
+                    results[l].capture_v[cycle * n_caps +
+                                         static_cast<std::size_t>(act.capture_slot)] =
+                        v[l];
+                }
+            }
+        }
+        for (std::size_t l = 0; l < n; ++l) {
+            results[l].min_v_per_cycle[cycle] = min_v[l];
+        }
+    }
+
+    // Flush accounting once per group — the same totals n scalar co-sims
+    // would flush, plus the lane-engine telemetry (docs/observability.md).
+    if (metrics::enabled()) {
+        metrics::counter("cosim.inferences", "inferences",
+                         "co-simulated victim inferences")
+            .add(n);
+        metrics::counter("cosim.cycles", "cycles", "co-simulated fabric cycles")
+            .add(n * total_cycles);
+        metrics::counter("pdn.steps", "ticks", "PdnModel::step calls")
+            .add(n * total_cycles * tpc);
+        std::uint64_t skipped_total = 0;
+        for (std::size_t l = 0; l < n; ++l) skipped_total += steps_skipped[l];
+        metrics::counter("pdn.steps_skipped", "ticks",
+                         "steps resolved by the floating-point fixed-point skip")
+            .add(skipped_total);
+        metrics::counter("tdc.samples", "samples", "TDC sensor draws")
+            .add(sampler.samples());
+        metrics::counter("tdc.memo_hits", "samples",
+                         "TDC draws replaying the memoized expected-stage count")
+            .add(sampler.memo_hits());
+        std::uint64_t strike_total = 0;
+        for (std::size_t l = 0; l < n; ++l) {
+            strike_total += results[l].strike_cycles;
+            metrics::histogram("striker.strike_cycles_per_inference", "cycles",
+                               "striker active cycles per co-simulated inference")
+                .observe(results[l].strike_cycles);
+        }
+        metrics::counter("striker.active_cycles", "cycles",
+                         "fabric cycles with the power striker firing")
+            .add(strike_total);
+        metrics::counter("cosim.lanes.groups", "groups",
+                         "lane groups co-simulated by sim::CosimLanes")
+            .add();
+        metrics::histogram("cosim.lanes.width", "lanes",
+                           "lanes per co-simulated group")
+            .observe(n);
+        metrics::counter("cosim.lanes.compactions", "slots",
+                         "4-lane PDN slots skipped at their floating-point "
+                         "fixed point")
+            .add(compactions);
+        metrics::counter("cosim.lanes.tdc_dedup_hits", "samples",
+                         "TDC draws served by copying lane 0's emission")
+            .add(sampler.dedup_hits());
+    }
+    return results;
+}
+
+std::vector<CosimResult> Platform::simulate_inference_lanes(
+    const std::vector<StrikeSource*>& sources, bool record_tick_voltage) const {
+    std::vector<CosimResult> out;
+    out.reserve(sources.size());
+    const std::size_t width = cosim_lane_width();
+    if (width < 2) {
+        for (StrikeSource* s : sources) {
+            expects(s != nullptr, "simulate_inference_lanes: non-null sources");
+            out.push_back(simulate_inference(*s, record_tick_voltage));
+        }
+        return out;
+    }
+    for (std::size_t begin = 0; begin < sources.size(); begin += width) {
+        const std::size_t group_n = std::min(width, sources.size() - begin);
+        if (group_n == 1) {
+            // A single-lane remainder gains nothing from SoA form; run it
+            // on the scalar tick loop (byte-identical by contract).
+            expects(sources[begin] != nullptr,
+                    "simulate_inference_lanes: non-null sources");
+            count_scalar_fallback();
+            out.push_back(simulate_inference(*sources[begin], record_tick_voltage));
+            continue;
+        }
+        CosimLanes group(*this,
+                         std::vector<StrikeSource*>(sources.begin() + begin,
+                                                    sources.begin() + begin + group_n),
+                         record_tick_voltage);
+        std::vector<CosimResult> batch = group.run();
+        for (CosimResult& res : batch) out.push_back(std::move(res));
+    }
+    return out;
+}
+
+} // namespace deepstrike::sim

@@ -65,16 +65,35 @@ std::vector<accel::VoltageTrace> blind_attack_traces(const Platform& platform,
     const std::size_t max_start =
         replay_len < total_cycles ? total_cycles - replay_len : 0;
 
+    // Draw every start offset up front (same RNG draw order as the old
+    // simulate-as-you-go loop), then co-simulate the replays as one lane
+    // group (sim::CosimLanes): the offsets of a blind point are exactly
+    // the independent same-platform co-sims the lane engine batches.
+    // Platform::simulate_inference_lanes falls back to the scalar loop
+    // per offset when lanes are disabled; traces are byte-identical
+    // either way.
     Rng rng(offset_seed);
+    std::vector<std::size_t> starts;
+    starts.reserve(n_offsets);
+    for (std::size_t i = 0; i < n_offsets; ++i) {
+        starts.push_back(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(max_start))));
+    }
+    std::vector<attack::BlindController> controllers;
+    controllers.reserve(n_offsets);
+    std::vector<BlindSource> sources;
+    sources.reserve(n_offsets);
+    std::vector<StrikeSource*> lanes;
+    lanes.reserve(n_offsets);
+    for (std::size_t i = 0; i < n_offsets; ++i) {
+        controllers.emplace_back(scheme, starts[i]);
+        sources.emplace_back(controllers.back());
+        lanes.push_back(&sources.back());
+    }
+    std::vector<CosimResult> cosims = platform.simulate_inference_lanes(lanes);
     std::vector<accel::VoltageTrace> traces;
     traces.reserve(n_offsets);
-    for (std::size_t i = 0; i < n_offsets; ++i) {
-        const auto start = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(max_start)));
-        attack::BlindController controller(scheme, start);
-        BlindSource source(controller);
-        traces.push_back(platform.simulate_inference(source).capture_v);
-    }
+    for (CosimResult& cosim : cosims) traces.push_back(std::move(cosim.capture_v));
     return traces;
 }
 

@@ -133,6 +133,16 @@ public:
     CosimResult simulate_inference(StrikeSource& source,
                                    bool record_tick_voltage = false) const;
 
+    /// Lane-batched equivalent (sim::CosimLanes): co-simulates one
+    /// inference per source, packed into SIMD lane groups of
+    /// cosim_lane_width() with a scalar fallback for single-lane
+    /// remainders (or when lanes are disabled). result[i] is
+    /// byte-identical to simulate_inference(*sources[i], ...).
+    /// Defined in sim/cosim_lanes.cpp.
+    std::vector<CosimResult> simulate_inference_lanes(
+        const std::vector<StrikeSource*>& sources,
+        bool record_tick_voltage = false) const;
+
     /// Functional inference on a previously computed voltage trace.
     /// `throttle` optionally marks defensively clock-throttled cycles
     /// (see defense::run_monitor). `plan` optionally supplies the
@@ -158,6 +168,10 @@ public:
     double idle_current_a() const;
 
 private:
+    // The lane engine reads the same precomputed schedule/action state the
+    // scalar tick loop does (sim/cosim_lanes.cpp).
+    friend class CosimLanes;
+
     /// What happens at one tick offset within a fabric cycle; precomputed
     /// at construction so the tick loop replays a flat table instead of
     /// re-matching the configured tick lists every tick.

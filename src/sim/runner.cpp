@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <exception>
 #include <thread>
+#include <unordered_set>
 
+#include "sim/cosim_lanes.hpp"
 #include "sim/experiment.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -102,6 +105,9 @@ Json RunManifest::to_json() const {
 struct SweepRunner::CacheEntry {
     std::mutex mutex;
     std::condition_variable ready_cv;
+    // Set when prefetch_guided created this entry and no task has looked
+    // it up yet; guarded by cache_mutex_, not this->mutex.
+    bool prefetched = false;
     bool ready = false;
     std::exception_ptr error;
     std::shared_ptr<const GuidedTraceBundle> guided;
@@ -136,19 +142,35 @@ std::shared_ptr<const GoldenStore> SweepRunner::golden_view(
 }
 
 std::shared_ptr<SweepRunner::CacheEntry> SweepRunner::lookup(std::uint64_t key,
-                                                             bool& creator) {
+                                                             bool& creator,
+                                                             bool prefetch) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
         creator = false;
-        cache_hits_.fetch_add(1, std::memory_order_relaxed);
-        count_cache_hit();
+        // Hit/miss totals are a statement about logical work, invariant
+        // across execution engines: prefetch lookups count nothing, and
+        // the first consumer of a prefetched entry inherits the miss the
+        // lazy path would have charged it for running the co-simulation.
+        if (!prefetch) {
+            if (it->second->prefetched) {
+                it->second->prefetched = false;
+                cache_misses_.fetch_add(1, std::memory_order_relaxed);
+                count_cache_miss();
+            } else {
+                cache_hits_.fetch_add(1, std::memory_order_relaxed);
+                count_cache_hit();
+            }
+        }
         return it->second;
     }
     creator = true;
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    count_cache_miss();
+    if (!prefetch) {
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        count_cache_miss();
+    }
     auto entry = std::make_shared<CacheEntry>();
+    entry->prefetched = prefetch;
     cache_.emplace(key, entry);
     return entry;
 }
@@ -199,6 +221,97 @@ SweepRunner::guided_bundle(const attack::DetectorConfig& detector,
     const std::uint64_t key =
         derive_seed(0x617D3DULL, scheme_hash(scheme), detector_hash(detector));
     return resolve(key, compute)->guided;
+}
+
+void SweepRunner::prefetch_guided(const attack::DetectorConfig& detector,
+                                  const std::vector<attack::AttackScheme>& schemes) {
+    if (platform_ == nullptr || !config_.cache_traces || !cosim_lanes_enabled() ||
+        schemes.empty()) {
+        return;
+    }
+    const std::uint64_t dhash = detector_hash(detector);
+
+    // Claim creator-ship of every distinct scheme that is not cached yet.
+    // Duplicate schemes inside `schemes` collapse here. Prefetch lookups
+    // count no hits or misses — the miss is charged to the first task
+    // that consumes each prefetched entry, so per-run accounting (and
+    // the manifest) stays identical to the lazy path.
+    struct Pending {
+        std::shared_ptr<CacheEntry> entry;
+        const attack::AttackScheme* scheme;
+    };
+    std::vector<Pending> pending;
+    std::unordered_set<std::uint64_t> seen;
+    for (const attack::AttackScheme& scheme : schemes) {
+        const std::uint64_t key =
+            derive_seed(0x617D3DULL, scheme_hash(scheme), dhash);
+        if (!seen.insert(key).second) continue;
+        bool creator = false;
+        std::shared_ptr<CacheEntry> entry = lookup(key, creator, /*prefetch=*/true);
+        if (creator) pending.push_back({std::move(entry), &scheme});
+    }
+    if (pending.empty()) return;
+
+    trace::Span span("prefetch_guided", "runner");
+    std::size_t published = 0;
+    try {
+        const std::size_t width = cosim_lane_width();
+        for (std::size_t begin = 0; begin < pending.size(); begin += width) {
+            const std::size_t group_n = std::min(width, pending.size() - begin);
+            // One controller + source per lane; deques keep the references
+            // the sources hold stable.
+            std::deque<attack::AttackController> controllers;
+            std::deque<GuidedSource> sources;
+            std::vector<StrikeSource*> lanes;
+            lanes.reserve(group_n);
+            for (std::size_t j = 0; j < group_n; ++j) {
+                controllers.emplace_back(detector, *pending[begin + j].scheme);
+                sources.emplace_back(controllers.back());
+                lanes.push_back(&sources.back());
+            }
+            std::vector<CosimResult> cosims =
+                platform_->simulate_inference_lanes(lanes);
+            // Overlay planning is independent per trace; spread it over the
+            // pool like the lazy path spreads it over point tasks.
+            std::vector<std::shared_ptr<GuidedTraceBundle>> bundles(group_n);
+            for (std::size_t j = 0; j < group_n; ++j) {
+                bundles[j] = std::make_shared<GuidedTraceBundle>();
+                bundles[j]->trace = std::move(cosims[j].capture_v);
+            }
+            parallel_for(
+                group_n,
+                [&](std::size_t j) {
+                    bundles[j]->plan =
+                        platform_->engine().plan_overlay(&bundles[j]->trace);
+                },
+                threads());
+            for (std::size_t j = 0; j < group_n; ++j) {
+                Pending& p = pending[begin + j];
+                {
+                    std::lock_guard<std::mutex> lock(p.entry->mutex);
+                    p.entry->guided = std::move(bundles[j]);
+                    p.entry->ready = true;
+                }
+                p.entry->ready_cv.notify_all();
+                ++published;
+            }
+        }
+    } catch (...) {
+        // Every entry this prefetch created must become ready or its
+        // waiters deadlock; hand the unfinished ones the error.
+        const std::exception_ptr error = std::current_exception();
+        for (std::size_t i = published; i < pending.size(); ++i) {
+            {
+                std::lock_guard<std::mutex> lock(pending[i].entry->mutex);
+                if (!pending[i].entry->ready) {
+                    pending[i].entry->error = error;
+                    pending[i].entry->ready = true;
+                }
+            }
+            pending[i].entry->ready_cv.notify_all();
+        }
+        throw;
+    }
 }
 
 std::shared_ptr<const BlindTraceBundle>

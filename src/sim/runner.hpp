@@ -142,6 +142,17 @@ public:
     guided_bundle(const attack::DetectorConfig& detector,
                   const attack::AttackScheme& scheme);
 
+    /// Lane-batched warm-up of the guided trace cache: packs the distinct
+    /// not-yet-cached schemes into SIMD lane groups (sim::CosimLanes) and
+    /// co-simulates each group in one pass, so the per-point tasks of the
+    /// following run() hit the cache instead of co-simulating serially.
+    /// Bundles are byte-identical to lazy guided_bundle() computation; a
+    /// no-op when lanes are disabled, the cache is off, or the runner is
+    /// platform-free. Call from the coordinating thread, not from inside
+    /// sweep tasks.
+    void prefetch_guided(const attack::DetectorConfig& detector,
+                         const std::vector<attack::AttackScheme>& schemes);
+
     /// Blind-baseline trace set + plans, cached per (scheme, n_offsets,
     /// seed).
     std::shared_ptr<const BlindTraceBundle>
@@ -176,7 +187,12 @@ public:
 private:
     struct CacheEntry;
 
-    std::shared_ptr<CacheEntry> lookup(std::uint64_t key, bool& creator);
+    /// `prefetch` lookups claim entries without touching the hit/miss
+    /// counters; the first non-prefetch lookup of a prefetched entry is
+    /// charged the miss instead, keeping per-run accounting identical
+    /// whether a trace was prefetched lane-batched or computed lazily.
+    std::shared_ptr<CacheEntry> lookup(std::uint64_t key, bool& creator,
+                                       bool prefetch = false);
     template <typename Compute>
     std::shared_ptr<CacheEntry> resolve(std::uint64_t key, Compute compute);
 

@@ -162,4 +162,91 @@ private:
     std::uint64_t memo_hits_ = 0;
 };
 
+/// Lane-batched sampling front-end for sim::CosimLanes: one TdcSampler
+/// memo per lane plus cross-lane stream deduplication.
+///
+/// Every lane of a co-sim group runs the same sensor from the same noise
+/// seed (PlatformConfig::tdc_noise_seed), and lanes only diverge once
+/// their strike schedules perturb the shared supply. While a lane's
+/// voltage bits AND its full Rng stream state (util::stream_equal — the
+/// Box–Muller cache included) match lane 0's, its draw is the same pure
+/// function of the same inputs, so the sampler emits once and copies the
+/// thermometer-code words, the readout, the advanced Rng and the stage
+/// memo into the matching lanes — byte-identical by construction, and the
+/// reason lane batching beats W scalar co-sims on the TDC-dominated idle
+/// stretches. Per-lane sample/memo accounting keeps the exact counting
+/// predicate of the scalar TdcSampler so metric totals are invariant
+/// across engines. One instance per lane group; not thread-safe.
+class TdcLaneSampler {
+public:
+    TdcLaneSampler(const TdcSensor& sensor, std::size_t lanes)
+        : sensor_(&sensor),
+          last_v_(lanes, 0.0),
+          last_stages_(lanes, 0.0),
+          valid_(lanes, 0) {}
+
+    /// Samples lane l at voltage v[l] with its own stream rng[l] into
+    /// out[l], for l in [0, n). Per lane byte-identical (outputs and
+    /// post-draw rng state) to a scalar TdcSampler fed the same sequence.
+    void sample_lanes(const double* v, Rng* rng, TdcSample* out, std::size_t n) {
+        samples_ += n;
+        // Lane 0 always draws for real; snapshot its pre-draw stream so
+        // later lanes can be tested against it.
+        const double v0 = v[0];
+        const Rng pre0 = rng[0];
+        emit_lane(0, v[0], rng[0], out[0]);
+        for (std::size_t l = 1; l < n; ++l) {
+            // Memo accounting uses the scalar sampler's predicate whether
+            // or not the draw below is deduplicated.
+            const bool memo_hit = valid_[l] != 0 && v[l] == last_v_[l];
+            if (memo_hit) ++memo_hits_;
+            if (v[l] == v0 && stream_equal(rng[l], pre0)) {
+                ++dedup_hits_;
+                out[l].raw = out[0].raw; // word copy, no realloc after warmup
+                out[l].readout = out[0].readout;
+                rng[l] = rng[0]; // lane 0's post-draw stream state
+                // expected_stages(v[l]) == lane 0's memo (same voltage bits).
+                last_v_[l] = v[l];
+                last_stages_[l] = last_stages_[0];
+                valid_[l] = 1;
+            } else if (memo_hit) {
+                sensor_->emit_from_stages(last_stages_[l], rng[l], out[l]);
+            } else {
+                last_v_[l] = v[l];
+                last_stages_[l] = sensor_->expected_stages(v[l]);
+                valid_[l] = 1;
+                sensor_->emit_from_stages(last_stages_[l], rng[l], out[l]);
+            }
+        }
+    }
+
+    /// Accounting totals across all lanes (flushed once per co-sim group
+    /// by sim::CosimLanes; see docs/observability.md). samples/memo_hits
+    /// match the sum of per-lane scalar TdcSampler counters exactly.
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t memo_hits() const { return memo_hits_; }
+    /// Draws served by copying lane 0's emission (perf telemetry only).
+    std::uint64_t dedup_hits() const { return dedup_hits_; }
+
+private:
+    void emit_lane(std::size_t l, double v, Rng& rng, TdcSample& out) {
+        if (valid_[l] == 0 || v != last_v_[l]) {
+            last_v_[l] = v;
+            last_stages_[l] = sensor_->expected_stages(v);
+            valid_[l] = 1;
+        } else {
+            ++memo_hits_;
+        }
+        sensor_->emit_from_stages(last_stages_[l], rng, out);
+    }
+
+    const TdcSensor* sensor_;
+    std::vector<double> last_v_;
+    std::vector<double> last_stages_;
+    std::vector<std::uint8_t> valid_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t memo_hits_ = 0;
+    std::uint64_t dedup_hits_ = 0;
+};
+
 } // namespace deepstrike::tdc

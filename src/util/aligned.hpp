@@ -1,0 +1,79 @@
+// 32-byte-aligned flat storage for structure-of-arrays SIMD state.
+//
+// The lane-batched co-simulator keeps each state variable (die voltage,
+// inductor current, load, ...) of W independent lanes in one contiguous
+// array so a 4-wide AVX2 slot is a single aligned load/store. std::vector
+// cannot guarantee the 32-byte alignment _mm256_load_pd wants, hence this
+// minimal owning buffer: aligned_alloc-backed, value-initialized, sized
+// once per lane group (never on the tick path).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace deepstrike::util {
+
+template <typename T>
+class AlignedBuffer {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "AlignedBuffer holds raw SoA state (trivial types only)");
+
+public:
+    static constexpr std::size_t kAlignment = 32;
+
+    AlignedBuffer() = default;
+    explicit AlignedBuffer(std::size_t count) { resize(count); }
+    ~AlignedBuffer() { std::free(data_); }
+
+    AlignedBuffer(const AlignedBuffer&) = delete;
+    AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+    AlignedBuffer(AlignedBuffer&& other) noexcept
+        : data_(other.data_), size_(other.size_) {
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+        if (this != &other) {
+            std::free(data_);
+            data_ = other.data_;
+            size_ = other.size_;
+            other.data_ = nullptr;
+            other.size_ = 0;
+        }
+        return *this;
+    }
+
+    /// Re-sizes to exactly `count` zero-initialized elements. Existing
+    /// contents are discarded — this is setup storage, not a container.
+    void resize(std::size_t count) {
+        std::free(data_);
+        data_ = nullptr;
+        size_ = count;
+        if (count == 0) return;
+        // aligned_alloc requires the size to be a multiple of the alignment.
+        std::size_t bytes = count * sizeof(T);
+        bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+        data_ = static_cast<T*>(std::aligned_alloc(kAlignment, bytes));
+        if (data_ == nullptr) throw std::bad_alloc();
+        std::memset(data_, 0, bytes);
+    }
+
+    void fill(const T& value) {
+        for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+    }
+
+    T* data() { return data_; }
+    const T* data() const { return data_; }
+    std::size_t size() const { return size_; }
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+
+private:
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace deepstrike::util

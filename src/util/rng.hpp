@@ -133,6 +133,24 @@ public:
     std::array<std::uint64_t, 4> state() const { return s_; }
     void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; have_cached_normal_ = false; }
 
+    /// True when `a` and `b` will emit identical draw sequences from here
+    /// on: same xoshiro state AND same Box–Muller cache (set_state() and
+    /// state() alone cannot see the cached second normal deviate, so raw
+    /// state equality is not stream equality). The lane-batched TDC
+    /// sampler uses this to prove two lanes' noise streams coincide before
+    /// deduplicating a draw; the cached deviate is compared by bit pattern
+    /// so -0.0/0.0 and NaN cannot produce a false match.
+    friend bool stream_equal(const Rng& a, const Rng& b) {
+        if (a.s_ != b.s_ || a.have_cached_normal_ != b.have_cached_normal_) {
+            return false;
+        }
+        if (!a.have_cached_normal_) return true;
+        std::uint64_t ca = 0, cb = 0;
+        __builtin_memcpy(&ca, &a.cached_normal_, sizeof(ca));
+        __builtin_memcpy(&cb, &b.cached_normal_, sizeof(cb));
+        return ca == cb;
+    }
+
 private:
     static std::uint64_t rotl_(std::uint64_t x, int k) {
         return (x << k) | (x >> (64 - k));

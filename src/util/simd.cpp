@@ -1,0 +1,50 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace deepstrike::simd {
+
+namespace {
+
+Mode initial_mode() {
+    const char* force = std::getenv("DS_FORCE_SCALAR");
+    if (force != nullptr && force[0] == '1' && force[1] == '\0') {
+        return Mode::Scalar;
+    }
+    return Mode::Auto;
+}
+
+std::atomic<std::uint8_t>& mode_cell() {
+    static std::atomic<std::uint8_t> cell{
+        static_cast<std::uint8_t>(initial_mode())};
+    return cell;
+}
+
+} // namespace
+
+const char* mode_name(Mode mode) {
+    return mode == Mode::Auto ? "auto" : "scalar";
+}
+
+Mode mode() {
+    return static_cast<Mode>(mode_cell().load(std::memory_order_relaxed));
+}
+
+void set_mode(Mode mode) {
+    mode_cell().store(static_cast<std::uint8_t>(mode),
+                      std::memory_order_relaxed);
+}
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    static const bool has = __builtin_cpu_supports("avx2") != 0;
+    return has;
+#else
+    return false;
+#endif
+}
+
+bool active() { return mode() == Mode::Auto && cpu_has_avx2(); }
+
+} // namespace deepstrike::simd
